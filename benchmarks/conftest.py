@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks reproduce every table and figure of the paper's evaluation on
+the ``small`` synthetic profile.  Building the dataset and fitting the shared
+substrates takes tens of seconds, so a single :class:`ExperimentContext` is
+shared across the whole benchmark session.
+
+Query budgets: retrieval-style methods are evaluated on 30 queries and
+generation-style methods on 12 (beam search is per-query and slower); the
+budgets can be raised for closer-to-paper runs by editing the fixture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DatasetConfig
+from repro.experiments.runner import ExperimentContext
+
+#: evaluation budgets used throughout the benchmark suite.
+RETRIEVAL_QUERY_BUDGET = 30
+GENERATION_QUERY_BUDGET = 12
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    return ExperimentContext(
+        dataset_config=DatasetConfig.small(seed=13),
+        max_queries=RETRIEVAL_QUERY_BUDGET,
+        genexpan_max_queries=GENERATION_QUERY_BUDGET,
+    )

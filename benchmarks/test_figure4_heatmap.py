@@ -1,0 +1,30 @@
+"""Figure 4 — semantic-similarity heatmap of ultra-fine-grained classes.
+
+Shape to reproduce: the heatmap is block-diagonal — ultra-fine-grained
+classes derived from the same fine-grained class are far more similar to each
+other than to classes from other fine-grained classes.
+"""
+
+import numpy as np
+
+from repro.experiments import figure4_heatmap
+
+
+def test_figure4_heatmap(benchmark, context):
+    output = benchmark.pedantic(
+        figure4_heatmap.run, args=(context,), kwargs={"max_classes": 80}, rounds=1, iterations=1
+    )
+    print("\n" + output["text"])
+
+    matrix = np.asarray(output["matrix"])
+    assert matrix.shape[0] == len(output["class_ids"]) > 10
+    assert np.allclose(np.diag(matrix), 1.0)
+    assert np.allclose(matrix, matrix.T, atol=1e-8)
+
+    # Block-diagonal structure: intra-fine-class similarity clearly exceeds
+    # inter-fine-class similarity.
+    assert output["intra_class_similarity"] > output["inter_class_similarity"] + 0.05
+
+    # The sampled classes cover several fine-grained classes (the paper
+    # samples proportionally across all ten).
+    assert len(set(output["fine_classes"])) >= 5

@@ -1,0 +1,23 @@
+"""Table III — module ablations for RetExpan and GenExpan.
+
+Shape to reproduce: removing any module lowers the CombMAP average, and the
+prefix constraint is by far the most damaging removal for GenExpan.
+"""
+
+from repro.experiments import table3_ablation_modules
+
+
+def test_table3_module_ablation(benchmark, context):
+    output = benchmark.pedantic(
+        table3_ablation_modules.run, args=(context,), rounds=1, iterations=1
+    )
+    print("\n" + output["text"])
+    comb = output["comb_map_avg"]
+    print("CombMAP avg (paper):", output["paper_comb_map_avg"])
+
+    # Every ablation hurts its base framework.
+    assert comb["RetExpan - Entity prediction"] < comb["RetExpan"]
+    assert comb["GenExpan - Prefix constrain"] < comb["GenExpan"]
+    assert comb["GenExpan - Further pretrain"] < comb["GenExpan"]
+    # The prefix constraint is the single most important GenExpan module.
+    assert comb["GenExpan - Prefix constrain"] <= comb["GenExpan - Further pretrain"] + 2.0

@@ -1,0 +1,25 @@
+"""Table IV — effect of entity re-ranking with negative seed entities.
+
+Shape to reproduce: for ProbExpan, RetExpan and GenExpan alike, adding the
+negative-seed re-ranking module lowers (or leaves unchanged) the Neg metrics
+and does not degrade the Comb metrics.
+"""
+
+from repro.experiments import table4_neg_rerank
+
+
+def test_table4_neg_rerank(benchmark, context):
+    output = benchmark.pedantic(
+        table4_neg_rerank.run, args=(context,), rounds=1, iterations=1
+    )
+    print("\n" + output["text"])
+    deltas = output["deltas"]
+    print("Deltas (with re-ranking minus without):", deltas)
+
+    for method, delta in deltas.items():
+        # Negative intrusion must not grow when negatives are used for re-ranking.
+        assert delta["neg"] <= 0.5, method
+        # The combined metric must not get worse.
+        assert delta["comb"] >= -0.5, method
+    # At least one framework shows a clear combined-metric gain.
+    assert max(delta["comb"] for delta in deltas.values()) > 0.0

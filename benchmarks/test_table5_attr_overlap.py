@@ -1,0 +1,26 @@
+"""Table V — identical vs different positive/negative attributes.
+
+Shape to reproduce: queries whose positive and negative attributes coincide
+(A_pos = A_neg) are easier than queries with different attributes, and
+contrastive learning does not hurt on either split.
+"""
+
+from repro.experiments import table5_attribute_overlap
+
+
+def test_table5_attr_overlap(benchmark, context):
+    output = benchmark.pedantic(
+        table5_attribute_overlap.run, args=(context,), rounds=1, iterations=1
+    )
+    print("\n" + output["text"])
+    summary = output["comb_map_avg"]
+    print("CombMAP avg per split:", summary)
+
+    assert "same" in summary and "diff" in summary
+    # Same-attribute classes have disjoint P and N, which makes them easier.
+    assert summary["same"]["RetExpan"] >= summary["diff"]["RetExpan"] - 1.0
+    # Contrastive learning does not hurt on either split.
+    for split in ("same", "diff"):
+        assert (
+            summary[split]["RetExpan + Contrast"] >= summary[split]["RetExpan"] - 1.0
+        ), split

@@ -1,0 +1,28 @@
+"""Table VI — semantic classes with different numbers of attributes.
+
+Shape to reproduce: classes constrained by more attributes (|A_pos| = 2 or
+|A_neg| = 2) have fewer matching targets, and tightening the negative
+constraint pushes the Neg metrics down relative to the (1,1) configuration.
+"""
+
+from repro.experiments import table6_attribute_counts
+
+
+def test_table6_attr_counts(benchmark, context):
+    output = benchmark.pedantic(
+        table6_attribute_counts.run, args=(context,), rounds=1, iterations=1
+    )
+    print("\n" + output["text"])
+    assert output["rows"], "no attribute-cardinality groups found in the query budget"
+
+    by_label = {row["(|Apos|, |Aneg|)"]: row for row in output["rows"]}
+    # The (1,1) configuration dominates the dataset and must be present.
+    assert "(1, 1)" in by_label
+    for row in output["rows"]:
+        # Metrics are sane percentages for every cardinality group.
+        assert 0.0 <= row["PosAvg"] <= 100.0
+        assert 0.0 <= row["NegAvg"] <= 100.0
+        assert 0.0 <= row["CombAvg"] <= 100.0
+    # Stricter negative constraints yield lower Neg intrusion than (1,1).
+    if "(1, 2)" in by_label:
+        assert by_label["(1, 2)"]["NegAvg"] <= by_label["(1, 1)"]["NegAvg"] + 1.0

@@ -1,0 +1,36 @@
+"""Table VIII — chain-of-thought reasoning depth and precision.
+
+Shapes to reproduce:
+
+* reasoning about positive attributes helps over class-name-only reasoning;
+* ground-truth positive attributes are at least as good as generated ones;
+* generated *negative* attributes do not help over generated positives alone;
+* ground-truth positive + negative attributes is the best configuration.
+"""
+
+from repro.experiments import table8_cot
+
+
+def test_table8_cot(benchmark, context):
+    output = benchmark.pedantic(
+        table8_cot.run, args=(context,), rounds=1, iterations=1
+    )
+    print("\n" + output["text"])
+    comb = output["comb_map_avg"]
+    print("CombMAP avg (paper):", output["paper_comb_map_avg"])
+
+    base = comb["GenExpan"]
+    gen_pos = comb["GenExpan + CoT (Gen CN & Gen Pos)"]
+    gt_pos = comb["GenExpan + CoT (Gen CN & GT Pos)"]
+    gen_neg = comb["GenExpan + CoT (Gen CN & Gen Pos & Gen Neg)"]
+    gt_full = comb["GenExpan + CoT (Gen CN & GT Pos & GT Neg)"]
+
+    # Attribute-level reasoning helps over no reasoning.
+    assert gen_pos >= base - 0.5
+    # Ground-truth positive attributes are at least as good as generated ones.
+    assert gt_pos >= gen_pos - 0.5
+    # Generated negative attributes are the hardest reasoning step and do not
+    # improve over generated positives alone.
+    assert gen_neg <= gen_pos + 1.0
+    # Ground-truth positive + negative reasoning is the best configuration.
+    assert gt_full >= max(comb.values()) - 0.75

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Scenario: what do negative seed entities actually buy you?
+
+The paper motivates negative seeds with two roles (Section I):
+
+* when A_pos and A_neg constrain the *same* attribute, negatives disambiguate
+  which attribute the user cares about;
+* when they constrain *different* attributes, negatives express "unwanted"
+  semantics that positive seeds alone cannot describe.
+
+This example evaluates RetExpan with and without the negative-seed re-ranking
+module on both query groups, mirroring the paper's Table IV / Table V
+analysis.
+
+Run with:  python examples/negative_seed_roles.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DatasetConfig,
+    Evaluator,
+    RetExpan,
+    RetExpanConfig,
+    SharedResources,
+    build_dataset,
+    format_table,
+)
+
+
+def main() -> None:
+    print("Building the tiny dataset ...")
+    dataset = build_dataset(DatasetConfig.tiny(seed=13))
+    resources = SharedResources(dataset)
+    evaluator = Evaluator(dataset, max_queries=24)
+
+    with_negatives = RetExpan(resources=resources).fit(dataset)
+    without_negatives = RetExpan(
+        RetExpanConfig(use_negative_rerank=False),
+        resources=resources,
+        name="RetExpan - Neg Rerank",
+    ).fit(dataset)
+
+    def attribute_regime(query):
+        return "A_pos = A_neg" if dataset.ultra_class(query.class_id).same_attributes else "A_pos != A_neg"
+
+    rows = []
+    for expander in (with_negatives, without_negatives):
+        grouped = evaluator.split_reports(expander, attribute_regime)
+        for regime, report in sorted(grouped.items()):
+            rows.append(
+                {
+                    "method": expander.name,
+                    "regime": regime,
+                    "queries": report.num_queries,
+                    "PosMAP avg": report.average_map("pos"),
+                    "NegMAP avg": report.average_map("neg"),
+                    "CombMAP avg": report.average_map("comb"),
+                }
+            )
+
+    print("\nEffect of negative seeds per attribute regime:\n")
+    print(format_table(rows))
+    print(
+        "\nReading: removing the negative-seed re-ranking raises NegMAP (more "
+        "unwanted entities sneak in) and lowers CombMAP; the same-attribute "
+        "regime is easier because P and N cannot overlap."
+    )
+
+
+if __name__ == "__main__":
+    main()

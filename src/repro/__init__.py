@@ -1,0 +1,94 @@
+"""repro — a reproduction of "UltraWiki: Ultra-fine-grained Entity Set
+Expansion with Negative Seed Entities" (ICDE 2025).
+
+Quickstart::
+
+    from repro import DatasetConfig, build_dataset, RetExpan, Evaluator
+
+    dataset = build_dataset(DatasetConfig.tiny())
+    expander = RetExpan().fit(dataset)
+    report = Evaluator(dataset, max_queries=10).evaluate(expander)
+    print(report.value("comb", "map", 10))
+
+The public surface re-exports the pieces a downstream user needs: dataset
+construction (:func:`build_dataset`), the two proposed frameworks
+(:class:`RetExpan`, :class:`GenExpan`), the baselines, and the evaluation
+protocol (:class:`Evaluator`).
+"""
+
+from repro.config import (
+    CausalLMConfig,
+    ContrastiveConfig,
+    DatasetConfig,
+    EncoderConfig,
+    EvaluationConfig,
+    GenExpanConfig,
+    OracleConfig,
+    RetExpanConfig,
+)
+from repro.types import (
+    Entity,
+    ExpansionResult,
+    FineGrainedClass,
+    Query,
+    RankedEntity,
+    Sentence,
+    UltraFineGrainedClass,
+)
+from repro.dataset import (
+    UltraWikiBuilder,
+    UltraWikiDataset,
+    build_dataset,
+    compute_statistics,
+    dataset_comparison_table,
+)
+from repro.core import Expander, SharedResources, segmented_rerank
+from repro.retexpan import RetExpan
+from repro.genexpan import GenExpan
+from repro.baselines import CGExpan, CaSE, GPT4Expander, ProbExpan, SetExpan
+from repro.eval import EvaluationReport, Evaluator, format_metric_report, format_table
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    # configs
+    "DatasetConfig",
+    "EncoderConfig",
+    "ContrastiveConfig",
+    "CausalLMConfig",
+    "OracleConfig",
+    "RetExpanConfig",
+    "GenExpanConfig",
+    "EvaluationConfig",
+    # data types
+    "Entity",
+    "Sentence",
+    "FineGrainedClass",
+    "UltraFineGrainedClass",
+    "Query",
+    "RankedEntity",
+    "ExpansionResult",
+    # dataset
+    "UltraWikiDataset",
+    "UltraWikiBuilder",
+    "build_dataset",
+    "compute_statistics",
+    "dataset_comparison_table",
+    # core / methods
+    "Expander",
+    "SharedResources",
+    "segmented_rerank",
+    "RetExpan",
+    "GenExpan",
+    "SetExpan",
+    "CaSE",
+    "CGExpan",
+    "ProbExpan",
+    "GPT4Expander",
+    # evaluation
+    "Evaluator",
+    "EvaluationReport",
+    "format_table",
+    "format_metric_report",
+]

@@ -1,0 +1,9 @@
+"""Baseline ESE methods the paper compares against (Section VI-A)."""
+
+from repro.baselines.setexpan import SetExpan
+from repro.baselines.case import CaSE
+from repro.baselines.cgexpan import CGExpan
+from repro.baselines.probexpan import ProbExpan
+from repro.baselines.gpt4 import GPT4Expander
+
+__all__ = ["SetExpan", "CaSE", "CGExpan", "ProbExpan", "GPT4Expander"]

@@ -1,0 +1,94 @@
+"""CGExpan (Zhang et al., 2020): class-name-guided set expansion via
+language-model probing.
+
+CGExpan probes a pretrained LM for the name of the seed entities' semantic
+class and uses that class name, together with seed similarity, to rank
+candidates.  It only consumes positive seeds and reasons at the
+*fine-grained* class level, so it cannot separate ultra-fine-grained classes
+— which is why the paper reports high Neg intrusion for it.
+
+In this reproduction the class-name probing is served by the oracle LLM
+restricted to the fine-grained level (no attribute reasoning) and the
+class-name guidance is a lexical concept-match between the inferred class
+name and each candidate's context sentences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import Expander
+from repro.core.resources import SharedResources
+from repro.dataset.ultrawiki import UltraWikiDataset
+from repro.genexpan.cot import ConceptMatcher
+from repro.types import ExpansionResult, Query
+from repro.utils.mathx import l2_normalize
+
+
+class CGExpan(Expander):
+    """Class-name guided expansion with positive seeds only."""
+
+    name = "CGExpan"
+
+    def __init__(
+        self,
+        class_name_weight: float = 0.35,
+        distributed_dim: int = 96,
+        resources: SharedResources | None = None,
+    ):
+        """``distributed_dim`` truncates the entity embeddings: CGExpan probes a
+        frozen BERT rather than fine-tuning it, so its entity representations
+        carry less attribute-level detail than RetExpan's refined encoder."""
+        super().__init__()
+        if not 0.0 <= class_name_weight <= 1.0:
+            raise ValueError("class_name_weight must be in [0, 1]")
+        if distributed_dim <= 0:
+            raise ValueError("distributed_dim must be positive")
+        self.class_name_weight = class_name_weight
+        self.distributed_dim = distributed_dim
+        self._resources = resources
+        self._concept_matcher: ConceptMatcher | None = None
+
+    def _fit(self, dataset: UltraWikiDataset) -> None:
+        resources = self._resources or SharedResources(dataset)
+        self._resources = resources
+        # Pre-build the expensive shared pieces.
+        resources.cooccurrence_embeddings()
+        self._concept_matcher = ConceptMatcher(dataset)
+
+    def _probe_class_name(self, query: Query) -> str:
+        """LM probing for the *fine-grained* class name of the positive seeds.
+
+        Only the class description is used — CGExpan has no concept of
+        ultra-fine-grained attributes, so the attribute detail the oracle
+        could add is stripped off.
+        """
+        oracle = self._resources.oracle()
+        name = oracle.infer_class_name(query.positive_seed_ids)
+        return name.split(" with ")[0]
+
+    def _expand(self, query: Query, top_k: int) -> ExpansionResult:
+        embeddings = self._resources.cooccurrence_embeddings()
+        vectors = {
+            eid: vec[: self.distributed_dim]
+            for eid, vec in embeddings.entity_vectors().items()
+        }
+        candidates = [eid for eid in self.candidate_ids(query) if eid in vectors]
+        seeds = [vectors[s] for s in query.positive_seed_ids if s in vectors]
+        if not seeds or not candidates:
+            return ExpansionResult(query_id=query.query_id, ranking=())
+        seed_matrix = l2_normalize(np.stack(seeds), axis=1)
+        candidate_matrix = l2_normalize(np.stack([vectors[c] for c in candidates]), axis=1)
+        seed_similarity = (candidate_matrix @ seed_matrix.T).mean(axis=1)
+
+        class_name = self._probe_class_name(query)
+        scored = []
+        for index, entity_id in enumerate(candidates):
+            concept = self._concept_matcher.score(entity_id, class_name)
+            combined = (
+                (1.0 - self.class_name_weight) * float(seed_similarity[index])
+                + self.class_name_weight * concept
+            )
+            scored.append((entity_id, combined))
+        scored.sort(key=lambda item: (-item[1], item[0]))
+        return ExpansionResult.from_scores(query.query_id, scored[: max(top_k, 200)])

@@ -1,0 +1,51 @@
+"""The GPT-4 prompt baseline (Section VI-A).
+
+The paper prompts GPT-4 with both positive and negative seed entities and
+asks for target entities directly.  Here the simulated oracle plays GPT-4:
+it ranks entities from its (noisy, popularity-skewed) world knowledge, may
+hallucinate non-existent names, and is not constrained to the candidate
+vocabulary.  Hallucinated names are discarded when mapping the generated
+strings back onto candidate entity ids — the ranking slots they occupied are
+simply lost, mirroring the wasted generations the paper describes.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Expander
+from repro.core.resources import SharedResources
+from repro.dataset.ultrawiki import UltraWikiDataset
+from repro.types import ExpansionResult, Query
+
+
+class GPT4Expander(Expander):
+    """Prompt-only expansion served by the simulated GPT-4 oracle."""
+
+    name = "GPT4"
+
+    def __init__(self, resources: SharedResources | None = None):
+        super().__init__()
+        self._resources = resources
+
+    def _fit(self, dataset: UltraWikiDataset) -> None:
+        resources = self._resources or SharedResources(dataset)
+        self._resources = resources
+        resources.oracle()
+
+    def _expand(self, query: Query, top_k: int) -> ExpansionResult:
+        oracle = self._resources.oracle()
+        generated_names = oracle.expand(
+            query.positive_seed_ids,
+            query.negative_seed_ids,
+            self.candidate_ids(query),
+            top_k=top_k,
+        )
+        scored = []
+        rank = 0
+        for name in generated_names:
+            rank += 1
+            if not self.dataset.has_entity_name(name):
+                # Hallucinated entity: the slot is wasted.
+                continue
+            entity_id = self.dataset.entity_by_name(name).entity_id
+            scored.append((entity_id, 1.0 / rank))
+        return ExpansionResult.from_scores(query.query_id, scored)

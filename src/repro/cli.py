@@ -1,0 +1,129 @@
+"""Command-line interface.
+
+Three subcommands cover the workflows a downstream user needs without
+writing Python:
+
+* ``build-dataset`` — construct a synthetic UltraWiki-style dataset and save
+  it to disk;
+* ``list-experiments`` — show every reproducible paper artefact and its
+  benchmark target;
+* ``run-experiment`` — run one experiment (table/figure) and print the rows
+  the paper reports, optionally writing the raw output as JSON.
+
+Examples::
+
+    python -m repro.cli build-dataset --profile small --output ./ultrawiki
+    python -m repro.cli list-experiments
+    python -m repro.cli run-experiment table2 --profile tiny --max-queries 12
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.config import DatasetConfig
+from repro.dataset.analysis import compute_statistics
+from repro.dataset.builder import build_dataset
+from repro.experiments.registry import EXPERIMENTS, experiment_by_id
+from repro.experiments.runner import ExperimentContext
+
+_PROFILES = {
+    "tiny": DatasetConfig.tiny,
+    "small": DatasetConfig.small,
+    "default": DatasetConfig.default,
+}
+
+
+def _dataset_config(profile: str, seed: int) -> DatasetConfig:
+    try:
+        factory = _PROFILES[profile]
+    except KeyError:
+        raise SystemExit(f"unknown profile {profile!r}; choose from {sorted(_PROFILES)}")
+    return factory(seed=seed)
+
+
+def _cmd_build_dataset(args: argparse.Namespace) -> int:
+    config = _dataset_config(args.profile, args.seed)
+    print(f"Building dataset (profile={args.profile}, seed={args.seed}) ...")
+    dataset = build_dataset(config)
+    stats = compute_statistics(dataset)
+    print(
+        f"  entities={stats.num_entities} sentences={stats.num_sentences} "
+        f"ultra_classes={stats.num_ultra_classes} queries={stats.num_queries}"
+    )
+    if args.output:
+        dataset.save(args.output)
+        print(f"  saved to {Path(args.output).resolve()}")
+    return 0
+
+
+def _cmd_list_experiments(args: argparse.Namespace) -> int:
+    width = max(len(spec.experiment_id) for spec in EXPERIMENTS)
+    for spec in EXPERIMENTS:
+        print(f"{spec.experiment_id.ljust(width)}  {spec.title}  [{spec.bench_target}]")
+    return 0
+
+
+def _cmd_run_experiment(args: argparse.Namespace) -> int:
+    spec = experiment_by_id(args.experiment_id)
+    config = _dataset_config(args.profile, args.seed)
+    print(f"Running {spec.experiment_id}: {spec.title}")
+    print(f"  profile={args.profile} max_queries={args.max_queries} "
+          f"genexpan_max_queries={args.genexpan_max_queries}")
+    context = ExperimentContext(
+        dataset_config=config,
+        max_queries=args.max_queries,
+        genexpan_max_queries=args.genexpan_max_queries,
+        seed=args.seed,
+    )
+    output = spec.runner(context)
+    print()
+    print(output.get("text", "(no text output)"))
+    if args.json:
+        serialisable = {
+            key: value for key, value in output.items() if key != "text"
+        }
+        Path(args.json).write_text(json.dumps(serialisable, indent=2, default=str))
+        print(f"\nwrote JSON output to {Path(args.json).resolve()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="UltraWiki (Ultra-ESE) reproduction command-line interface",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    build = subparsers.add_parser("build-dataset", help="construct and optionally save a dataset")
+    build.add_argument("--profile", default="small", choices=sorted(_PROFILES))
+    build.add_argument("--seed", type=int, default=13)
+    build.add_argument("--output", default=None, help="directory to save the dataset to")
+    build.set_defaults(handler=_cmd_build_dataset)
+
+    lister = subparsers.add_parser("list-experiments", help="list reproducible paper artefacts")
+    lister.set_defaults(handler=_cmd_list_experiments)
+
+    run = subparsers.add_parser("run-experiment", help="run one table/figure experiment")
+    run.add_argument("experiment_id", help="e.g. table2, figure4")
+    run.add_argument("--profile", default="small", choices=sorted(_PROFILES))
+    run.add_argument("--seed", type=int, default=13)
+    run.add_argument("--max-queries", type=int, default=40)
+    run.add_argument("--genexpan-max-queries", type=int, default=20)
+    run.add_argument("--json", default=None, help="path to write the raw output as JSON")
+    run.set_defaults(handler=_cmd_run_experiment)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Core abstractions shared by all expansion methods."""
+
+from repro.core.base import Expander
+from repro.core.rerank import segmented_rerank
+from repro.core.resources import SharedResources
+
+__all__ = ["Expander", "segmented_rerank", "SharedResources"]

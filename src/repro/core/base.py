@@ -1,0 +1,73 @@
+"""The common expander interface.
+
+Every method — the paper's RetExpan and GenExpan, the prior baselines, and
+the GPT-4 oracle — implements :class:`Expander`: ``fit`` binds the method to
+a dataset (training whatever models it needs) and ``expand`` maps a query to
+a ranked list of candidate entity ids that never contains the seed entities.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.dataset.ultrawiki import UltraWikiDataset
+from repro.exceptions import ExpansionError
+from repro.types import ExpansionResult, Query
+
+
+class Expander(ABC):
+    """Abstract base class of all entity-set-expansion methods."""
+
+    #: human-readable method name used in reports and benchmarks.
+    name: str = "expander"
+
+    def __init__(self):
+        self._dataset: UltraWikiDataset | None = None
+
+    # -- lifecycle --------------------------------------------------------------
+    def fit(self, dataset: UltraWikiDataset) -> "Expander":
+        """Bind the expander to ``dataset`` and train its underlying models."""
+        self._dataset = dataset
+        self._fit(dataset)
+        return self
+
+    def _fit(self, dataset: UltraWikiDataset) -> None:
+        """Hook for subclasses; the default needs no training."""
+
+    @property
+    def dataset(self) -> UltraWikiDataset:
+        if self._dataset is None:
+            raise ExpansionError(f"{self.name} has not been fitted to a dataset")
+        return self._dataset
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._dataset is not None
+
+    # -- expansion ---------------------------------------------------------------
+    def expand(self, query: Query, top_k: int = 100) -> ExpansionResult:
+        """Expand ``query`` into a ranked list of at most ``top_k`` entities."""
+        if top_k <= 0:
+            raise ExpansionError("top_k must be positive")
+        dataset = self.dataset
+        if query.class_id not in dataset.ultra_classes:
+            raise ExpansionError(
+                f"query {query.query_id!r} references unknown class {query.class_id!r}"
+            )
+        result = self._expand(query, top_k)
+        seeds = set(query.positive_seed_ids) | set(query.negative_seed_ids)
+        filtered = [item for item in result.ranking if item.entity_id not in seeds]
+        return ExpansionResult(query_id=result.query_id, ranking=tuple(filtered[:top_k]))
+
+    @abstractmethod
+    def _expand(self, query: Query, top_k: int) -> ExpansionResult:
+        """Produce the raw ranking (seed filtering is applied by ``expand``)."""
+
+    # -- helpers -------------------------------------------------------------------
+    def candidate_ids(self, query: Query) -> list[int]:
+        """All candidate entity ids excluding the query's seeds."""
+        seeds = set(query.positive_seed_ids) | set(query.negative_seed_ids)
+        return [eid for eid in self.dataset.entity_ids() if eid not in seeds]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}(name={self.name!r}, fitted={self.is_fitted})"

@@ -1,0 +1,58 @@
+"""Segmented re-ranking with negative seed entities (Section V-A.1).
+
+Directly re-ranking the whole expansion list by ascending negative similarity
+would push irrelevant entities (which are dissimilar to *everything*,
+including the negative seeds) to the top.  The paper's remedy is segmented
+re-ranking: split the list into segments of length ``l`` and re-rank each
+segment individually in descending order of *dis*similarity to the negative
+seeds, preserving the coarse ordering produced by the positive similarity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.exceptions import ExpansionError
+from repro.types import ExpansionResult, RankedEntity
+
+
+def segmented_rerank(
+    result: ExpansionResult,
+    negative_score: Callable[[int], float],
+    segment_length: int,
+) -> ExpansionResult:
+    """Re-rank ``result`` segment by segment using ``negative_score``.
+
+    Within each segment of ``segment_length`` consecutive entries, entities
+    are reordered by ascending ``negative_score`` (least similar to the
+    negative seeds first).  Entities keep their original positive scores in
+    the returned result so downstream consumers can still inspect them.
+    """
+    if segment_length <= 0:
+        raise ExpansionError("segment_length must be positive")
+    ranking = list(result.ranking)
+    reranked: list[RankedEntity] = []
+    for start in range(0, len(ranking), segment_length):
+        segment = ranking[start : start + segment_length]
+        segment.sort(key=lambda item: (negative_score(item.entity_id), -item.score, item.entity_id))
+        reranked.extend(segment)
+    return ExpansionResult(query_id=result.query_id, ranking=tuple(reranked))
+
+
+def mean_similarity_scorer(
+    seed_ids: Sequence[int],
+    similarity: Callable[[int, int], float],
+) -> Callable[[int], float]:
+    """Build a scorer: mean similarity between an entity and the seed entities.
+
+    This is the ``sco_neg`` (or ``sco_pos``) of Eq. 5 expressed over an
+    arbitrary pairwise similarity function.
+    """
+    seed_list = list(seed_ids)
+
+    def scorer(entity_id: int) -> float:
+        if not seed_list:
+            return 0.0
+        return sum(similarity(entity_id, seed) for seed in seed_list) / len(seed_list)
+
+    return scorer

@@ -1,0 +1,139 @@
+"""Shared, lazily-built model resources.
+
+Several methods rely on the same expensive substrates (the trained context
+encoder, corpus co-occurrence embeddings, the continually pre-trained causal
+LM, the GPT-4 oracle).  :class:`SharedResources` builds each of them at most
+once per dataset so that experiment harnesses comparing many methods do not
+refit identical models.
+"""
+
+from __future__ import annotations
+
+from repro.config import CausalLMConfig, EncoderConfig, OracleConfig
+from repro.dataset.ultrawiki import UltraWikiDataset
+from repro.kb.schema import default_schemas
+from repro.lm.causal_lm import CausalEntityLM
+from repro.lm.context_encoder import ContextEncoder, EntityRepresentations
+from repro.lm.embeddings import CooccurrenceEmbeddings
+from repro.lm.oracle import OracleLLM
+from repro.text.prefix_tree import PrefixTree
+from repro.text.tokenizer import WordTokenizer
+
+
+class SharedResources:
+    """Caches fitted substrates for one dataset."""
+
+    def __init__(
+        self,
+        dataset: UltraWikiDataset,
+        encoder_config: EncoderConfig | None = None,
+        causal_lm_config: CausalLMConfig | None = None,
+        oracle_config: OracleConfig | None = None,
+    ):
+        self.dataset = dataset
+        self.encoder_config = encoder_config or EncoderConfig()
+        self.causal_lm_config = causal_lm_config or CausalLMConfig()
+        self.oracle_config = oracle_config or OracleConfig()
+        self._tokenizer = WordTokenizer()
+        self._cooccurrence: CooccurrenceEmbeddings | None = None
+        self._encoder: ContextEncoder | None = None
+        self._untrained_encoder: ContextEncoder | None = None
+        self._representations: EntityRepresentations | None = None
+        self._untrained_representations: EntityRepresentations | None = None
+        self._causal_lm: CausalEntityLM | None = None
+        self._causal_lm_no_pretrain: CausalEntityLM | None = None
+        self._oracle: OracleLLM | None = None
+        self._prefix_tree: PrefixTree | None = None
+
+    # -- embeddings ------------------------------------------------------------
+    def cooccurrence_embeddings(self) -> CooccurrenceEmbeddings:
+        """PPMI-SVD embeddings over the dataset corpus (pre-training substitute)."""
+        if self._cooccurrence is None:
+            self._cooccurrence = CooccurrenceEmbeddings(
+                dim=self.encoder_config.embedding_dim,
+                seed=self.encoder_config.seed,
+            ).fit(self.dataset.corpus, self.dataset.entities())
+        return self._cooccurrence
+
+    # -- context encoder -----------------------------------------------------------
+    def context_encoder(self, trained: bool = True) -> ContextEncoder:
+        """The masked-entity encoder, with or without entity-prediction training."""
+        if trained:
+            if self._encoder is None:
+                self._encoder = ContextEncoder(self.encoder_config).fit(
+                    self.dataset.corpus,
+                    self.dataset.entities(),
+                    pretrained=self.cooccurrence_embeddings(),
+                    train=True,
+                )
+            return self._encoder
+        if self._untrained_encoder is None:
+            self._untrained_encoder = ContextEncoder(self.encoder_config).fit(
+                self.dataset.corpus,
+                self.dataset.entities(),
+                pretrained=self.cooccurrence_embeddings(),
+                train=False,
+            )
+        return self._untrained_encoder
+
+    def entity_representations(self, trained: bool = True) -> EntityRepresentations:
+        """Entity hidden-state / distribution representations for all candidates."""
+        if trained:
+            if self._representations is None:
+                self._representations = self.context_encoder(True).entity_representations(
+                    self.dataset.corpus, self.dataset.entities()
+                )
+            return self._representations
+        if self._untrained_representations is None:
+            self._untrained_representations = self.context_encoder(
+                False
+            ).entity_representations(
+                self.dataset.corpus, self.dataset.entities(), with_distributions=False
+            )
+        return self._untrained_representations
+
+    # -- causal LM ---------------------------------------------------------------------
+    def causal_lm(self, further_pretrain: bool = True) -> CausalEntityLM:
+        """The GenExpan backbone, with or without continued pre-training."""
+        if further_pretrain:
+            if self._causal_lm is None:
+                config = CausalLMConfig(**{**self.causal_lm_config.__dict__, "further_pretrain": True})
+                self._causal_lm = CausalEntityLM(config).fit(
+                    self.dataset.corpus, self.dataset.entities()
+                )
+            return self._causal_lm
+        if self._causal_lm_no_pretrain is None:
+            config = CausalLMConfig(**{**self.causal_lm_config.__dict__, "further_pretrain": False})
+            self._causal_lm_no_pretrain = CausalEntityLM(config).fit(
+                self.dataset.corpus, self.dataset.entities()
+            )
+        return self._causal_lm_no_pretrain
+
+    # -- oracle and prefix tree -----------------------------------------------------------
+    def oracle(self) -> OracleLLM:
+        """The simulated GPT-4 oracle bound to this dataset."""
+        if self._oracle is None:
+            attribute_values = {
+                fc.name: {a: tuple(v) for a, v in fc.attributes.items()}
+                for fc in self.dataset.fine_classes.values()
+            }
+            descriptions = {
+                schema.name: schema.description
+                for schema in default_schemas()
+                if schema.name in self.dataset.fine_classes
+            }
+            self._oracle = OracleLLM(
+                self.dataset.entities(),
+                attribute_values,
+                config=self.oracle_config,
+                class_descriptions=descriptions,
+            )
+        return self._oracle
+
+    def prefix_tree(self) -> PrefixTree:
+        """Prefix tree over every candidate entity surface form."""
+        if self._prefix_tree is None:
+            self._prefix_tree = PrefixTree.from_entities(
+                (entity.name for entity in self.dataset.entities()), self._tokenizer
+            )
+        return self._prefix_tree

@@ -1,0 +1,24 @@
+"""UltraWiki dataset construction, container, and analysis."""
+
+from repro.dataset.ultrawiki import UltraWikiDataset
+from repro.dataset.builder import UltraWikiBuilder, build_dataset
+from repro.dataset.semantic_class import SemanticClassGenerator
+from repro.dataset.queries import QueryGenerator
+from repro.dataset.analysis import (
+    DatasetStatistics,
+    class_similarity_matrix,
+    compute_statistics,
+    dataset_comparison_table,
+)
+
+__all__ = [
+    "UltraWikiDataset",
+    "UltraWikiBuilder",
+    "build_dataset",
+    "SemanticClassGenerator",
+    "QueryGenerator",
+    "DatasetStatistics",
+    "class_similarity_matrix",
+    "compute_statistics",
+    "dataset_comparison_table",
+]

@@ -1,0 +1,121 @@
+"""Query (seed set) sampling for ultra-fine-grained semantic classes.
+
+Each ultra-fine-grained class receives a fixed number of queries (paper: 3),
+each with 3–5 positive seeds drawn from ``P`` and 3–5 negative seeds drawn
+from ``N``.  Seeds are sampled from the non-overlapping parts of ``P`` and
+``N`` so a seed is never simultaneously positive and negative, and popular
+entities are preferred as seeds (users name entities they know).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import DatasetError
+from repro.types import Entity, Query, UltraFineGrainedClass
+from repro.utils.rng import RandomState
+
+
+class QueryGenerator:
+    """Samples positive / negative seed entities for each ultra-fine-grained class."""
+
+    def __init__(
+        self,
+        rng: RandomState,
+        queries_per_class: int = 3,
+        min_seeds: int = 3,
+        max_seeds: int = 5,
+    ):
+        if queries_per_class < 1:
+            raise DatasetError("queries_per_class must be >= 1")
+        if min_seeds < 1 or max_seeds < min_seeds:
+            raise DatasetError("invalid seed count range")
+        self._rng = rng
+        self.queries_per_class = queries_per_class
+        self.min_seeds = min_seeds
+        self.max_seeds = max_seeds
+
+    def _seed_pool(
+        self,
+        include: Sequence[int],
+        exclude: Sequence[int],
+        entities_by_id: dict[int, Entity],
+    ) -> list[int]:
+        """Candidate seed ids: in ``include`` but not ``exclude``, popular first."""
+        exclude_set = set(exclude)
+        pool = [eid for eid in include if eid not in exclude_set]
+        pool.sort(key=lambda eid: (-entities_by_id[eid].popularity, eid))
+        return pool
+
+    def _sample_seeds(
+        self, pool: list[int], count: int, rng: RandomState
+    ) -> tuple[int, ...]:
+        """Sample ``count`` seeds biased toward the popular front of ``pool``."""
+        if len(pool) < count:
+            raise DatasetError(
+                f"cannot sample {count} seeds from a pool of {len(pool)}"
+            )
+        # Bias: restrict to the most popular half (but at least `count` items),
+        # then sample uniformly within it.
+        front = pool[: max(count, len(pool) // 2)]
+        return tuple(sorted(rng.sample(front, count)))
+
+    def generate_for_class(
+        self,
+        ultra_class: UltraFineGrainedClass,
+        entities_by_id: dict[int, Entity],
+    ) -> list[Query]:
+        """Generate the queries for one ultra-fine-grained class."""
+        rng = self._rng.child("queries", ultra_class.class_id)
+        positive_pool = self._seed_pool(
+            ultra_class.positive_entity_ids,
+            ultra_class.negative_entity_ids,
+            entities_by_id,
+        )
+        negative_pool = self._seed_pool(
+            ultra_class.negative_entity_ids,
+            ultra_class.positive_entity_ids,
+            entities_by_id,
+        )
+        max_pos = min(self.max_seeds, len(positive_pool) - 1)
+        max_neg = min(self.max_seeds, len(negative_pool) - 1)
+        if max_pos < self.min_seeds or max_neg < self.min_seeds:
+            raise DatasetError(
+                f"class {ultra_class.class_id!r} has too few non-overlapping targets "
+                "to sample seeds"
+            )
+
+        queries: list[Query] = []
+        for index in range(self.queries_per_class):
+            query_rng = rng.child(index)
+            num_pos = query_rng.integers(self.min_seeds, max_pos + 1)
+            num_neg = query_rng.integers(self.min_seeds, max_neg + 1)
+            queries.append(
+                Query(
+                    query_id=f"{ultra_class.class_id}/q{index}",
+                    class_id=ultra_class.class_id,
+                    positive_seed_ids=self._sample_seeds(
+                        positive_pool, num_pos, query_rng.child("pos")
+                    ),
+                    negative_seed_ids=self._sample_seeds(
+                        negative_pool, num_neg, query_rng.child("neg")
+                    ),
+                )
+            )
+        return queries
+
+    def generate(
+        self,
+        ultra_classes: Sequence[UltraFineGrainedClass],
+        entities_by_id: dict[int, Entity],
+    ) -> list[Query]:
+        """Generate queries for every class (classes that cannot support seeds are skipped)."""
+        queries: list[Query] = []
+        for ultra_class in ultra_classes:
+            try:
+                queries.extend(self.generate_for_class(ultra_class, entities_by_id))
+            except DatasetError:
+                # The builder filters classes for viability, but a class can
+                # still lack non-overlapping seeds; skip it rather than fail.
+                continue
+        return queries

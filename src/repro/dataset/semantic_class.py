@@ -1,0 +1,203 @@
+"""Negative-aware generation of ultra-fine-grained semantic classes.
+
+Implements Step 4 of the UltraWiki construction pipeline (Section IV-A):
+for each fine-grained class, sample positive and negative attribute sets
+``A_pos`` / ``A_neg``, pick concrete values, and materialise the positive
+target set ``P`` (entities matching ``A_pos``) and negative target set ``N``
+(entities matching ``A_neg``).  Classes whose ``P`` or ``N`` fall below the
+minimum entity requirement (paper: ``n_thred = 6``) are discarded.
+
+Two regimes matter for the paper's analysis (Table V / VI):
+
+* ``A_pos`` and ``A_neg`` constrain the *same* attribute with different
+  values — negatives emphasise which attribute the user cares about and
+  ``P`` and ``N`` are disjoint;
+* they constrain *different* attributes — negatives express genuinely
+  "unwanted" semantics and ``P`` and ``N`` may overlap.
+
+The generator produces a controlled mix of (|A_pos|, |A_neg|) cardinalities
+(1,1), (1,2) and (2,1), dominated by (1,1) as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations, product
+from typing import Mapping, Sequence
+
+from repro.exceptions import DatasetError
+from repro.kb.schema import ClassSchema
+from repro.types import Entity, UltraFineGrainedClass
+from repro.utils.rng import RandomState
+
+
+@dataclass(frozen=True)
+class _CandidateClass:
+    """An (A_pos, A_neg) configuration before target materialisation."""
+
+    positive_assignment: Mapping[str, str]
+    negative_assignment: Mapping[str, str]
+
+    @property
+    def cardinality(self) -> tuple[int, int]:
+        return (len(self.positive_assignment), len(self.negative_assignment))
+
+    @property
+    def same_attributes(self) -> bool:
+        return set(self.positive_assignment) == set(self.negative_assignment)
+
+
+class SemanticClassGenerator:
+    """Generates ultra-fine-grained semantic classes for one fine-grained class."""
+
+    def __init__(
+        self,
+        rng: RandomState,
+        min_targets: int = 6,
+        max_classes_per_fine_class: int = 26,
+        cardinality_quota: Mapping[tuple[int, int], float] | None = None,
+    ):
+        if min_targets < 1:
+            raise DatasetError("min_targets must be >= 1")
+        if max_classes_per_fine_class < 1:
+            raise DatasetError("max_classes_per_fine_class must be >= 1")
+        self._rng = rng
+        self.min_targets = min_targets
+        self.max_classes = max_classes_per_fine_class
+        #: share of generated classes per (|A_pos|, |A_neg|) cardinality.
+        self.cardinality_quota = dict(
+            cardinality_quota or {(1, 1): 0.7, (1, 2): 0.15, (2, 1): 0.15}
+        )
+
+    # -- candidate enumeration ---------------------------------------------------
+    @staticmethod
+    def _single_attribute_candidates(schema: ClassSchema) -> list[_CandidateClass]:
+        """All (1,1) configurations: same-attribute and cross-attribute pairs."""
+        candidates: list[_CandidateClass] = []
+        attributes = schema.attribute_names()
+        # Same attribute, different values (A_pos == A_neg attribute-wise).
+        for attribute in attributes:
+            for pos_value, neg_value in product(schema.attributes[attribute], repeat=2):
+                if pos_value != neg_value:
+                    candidates.append(
+                        _CandidateClass(
+                            positive_assignment={attribute: pos_value},
+                            negative_assignment={attribute: neg_value},
+                        )
+                    )
+        # Different attributes.
+        for pos_attr, neg_attr in product(attributes, repeat=2):
+            if pos_attr == neg_attr:
+                continue
+            for pos_value in schema.attributes[pos_attr]:
+                for neg_value in schema.attributes[neg_attr]:
+                    candidates.append(
+                        _CandidateClass(
+                            positive_assignment={pos_attr: pos_value},
+                            negative_assignment={neg_attr: neg_value},
+                        )
+                    )
+        return candidates
+
+    @staticmethod
+    def _multi_attribute_candidates(
+        schema: ClassSchema, pos_count: int, neg_count: int
+    ) -> list[_CandidateClass]:
+        """Configurations with |A_pos| = pos_count and |A_neg| = neg_count."""
+        attributes = schema.attribute_names()
+        if len(attributes) < max(pos_count, neg_count):
+            return []
+        candidates: list[_CandidateClass] = []
+        for pos_attrs in combinations(attributes, pos_count):
+            for neg_attrs in combinations(attributes, neg_count):
+                pos_value_choices = product(*(schema.attributes[a] for a in pos_attrs))
+                for pos_values in pos_value_choices:
+                    positive = dict(zip(pos_attrs, pos_values))
+                    neg_value_choices = product(*(schema.attributes[a] for a in neg_attrs))
+                    for neg_values in neg_value_choices:
+                        negative = dict(zip(neg_attrs, neg_values))
+                        # Skip configurations whose constraints are identical:
+                        # "positive == negative" describes an empty target set.
+                        if positive == negative:
+                            continue
+                        candidates.append(
+                            _CandidateClass(
+                                positive_assignment=positive,
+                                negative_assignment=negative,
+                            )
+                        )
+        return candidates
+
+    # -- materialisation ------------------------------------------------------------
+    @staticmethod
+    def _matching_entities(
+        entities: Sequence[Entity], assignment: Mapping[str, str]
+    ) -> tuple[int, ...]:
+        return tuple(
+            entity.entity_id for entity in entities if entity.matches(assignment)
+        )
+
+    def _is_viable(
+        self, candidate: _CandidateClass, entities: Sequence[Entity]
+    ) -> tuple[tuple[int, ...], tuple[int, ...]] | None:
+        positives = self._matching_entities(entities, candidate.positive_assignment)
+        negatives = self._matching_entities(entities, candidate.negative_assignment)
+        if len(positives) < self.min_targets or len(negatives) < self.min_targets:
+            return None
+        # The target set is P - N; require it to be non-trivial so queries
+        # have something to find.
+        if len(set(positives) - set(negatives)) < self.min_targets:
+            return None
+        if len(set(negatives) - set(positives)) < self.min_targets:
+            return None
+        return positives, negatives
+
+    def generate(
+        self, schema: ClassSchema, entities: Sequence[Entity]
+    ) -> list[UltraFineGrainedClass]:
+        """Generate the ultra-fine-grained classes for ``schema``.
+
+        Candidates are enumerated exhaustively per cardinality bucket,
+        filtered for viability (enough targets), shuffled deterministically,
+        and sampled according to the cardinality quota up to the per-class cap.
+        """
+        rng = self._rng.child("ultra_classes", schema.name)
+        buckets: dict[tuple[int, int], list[_CandidateClass]] = {
+            (1, 1): self._single_attribute_candidates(schema),
+            (1, 2): self._multi_attribute_candidates(schema, 1, 2),
+            (2, 1): self._multi_attribute_candidates(schema, 2, 1),
+        }
+
+        generated: list[UltraFineGrainedClass] = []
+        seen_configs: set[tuple] = set()
+        for cardinality, quota in sorted(self.cardinality_quota.items()):
+            budget = max(1, round(self.max_classes * quota))
+            candidates = rng.child(cardinality).shuffle(buckets.get(cardinality, []))
+            taken = 0
+            for candidate in candidates:
+                if taken >= budget:
+                    break
+                config_key = (
+                    tuple(sorted(candidate.positive_assignment.items())),
+                    tuple(sorted(candidate.negative_assignment.items())),
+                )
+                if config_key in seen_configs:
+                    continue
+                viability = self._is_viable(candidate, entities)
+                if viability is None:
+                    continue
+                positives, negatives = viability
+                seen_configs.add(config_key)
+                class_id = f"{schema.name}#{len(generated):03d}"
+                generated.append(
+                    UltraFineGrainedClass(
+                        class_id=class_id,
+                        fine_class=schema.name,
+                        positive_assignment=dict(candidate.positive_assignment),
+                        negative_assignment=dict(candidate.negative_assignment),
+                        positive_entity_ids=positives,
+                        negative_entity_ids=negatives,
+                    )
+                )
+                taken += 1
+        return generated

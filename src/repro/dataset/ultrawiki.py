@@ -1,0 +1,159 @@
+"""The UltraWiki dataset container.
+
+Bundles everything an expansion method needs: the candidate entity
+vocabulary ``V``, the corpus ``D``, the ultra-fine-grained semantic classes
+with their ground-truth ``P`` / ``N`` sets, and the queries ``S``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.exceptions import DatasetError
+from repro.kb.corpus import Corpus
+from repro.types import Entity, FineGrainedClass, Query, UltraFineGrainedClass
+from repro.utils.iox import read_json, write_json
+
+
+class UltraWikiDataset:
+    """An in-memory UltraWiki-style dataset."""
+
+    def __init__(
+        self,
+        entities: Iterable[Entity],
+        corpus: Corpus,
+        fine_classes: Iterable[FineGrainedClass],
+        ultra_classes: Iterable[UltraFineGrainedClass],
+        queries: Iterable[Query],
+        metadata: Mapping | None = None,
+    ):
+        self._entities: dict[int, Entity] = {}
+        self._by_name: dict[str, int] = {}
+        for entity in entities:
+            if entity.entity_id in self._entities:
+                raise DatasetError(f"duplicate entity id {entity.entity_id}")
+            if entity.name in self._by_name:
+                raise DatasetError(f"duplicate entity name {entity.name!r}")
+            self._entities[entity.entity_id] = entity
+            self._by_name[entity.name] = entity.entity_id
+
+        self.corpus = corpus
+        self.fine_classes: dict[str, FineGrainedClass] = {
+            fc.name: fc for fc in fine_classes
+        }
+        self.ultra_classes: dict[str, UltraFineGrainedClass] = {
+            uc.class_id: uc for uc in ultra_classes
+        }
+        self.queries: list[Query] = list(queries)
+        self.metadata: dict = dict(metadata or {})
+
+        for query in self.queries:
+            if query.class_id not in self.ultra_classes:
+                raise DatasetError(
+                    f"query {query.query_id!r} references unknown class {query.class_id!r}"
+                )
+
+    # -- entities --------------------------------------------------------------
+    @property
+    def num_entities(self) -> int:
+        return len(self._entities)
+
+    @property
+    def num_sentences(self) -> int:
+        return len(self.corpus)
+
+    def entity(self, entity_id: int) -> Entity:
+        try:
+            return self._entities[entity_id]
+        except KeyError as exc:
+            raise DatasetError(f"unknown entity id {entity_id}") from exc
+
+    def entity_by_name(self, name: str) -> Entity:
+        try:
+            return self._entities[self._by_name[name]]
+        except KeyError as exc:
+            raise DatasetError(f"unknown entity name {name!r}") from exc
+
+    def has_entity_name(self, name: str) -> bool:
+        return name in self._by_name
+
+    def entities(self) -> list[Entity]:
+        """All candidate entities (the vocabulary ``V``), ordered by id."""
+        return [self._entities[i] for i in sorted(self._entities)]
+
+    def entity_ids(self) -> list[int]:
+        return sorted(self._entities)
+
+    def entities_of_fine_class(self, fine_class: str) -> list[Entity]:
+        return [e for e in self.entities() if e.fine_class == fine_class]
+
+    def distractors(self) -> list[Entity]:
+        return [e for e in self.entities() if e.fine_class is None]
+
+    # -- classes and queries -----------------------------------------------------
+    def ultra_class(self, class_id: str) -> UltraFineGrainedClass:
+        try:
+            return self.ultra_classes[class_id]
+        except KeyError as exc:
+            raise DatasetError(f"unknown ultra-fine-grained class {class_id!r}") from exc
+
+    def ultra_class_of_query(self, query: Query) -> UltraFineGrainedClass:
+        return self.ultra_class(query.class_id)
+
+    def queries_of_class(self, class_id: str) -> list[Query]:
+        return [q for q in self.queries if q.class_id == class_id]
+
+    def positive_targets(self, query: Query) -> set[int]:
+        """Ground-truth ``P`` for a query, excluding its seed entities."""
+        ultra = self.ultra_class_of_query(query)
+        seeds = set(query.positive_seed_ids) | set(query.negative_seed_ids)
+        return set(ultra.positive_entity_ids) - seeds
+
+    def negative_targets(self, query: Query) -> set[int]:
+        """Ground-truth ``N`` for a query, excluding its seed entities."""
+        ultra = self.ultra_class_of_query(query)
+        seeds = set(query.positive_seed_ids) | set(query.negative_seed_ids)
+        return set(ultra.negative_entity_ids) - seeds
+
+    # -- persistence ---------------------------------------------------------------
+    def save(self, directory: str | Path) -> None:
+        """Persist the dataset to ``directory`` (entities/classes/queries + corpus)."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        write_json(
+            directory / "dataset.json",
+            {
+                "metadata": self.metadata,
+                "entities": [e.to_dict() for e in self.entities()],
+                "fine_classes": [fc.to_dict() for fc in self.fine_classes.values()],
+                "ultra_classes": [uc.to_dict() for uc in self.ultra_classes.values()],
+                "queries": [q.to_dict() for q in self.queries],
+            },
+        )
+        self.corpus.save(directory / "corpus.jsonl")
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "UltraWikiDataset":
+        directory = Path(directory)
+        payload = read_json(directory / "dataset.json")
+        corpus = Corpus.load(directory / "corpus.jsonl")
+        return cls(
+            entities=[Entity.from_dict(e) for e in payload["entities"]],
+            corpus=corpus,
+            fine_classes=[FineGrainedClass.from_dict(f) for f in payload["fine_classes"]],
+            ultra_classes=[
+                UltraFineGrainedClass.from_dict(u) for u in payload["ultra_classes"]
+            ],
+            queries=[Query.from_dict(q) for q in payload["queries"]],
+            metadata=payload.get("metadata", {}),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"UltraWikiDataset(entities={self.num_entities}, "
+            f"sentences={self.num_sentences}, "
+            f"fine_classes={len(self.fine_classes)}, "
+            f"ultra_classes={len(self.ultra_classes)}, "
+            f"queries={len(self.queries)})"
+        )

@@ -1,0 +1,29 @@
+"""Evaluation protocol: Pos/Neg/Comb MAP and precision at K."""
+
+from repro.eval.metrics import (
+    average_precision_at_k,
+    precision_at_k,
+    query_metrics,
+    MetricSet,
+)
+from repro.eval.evaluator import Evaluator, EvaluationReport
+from repro.eval.fine_grained import (
+    FineGrainedReport,
+    evaluate_fine_grained,
+    fine_grained_targets,
+)
+from repro.eval.reporting import format_table, format_metric_report
+
+__all__ = [
+    "average_precision_at_k",
+    "precision_at_k",
+    "query_metrics",
+    "MetricSet",
+    "Evaluator",
+    "EvaluationReport",
+    "FineGrainedReport",
+    "evaluate_fine_grained",
+    "fine_grained_targets",
+    "format_table",
+    "format_metric_report",
+]

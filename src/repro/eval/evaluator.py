@@ -1,0 +1,157 @@
+"""Runs expanders over queries and aggregates metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.config import EvaluationConfig
+from repro.core.base import Expander
+from repro.dataset.ultrawiki import UltraWikiDataset
+from repro.eval.metrics import MetricSet, query_metrics
+from repro.exceptions import EvaluationError
+from repro.types import ExpansionResult, Query
+from repro.utils.rng import RandomState
+
+
+@dataclass
+class EvaluationReport:
+    """Aggregated evaluation of one method over a set of queries."""
+
+    method: str
+    num_queries: int
+    metrics: MetricSet
+    per_query: dict[str, MetricSet] = field(default_factory=dict)
+
+    def value(self, metric_type: str, metric: str, k: int) -> float:
+        return self.metrics.value(metric_type, metric, k)
+
+    def average(self, metric_type: str) -> float:
+        return self.metrics.average(metric_type)
+
+    def average_map(self, metric_type: str) -> float:
+        return self.metrics.average_map(metric_type)
+
+    def to_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "num_queries": self.num_queries,
+            "metrics": self.metrics.to_dict(),
+        }
+
+
+class Evaluator:
+    """Evaluates expanders on an UltraWiki-style dataset."""
+
+    def __init__(
+        self,
+        dataset: UltraWikiDataset,
+        config: EvaluationConfig | None = None,
+        max_queries: int | None = None,
+        query_filter: Callable[[Query], bool] | None = None,
+        seed: int = 7,
+    ):
+        """``max_queries`` subsamples queries deterministically (stratified by
+        fine-grained class) so expensive methods can be compared on a budget;
+        ``query_filter`` restricts evaluation to a subset (e.g. only classes
+        where the positive and negative attributes coincide)."""
+        self.dataset = dataset
+        self.config = config or EvaluationConfig()
+        self.config.validate()
+        self._queries = self._select_queries(max_queries, query_filter, seed)
+        if not self._queries:
+            raise EvaluationError("no queries selected for evaluation")
+
+    # -- query selection -------------------------------------------------------
+    def _select_queries(
+        self,
+        max_queries: int | None,
+        query_filter: Callable[[Query], bool] | None,
+        seed: int,
+    ) -> list[Query]:
+        queries = list(self.dataset.queries)
+        if query_filter is not None:
+            queries = [q for q in queries if query_filter(q)]
+        if max_queries is None or len(queries) <= max_queries:
+            return queries
+        # Stratified subsample: round-robin over fine-grained classes keeps
+        # every class represented.
+        rng = RandomState(seed)
+        by_class: dict[str, list[Query]] = {}
+        for query in queries:
+            fine = self.dataset.ultra_class(query.class_id).fine_class
+            by_class.setdefault(fine, []).append(query)
+        for fine in by_class:
+            by_class[fine] = rng.child(fine).shuffle(by_class[fine])
+        selected: list[Query] = []
+        while len(selected) < max_queries:
+            progressed = False
+            for fine in sorted(by_class):
+                if by_class[fine] and len(selected) < max_queries:
+                    selected.append(by_class[fine].pop())
+                    progressed = True
+            if not progressed:
+                break
+        return selected
+
+    @property
+    def queries(self) -> list[Query]:
+        return list(self._queries)
+
+    # -- evaluation ---------------------------------------------------------------
+    def evaluate_result(self, query: Query, result: ExpansionResult) -> MetricSet:
+        """Metrics of one pre-computed expansion result."""
+        return query_metrics(
+            result.entity_ids(),
+            self.dataset.positive_targets(query),
+            self.dataset.negative_targets(query),
+            cutoffs=self.config.cutoffs,
+        )
+
+    def evaluate(self, expander: Expander, top_k: int | None = None) -> EvaluationReport:
+        """Run ``expander`` over the selected queries and aggregate metrics."""
+        if not expander.is_fitted:
+            expander.fit(self.dataset)
+        top_k = top_k or max(self.config.cutoffs)
+        per_query: dict[str, MetricSet] = {}
+        for query in self._queries:
+            result = expander.expand(query, top_k=top_k)
+            per_query[query.query_id] = self.evaluate_result(query, result)
+        return EvaluationReport(
+            method=expander.name,
+            num_queries=len(per_query),
+            metrics=MetricSet.mean(per_query.values()),
+            per_query=per_query,
+        )
+
+    def evaluate_many(
+        self, expanders: Sequence[Expander], top_k: int | None = None
+    ) -> dict[str, EvaluationReport]:
+        """Evaluate several expanders on the same query subset."""
+        return {expander.name: self.evaluate(expander, top_k) for expander in expanders}
+
+    # -- grouping helpers ------------------------------------------------------------
+    def split_reports(
+        self,
+        expander: Expander,
+        group_of: Callable[[Query], str],
+        top_k: int | None = None,
+    ) -> dict[str, EvaluationReport]:
+        """Evaluate ``expander`` and aggregate per query group.
+
+        ``group_of`` maps a query to a group label (e.g. ``"same_attrs"`` vs
+        ``"diff_attrs"``); one report per group is returned.
+        """
+        full = self.evaluate(expander, top_k)
+        grouped: dict[str, list[MetricSet]] = {}
+        for query in self._queries:
+            label = group_of(query)
+            grouped.setdefault(label, []).append(full.per_query[query.query_id])
+        return {
+            label: EvaluationReport(
+                method=f"{expander.name}[{label}]",
+                num_queries=len(metric_sets),
+                metrics=MetricSet.mean(metric_sets),
+            )
+            for label, metric_sets in grouped.items()
+        }

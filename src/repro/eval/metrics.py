@@ -1,0 +1,134 @@
+"""Ranking metrics (Section VI-A).
+
+The paper evaluates with ``xy@K`` where ``x ∈ {Pos, Neg, Comb}``,
+``y ∈ {MAP, P}`` and ``K ∈ {10, 20, 50, 100}``:
+
+* ``PosMAP@K`` / ``PosP@K`` — rank-aware / rank-agnostic precision against
+  the positive target set ``P`` (higher is better);
+* ``NegMAP@K`` / ``NegP@K`` — the same against the negative target set ``N``
+  (lower is better: negatives should not intrude);
+* ``CombMAP@K = (PosMAP@K + 100 − NegMAP@K) / 2`` and the analogous
+  ``CombP@K`` summarise both objectives on a 0–100 scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.exceptions import EvaluationError
+
+
+def precision_at_k(ranking: Sequence[int], relevant: set[int], k: int) -> float:
+    """Precision@K in percent."""
+    if k <= 0:
+        raise EvaluationError("k must be positive")
+    top = list(ranking[:k])
+    if not top:
+        return 0.0
+    hits = sum(1 for entity_id in top if entity_id in relevant)
+    return 100.0 * hits / k
+
+
+def average_precision_at_k(ranking: Sequence[int], relevant: set[int], k: int) -> float:
+    """Average precision at K in percent.
+
+    The normaliser is ``min(|relevant|, K)`` so a perfect ranking scores 100
+    even when the relevant set is larger than ``K``.
+    """
+    if k <= 0:
+        raise EvaluationError("k must be positive")
+    if not relevant:
+        return 0.0
+    hits = 0
+    precision_sum = 0.0
+    for index, entity_id in enumerate(ranking[:k], start=1):
+        if entity_id in relevant:
+            hits += 1
+            precision_sum += hits / index
+    denominator = min(len(relevant), k)
+    return 100.0 * precision_sum / denominator
+
+
+@dataclass
+class MetricSet:
+    """All metric values for one query (or one aggregate)."""
+
+    cutoffs: tuple[int, ...]
+    pos_map: dict[int, float] = field(default_factory=dict)
+    pos_p: dict[int, float] = field(default_factory=dict)
+    neg_map: dict[int, float] = field(default_factory=dict)
+    neg_p: dict[int, float] = field(default_factory=dict)
+
+    def comb_map(self, k: int) -> float:
+        return (self.pos_map[k] + 100.0 - self.neg_map[k]) / 2.0
+
+    def comb_p(self, k: int) -> float:
+        return (self.pos_p[k] + 100.0 - self.neg_p[k]) / 2.0
+
+    def value(self, metric_type: str, metric: str, k: int) -> float:
+        """Look up a value by (``Pos``/``Neg``/``Comb``, ``MAP``/``P``, K)."""
+        metric_type = metric_type.lower()
+        metric = metric.lower()
+        if metric_type == "pos":
+            return self.pos_map[k] if metric == "map" else self.pos_p[k]
+        if metric_type == "neg":
+            return self.neg_map[k] if metric == "map" else self.neg_p[k]
+        if metric_type == "comb":
+            return self.comb_map(k) if metric == "map" else self.comb_p(k)
+        raise EvaluationError(f"unknown metric type {metric_type!r}")
+
+    def average(self, metric_type: str) -> float:
+        """Row average over MAP@K and P@K for all cutoffs (the paper's "Avg" column)."""
+        values = [self.value(metric_type, "map", k) for k in self.cutoffs]
+        values += [self.value(metric_type, "p", k) for k in self.cutoffs]
+        return sum(values) / len(values)
+
+    def average_map(self, metric_type: str) -> float:
+        """Average over MAP@K only (used by Tables III, V–VIII)."""
+        values = [self.value(metric_type, "map", k) for k in self.cutoffs]
+        return sum(values) / len(values)
+
+    def to_dict(self) -> dict:
+        return {
+            "cutoffs": list(self.cutoffs),
+            "pos_map": dict(self.pos_map),
+            "pos_p": dict(self.pos_p),
+            "neg_map": dict(self.neg_map),
+            "neg_p": dict(self.neg_p),
+        }
+
+    @classmethod
+    def mean(cls, metric_sets: Iterable["MetricSet"]) -> "MetricSet":
+        """Average a collection of per-query metric sets."""
+        metric_sets = list(metric_sets)
+        if not metric_sets:
+            raise EvaluationError("cannot average an empty collection of metrics")
+        cutoffs = metric_sets[0].cutoffs
+        for ms in metric_sets:
+            if ms.cutoffs != cutoffs:
+                raise EvaluationError("metric sets have inconsistent cutoffs")
+        result = cls(cutoffs=cutoffs)
+        count = len(metric_sets)
+        for k in cutoffs:
+            result.pos_map[k] = sum(ms.pos_map[k] for ms in metric_sets) / count
+            result.pos_p[k] = sum(ms.pos_p[k] for ms in metric_sets) / count
+            result.neg_map[k] = sum(ms.neg_map[k] for ms in metric_sets) / count
+            result.neg_p[k] = sum(ms.neg_p[k] for ms in metric_sets) / count
+        return result
+
+
+def query_metrics(
+    ranking: Sequence[int],
+    positive_targets: set[int],
+    negative_targets: set[int],
+    cutoffs: Sequence[int] = (10, 20, 50, 100),
+) -> MetricSet:
+    """Compute all metrics for one ranked list."""
+    metric_set = MetricSet(cutoffs=tuple(cutoffs))
+    for k in cutoffs:
+        metric_set.pos_map[k] = average_precision_at_k(ranking, positive_targets, k)
+        metric_set.pos_p[k] = precision_at_k(ranking, positive_targets, k)
+        metric_set.neg_map[k] = average_precision_at_k(ranking, negative_targets, k)
+        metric_set.neg_p[k] = precision_at_k(ranking, negative_targets, k)
+    return metric_set

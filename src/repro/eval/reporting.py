@@ -1,0 +1,67 @@
+"""Plain-text table formatting for experiment output.
+
+The benchmark harness prints the same rows the paper's tables report; these
+helpers render them as aligned monospace tables.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.eval.evaluator import EvaluationReport
+
+
+def format_table(rows: Sequence[Mapping], columns: Sequence[str] | None = None) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = [
+        [_format_cell(row.get(column, "")) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(cells[i]) for cells in rendered_rows))
+        for i, column in enumerate(columns)
+    ]
+    header = " | ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "-+-".join("-" * width for width in widths)
+    body = "\n".join(
+        " | ".join(cells[i].ljust(widths[i]) for i in range(len(columns)))
+        for cells in rendered_rows
+    )
+    return f"{header}\n{separator}\n{body}"
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def metric_row(
+    report: EvaluationReport, metric_type: str, cutoffs: Sequence[int] = (10, 20, 50, 100)
+) -> dict:
+    """One paper-style row: method, MAP@K and P@K columns, and the Avg column."""
+    row: dict = {"method": report.method, "type": metric_type.capitalize()}
+    for k in cutoffs:
+        row[f"MAP@{k}"] = report.value(metric_type, "map", k)
+    for k in cutoffs:
+        row[f"P@{k}"] = report.value(metric_type, "p", k)
+    row["Avg"] = report.average(metric_type)
+    return row
+
+
+def format_metric_report(
+    reports: Mapping[str, EvaluationReport],
+    metric_types: Sequence[str] = ("pos", "neg", "comb"),
+    cutoffs: Sequence[int] = (10, 20, 50, 100),
+) -> str:
+    """Render a Table-II-style block: one row per (metric type, method)."""
+    rows = []
+    for metric_type in metric_types:
+        for report in reports.values():
+            rows.append(metric_row(report, metric_type, cutoffs))
+    return format_table(rows)

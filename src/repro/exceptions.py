@@ -1,0 +1,36 @@
+"""Exception hierarchy for the UltraWiki reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch the whole family with a single ``except`` clause while still being
+able to distinguish configuration problems from data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object contains invalid or inconsistent values."""
+
+
+class DatasetError(ReproError):
+    """The dataset is malformed or a construction step cannot be completed."""
+
+
+class VocabularyError(ReproError):
+    """A token or entity is not present in the vocabulary."""
+
+
+class ModelError(ReproError):
+    """A model is used before it has been fitted, or with incompatible data."""
+
+
+class ExpansionError(ReproError):
+    """An expansion query cannot be executed (e.g. unknown seed entities)."""
+
+
+class EvaluationError(ReproError):
+    """Evaluation inputs are inconsistent (e.g. empty ground truth)."""

@@ -1,0 +1,6 @@
+"""Experiment harness: one module per paper table / figure."""
+
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.registry import EXPERIMENTS, experiment_by_id
+
+__all__ = ["ExperimentContext", "EXPERIMENTS", "experiment_by_id"]

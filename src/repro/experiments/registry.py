@@ -1,0 +1,102 @@
+"""Registry mapping experiment ids to their runner functions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    figure4_heatmap,
+    figure7_case_study,
+    table1_dataset,
+    table2_main,
+    table3_ablation_modules,
+    table4_neg_rerank,
+    table5_attribute_overlap,
+    table6_attribute_counts,
+    table7_contrastive_ablation,
+    table8_cot,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One reproducible paper artefact."""
+
+    experiment_id: str
+    title: str
+    runner: Callable
+    bench_target: str
+
+
+EXPERIMENTS: tuple[ExperimentSpec, ...] = (
+    ExperimentSpec(
+        "table1",
+        "Comparison of ESE datasets",
+        table1_dataset.run,
+        "benchmarks/test_table1_dataset_stats.py",
+    ),
+    ExperimentSpec(
+        "table2",
+        "Main results (all methods, Pos/Neg/Comb MAP & P)",
+        table2_main.run,
+        "benchmarks/test_table2_main_results.py",
+    ),
+    ExperimentSpec(
+        "table3",
+        "Module ablations for RetExpan and GenExpan",
+        table3_ablation_modules.run,
+        "benchmarks/test_table3_module_ablation.py",
+    ),
+    ExperimentSpec(
+        "table4",
+        "Effect of negative-seed entity re-ranking",
+        table4_neg_rerank.run,
+        "benchmarks/test_table4_neg_rerank.py",
+    ),
+    ExperimentSpec(
+        "table5",
+        "Identical vs different positive/negative attributes",
+        table5_attribute_overlap.run,
+        "benchmarks/test_table5_attr_overlap.py",
+    ),
+    ExperimentSpec(
+        "table6",
+        "Attribute cardinality (|Apos|, |Aneg|) analysis",
+        table6_attribute_counts.run,
+        "benchmarks/test_table6_attr_counts.py",
+    ),
+    ExperimentSpec(
+        "table7",
+        "Contrastive-learning training-data ablation",
+        table7_contrastive_ablation.run,
+        "benchmarks/test_table7_contrastive_ablation.py",
+    ),
+    ExperimentSpec(
+        "table8",
+        "Chain-of-thought reasoning depth and precision",
+        table8_cot.run,
+        "benchmarks/test_table8_cot.py",
+    ),
+    ExperimentSpec(
+        "figure4",
+        "Semantic-similarity heatmap of ultra-fine-grained classes",
+        figure4_heatmap.run,
+        "benchmarks/test_figure4_heatmap.py",
+    ),
+    ExperimentSpec(
+        "figure7",
+        "Case study: GenExpan vs GenExpan + CoT",
+        figure7_case_study.run,
+        "benchmarks/test_figure7_case_study.py",
+    ),
+)
+
+
+def experiment_by_id(experiment_id: str) -> ExperimentSpec:
+    """Look up an experiment spec by id (e.g. ``"table2"``)."""
+    for spec in EXPERIMENTS:
+        if spec.experiment_id == experiment_id:
+            return spec
+    raise ConfigurationError(f"unknown experiment {experiment_id!r}")

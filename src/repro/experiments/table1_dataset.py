@@ -1,0 +1,24 @@
+"""Table I — comparison of ESE datasets.
+
+Reproduces the dataset-statistics comparison: prior ESE benchmarks (numbers
+quoted from the paper), the original UltraWiki, and the synthetic UltraWiki
+built by this repository.
+"""
+
+from __future__ import annotations
+
+from repro.dataset.analysis import compute_statistics, dataset_comparison_table
+from repro.eval.reporting import format_table
+from repro.experiments.runner import ExperimentContext
+
+
+def run(context: ExperimentContext) -> dict:
+    """Return the comparison rows and this dataset's detailed statistics."""
+    rows = dataset_comparison_table(context.dataset)
+    stats = compute_statistics(context.dataset)
+    return {
+        "experiment": "table1",
+        "rows": rows,
+        "statistics": stats.to_dict(),
+        "text": format_table(rows),
+    }

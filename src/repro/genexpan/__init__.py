@@ -1,0 +1,21 @@
+"""GenExpan: the generation-based Ultra-ESE framework (Section V-B)."""
+
+from repro.genexpan.prompts import (
+    build_generation_prompt,
+    build_cot_prompt,
+    SIMILARITY_TEMPLATE,
+)
+from repro.genexpan.cot import ChainOfThoughtReasoner, ConceptMatcher, CoTInfo
+from repro.genexpan.generation import IterativeGenerator
+from repro.genexpan.pipeline import GenExpan
+
+__all__ = [
+    "build_generation_prompt",
+    "build_cot_prompt",
+    "SIMILARITY_TEMPLATE",
+    "ChainOfThoughtReasoner",
+    "ConceptMatcher",
+    "CoTInfo",
+    "IterativeGenerator",
+    "GenExpan",
+]

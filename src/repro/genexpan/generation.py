@@ -1,0 +1,161 @@
+"""Iterative entity generation and selection for GenExpan (Section V-B.1).
+
+One expansion round:
+
+1. **Entity generation** — a prompt is built from 3 entities (all positive
+   seeds in the first round; 2 seeds + 1 already-expanded entity afterwards)
+   and the causal LM generates ``beam_width`` candidate entities via
+   prefix-tree constrained beam search.  With the constraint disabled the LM
+   free-runs and most generations are not valid candidate entities.
+2. **Entity selection** — each generated entity is scored by the mean
+   conditional probability of the positive seed entities given the template
+   "{entity} is similar to" (Eq. 8, geometric mean over seed tokens),
+   optionally biased by the chain-of-thought concept scores, and the top
+   entities join the current expansion.
+
+Rounds repeat until the expansion budget is reached.
+"""
+
+from __future__ import annotations
+
+from repro.dataset.ultrawiki import UltraWikiDataset
+from repro.exceptions import ExpansionError
+from repro.genexpan.cot import ConceptMatcher, CoTInfo
+from repro.lm.causal_lm import CausalEntityLM
+from repro.text.prefix_tree import PrefixTree
+from repro.types import Query
+from repro.utils.rng import RandomState
+
+#: weight of the chain-of-thought concept bias in the selection score.
+_COT_CLASS_WEIGHT = 0.1
+_COT_POSITIVE_WEIGHT = 0.3
+_COT_NEGATIVE_WEIGHT = 0.3
+
+
+class IterativeGenerator:
+    """Runs the generate-and-select loop for one query."""
+
+    def __init__(
+        self,
+        dataset: UltraWikiDataset,
+        lm: CausalEntityLM,
+        prefix_tree: PrefixTree,
+        concept_matcher: ConceptMatcher | None = None,
+        num_iterations: int = 6,
+        beam_width: int = 20,
+        selected_per_iteration: int = 20,
+        use_prefix_constraint: bool = True,
+        seed: int = 31,
+    ):
+        if num_iterations <= 0 or beam_width <= 0 or selected_per_iteration <= 0:
+            raise ExpansionError("iteration parameters must be positive")
+        self.dataset = dataset
+        self.lm = lm
+        self.prefix_tree = prefix_tree
+        self.concept_matcher = concept_matcher
+        self.num_iterations = num_iterations
+        self.beam_width = beam_width
+        self.selected_per_iteration = selected_per_iteration
+        self.use_prefix_constraint = use_prefix_constraint
+        self._rng = RandomState(seed)
+        self._lowercase_names = {
+            entity.name.lower(): entity.name for entity in dataset.entities()
+        }
+
+    # -- prompt construction -------------------------------------------------------
+    def _prompt_entities(
+        self, query: Query, expansion: list[int], iteration: int, rng: RandomState
+    ) -> list[int]:
+        """3 prompt entities: seeds only in round 0, 2 seeds + 1 expanded after."""
+        positive_seeds = list(query.positive_seed_ids)
+        if iteration == 0 or not expansion:
+            count = min(3, len(positive_seeds))
+            return rng.sample(positive_seeds, count)
+        seeds = rng.sample(positive_seeds, min(2, len(positive_seeds)))
+        expanded = rng.sample(expansion, 1)
+        return seeds + expanded
+
+    # -- generation -------------------------------------------------------------------
+    def _generate_names(
+        self, prompt_ids: list[int], exclude_names: set[str]
+    ) -> list[str]:
+        if self.use_prefix_constraint:
+            generated = self.lm.generate_constrained(
+                prompt_ids,
+                self.prefix_tree,
+                beam_width=self.beam_width,
+                exclude_names=exclude_names,
+            )
+            return [name for name, _ in generated]
+        generated = self.lm.generate_unconstrained(
+            prompt_ids, beam_width=self.beam_width
+        )
+        # Without the constraint many generations are not candidate entities;
+        # keep only the valid ones (the rest are wasted generation budget).
+        names = []
+        for name, _ in generated:
+            if name in exclude_names:
+                continue
+            matched = self._match_candidate_name(name)
+            if matched is not None and matched not in exclude_names:
+                names.append(matched)
+        return names
+
+    def _match_candidate_name(self, generated_text: str) -> str | None:
+        """Map free-form generated text back to a candidate entity name, if any."""
+        return self._lowercase_names.get(generated_text.lower())
+
+    # -- selection ---------------------------------------------------------------------
+    def _selection_score(self, entity_id: int, query: Query, cot: CoTInfo | None) -> float:
+        seeds = query.positive_seed_ids
+        if not seeds:
+            return 0.0
+        base = sum(
+            self.lm.conditional_similarity(entity_id, seed) for seed in seeds
+        ) / len(seeds)
+        if cot is None or cot.is_empty() or self.concept_matcher is None:
+            return base
+        bias = 0.0
+        if cot.class_name:
+            bias += _COT_CLASS_WEIGHT * self.concept_matcher.score(entity_id, cot.class_name)
+        if cot.positive_phrases:
+            bias += _COT_POSITIVE_WEIGHT * self.concept_matcher.mean_score(
+                entity_id, cot.positive_phrases
+            )
+        if cot.negative_phrases:
+            bias -= _COT_NEGATIVE_WEIGHT * self.concept_matcher.mean_score(
+                entity_id, cot.negative_phrases
+            )
+        return base + bias
+
+    # -- main loop ----------------------------------------------------------------------
+    def run(self, query: Query, cot: CoTInfo | None = None) -> list[tuple[int, float]]:
+        """Run the iterative expansion; returns (entity_id, score) in rank order."""
+        rng = self._rng.child(query.query_id)
+        seed_names = {
+            self.dataset.entity(eid).name
+            for eid in (*query.positive_seed_ids, *query.negative_seed_ids)
+        }
+        expansion: list[int] = []
+        scores: dict[int, float] = {}
+
+        for iteration in range(self.num_iterations):
+            prompt_ids = self._prompt_entities(query, expansion, iteration, rng.child(iteration))
+            exclude = seed_names | {self.dataset.entity(eid).name for eid in expansion}
+            names = self._generate_names(prompt_ids, exclude)
+            generated_ids = [
+                self.dataset.entity_by_name(name).entity_id
+                for name in names
+                if self.dataset.has_entity_name(name)
+            ]
+            scored = [
+                (eid, self._selection_score(eid, query, cot)) for eid in generated_ids
+            ]
+            scored.sort(key=lambda item: (-item[1], item[0]))
+            for entity_id, score in scored[: self.selected_per_iteration]:
+                if entity_id not in scores:
+                    expansion.append(entity_id)
+                scores[entity_id] = max(scores.get(entity_id, -float("inf")), score)
+
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        return ranked

@@ -1,0 +1,109 @@
+"""The GenExpan pipeline (Section V-B).
+
+Phases per query: (optionally) chain-of-thought reasoning, iterative entity
+generation + selection with the prefix-constrained causal LM, and segmented
+re-ranking with the negative seed entities (identical to RetExpan's
+re-ranking except that the negative similarity uses the LM's conditional
+probabilities instead of encoder cosine similarities).
+"""
+
+from __future__ import annotations
+
+from repro.config import GenExpanConfig
+from repro.core.base import Expander
+from repro.core.rerank import segmented_rerank
+from repro.core.resources import SharedResources
+from repro.dataset.ultrawiki import UltraWikiDataset
+from repro.exceptions import ExpansionError
+from repro.genexpan.cot import ChainOfThoughtReasoner, ConceptMatcher
+from repro.genexpan.generation import IterativeGenerator
+from repro.types import ExpansionResult, Query
+
+
+class GenExpan(Expander):
+    """Generation-based Ultra-ESE with negative seed entities."""
+
+    def __init__(
+        self,
+        config: GenExpanConfig | None = None,
+        resources: SharedResources | None = None,
+        name: str | None = None,
+    ):
+        super().__init__()
+        self.config = config or GenExpanConfig()
+        self.config.validate()
+        self._resources = resources
+        self._generator: IterativeGenerator | None = None
+        self._reasoner: ChainOfThoughtReasoner | None = None
+        if name is not None:
+            self.name = name
+        else:
+            self.name = "GenExpan + CoT" if self.config.cot_mode != "none" else "GenExpan"
+
+    # -- fitting ------------------------------------------------------------------
+    def _fit(self, dataset: UltraWikiDataset) -> None:
+        resources = self._resources or SharedResources(
+            dataset, causal_lm_config=self.config.lm, oracle_config=self.config.oracle
+        )
+        self._resources = resources
+        lm = resources.causal_lm(further_pretrain=self.config.use_further_pretrain)
+        concept_matcher = None
+        if self.config.cot_mode != "none":
+            concept_matcher = ConceptMatcher(dataset)
+            self._reasoner = ChainOfThoughtReasoner(
+                dataset, resources.oracle(), mode=self.config.cot_mode
+            )
+        self._generator = IterativeGenerator(
+            dataset=dataset,
+            lm=lm,
+            prefix_tree=resources.prefix_tree(),
+            concept_matcher=concept_matcher,
+            num_iterations=self.config.num_iterations,
+            beam_width=self.config.beam_width,
+            selected_per_iteration=self.config.selected_per_iteration,
+            use_prefix_constraint=self.config.use_prefix_constraint,
+            seed=self.config.lm.seed,
+        )
+
+    # -- expansion ------------------------------------------------------------------
+    def _mean_conditional_similarity(
+        self, entity_id: int, seed_ids: tuple[int, ...]
+    ) -> float:
+        lm = self._resources.causal_lm(
+            further_pretrain=self.config.use_further_pretrain
+        )
+        if not seed_ids:
+            return 0.0
+        return sum(
+            lm.conditional_similarity(entity_id, seed) for seed in seed_ids
+        ) / len(seed_ids)
+
+    def _negative_similarity(self, entity_id: int, query: Query) -> float:
+        """Negative-seed similarity contrasted against positive-seed similarity.
+
+        Subtracting the positive-seed similarity cancels the fine-grained-class
+        commonality so the re-ranking key reflects the negative attribute only.
+        """
+        return self._mean_conditional_similarity(
+            entity_id, query.negative_seed_ids
+        ) - self._mean_conditional_similarity(entity_id, query.positive_seed_ids)
+
+    def _expand(self, query: Query, top_k: int) -> ExpansionResult:
+        if self._generator is None:
+            raise ExpansionError("GenExpan is not fitted")
+        cot_info = self._reasoner.reason(query) if self._reasoner is not None else None
+        ranked = self._generator.run(query, cot=cot_info)
+        result = ExpansionResult.from_scores(query.query_id, ranked)
+
+        if self.config.use_negative_rerank and query.negative_seed_ids:
+            result = segmented_rerank(
+                result,
+                negative_score=lambda entity_id: self._negative_similarity(entity_id, query),
+                segment_length=self.config.segment_length,
+            )
+        return result
+
+    # -- introspection -----------------------------------------------------------------
+    @property
+    def reasoner(self) -> ChainOfThoughtReasoner | None:
+        return self._reasoner

@@ -1,0 +1,73 @@
+"""Prompt templates used by GenExpan.
+
+The paper's supplementary notes give the exact prompts; these templates keep
+the same structure (a list of example entities, optionally preceded by the
+chain-of-thought reasoning about the class name and attributes, followed by a
+blank to be completed by the LM).  The numpy causal LM consumes the entity
+names in the prompt as its context tokens, so the textual template mostly
+matters for documentation, examples, and the case-study output.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: template used by the entity-selection score (Eq. 8).
+SIMILARITY_TEMPLATE = "{entity} is similar to"
+
+_GENERATION_TEMPLATE = (
+    "The following entities belong to the same semantic class: {entities}. "
+    "Another entity of this class is"
+)
+
+_GENERATION_WITH_COT_TEMPLATE = (
+    "The semantic class is {class_name}. "
+    "Its members share these attributes: {positive_attributes}. "
+    "{negative_clause}"
+    "The following entities belong to this class: {entities}. "
+    "Another entity of this class is"
+)
+
+_COT_TEMPLATE = (
+    "Given the positive seed entities {positives} and the negative seed "
+    "entities {negatives}, first state the fine-grained class name, then the "
+    "attribute values shared by the positive seeds, then the attribute values "
+    "that distinguish the negative seeds."
+)
+
+
+def build_generation_prompt(
+    entity_names: Sequence[str],
+    class_name: str | None = None,
+    positive_attributes: Sequence[str] = (),
+    negative_attributes: Sequence[str] = (),
+) -> str:
+    """The Prompt_g of Section V-B, optionally augmented with CoT reasoning."""
+    entities = ", ".join(entity_names)
+    if class_name is None and not positive_attributes and not negative_attributes:
+        return _GENERATION_TEMPLATE.format(entities=entities)
+    negative_clause = (
+        "Members must NOT have these attributes: "
+        + "; ".join(negative_attributes)
+        + ". "
+        if negative_attributes
+        else ""
+    )
+    return _GENERATION_WITH_COT_TEMPLATE.format(
+        class_name=class_name or "the target semantic class",
+        positive_attributes="; ".join(positive_attributes) or "(unspecified)",
+        negative_clause=negative_clause,
+        entities=entities,
+    )
+
+
+def build_cot_prompt(positive_names: Sequence[str], negative_names: Sequence[str]) -> str:
+    """The chain-of-thought elicitation prompt."""
+    return _COT_TEMPLATE.format(
+        positives=", ".join(positive_names), negatives=", ".join(negative_names)
+    )
+
+
+def build_similarity_prompt(entity_name: str) -> str:
+    """The conditional-probability template of Eq. 8."""
+    return SIMILARITY_TEMPLATE.format(entity=entity_name)

@@ -1,0 +1,24 @@
+"""Synthetic knowledge-base substrate.
+
+This subpackage replaces the paper's Wikipedia / Wikidata dependency with a
+deterministic generator that produces the same *shape* of data: fine-grained
+semantic classes, attributed entities, long-tail popularity skew, distractor
+entities, and context sentences whose wording carries the attribute signal.
+"""
+
+from repro.kb.schema import ClassSchema, default_schemas, schema_by_name
+from repro.kb.generator import EntityGenerator
+from repro.kb.sentences import SentenceGenerator
+from repro.kb.wikidata import WikidataClient, AnnotationSimulator
+from repro.kb.corpus import Corpus
+
+__all__ = [
+    "ClassSchema",
+    "default_schemas",
+    "schema_by_name",
+    "EntityGenerator",
+    "SentenceGenerator",
+    "WikidataClient",
+    "AnnotationSimulator",
+    "Corpus",
+]

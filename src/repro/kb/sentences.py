@@ -1,0 +1,111 @@
+"""Synthetic corpus sentence generation.
+
+Replaces Step 2 of the UltraWiki pipeline (crawling Wikipedia text and
+aligning entities by hyperlink).  Every entity receives a number of context
+sentences proportional to its popularity; a share of those sentences is
+*attribute-bearing* (the template wording expresses one attribute value), the
+rest are generic background sentences.  Attribute-bearing sentences are what
+lets the context encoder learn ultra-fine-grained distinctions, mirroring how
+real Wikipedia text mentions operating systems, continents, and so on.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.kb.schema import ClassSchema
+from repro.types import Entity, Sentence
+from repro.utils.rng import RandomState
+
+#: generic sentence templates used for distractor entities.
+_DISTRACTOR_TEMPLATES = (
+    "{name} was mentioned in several regional newspapers.",
+    "A committee reviewed the history of {name} last year.",
+    "{name} attracts occasional academic interest.",
+    "Local residents are familiar with {name}.",
+    "The records concerning {name} are kept in a public archive.",
+)
+
+
+class SentenceGenerator:
+    """Generates entity-labelled context sentences."""
+
+    def __init__(self, rng: RandomState, attribute_sentence_ratio: float = 0.7):
+        """``attribute_sentence_ratio`` is the share of attribute-bearing sentences."""
+        if not 0.0 <= attribute_sentence_ratio <= 1.0:
+            raise ValueError("attribute_sentence_ratio must be in [0, 1]")
+        self._rng = rng
+        self._attribute_ratio = attribute_sentence_ratio
+        self._next_sentence_id = 0
+
+    def _allocate_id(self) -> int:
+        sentence_id = self._next_sentence_id
+        self._next_sentence_id += 1
+        return sentence_id
+
+    def _sentence_count(self, entity: Entity, mean_sentences: float, rng: RandomState) -> int:
+        """Sentences per entity scale with popularity; every entity gets >= 2."""
+        lam = max(mean_sentences * (0.4 + 0.6 * entity.popularity), 1.0)
+        count = int(rng.generator.poisson(lam))
+        return max(count, 2)
+
+    def _attribute_sentence(self, entity: Entity, schema: ClassSchema, rng: RandomState) -> str:
+        attributes = list(entity.attributes.items())
+        attribute, value = attributes[rng.integers(0, len(attributes))]
+        templates = schema.attribute_templates[attribute]
+        template = templates[rng.integers(0, len(templates))]
+        return template.format(name=entity.name, phrase=schema.phrase(attribute, value))
+
+    def _generic_sentence(self, entity: Entity, schema: ClassSchema | None, rng: RandomState) -> str:
+        templates = schema.generic_templates if schema is not None else _DISTRACTOR_TEMPLATES
+        template = templates[rng.integers(0, len(templates))]
+        return template.format(name=entity.name)
+
+    def generate_for_entity(
+        self,
+        entity: Entity,
+        schema: ClassSchema | None,
+        mean_sentences: float,
+    ) -> list[Sentence]:
+        """Generate the context sentences for a single entity."""
+        rng = self._rng.child("sentences", entity.entity_id)
+        count = self._sentence_count(entity, mean_sentences, rng)
+        sentences: list[Sentence] = []
+        for _ in range(count):
+            use_attribute = (
+                schema is not None
+                and entity.attributes
+                and rng.random() < self._attribute_ratio
+            )
+            if use_attribute:
+                text = self._attribute_sentence(entity, schema, rng)
+            else:
+                text = self._generic_sentence(entity, schema, rng)
+            sentences.append(
+                Sentence(
+                    sentence_id=self._allocate_id(),
+                    text=text,
+                    entity_ids=(entity.entity_id,),
+                )
+            )
+        return sentences
+
+    def generate_corpus(
+        self,
+        entities: list[Entity],
+        schemas: dict[str, ClassSchema],
+        mean_sentences: float,
+    ) -> list[Sentence]:
+        """Generate sentences for every entity in ``entities``."""
+        all_sentences: list[Sentence] = []
+        for entity in entities:
+            schema = schemas.get(entity.fine_class) if entity.fine_class else None
+            all_sentences.extend(
+                self.generate_for_entity(entity, schema, mean_sentences)
+            )
+        return all_sentences
+
+    @staticmethod
+    def expected_sentences(num_entities: int, mean_sentences: float) -> int:
+        """Rough expected corpus size, used for sanity checks and reports."""
+        return int(math.ceil(num_entities * max(mean_sentences, 2.0)))

@@ -1,0 +1,35 @@
+"""Numpy language-model substrates.
+
+These components stand in for the paper's pretrained models:
+
+* :class:`~repro.lm.context_encoder.ContextEncoder` — BERT-base masked-entity
+  encoder substitute (hidden state at the ``[MASK]`` position);
+* :class:`~repro.lm.causal_lm.CausalEntityLM` — LLaMA-7B substitute serving
+  next-token distributions and entity-conditional probabilities;
+* :class:`~repro.lm.oracle.OracleLLM` — GPT-4 substitute with ground-truth
+  access degraded by popularity-dependent noise and hallucinations.
+"""
+
+from repro.lm.optim import AdamOptimizer
+from repro.lm.losses import (
+    info_nce_loss,
+    label_smoothed_cross_entropy,
+)
+from repro.lm.embeddings import CooccurrenceEmbeddings
+from repro.lm.context_encoder import ContextEncoder, EntityRepresentations
+from repro.lm.projection import ProjectionHead
+from repro.lm.causal_lm import CausalEntityLM, NGramLanguageModel
+from repro.lm.oracle import OracleLLM
+
+__all__ = [
+    "AdamOptimizer",
+    "info_nce_loss",
+    "label_smoothed_cross_entropy",
+    "CooccurrenceEmbeddings",
+    "ContextEncoder",
+    "EntityRepresentations",
+    "ProjectionHead",
+    "CausalEntityLM",
+    "NGramLanguageModel",
+    "OracleLLM",
+]

@@ -1,0 +1,170 @@
+"""Co-occurrence embeddings: the "pre-training" substitute.
+
+BERT and LLaMA arrive pre-trained; the numpy substitutes get their prior
+knowledge from a classic PPMI + truncated-SVD factorisation of co-occurrence
+counts over the corpus.  Two views are produced:
+
+* **token embeddings** from token–token co-occurrence within sentences, used
+  to initialise the context encoder;
+* **entity embeddings** from entity–context-token co-occurrence, used by the
+  causal LM's affinity component and by the CaSE baseline's distributed
+  representation feature.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+import numpy as np
+from scipy.sparse import coo_matrix
+from scipy.sparse.linalg import svds
+
+from repro.exceptions import ModelError
+from repro.kb.corpus import Corpus
+from repro.text.tokenizer import WordTokenizer
+from repro.text.vocab import Vocabulary
+from repro.types import Entity
+from repro.utils.mathx import l2_normalize
+
+
+def _ppmi(matrix: np.ndarray) -> np.ndarray:
+    """Positive pointwise mutual information of a dense count matrix."""
+    total = matrix.sum()
+    if total <= 0:
+        return np.zeros_like(matrix, dtype=np.float64)
+    row = matrix.sum(axis=1, keepdims=True)
+    col = matrix.sum(axis=0, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        pmi = np.log((matrix * total) / np.maximum(row * col, 1e-12))
+    pmi[~np.isfinite(pmi)] = 0.0
+    return np.maximum(pmi, 0.0)
+
+
+def _truncated_svd(matrix: np.ndarray, dim: int, seed: int) -> np.ndarray:
+    """Left singular vectors scaled by singular values, truncated to ``dim``."""
+    if matrix.size == 0:
+        return np.zeros((matrix.shape[0], dim))
+    effective_dim = min(dim, min(matrix.shape) - 1)
+    if effective_dim < 1:
+        # Degenerate case: not enough columns/rows for SVD; pad with zeros.
+        return np.zeros((matrix.shape[0], dim))
+    sparse = coo_matrix(matrix)
+    rng = np.random.default_rng(seed)
+    u, s, _ = svds(sparse.astype(np.float64), k=effective_dim, random_state=rng)
+    order = np.argsort(-s)
+    u = u[:, order]
+    s = s[order]
+    vectors = u * np.sqrt(s)[None, :]
+    if effective_dim < dim:
+        vectors = np.pad(vectors, ((0, 0), (0, dim - effective_dim)))
+    return vectors
+
+
+class CooccurrenceEmbeddings:
+    """PPMI-SVD embeddings for tokens and entities.
+
+    ``dim`` controls the token embeddings; ``entity_dim`` (default: three
+    times ``dim``) controls the entity embeddings.  Entity vectors keep more
+    dimensions because the downstream rankers need the full attribute-level
+    detail of each entity's context profile, whereas token embeddings only
+    seed the context encoder.
+    """
+
+    def __init__(
+        self, dim: int = 64, window: int = 6, seed: int = 0, entity_dim: int | None = None
+    ):
+        if dim <= 0:
+            raise ModelError("dim must be positive")
+        if window <= 0:
+            raise ModelError("window must be positive")
+        if entity_dim is not None and entity_dim <= 0:
+            raise ModelError("entity_dim must be positive")
+        self.dim = dim
+        self.entity_dim = entity_dim if entity_dim is not None else 3 * dim
+        self.window = window
+        self.seed = seed
+        self._tokenizer = WordTokenizer()
+        self.vocabulary: Vocabulary | None = None
+        self.token_vectors: np.ndarray | None = None
+        self._entity_vectors: dict[int, np.ndarray] = {}
+
+    # -- fitting ----------------------------------------------------------------
+    def fit(self, corpus: Corpus, entities: list[Entity]) -> "CooccurrenceEmbeddings":
+        """Fit token and entity embeddings on ``corpus``."""
+        sentences = list(corpus)
+        token_lists = [self._tokenizer.tokenize(s.text) for s in sentences]
+        self.vocabulary = Vocabulary.from_token_lists(token_lists)
+        vocab_size = len(self.vocabulary)
+
+        # Token-token co-occurrence within a sliding window.
+        token_counts: dict[tuple[int, int], float] = defaultdict(float)
+        for tokens in token_lists:
+            ids = self.vocabulary.encode(tokens)
+            for i, center in enumerate(ids):
+                lo = max(0, i - self.window)
+                hi = min(len(ids), i + self.window + 1)
+                for j in range(lo, hi):
+                    if i == j:
+                        continue
+                    token_counts[(center, ids[j])] += 1.0 / (1.0 + abs(i - j))
+        token_matrix = np.zeros((vocab_size, vocab_size))
+        for (a, b), count in token_counts.items():
+            token_matrix[a, b] = count
+        self.token_vectors = _truncated_svd(_ppmi(token_matrix), self.dim, self.seed)
+
+        # Entity-context co-occurrence: counts of context tokens over all
+        # sentences mentioning the entity (the entity's own name tokens are
+        # excluded so the embedding reflects *context*, not the surface form).
+        entity_rows: list[np.ndarray] = []
+        entity_ids: list[int] = []
+        for entity in entities:
+            context_counts: Counter[int] = Counter()
+            name_tokens = set(self._tokenizer.tokenize_entity_name(entity.name))
+            for sentence in corpus.sentences_of(entity.entity_id):
+                for token in self._tokenizer.tokenize(sentence.text):
+                    if token in name_tokens:
+                        continue
+                    context_counts[self.vocabulary.id_of(token)] += 1
+            row = np.zeros(vocab_size)
+            for token_id, count in context_counts.items():
+                row[token_id] = count
+            entity_rows.append(row)
+            entity_ids.append(entity.entity_id)
+
+        if entity_rows:
+            entity_matrix = _ppmi(np.stack(entity_rows))
+            entity_vectors = _truncated_svd(
+                entity_matrix, self.entity_dim, self.seed + 1
+            )
+            entity_vectors = l2_normalize(entity_vectors, axis=1)
+            self._entity_vectors = {
+                entity_id: entity_vectors[i] for i, entity_id in enumerate(entity_ids)
+            }
+        return self
+
+    # -- access ---------------------------------------------------------------
+    def token_vector(self, token: str) -> np.ndarray:
+        if self.vocabulary is None or self.token_vectors is None:
+            raise ModelError("embeddings are not fitted")
+        return self.token_vectors[self.vocabulary.id_of(token)]
+
+    def entity_vector(self, entity_id: int) -> np.ndarray:
+        if not self._entity_vectors:
+            raise ModelError("embeddings are not fitted")
+        if entity_id not in self._entity_vectors:
+            raise ModelError(f"no embedding for entity {entity_id}")
+        return self._entity_vectors[entity_id]
+
+    def has_entity(self, entity_id: int) -> bool:
+        return entity_id in self._entity_vectors
+
+    def entity_vectors(self) -> dict[int, np.ndarray]:
+        return dict(self._entity_vectors)
+
+    def entity_similarity(self, entity_a: int, entity_b: int) -> float:
+        """Cosine similarity between two entity embeddings (0 when unknown)."""
+        if entity_a not in self._entity_vectors or entity_b not in self._entity_vectors:
+            return 0.0
+        return float(
+            np.dot(self._entity_vectors[entity_a], self._entity_vectors[entity_b])
+        )

@@ -1,0 +1,60 @@
+"""A minimal Adam optimiser for the numpy models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+
+class AdamOptimizer:
+    """Adam (Kingma & Ba, 2015) over a named collection of numpy parameters.
+
+    Parameters are registered once; ``step`` applies one update given a
+    mapping of gradients with the same keys and shapes.
+    """
+
+    def __init__(
+        self,
+        parameters: dict[str, np.ndarray],
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        if learning_rate <= 0:
+            raise ModelError("learning_rate must be positive")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ModelError("betas must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._parameters = parameters
+        self._m = {name: np.zeros_like(value) for name, value in parameters.items()}
+        self._v = {name: np.zeros_like(value) for name, value in parameters.items()}
+        self._t = 0
+
+    def step(self, gradients: dict[str, np.ndarray]) -> None:
+        """Apply one Adam update in place on the registered parameters."""
+        self._t += 1
+        for name, grad in gradients.items():
+            if name not in self._parameters:
+                raise ModelError(f"gradient for unknown parameter {name!r}")
+            param = self._parameters[name]
+            if grad.shape != param.shape:
+                raise ModelError(
+                    f"gradient shape {grad.shape} does not match parameter "
+                    f"{name!r} shape {param.shape}"
+                )
+            m = self._m[name]
+            v = self._v[name]
+            m[:] = self.beta1 * m + (1.0 - self.beta1) * grad
+            v[:] = self.beta2 * v + (1.0 - self.beta2) * (grad * grad)
+            m_hat = m / (1.0 - self.beta1**self._t)
+            v_hat = v / (1.0 - self.beta2**self._t)
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    @property
+    def num_steps(self) -> int:
+        return self._t

@@ -1,0 +1,147 @@
+"""MLP projection head for contrastive learning.
+
+Section V-A.2: "Contrastive learning is conducted in a new hypersphere space
+to prevent semantic collapse, which is transformed by another MLP-based
+mapping head f_cl and l-2 normalization."  The head here maps an input
+feature (entity representation concatenated with its query's seed context)
+to an L2-normalised vector and is trained with InfoNCE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.lm.losses import info_nce_loss
+from repro.lm.optim import AdamOptimizer
+from repro.utils.mathx import l2_normalize
+from repro.utils.rng import RandomState
+
+
+class ProjectionHead:
+    """Two-layer MLP followed by L2 normalisation."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        output_dim: int,
+        hidden_dim: int | None = None,
+        seed: int = 0,
+    ):
+        if input_dim <= 0 or output_dim <= 0:
+            raise ModelError("dimensions must be positive")
+        hidden_dim = hidden_dim or max(output_dim, input_dim // 2)
+        generator = RandomState(seed).generator
+        self.input_dim = input_dim
+        self.output_dim = output_dim
+        self.hidden_dim = hidden_dim
+        self._params = {
+            "W1": generator.normal(0.0, 1.0 / np.sqrt(input_dim), size=(input_dim, hidden_dim)),
+            "b1": np.zeros(hidden_dim),
+            "W2": generator.normal(0.0, 1.0 / np.sqrt(hidden_dim), size=(hidden_dim, output_dim)),
+            "b2": np.zeros(output_dim),
+        }
+
+    # -- forward --------------------------------------------------------------
+    def _forward_raw(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return (hidden activation, unnormalised output)."""
+        hidden = np.tanh(x @ self._params["W1"] + self._params["b1"])
+        out = hidden @ self._params["W2"] + self._params["b2"]
+        return hidden, out
+
+    def project(self, x: np.ndarray) -> np.ndarray:
+        """Project a batch (or single vector) onto the unit hypersphere."""
+        single = x.ndim == 1
+        batch = x[None, :] if single else x
+        if batch.shape[1] != self.input_dim:
+            raise ModelError(
+                f"expected input dim {self.input_dim}, got {batch.shape[1]}"
+            )
+        _, out = self._forward_raw(batch)
+        projected = l2_normalize(out, axis=1)
+        return projected[0] if single else projected
+
+    # -- training ----------------------------------------------------------------
+    def _backward(
+        self,
+        x: np.ndarray,
+        hidden: np.ndarray,
+        out: np.ndarray,
+        grad_normalised: np.ndarray,
+    ) -> dict[str, np.ndarray]:
+        """Gradients of the parameters given gradient w.r.t. the normalised output."""
+        # Back-prop through L2 normalisation: y = o / ||o||.
+        norms = np.maximum(np.linalg.norm(out, axis=1, keepdims=True), 1e-12)
+        normalised = out / norms
+        grad_out = (
+            grad_normalised
+            - normalised * np.sum(grad_normalised * normalised, axis=1, keepdims=True)
+        ) / norms
+
+        grad_w2 = hidden.T @ grad_out
+        grad_b2 = grad_out.sum(axis=0)
+        grad_hidden = grad_out @ self._params["W2"].T
+        grad_pre = grad_hidden * (1.0 - hidden**2)
+        grad_w1 = x.T @ grad_pre
+        grad_b1 = grad_pre.sum(axis=0)
+        return {"W1": grad_w1, "b1": grad_b1, "W2": grad_w2, "b2": grad_b2}
+
+    def train_info_nce(
+        self,
+        anchors: np.ndarray,
+        positives: np.ndarray,
+        negatives: np.ndarray,
+        epochs: int = 3,
+        batch_size: int = 32,
+        learning_rate: float = 5e-3,
+        temperature: float = 0.1,
+        seed: int = 0,
+    ) -> list[float]:
+        """Train the head with InfoNCE on pre-built triplets.
+
+        ``anchors`` / ``positives`` are ``(n, input_dim)``; ``negatives`` is
+        ``(n, num_negatives, input_dim)``.  Returns the mean loss per epoch.
+        """
+        if anchors.shape[0] == 0:
+            return []
+        if anchors.shape != positives.shape or negatives.shape[0] != anchors.shape[0]:
+            raise ModelError("triplet arrays have inconsistent shapes")
+        optimizer = AdamOptimizer(self._params, learning_rate=learning_rate)
+        rng = RandomState(seed).generator
+        num = anchors.shape[0]
+        batch_size = min(batch_size, num)
+        history: list[float] = []
+        for _ in range(epochs):
+            order = rng.permutation(num)
+            epoch_losses: list[float] = []
+            for start in range(0, num, batch_size):
+                idx = order[start : start + batch_size]
+                a, p, n = anchors[idx], positives[idx], negatives[idx]
+                batch, num_neg, dim = n.shape
+
+                hidden_a, out_a = self._forward_raw(a)
+                hidden_p, out_p = self._forward_raw(p)
+                n_flat = n.reshape(batch * num_neg, dim)
+                hidden_n, out_n = self._forward_raw(n_flat)
+
+                za = l2_normalize(out_a, axis=1)
+                zp = l2_normalize(out_p, axis=1)
+                zn = l2_normalize(out_n, axis=1).reshape(batch, num_neg, -1)
+
+                loss, grad_a, grad_p, grad_n = info_nce_loss(
+                    za, zp, zn, temperature=temperature
+                )
+                epoch_losses.append(loss)
+
+                grads_a = self._backward(a, hidden_a, out_a, grad_a)
+                grads_p = self._backward(p, hidden_p, out_p, grad_p)
+                grads_n = self._backward(
+                    n_flat, hidden_n, out_n, grad_n.reshape(batch * num_neg, -1)
+                )
+                total = {
+                    key: grads_a[key] + grads_p[key] + grads_n[key]
+                    for key in grads_a
+                }
+                optimizer.step(total)
+            history.append(float(np.mean(epoch_losses)))
+        return history

@@ -1,0 +1,12 @@
+"""RetExpan: the retrieval-based Ultra-ESE framework (Section V-A)."""
+
+from repro.retexpan.expansion import positive_similarity_scores, top_k_expansion
+from repro.retexpan.contrastive import UltraContrastiveLearner
+from repro.retexpan.pipeline import RetExpan
+
+__all__ = [
+    "positive_similarity_scores",
+    "top_k_expansion",
+    "UltraContrastiveLearner",
+    "RetExpan",
+]

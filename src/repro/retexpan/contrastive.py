@@ -1,0 +1,231 @@
+"""Ultra-fine-grained contrastive learning (Section V-A.2).
+
+The enhancement strategy mines, for every query, two lists from the initial
+expansion ``L0``: ``L_pos`` (entities the GPT-4 oracle judges most similar to
+the positive seeds) and ``L_neg`` (most similar to the negative seeds).
+Training pairs follow Eq. 6 / Eq. 7:
+
+* positives — pairs within ``L_pos`` and within ``L_neg`` (same
+  ultra-fine-grained side);
+* hard negatives — pairs across ``L_pos`` × ``L_neg``;
+* normal negatives — pairs against entities of *other* fine-grained classes
+  (``L0'``), which keep the fine-grained semantics from collapsing.
+
+The paper conditions each training sample on its query by appending the seed
+entities to the sentence; the representation-level analogue used here
+concatenates the entity vector with the query's mean seed vector before the
+projection head, so the same entity can be pulled in different directions for
+different queries without conflict.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import ContrastiveConfig
+from repro.dataset.ultrawiki import UltraWikiDataset
+from repro.exceptions import ModelError
+from repro.lm.context_encoder import EntityRepresentations
+from repro.lm.oracle import OracleLLM
+from repro.lm.projection import ProjectionHead
+from repro.retexpan.expansion import positive_similarity_scores, top_k_expansion
+from repro.types import Query
+from repro.utils.rng import RandomState
+
+#: negatives sampled per anchor during InfoNCE training.
+_NEGATIVES_PER_ANCHOR = 6
+#: cap on the number of anchors to keep training tractable.
+_MAX_ANCHORS = 4000
+
+
+class UltraContrastiveLearner:
+    """Mines contrastive data with the oracle and trains the projection head."""
+
+    def __init__(self, config: ContrastiveConfig | None = None):
+        self.config = config or ContrastiveConfig()
+        self.config.validate()
+        self._rng = RandomState(self.config.seed)
+        self._head: ProjectionHead | None = None
+        self._representations: EntityRepresentations | None = None
+        self._seed_context_cache: dict[str, np.ndarray] = {}
+        self._input_dim: int | None = None
+        self.mined: dict[str, tuple[list[int], list[int]]] = {}
+
+    # -- conditioning ------------------------------------------------------------
+    def _seed_context(self, query: Query) -> np.ndarray:
+        """Mean representation of the query's seed entities (the conditioning vector)."""
+        if self._representations is None:
+            raise ModelError("learner is not fitted")
+        if query.query_id in self._seed_context_cache:
+            return self._seed_context_cache[query.query_id]
+        vectors = [
+            self._representations.hidden[eid]
+            for eid in (*query.positive_seed_ids, *query.negative_seed_ids)
+            if eid in self._representations.hidden
+        ]
+        if not vectors:
+            raise ModelError(f"query {query.query_id!r} has no represented seeds")
+        context = np.mean(np.stack(vectors), axis=0)
+        self._seed_context_cache[query.query_id] = context
+        return context
+
+    def _feature(self, entity_id: int, query: Query) -> np.ndarray:
+        vector = self._representations.hidden[entity_id]
+        return np.concatenate([vector, self._seed_context(query)])
+
+    # -- mining ------------------------------------------------------------------
+    def _mine_lists(
+        self,
+        dataset: UltraWikiDataset,
+        oracle: OracleLLM,
+        query: Query,
+    ) -> tuple[list[int], list[int], list[int]]:
+        """Return (L_pos, L_neg, L0') for one query."""
+        candidate_ids = [
+            eid
+            for eid in dataset.entity_ids()
+            if eid in self._representations.hidden
+            and eid not in query.positive_seed_ids
+            and eid not in query.negative_seed_ids
+        ]
+        scores = positive_similarity_scores(
+            candidate_ids, query.positive_seed_ids, self._representations.hidden
+        )
+        initial_list = [eid for eid, _ in top_k_expansion(scores, k=200)]
+
+        mined_pos = oracle.select_similar(
+            query.positive_seed_ids, initial_list, top_t=self.config.mined_list_size
+        )
+        mined_neg = oracle.select_similar(
+            query.negative_seed_ids, initial_list, top_t=self.config.mined_list_size
+        )
+        # Entities mined for both sides are ambiguous; drop them from both.
+        overlap = set(mined_pos) & set(mined_neg)
+        mined_pos = [eid for eid in mined_pos if eid not in overlap]
+        mined_neg = [eid for eid in mined_neg if eid not in overlap]
+
+        fine_class = dataset.ultra_class(query.class_id).fine_class
+        rng = self._rng.child("other", query.query_id)
+        other_class_pool = [
+            entity.entity_id
+            for entity in dataset.entities()
+            if entity.fine_class is not None
+            and entity.fine_class != fine_class
+            and entity.entity_id in self._representations.hidden
+        ]
+        sample_size = min(self.config.num_other_class_entities, len(other_class_pool))
+        other = rng.sample(other_class_pool, sample_size) if sample_size else []
+        return mined_pos, mined_neg, other
+
+    # -- training triplets -----------------------------------------------------------
+    def _build_triplets(
+        self,
+        dataset: UltraWikiDataset,
+        oracle: OracleLLM,
+        queries: list[Query],
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        anchors: list[np.ndarray] = []
+        positives: list[np.ndarray] = []
+        negatives: list[np.ndarray] = []
+        rng = self._rng.child("triplets")
+
+        for query in queries:
+            mined_pos, mined_neg, other = self._mine_lists(dataset, oracle, query)
+            self.mined[query.query_id] = (mined_pos, mined_neg)
+            for own_list, opposite_list in ((mined_pos, mined_neg), (mined_neg, mined_pos)):
+                if not own_list:
+                    continue
+                for anchor_id in own_list:
+                    anchor_vec = self._feature(anchor_id, query)
+                    # Positive: another member of the same mined list, or the
+                    # anchor itself when intra-list positives are ablated.
+                    partners = [eid for eid in own_list if eid != anchor_id]
+                    if self.config.use_intra_positive_pairs and partners:
+                        partner_id = partners[rng.child(anchor_id, "p").integers(0, len(partners))]
+                        positive_vec = self._feature(partner_id, query)
+                    else:
+                        positive_vec = anchor_vec.copy()
+                    # Negatives: hard (opposite mined list) and/or normal (other classes).
+                    pool: list[int] = []
+                    if self.config.use_hard_negatives:
+                        pool.extend(opposite_list)
+                    if self.config.use_normal_negatives:
+                        pool.extend(other)
+                    if not pool:
+                        continue
+                    negative_rng = rng.child(anchor_id, "n")
+                    chosen = [
+                        pool[negative_rng.integers(0, len(pool))]
+                        for _ in range(_NEGATIVES_PER_ANCHOR)
+                    ]
+                    negative_vecs = np.stack(
+                        [self._feature(eid, query) for eid in chosen]
+                    )
+                    anchors.append(anchor_vec)
+                    positives.append(positive_vec)
+                    negatives.append(negative_vecs)
+
+        if not anchors:
+            raise ModelError("no contrastive training pairs could be mined")
+        if len(anchors) > _MAX_ANCHORS:
+            keep = self._rng.child("subsample").sample(range(len(anchors)), _MAX_ANCHORS)
+            anchors = [anchors[i] for i in keep]
+            positives = [positives[i] for i in keep]
+            negatives = [negatives[i] for i in keep]
+        return np.stack(anchors), np.stack(positives), np.stack(negatives)
+
+    # -- public API -------------------------------------------------------------------
+    def fit(
+        self,
+        dataset: UltraWikiDataset,
+        representations: EntityRepresentations,
+        oracle: OracleLLM,
+        queries: list[Query] | None = None,
+    ) -> "UltraContrastiveLearner":
+        """Mine contrastive data for ``queries`` and train the projection head."""
+        self._representations = representations
+        self._seed_context_cache.clear()
+        self.mined.clear()
+        queries = queries if queries is not None else list(dataset.queries)
+        sample_dim = len(next(iter(representations.hidden.values())))
+        self._input_dim = 2 * sample_dim
+        self._head = ProjectionHead(
+            input_dim=self._input_dim,
+            output_dim=self.config.projection_dim,
+            seed=self.config.seed,
+        )
+        anchors, positives, negatives = self._build_triplets(dataset, oracle, queries)
+        self._head.train_info_nce(
+            anchors,
+            positives,
+            negatives,
+            epochs=self.config.epochs,
+            batch_size=self.config.batch_size,
+            learning_rate=self.config.learning_rate,
+            temperature=self.config.temperature,
+            seed=self.config.seed,
+        )
+        return self
+
+    def project(self, entity_id: int, query: Query) -> np.ndarray:
+        """Project an entity, conditioned on the query, onto the hypersphere."""
+        if self._head is None or self._representations is None:
+            raise ModelError("learner is not fitted")
+        if entity_id not in self._representations.hidden:
+            raise ModelError(f"no representation for entity {entity_id}")
+        return self._head.project(self._feature(entity_id, query))
+
+    def projected_vectors(self, entity_ids: list[int], query: Query) -> dict[int, np.ndarray]:
+        """Batch projection of ``entity_ids`` conditioned on ``query``."""
+        if self._head is None or self._representations is None:
+            raise ModelError("learner is not fitted")
+        usable = [eid for eid in entity_ids if eid in self._representations.hidden]
+        if not usable:
+            return {}
+        features = np.stack([self._feature(eid, query) for eid in usable])
+        projected = self._head.project(features)
+        return {eid: projected[i] for i, eid in enumerate(usable)}
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._head is not None

@@ -1,0 +1,49 @@
+"""Entity expansion scoring for RetExpan (Eq. 5).
+
+A candidate's positive similarity score is the mean cosine similarity between
+its representation and the representations of the positive seed entities;
+the top-K candidates form the initial expansion list ``L0``.  Negative seed
+entities are deliberately not used here so that recall over the fine-grained
+class is preserved (they only act during re-ranking).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ExpansionError
+from repro.utils.mathx import l2_normalize
+
+
+def positive_similarity_scores(
+    candidate_ids: Sequence[int],
+    seed_ids: Sequence[int],
+    vectors: Mapping[int, np.ndarray],
+) -> dict[int, float]:
+    """Mean cosine similarity of each candidate to the seed entities.
+
+    Candidates or seeds missing from ``vectors`` are skipped (a candidate
+    without any context sentence cannot be represented).
+    """
+    seeds = [vectors[s] for s in seed_ids if s in vectors]
+    if not seeds:
+        raise ExpansionError("none of the seed entities has a representation")
+    seed_matrix = l2_normalize(np.stack(seeds), axis=1)
+
+    usable = [c for c in candidate_ids if c in vectors]
+    if not usable:
+        return {}
+    candidate_matrix = l2_normalize(np.stack([vectors[c] for c in usable]), axis=1)
+    similarities = candidate_matrix @ seed_matrix.T  # (num_candidates, num_seeds)
+    mean_similarities = similarities.mean(axis=1)
+    return {entity_id: float(score) for entity_id, score in zip(usable, mean_similarities)}
+
+
+def top_k_expansion(scores: Mapping[int, float], k: int) -> list[tuple[int, float]]:
+    """The ``k`` best (entity, score) pairs, deterministic under ties."""
+    if k <= 0:
+        raise ExpansionError("k must be positive")
+    ordered = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+    return ordered[:k]

@@ -1,0 +1,164 @@
+"""The RetExpan pipeline (Section V-A.1).
+
+Three stages per query:
+
+1. **Entity representation** — the masked-entity context encoder (trained
+   with the entity-prediction auxiliary task) yields one hidden-state vector
+   per candidate entity.
+2. **Entity expansion** — candidates are ranked by mean cosine similarity to
+   the *positive* seed entities only (Eq. 5) and the top-K form ``L0``.
+3. **Entity re-ranking** — negative seed entities re-rank ``L0`` segment by
+   segment (segment length ``l``), pushing down entities similar to the
+   negative seeds without promoting noise.
+
+The ``use_contrastive`` switch adds ultra-fine-grained contrastive learning:
+similarities are then computed in the query-conditioned projected space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import RetExpanConfig
+from repro.core.base import Expander
+from repro.core.rerank import segmented_rerank
+from repro.core.resources import SharedResources
+from repro.dataset.ultrawiki import UltraWikiDataset
+from repro.exceptions import ExpansionError
+from repro.lm.context_encoder import EntityRepresentations
+from repro.retexpan.contrastive import UltraContrastiveLearner
+from repro.retexpan.expansion import positive_similarity_scores, top_k_expansion
+from repro.types import ExpansionResult, Query
+from repro.utils.mathx import l2_normalize
+
+
+class RetExpan(Expander):
+    """Retrieval-based Ultra-ESE with negative seed entities."""
+
+    def __init__(
+        self,
+        config: RetExpanConfig | None = None,
+        resources: SharedResources | None = None,
+        contrastive_queries: list[Query] | None = None,
+        name: str | None = None,
+    ):
+        super().__init__()
+        self.config = config or RetExpanConfig()
+        self.config.validate()
+        self._resources = resources
+        self._contrastive_queries = contrastive_queries
+        self._representations: EntityRepresentations | None = None
+        self._contrastive: UltraContrastiveLearner | None = None
+        if name is not None:
+            self.name = name
+        else:
+            self.name = "RetExpan + Contrast" if self.config.use_contrastive else "RetExpan"
+
+    # -- fitting -----------------------------------------------------------------
+    def _fit(self, dataset: UltraWikiDataset) -> None:
+        resources = self._resources or SharedResources(
+            dataset, encoder_config=self.config.encoder
+        )
+        self._resources = resources
+        self._representations = resources.entity_representations(
+            trained=self.config.use_entity_prediction
+        )
+        if self.config.use_contrastive:
+            learner = UltraContrastiveLearner(self.config.contrastive)
+            learner.fit(
+                dataset,
+                self._representations,
+                resources.oracle(),
+                queries=self._contrastive_queries,
+            )
+            self._contrastive = learner
+
+    # -- similarity helpers ------------------------------------------------------------
+    @staticmethod
+    def _mean_similarity(
+        entity_id: int, seed_ids: tuple[int, ...], vectors: dict[int, np.ndarray]
+    ) -> float:
+        seeds = [vectors[s] for s in seed_ids if s in vectors]
+        if not seeds or entity_id not in vectors:
+            return 0.0
+        seed_matrix = l2_normalize(np.stack(seeds), axis=1)
+        vector = l2_normalize(vectors[entity_id])
+        return float(np.mean(seed_matrix @ vector))
+
+    def _contrastive_rescore(
+        self, query: Query, initial: list[tuple[int, float]]
+    ) -> list[tuple[int, float]]:
+        """Re-score the initial expansion list in the projected hypersphere space.
+
+        The projected space was trained to pull ``L_pos``-like entities toward
+        the positive seeds and push ``L_neg``-like entities away, so the
+        adjusted score adds (projected similarity to positive seeds) minus
+        (projected similarity to negative seeds) on top of the base score.
+        """
+        list_ids = [entity_id for entity_id, _ in initial]
+        involved = list_ids + list(query.positive_seed_ids) + list(query.negative_seed_ids)
+        projected = self._contrastive.projected_vectors(involved, query)
+        pos_scores = positive_similarity_scores(
+            list_ids, query.positive_seed_ids, projected
+        )
+        if query.negative_seed_ids:
+            neg_scores = positive_similarity_scores(
+                list_ids, query.negative_seed_ids, projected
+            )
+        else:
+            neg_scores = {}
+        weight = self.config.contrastive_weight
+        adjusted = [
+            (
+                entity_id,
+                base
+                + weight * (pos_scores.get(entity_id, 0.0) - neg_scores.get(entity_id, 0.0)),
+            )
+            for entity_id, base in initial
+        ]
+        adjusted.sort(key=lambda item: (-item[1], item[0]))
+        return adjusted
+
+    # -- expansion ---------------------------------------------------------------------
+    def _expand(self, query: Query, top_k: int) -> ExpansionResult:
+        if self._representations is None:
+            raise ExpansionError("RetExpan is not fitted")
+        vectors = self._representations.hidden
+        candidates = self.candidate_ids(query)
+
+        scores = positive_similarity_scores(
+            candidates, query.positive_seed_ids, vectors
+        )
+        expansion_size = max(self.config.expansion_size, top_k)
+        initial = top_k_expansion(scores, k=expansion_size)
+        if self._contrastive is not None:
+            initial = self._contrastive_rescore(query, initial)
+        result = ExpansionResult.from_scores(query.query_id, initial)
+
+        if self.config.use_negative_rerank and query.negative_seed_ids:
+            # The negative score contrasts similarity to the negative seeds
+            # against similarity to the positive seeds: the fine-grained-class
+            # commonality cancels, leaving the attribute-level signal that
+            # identifies entities sharing the negative attribute value.
+            def negative_score(entity_id: int) -> float:
+                return self._mean_similarity(
+                    entity_id, query.negative_seed_ids, vectors
+                ) - self._mean_similarity(entity_id, query.positive_seed_ids, vectors)
+
+            result = segmented_rerank(
+                result,
+                negative_score=negative_score,
+                segment_length=self.config.segment_length,
+            )
+        return result
+
+    # -- introspection -------------------------------------------------------------------
+    @property
+    def representations(self) -> EntityRepresentations:
+        if self._representations is None:
+            raise ExpansionError("RetExpan is not fitted")
+        return self._representations
+
+    @property
+    def contrastive_learner(self) -> UltraContrastiveLearner | None:
+        return self._contrastive

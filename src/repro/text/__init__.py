@@ -1,0 +1,15 @@
+"""Text substrate: tokenisation, vocabularies, prefix trees, and BM25 retrieval."""
+
+from repro.text.tokenizer import WordTokenizer
+from repro.text.vocab import Vocabulary
+from repro.text.prefix_tree import PrefixTree
+from repro.text.bm25 import BM25Index
+from repro.text.inverted_index import InvertedIndex
+
+__all__ = [
+    "WordTokenizer",
+    "Vocabulary",
+    "PrefixTree",
+    "BM25Index",
+    "InvertedIndex",
+]

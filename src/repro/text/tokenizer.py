@@ -1,0 +1,47 @@
+"""A small deterministic word tokenizer.
+
+The synthetic corpus is plain English-like text, so a rule-based tokenizer
+(lower-casing, punctuation splitting) is sufficient and keeps the whole
+pipeline dependency-free.  The special ``[MASK]`` token used by the
+masked-entity context encoder survives tokenisation unchanged.
+"""
+
+from __future__ import annotations
+
+import re
+
+MASK_TOKEN = "[MASK]"
+
+_TOKEN_RE = re.compile(r"\[MASK\]|[A-Za-z0-9]+(?:'[a-z]+)?|[^\sA-Za-z0-9]")
+
+
+class WordTokenizer:
+    """Tokenise text into lower-cased word tokens.
+
+    ``[MASK]`` is preserved verbatim; all other tokens are lower-cased.
+    Punctuation can optionally be dropped (the default), because the context
+    encoder gains nothing from commas and periods.
+    """
+
+    def __init__(self, keep_punctuation: bool = False):
+        self.keep_punctuation = keep_punctuation
+
+    def tokenize(self, text: str) -> list[str]:
+        """Return the token list for ``text``."""
+        tokens: list[str] = []
+        for match in _TOKEN_RE.finditer(text):
+            token = match.group(0)
+            if token == MASK_TOKEN:
+                tokens.append(token)
+                continue
+            if not self.keep_punctuation and not token[0].isalnum():
+                continue
+            tokens.append(token.lower())
+        return tokens
+
+    def tokenize_entity_name(self, name: str) -> list[str]:
+        """Tokenise an entity surface form (used by the prefix tree)."""
+        return [t for t in self.tokenize(name) if t != MASK_TOKEN]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"WordTokenizer(keep_punctuation={self.keep_punctuation})"

@@ -1,0 +1,262 @@
+"""Core data types shared across the library.
+
+The types mirror the task formulation in Section III of the paper:
+
+* an :class:`Entity` carries a name and a mapping of attribute → value;
+* a :class:`FineGrainedClass` groups entities that share a concept (e.g.
+  ``mobile_phone_brands``) and declares which attributes it annotates;
+* an :class:`UltraFineGrainedClass` constrains a fine-grained class with a
+  positive attribute assignment ``A_pos`` and a negative assignment ``A_neg``,
+  which induce the positive target set ``P`` and negative target set ``N``;
+* a :class:`Query` is one concrete input to an expansion model: positive and
+  negative seed entities drawn from ``P`` and ``N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.exceptions import DatasetError
+
+
+@dataclass(frozen=True)
+class Entity:
+    """A single candidate entity.
+
+    Attributes
+    ----------
+    entity_id:
+        Unique integer id within a dataset.
+    name:
+        Human-readable surface form (unique within a dataset).
+    fine_class:
+        Name of the fine-grained class this entity belongs to, or ``None``
+        for distractor entities sampled from the broader candidate pool.
+    attributes:
+        Mapping from attribute name to attribute value.  Distractors have an
+        empty mapping.
+    popularity:
+        Relative frequency weight in [0, 1]; low values mark long-tail
+        entities that receive few context sentences and that the simulated
+        GPT-4 oracle knows poorly.
+    """
+
+    entity_id: int
+    name: str
+    fine_class: str | None = None
+    attributes: Mapping[str, str] = field(default_factory=dict)
+    popularity: float = 1.0
+
+    def get(self, attribute: str) -> str | None:
+        """Return the value of ``attribute`` or ``None`` when unannotated."""
+        return self.attributes.get(attribute)
+
+    def matches(self, assignment: Mapping[str, str]) -> bool:
+        """True when this entity has every attribute value in ``assignment``."""
+        return all(self.attributes.get(a) == v for a, v in assignment.items())
+
+    def to_dict(self) -> dict:
+        return {
+            "entity_id": self.entity_id,
+            "name": self.name,
+            "fine_class": self.fine_class,
+            "attributes": dict(self.attributes),
+            "popularity": self.popularity,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Entity":
+        return cls(
+            entity_id=int(payload["entity_id"]),
+            name=str(payload["name"]),
+            fine_class=payload.get("fine_class"),
+            attributes=dict(payload.get("attributes", {})),
+            popularity=float(payload.get("popularity", 1.0)),
+        )
+
+
+@dataclass(frozen=True)
+class Sentence:
+    """A corpus sentence with the entities it mentions.
+
+    The paper aligns Wikipedia sentences to entities through hyperlinks; the
+    synthetic corpus records mentioned entity ids explicitly, which plays the
+    same role.
+    """
+
+    sentence_id: int
+    text: str
+    entity_ids: tuple[int, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "sentence_id": self.sentence_id,
+            "text": self.text,
+            "entity_ids": list(self.entity_ids),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Sentence":
+        return cls(
+            sentence_id=int(payload["sentence_id"]),
+            text=str(payload["text"]),
+            entity_ids=tuple(int(i) for i in payload["entity_ids"]),
+        )
+
+
+@dataclass(frozen=True)
+class FineGrainedClass:
+    """A fine-grained semantic class (e.g. ``countries``) and its attributes."""
+
+    name: str
+    description: str
+    attributes: Mapping[str, tuple[str, ...]]
+
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(self.attributes.keys())
+
+    def values_of(self, attribute: str) -> tuple[str, ...]:
+        if attribute not in self.attributes:
+            raise DatasetError(
+                f"class {self.name!r} has no attribute {attribute!r}"
+            )
+        return tuple(self.attributes[attribute])
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "attributes": {k: list(v) for k, v in self.attributes.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "FineGrainedClass":
+        return cls(
+            name=str(payload["name"]),
+            description=str(payload.get("description", "")),
+            attributes={k: tuple(v) for k, v in payload["attributes"].items()},
+        )
+
+
+@dataclass(frozen=True)
+class UltraFineGrainedClass:
+    """An ultra-fine-grained semantic class.
+
+    ``positive_assignment`` (``A_pos``) and ``negative_assignment`` (``A_neg``)
+    are attribute → value mappings.  The target set is ``P - N`` where ``P``
+    holds entities matching ``A_pos`` and ``N`` holds entities matching
+    ``A_neg`` (Section III).
+    """
+
+    class_id: str
+    fine_class: str
+    positive_assignment: Mapping[str, str]
+    negative_assignment: Mapping[str, str]
+    positive_entity_ids: tuple[int, ...]
+    negative_entity_ids: tuple[int, ...]
+
+    @property
+    def same_attributes(self) -> bool:
+        """True when ``A_pos`` and ``A_neg`` constrain the same attributes."""
+        return set(self.positive_assignment) == set(self.negative_assignment)
+
+    @property
+    def attribute_cardinality(self) -> tuple[int, int]:
+        """``(|A_pos|, |A_neg|)`` as reported in Table VI."""
+        return (len(self.positive_assignment), len(self.negative_assignment))
+
+    def to_dict(self) -> dict:
+        return {
+            "class_id": self.class_id,
+            "fine_class": self.fine_class,
+            "positive_assignment": dict(self.positive_assignment),
+            "negative_assignment": dict(self.negative_assignment),
+            "positive_entity_ids": list(self.positive_entity_ids),
+            "negative_entity_ids": list(self.negative_entity_ids),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "UltraFineGrainedClass":
+        return cls(
+            class_id=str(payload["class_id"]),
+            fine_class=str(payload["fine_class"]),
+            positive_assignment=dict(payload["positive_assignment"]),
+            negative_assignment=dict(payload["negative_assignment"]),
+            positive_entity_ids=tuple(int(i) for i in payload["positive_entity_ids"]),
+            negative_entity_ids=tuple(int(i) for i in payload["negative_entity_ids"]),
+        )
+
+
+@dataclass(frozen=True)
+class Query:
+    """One expansion query: positive and negative seed entity ids."""
+
+    query_id: str
+    class_id: str
+    positive_seed_ids: tuple[int, ...]
+    negative_seed_ids: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        overlap = set(self.positive_seed_ids) & set(self.negative_seed_ids)
+        if overlap:
+            raise DatasetError(
+                f"query {self.query_id!r}: seeds {sorted(overlap)} appear as "
+                "both positive and negative"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "query_id": self.query_id,
+            "class_id": self.class_id,
+            "positive_seed_ids": list(self.positive_seed_ids),
+            "negative_seed_ids": list(self.negative_seed_ids),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Query":
+        return cls(
+            query_id=str(payload["query_id"]),
+            class_id=str(payload["class_id"]),
+            positive_seed_ids=tuple(int(i) for i in payload["positive_seed_ids"]),
+            negative_seed_ids=tuple(int(i) for i in payload["negative_seed_ids"]),
+        )
+
+
+@dataclass(frozen=True)
+class RankedEntity:
+    """One entry of an expansion result list."""
+
+    entity_id: int
+    score: float
+
+    def to_dict(self) -> dict:
+        return {"entity_id": self.entity_id, "score": self.score}
+
+
+@dataclass(frozen=True)
+class ExpansionResult:
+    """The ranked output of an expander for a single query."""
+
+    query_id: str
+    ranking: tuple[RankedEntity, ...]
+
+    def entity_ids(self) -> list[int]:
+        """Ranked entity ids, best first."""
+        return [item.entity_id for item in self.ranking]
+
+    def top(self, k: int) -> list[int]:
+        """The top-``k`` entity ids."""
+        return self.entity_ids()[:k]
+
+    @classmethod
+    def from_scores(
+        cls, query_id: str, scored: Sequence[tuple[int, float]]
+    ) -> "ExpansionResult":
+        """Build a result from ``(entity_id, score)`` pairs, sorting by score.
+
+        Ties are broken by entity id to keep rankings deterministic.
+        """
+        ordered = sorted(scored, key=lambda pair: (-pair[1], pair[0]))
+        ranking = tuple(RankedEntity(int(e), float(s)) for e, s in ordered)
+        return cls(query_id=query_id, ranking=ranking)

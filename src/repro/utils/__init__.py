@@ -1,0 +1,27 @@
+"""Shared utilities: seeded randomness, math helpers, and lightweight IO."""
+
+from repro.utils.rng import RandomState, derive_seed
+from repro.utils.mathx import (
+    cosine_similarity,
+    cosine_similarity_matrix,
+    l2_normalize,
+    log_softmax,
+    logsumexp,
+    softmax,
+)
+from repro.utils.iox import read_json, read_jsonl, write_json, write_jsonl
+
+__all__ = [
+    "RandomState",
+    "derive_seed",
+    "cosine_similarity",
+    "cosine_similarity_matrix",
+    "l2_normalize",
+    "log_softmax",
+    "logsumexp",
+    "softmax",
+    "read_json",
+    "read_jsonl",
+    "write_json",
+    "write_jsonl",
+]

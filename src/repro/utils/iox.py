@@ -1,0 +1,46 @@
+"""Small JSON / JSON-lines IO helpers used for dataset persistence."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+
+def write_json(path: str | Path, obj: Any, indent: int = 2) -> None:
+    """Write ``obj`` as pretty-printed JSON to ``path`` (parents are created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(obj, handle, indent=indent, ensure_ascii=False)
+
+
+def read_json(path: str | Path) -> Any:
+    """Read a JSON document from ``path``."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def write_jsonl(path: str | Path, rows: Iterable[Any]) -> int:
+    """Write an iterable of JSON-serialisable rows to ``path`` as JSON lines.
+
+    Returns the number of rows written.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, ensure_ascii=False))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | Path) -> Iterator[Any]:
+    """Iterate over JSON-lines rows stored at ``path``."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

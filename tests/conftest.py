@@ -1,0 +1,37 @@
+"""Shared fixtures.
+
+The tiny dataset and the shared model resources are expensive enough (a few
+seconds) that they are built once per test session; tests must therefore
+treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DatasetConfig, EncoderConfig
+from repro.core.resources import SharedResources
+from repro.dataset.builder import build_dataset
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> DatasetConfig:
+    return DatasetConfig.tiny(seed=13)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_config):
+    """A small but fully-featured dataset shared by the whole test session."""
+    return build_dataset(tiny_config)
+
+
+@pytest.fixture(scope="session")
+def resources(tiny_dataset):
+    """Shared model resources fitted on the tiny dataset (default configs)."""
+    return SharedResources(tiny_dataset, encoder_config=EncoderConfig())
+
+
+@pytest.fixture(scope="session")
+def sample_query(tiny_dataset):
+    """A deterministic representative query."""
+    return tiny_dataset.queries[0]

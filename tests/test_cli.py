@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_build_dataset_defaults(self):
+        args = build_parser().parse_args(["build-dataset"])
+        assert args.profile == "small"
+        assert args.seed == 13
+        assert args.output is None
+
+    def test_run_experiment_arguments(self):
+        args = build_parser().parse_args(
+            ["run-experiment", "table1", "--profile", "tiny", "--max-queries", "5"]
+        )
+        assert args.experiment_id == "table1"
+        assert args.profile == "tiny"
+        assert args.max_queries == 5
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["build-dataset", "--profile", "huge"])
+
+
+class TestCommands:
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        output = capsys.readouterr().out
+        assert "table2" in output
+        assert "figure7" in output
+        assert "benchmarks/" in output
+
+    def test_build_dataset_and_save(self, tmp_path, capsys):
+        output_dir = tmp_path / "ds"
+        code = main(
+            ["build-dataset", "--profile", "tiny", "--seed", "7", "--output", str(output_dir)]
+        )
+        assert code == 0
+        assert (output_dir / "dataset.json").exists()
+        assert (output_dir / "corpus.jsonl").exists()
+        assert "entities=" in capsys.readouterr().out
+
+    def test_run_experiment_table1(self, tmp_path, capsys):
+        json_path = tmp_path / "table1.json"
+        code = main(
+            [
+                "run-experiment",
+                "table1",
+                "--profile",
+                "tiny",
+                "--max-queries",
+                "6",
+                "--genexpan-max-queries",
+                "3",
+                "--json",
+                str(json_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "UltraWiki" in output
+        payload = json.loads(json_path.read_text())
+        assert payload["experiment"] == "table1"
+        assert payload["rows"]
+
+    def test_run_unknown_experiment_fails(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["run-experiment", "table42", "--profile", "tiny"])

@@ -1,0 +1,167 @@
+"""Tests for configuration validation."""
+
+import pytest
+
+from repro.config import (
+    CausalLMConfig,
+    ContrastiveConfig,
+    DatasetConfig,
+    EncoderConfig,
+    EvaluationConfig,
+    GenExpanConfig,
+    OracleConfig,
+    RetExpanConfig,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestDatasetConfig:
+    def test_defaults_valid(self):
+        DatasetConfig().validate()
+
+    def test_profiles_valid(self):
+        DatasetConfig.tiny().validate()
+        DatasetConfig.small().validate()
+        DatasetConfig.default().validate()
+
+    def test_profile_sizes_increase(self):
+        tiny, small, default = DatasetConfig.tiny(), DatasetConfig.small(), DatasetConfig.default()
+        assert tiny.entities_per_class < small.entities_per_class < default.entities_per_class
+
+    def test_too_many_fine_classes_rejected(self):
+        config = DatasetConfig(num_fine_classes=11)
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_too_few_entities_rejected(self):
+        config = DatasetConfig(entities_per_class=5)
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_bad_seed_range_rejected(self):
+        config = DatasetConfig(min_seeds=5, max_seeds=3)
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_min_targets_must_exceed_max_seeds(self):
+        config = DatasetConfig(min_seeds=3, max_seeds=5, min_targets=5)
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DatasetConfig(long_tail_fraction=1.5).validate()
+        with pytest.raises(ConfigurationError):
+            DatasetConfig(wikidata_coverage=-0.1).validate()
+
+    def test_to_dict_contains_seed(self):
+        assert DatasetConfig(seed=99).to_dict()["seed"] == 99
+
+
+class TestEncoderConfig:
+    def test_defaults_valid(self):
+        EncoderConfig().validate()
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EncoderConfig(embedding_dim=0).validate()
+
+    def test_label_smoothing_bounds(self):
+        with pytest.raises(ConfigurationError):
+            EncoderConfig(label_smoothing=1.0).validate()
+        EncoderConfig(label_smoothing=0.0).validate()
+
+    def test_hidden_weight_bounds(self):
+        with pytest.raises(ConfigurationError):
+            EncoderConfig(hidden_weight=1.5).validate()
+
+    def test_zero_epochs_allowed(self):
+        EncoderConfig(epochs=0).validate()
+
+
+class TestContrastiveConfig:
+    def test_defaults_valid(self):
+        ContrastiveConfig().validate()
+
+    def test_non_positive_temperature_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ContrastiveConfig(temperature=0.0).validate()
+
+    def test_non_positive_mined_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ContrastiveConfig(mined_list_size=0).validate()
+
+
+class TestCausalLMConfig:
+    def test_defaults_valid(self):
+        CausalLMConfig().validate()
+
+    def test_order_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            CausalLMConfig(ngram_order=0).validate()
+
+    def test_affinity_weight_bounds(self):
+        with pytest.raises(ConfigurationError):
+            CausalLMConfig(affinity_weight=1.2).validate()
+
+
+class TestOracleConfig:
+    def test_defaults_valid(self):
+        OracleConfig().validate()
+
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            OracleConfig(hallucination_rate=1.5).validate()
+        with pytest.raises(ConfigurationError):
+            OracleConfig(base_error_rate=-0.1).validate()
+
+
+class TestRetExpanConfig:
+    def test_defaults_valid(self):
+        RetExpanConfig().validate()
+
+    def test_nested_configs_validated(self):
+        config = RetExpanConfig(encoder=EncoderConfig(embedding_dim=-1))
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_invalid_segment_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetExpanConfig(segment_length=0).validate()
+
+    def test_negative_contrastive_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetExpanConfig(contrastive_weight=-0.5).validate()
+
+
+class TestGenExpanConfig:
+    def test_defaults_valid(self):
+        GenExpanConfig().validate()
+
+    def test_all_cot_modes_valid(self):
+        for mode in GenExpanConfig.VALID_COT_MODES:
+            GenExpanConfig(cot_mode=mode).validate()
+
+    def test_unknown_cot_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GenExpanConfig(cot_mode="banana").validate()
+
+    def test_non_positive_iterations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GenExpanConfig(num_iterations=0).validate()
+
+
+class TestEvaluationConfig:
+    def test_defaults_valid(self):
+        EvaluationConfig().validate()
+
+    def test_paper_cutoffs(self):
+        assert EvaluationConfig().cutoffs == (10, 20, 50, 100)
+
+    def test_empty_cutoffs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EvaluationConfig(cutoffs=()).validate()
+
+    def test_negative_cutoff_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EvaluationConfig(cutoffs=(10, -5)).validate()

@@ -1,0 +1,81 @@
+"""Tests for the expander base class contract."""
+
+import pytest
+
+from repro.core.base import Expander
+from repro.exceptions import ExpansionError
+from repro.types import ExpansionResult, Query
+
+
+class DummyExpander(Expander):
+    """Ranks every candidate by descending entity id (including seeds)."""
+
+    name = "Dummy"
+
+    def _expand(self, query, top_k):
+        scored = [(eid, float(eid)) for eid in self.dataset.entity_ids()]
+        return ExpansionResult.from_scores(query.query_id, scored)
+
+
+class TestExpanderContract:
+    def test_unfitted_expander_raises(self, tiny_dataset):
+        expander = DummyExpander()
+        with pytest.raises(ExpansionError):
+            expander.expand(tiny_dataset.queries[0])
+
+    def test_fit_returns_self(self, tiny_dataset):
+        expander = DummyExpander()
+        assert expander.fit(tiny_dataset) is expander
+        assert expander.is_fitted
+
+    def test_expand_filters_seed_entities(self, tiny_dataset, sample_query):
+        expander = DummyExpander().fit(tiny_dataset)
+        result = expander.expand(sample_query, top_k=tiny_dataset.num_entities)
+        returned = set(result.entity_ids())
+        seeds = set(sample_query.positive_seed_ids) | set(sample_query.negative_seed_ids)
+        assert not (returned & seeds)
+
+    def test_expand_respects_top_k(self, tiny_dataset, sample_query):
+        expander = DummyExpander().fit(tiny_dataset)
+        assert len(expander.expand(sample_query, top_k=7).ranking) == 7
+
+    def test_non_positive_top_k_rejected(self, tiny_dataset, sample_query):
+        expander = DummyExpander().fit(tiny_dataset)
+        with pytest.raises(ExpansionError):
+            expander.expand(sample_query, top_k=0)
+
+    def test_unknown_query_class_rejected(self, tiny_dataset):
+        expander = DummyExpander().fit(tiny_dataset)
+        rogue = Query("rogue", "missing-class", (1,), (2,))
+        with pytest.raises(ExpansionError):
+            expander.expand(rogue)
+
+    def test_candidate_ids_exclude_seeds(self, tiny_dataset, sample_query):
+        expander = DummyExpander().fit(tiny_dataset)
+        candidates = expander.candidate_ids(sample_query)
+        seeds = set(sample_query.positive_seed_ids) | set(sample_query.negative_seed_ids)
+        assert not (set(candidates) & seeds)
+        assert len(candidates) == tiny_dataset.num_entities - len(seeds)
+
+
+class TestSharedResources:
+    def test_resources_are_cached(self, resources):
+        assert resources.cooccurrence_embeddings() is resources.cooccurrence_embeddings()
+        assert resources.context_encoder(True) is resources.context_encoder(True)
+        assert resources.entity_representations(True) is resources.entity_representations(True)
+        assert resources.causal_lm(True) is resources.causal_lm(True)
+        assert resources.oracle() is resources.oracle()
+        assert resources.prefix_tree() is resources.prefix_tree()
+
+    def test_trained_and_untrained_encoders_differ(self, resources):
+        assert resources.context_encoder(True) is not resources.context_encoder(False)
+
+    def test_representations_cover_all_entities(self, resources, tiny_dataset):
+        reps = resources.entity_representations(True)
+        assert len(reps.hidden) == tiny_dataset.num_entities
+
+    def test_prefix_tree_contains_all_entities(self, resources, tiny_dataset):
+        assert len(resources.prefix_tree()) == tiny_dataset.num_entities
+
+    def test_causal_lm_variants_cached_separately(self, resources):
+        assert resources.causal_lm(True) is not resources.causal_lm(False)

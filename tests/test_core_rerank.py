@@ -1,0 +1,74 @@
+"""Tests for segmented re-ranking."""
+
+import pytest
+
+from repro.core.rerank import mean_similarity_scorer, segmented_rerank
+from repro.exceptions import ExpansionError
+from repro.types import ExpansionResult, RankedEntity
+
+
+def make_result(entity_ids):
+    ranking = tuple(
+        RankedEntity(entity_id, 1.0 - index * 0.01) for index, entity_id in enumerate(entity_ids)
+    )
+    return ExpansionResult(query_id="q", ranking=ranking)
+
+
+class TestSegmentedRerank:
+    def test_invalid_segment_length_rejected(self):
+        with pytest.raises(ExpansionError):
+            segmented_rerank(make_result([1, 2]), lambda e: 0.0, segment_length=0)
+
+    def test_preserves_entity_multiset(self):
+        result = make_result(list(range(23)))
+        reranked = segmented_rerank(result, lambda e: -e, segment_length=5)
+        assert sorted(reranked.entity_ids()) == sorted(result.entity_ids())
+        assert len(reranked.ranking) == len(result.ranking)
+
+    def test_within_segment_sorted_by_negative_score(self):
+        result = make_result([10, 11, 12, 13, 20, 21, 22, 23])
+        neg_scores = {10: 0.9, 11: 0.1, 12: 0.5, 13: 0.2, 20: 0.0, 21: 0.7, 22: 0.3, 23: 0.6}
+        reranked = segmented_rerank(result, lambda e: neg_scores[e], segment_length=4)
+        assert reranked.entity_ids()[:4] == [11, 13, 12, 10]
+        assert reranked.entity_ids()[4:] == [20, 22, 23, 21]
+
+    def test_entities_never_cross_segment_boundaries(self):
+        result = make_result(list(range(30)))
+        reranked = segmented_rerank(result, lambda e: -e, segment_length=10)
+        for segment_index in range(3):
+            original = set(result.entity_ids()[segment_index * 10 : (segment_index + 1) * 10])
+            updated = set(reranked.entity_ids()[segment_index * 10 : (segment_index + 1) * 10])
+            assert original == updated
+
+    def test_constant_negative_score_keeps_order(self):
+        result = make_result([5, 3, 8, 1, 9])
+        reranked = segmented_rerank(result, lambda e: 0.0, segment_length=2)
+        assert reranked.entity_ids() == result.entity_ids()
+
+    def test_partial_last_segment_handled(self):
+        result = make_result([1, 2, 3, 4, 5])
+        reranked = segmented_rerank(result, lambda e: e, segment_length=3)
+        assert len(reranked.ranking) == 5
+        assert set(reranked.entity_ids()[3:]) == {4, 5}
+
+    def test_empty_result(self):
+        reranked = segmented_rerank(ExpansionResult("q", ()), lambda e: 0.0, segment_length=5)
+        assert reranked.entity_ids() == []
+
+    def test_scores_preserved_after_rerank(self):
+        result = make_result([1, 2, 3, 4])
+        reranked = segmented_rerank(result, lambda e: -e, segment_length=4)
+        original_scores = {item.entity_id: item.score for item in result.ranking}
+        for item in reranked.ranking:
+            assert item.score == original_scores[item.entity_id]
+
+
+class TestMeanSimilarityScorer:
+    def test_mean_over_seeds(self):
+        similarity = lambda a, b: float(a * b)
+        scorer = mean_similarity_scorer([1, 2, 3], similarity)
+        assert scorer(2) == pytest.approx((2 + 4 + 6) / 3)
+
+    def test_empty_seed_list(self):
+        scorer = mean_similarity_scorer([], lambda a, b: 1.0)
+        assert scorer(5) == 0.0

@@ -1,0 +1,105 @@
+"""Tests for dataset statistics and similarity analysis (Table I, Figure 4)."""
+
+import numpy as np
+
+from repro.dataset.analysis import (
+    PAPER_ULTRAWIKI_STATS,
+    PRIOR_DATASETS,
+    class_similarity_matrix,
+    compute_statistics,
+    dataset_comparison_table,
+    intra_inter_similarity,
+)
+
+
+class TestStatistics:
+    def test_counts_match_dataset(self, tiny_dataset):
+        stats = compute_statistics(tiny_dataset)
+        assert stats.num_entities == tiny_dataset.num_entities
+        assert stats.num_sentences == tiny_dataset.num_sentences
+        assert stats.num_ultra_classes == len(tiny_dataset.ultra_classes)
+        assert stats.num_queries == len(tiny_dataset.queries)
+
+    def test_queries_per_class_matches_config(self, tiny_dataset, tiny_config):
+        stats = compute_statistics(tiny_dataset)
+        assert stats.queries_per_class == tiny_config.queries_per_class
+
+    def test_seed_counts_in_paper_range(self, tiny_dataset):
+        stats = compute_statistics(tiny_dataset)
+        assert 3.0 <= stats.avg_positive_seeds <= 5.0
+        assert 3.0 <= stats.avg_negative_seeds <= 5.0
+
+    def test_average_targets_positive(self, tiny_dataset):
+        stats = compute_statistics(tiny_dataset)
+        assert stats.avg_positive_targets >= 6
+        assert stats.avg_negative_targets >= 6
+
+    def test_to_dict_keys(self, tiny_dataset):
+        payload = compute_statistics(tiny_dataset).to_dict()
+        assert "class_overlap_fraction" in payload
+        assert "long_tail_fraction" in payload
+
+
+class TestComparisonTable:
+    def test_contains_prior_datasets_and_ours(self, tiny_dataset):
+        rows = dataset_comparison_table(tiny_dataset)
+        names = [row["dataset"] for row in rows]
+        for prior in PRIOR_DATASETS:
+            assert prior in names
+        assert "UltraWiki (paper)" in names
+        assert any(name.startswith("UltraWiki (this repo") for name in names)
+
+    def test_only_ultrawiki_rows_have_negative_seeds(self, tiny_dataset):
+        for row in dataset_comparison_table(tiny_dataset):
+            if row["dataset"].startswith("UltraWiki"):
+                assert row["neg_seeds_per_query"] != "N/A"
+                assert row["entity_attribution"] is True
+            else:
+                assert row["neg_seeds_per_query"] == "N/A"
+                assert row["entity_attribution"] is False
+
+    def test_paper_row_quotes_published_statistics(self, tiny_dataset):
+        rows = {row["dataset"]: row for row in dataset_comparison_table(tiny_dataset)}
+        paper = rows["UltraWiki (paper)"]
+        assert paper["semantic_classes"] == PAPER_ULTRAWIKI_STATS["semantic_classes"]
+        assert paper["candidate_entities"] == 50_973
+        assert paper["corpus_sentences"] == 394_097
+
+
+class TestSimilarityAnalysis:
+    def _embeddings(self, dataset):
+        rng = np.random.default_rng(0)
+        embeddings = {}
+        fine_names = sorted(dataset.fine_classes)
+        for entity in dataset.entities():
+            if entity.fine_class is None:
+                continue
+            base = np.zeros(len(fine_names) + 4)
+            base[fine_names.index(entity.fine_class)] = 1.0
+            embeddings[entity.entity_id] = base + 0.05 * rng.normal(size=base.shape)
+        return embeddings
+
+    def test_matrix_shape_and_range(self, tiny_dataset):
+        class_ids, matrix = class_similarity_matrix(
+            tiny_dataset, self._embeddings(tiny_dataset), max_classes=12
+        )
+        assert matrix.shape == (len(class_ids), len(class_ids))
+        assert len(class_ids) <= 12
+        assert np.all(matrix <= 1.0 + 1e-9)
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_intra_class_similarity_exceeds_inter(self, tiny_dataset):
+        summary = intra_inter_similarity(tiny_dataset, self._embeddings(tiny_dataset))
+        assert summary["intra"] > summary["inter"]
+
+    def test_empty_embeddings_handled(self, tiny_dataset):
+        class_ids, matrix = class_similarity_matrix(tiny_dataset, {})
+        assert class_ids == []
+        assert matrix.shape == (0, 0)
+
+    def test_real_encoder_embeddings_show_block_structure(self, tiny_dataset, resources):
+        """Figure 4's qualitative claim holds for the actual encoder output."""
+        representations = resources.entity_representations(trained=True)
+        summary = intra_inter_similarity(tiny_dataset, representations.hidden)
+        assert summary["num_classes"] > 1
+        assert summary["intra"] > summary["inter"]

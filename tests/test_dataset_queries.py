@@ -1,0 +1,103 @@
+"""Tests for query (seed set) generation."""
+
+import pytest
+
+from repro.dataset.queries import QueryGenerator
+from repro.dataset.semantic_class import SemanticClassGenerator
+from repro.exceptions import DatasetError
+from repro.kb.generator import EntityGenerator
+from repro.kb.schema import schema_by_name
+from repro.utils.rng import RandomState
+
+
+@pytest.fixture(scope="module")
+def setup():
+    schema = schema_by_name("countries")
+    entities = EntityGenerator(RandomState(31)).generate_class_entities(schema, 150)
+    ultra_classes = SemanticClassGenerator(RandomState(32)).generate(schema, entities)
+    by_id = {e.entity_id: e for e in entities}
+    return ultra_classes, by_id
+
+
+class TestQueryGenerator:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DatasetError):
+            QueryGenerator(RandomState(0), queries_per_class=0)
+        with pytest.raises(DatasetError):
+            QueryGenerator(RandomState(0), min_seeds=4, max_seeds=3)
+
+    def test_three_queries_per_class(self, setup):
+        ultra_classes, by_id = setup
+        generator = QueryGenerator(RandomState(1), queries_per_class=3)
+        queries = generator.generate_for_class(ultra_classes[0], by_id)
+        assert len(queries) == 3
+
+    def test_seed_counts_within_paper_range(self, setup):
+        ultra_classes, by_id = setup
+        generator = QueryGenerator(RandomState(1), min_seeds=3, max_seeds=5)
+        for ultra in ultra_classes[:10]:
+            for query in generator.generate_for_class(ultra, by_id):
+                assert 3 <= len(query.positive_seed_ids) <= 5
+                assert 3 <= len(query.negative_seed_ids) <= 5
+
+    def test_positive_seeds_are_positive_targets(self, setup):
+        ultra_classes, by_id = setup
+        generator = QueryGenerator(RandomState(1))
+        for ultra in ultra_classes[:10]:
+            for query in generator.generate_for_class(ultra, by_id):
+                assert set(query.positive_seed_ids) <= set(ultra.positive_entity_ids)
+
+    def test_negative_seeds_are_negative_targets(self, setup):
+        ultra_classes, by_id = setup
+        generator = QueryGenerator(RandomState(1))
+        for ultra in ultra_classes[:10]:
+            for query in generator.generate_for_class(ultra, by_id):
+                assert set(query.negative_seed_ids) <= set(ultra.negative_entity_ids)
+
+    def test_seeds_do_not_overlap(self, setup):
+        ultra_classes, by_id = setup
+        generator = QueryGenerator(RandomState(1))
+        for ultra in ultra_classes[:10]:
+            for query in generator.generate_for_class(ultra, by_id):
+                assert not set(query.positive_seed_ids) & set(query.negative_seed_ids)
+
+    def test_seeds_avoid_ambiguous_overlap_entities(self, setup):
+        """Seeds should come from P - N (positives) and N - P (negatives)."""
+        ultra_classes, by_id = setup
+        generator = QueryGenerator(RandomState(1))
+        for ultra in ultra_classes[:10]:
+            pos, neg = set(ultra.positive_entity_ids), set(ultra.negative_entity_ids)
+            for query in generator.generate_for_class(ultra, by_id):
+                assert not set(query.positive_seed_ids) & neg
+                assert not set(query.negative_seed_ids) & pos
+
+    def test_query_ids_unique(self, setup):
+        ultra_classes, by_id = setup
+        generator = QueryGenerator(RandomState(1))
+        queries = generator.generate(ultra_classes, by_id)
+        ids = [q.query_id for q in queries]
+        assert len(ids) == len(set(ids))
+
+    def test_queries_leave_targets_to_rank(self, setup):
+        """After removing seeds there must still be positive targets to find."""
+        ultra_classes, by_id = setup
+        generator = QueryGenerator(RandomState(1))
+        for ultra in ultra_classes[:10]:
+            for query in generator.generate_for_class(ultra, by_id):
+                remaining = set(ultra.positive_entity_ids) - set(query.positive_seed_ids)
+                assert remaining
+
+    def test_deterministic_given_seed(self, setup):
+        ultra_classes, by_id = setup
+        a = QueryGenerator(RandomState(9)).generate(ultra_classes, by_id)
+        b = QueryGenerator(RandomState(9)).generate(ultra_classes, by_id)
+        assert [q.to_dict() for q in a] == [q.to_dict() for q in b]
+
+    def test_generate_skips_unseedable_classes(self, setup):
+        """Classes whose non-overlapping pools are too small are skipped, not fatal."""
+        ultra_classes, by_id = setup
+        generator = QueryGenerator(RandomState(1), min_seeds=3, max_seeds=5)
+        queries = generator.generate(ultra_classes, by_id)
+        assert queries  # at least some classes are seedable
+        queried = {q.class_id for q in queries}
+        assert queried <= {u.class_id for u in ultra_classes}

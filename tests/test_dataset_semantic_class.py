@@ -1,0 +1,116 @@
+"""Tests for negative-aware semantic class generation (pipeline step 4)."""
+
+import pytest
+
+from repro.dataset.semantic_class import SemanticClassGenerator
+from repro.exceptions import DatasetError
+from repro.kb.generator import EntityGenerator
+from repro.kb.schema import schema_by_name
+from repro.utils.rng import RandomState
+
+
+@pytest.fixture(scope="module")
+def phone_setup():
+    schema = schema_by_name("mobile_phone_brands")
+    entities = EntityGenerator(RandomState(21)).generate_class_entities(schema, 150)
+    return schema, entities
+
+
+class TestSemanticClassGenerator:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DatasetError):
+            SemanticClassGenerator(RandomState(0), min_targets=0)
+        with pytest.raises(DatasetError):
+            SemanticClassGenerator(RandomState(0), max_classes_per_fine_class=0)
+
+    def test_generates_classes(self, phone_setup):
+        schema, entities = phone_setup
+        generator = SemanticClassGenerator(RandomState(1), max_classes_per_fine_class=20)
+        classes = generator.generate(schema, entities)
+        assert 1 <= len(classes) <= 20 + 3  # quota rounding can add a couple
+
+    def test_every_class_meets_minimum_targets(self, phone_setup):
+        schema, entities = phone_setup
+        generator = SemanticClassGenerator(RandomState(1), min_targets=6)
+        for ultra in generator.generate(schema, entities):
+            assert len(ultra.positive_entity_ids) >= 6
+            assert len(ultra.negative_entity_ids) >= 6
+
+    def test_target_sets_match_assignments(self, phone_setup):
+        schema, entities = phone_setup
+        by_id = {e.entity_id: e for e in entities}
+        generator = SemanticClassGenerator(RandomState(1))
+        for ultra in generator.generate(schema, entities):
+            for eid in ultra.positive_entity_ids:
+                assert by_id[eid].matches(ultra.positive_assignment)
+            for eid in ultra.negative_entity_ids:
+                assert by_id[eid].matches(ultra.negative_assignment)
+
+    def test_non_overlapping_core_exists(self, phone_setup):
+        """P - N and N - P must both be large enough to seed queries."""
+        schema, entities = phone_setup
+        generator = SemanticClassGenerator(RandomState(1), min_targets=6)
+        for ultra in generator.generate(schema, entities):
+            pos, neg = set(ultra.positive_entity_ids), set(ultra.negative_entity_ids)
+            assert len(pos - neg) >= 6
+            assert len(neg - pos) >= 6
+
+    def test_positive_differs_from_negative_assignment(self, phone_setup):
+        schema, entities = phone_setup
+        generator = SemanticClassGenerator(RandomState(1))
+        for ultra in generator.generate(schema, entities):
+            assert dict(ultra.positive_assignment) != dict(ultra.negative_assignment)
+
+    def test_configuration_uniqueness(self, phone_setup):
+        schema, entities = phone_setup
+        generator = SemanticClassGenerator(RandomState(1))
+        seen = set()
+        for ultra in generator.generate(schema, entities):
+            key = (
+                tuple(sorted(ultra.positive_assignment.items())),
+                tuple(sorted(ultra.negative_assignment.items())),
+            )
+            assert key not in seen
+            seen.add(key)
+
+    def test_cardinality_mix_present(self, phone_setup):
+        schema, entities = phone_setup
+        generator = SemanticClassGenerator(
+            RandomState(1), max_classes_per_fine_class=30
+        )
+        cardinalities = {u.attribute_cardinality for u in generator.generate(schema, entities)}
+        assert (1, 1) in cardinalities
+        # Multi-attribute configurations should appear for 3-attribute schemas.
+        assert (1, 2) in cardinalities or (2, 1) in cardinalities
+
+    def test_same_and_different_attribute_regimes_present(self, phone_setup):
+        schema, entities = phone_setup
+        generator = SemanticClassGenerator(
+            RandomState(1), max_classes_per_fine_class=30
+        )
+        classes = generator.generate(schema, entities)
+        assert any(u.same_attributes for u in classes)
+        assert any(not u.same_attributes for u in classes)
+
+    def test_respects_max_classes_budget(self, phone_setup):
+        schema, entities = phone_setup
+        generator = SemanticClassGenerator(RandomState(1), max_classes_per_fine_class=5)
+        assert len(generator.generate(schema, entities)) <= 8
+
+    def test_deterministic_given_seed(self, phone_setup):
+        schema, entities = phone_setup
+        a = SemanticClassGenerator(RandomState(4)).generate(schema, entities)
+        b = SemanticClassGenerator(RandomState(4)).generate(schema, entities)
+        assert [u.class_id for u in a] == [u.class_id for u in b]
+        assert [u.positive_assignment for u in a] == [u.positive_assignment for u in b]
+
+    def test_class_ids_namespaced_by_fine_class(self, phone_setup):
+        schema, entities = phone_setup
+        for ultra in SemanticClassGenerator(RandomState(1)).generate(schema, entities):
+            assert ultra.class_id.startswith(schema.name + "#")
+
+    def test_too_few_entities_yields_no_classes(self):
+        schema = schema_by_name("mobile_phone_brands")
+        entities = EntityGenerator(RandomState(2)).generate_class_entities(schema, 20)
+        generator = SemanticClassGenerator(RandomState(1), min_targets=15)
+        assert generator.generate(schema, entities) == []

@@ -1,0 +1,122 @@
+"""Tests for the UltraWiki dataset container."""
+
+import pytest
+
+from repro.dataset.ultrawiki import UltraWikiDataset
+from repro.exceptions import DatasetError
+from repro.kb.corpus import Corpus
+from repro.types import Entity, FineGrainedClass, Query, Sentence, UltraFineGrainedClass
+
+
+def small_container():
+    entities = [
+        Entity(0, "Alpha", "c", {"a": "x"}),
+        Entity(1, "Beta", "c", {"a": "x"}),
+        Entity(2, "Gamma", "c", {"a": "y"}),
+        Entity(3, "Delta", "c", {"a": "y"}),
+        Entity(4, "Distractor", None, {}),
+    ]
+    corpus = Corpus([Sentence(0, "Alpha is here.", (0,))])
+    fine = [FineGrainedClass("c", "Class C", {"a": ("x", "y")})]
+    ultra = [
+        UltraFineGrainedClass(
+            class_id="c#000",
+            fine_class="c",
+            positive_assignment={"a": "x"},
+            negative_assignment={"a": "y"},
+            positive_entity_ids=(0, 1),
+            negative_entity_ids=(2, 3),
+        )
+    ]
+    queries = [Query("c#000/q0", "c#000", (0,), (2,))]
+    return UltraWikiDataset(entities, corpus, fine, ultra, queries, metadata={"k": 1})
+
+
+class TestContainerValidation:
+    def test_duplicate_entity_id_rejected(self):
+        with pytest.raises(DatasetError):
+            UltraWikiDataset(
+                [Entity(0, "A"), Entity(0, "B")], Corpus(), [], [], []
+            )
+
+    def test_duplicate_entity_name_rejected(self):
+        with pytest.raises(DatasetError):
+            UltraWikiDataset(
+                [Entity(0, "A"), Entity(1, "A")], Corpus(), [], [], []
+            )
+
+    def test_query_with_unknown_class_rejected(self):
+        with pytest.raises(DatasetError):
+            UltraWikiDataset(
+                [Entity(0, "A")],
+                Corpus(),
+                [],
+                [],
+                [Query("q", "missing", (0,), ())],
+            )
+
+
+class TestContainerAccess:
+    def test_entity_lookup_by_id_and_name(self):
+        dataset = small_container()
+        assert dataset.entity(2).name == "Gamma"
+        assert dataset.entity_by_name("Gamma").entity_id == 2
+        assert dataset.has_entity_name("Gamma")
+        assert not dataset.has_entity_name("Omega")
+
+    def test_unknown_lookups_raise(self):
+        dataset = small_container()
+        with pytest.raises(DatasetError):
+            dataset.entity(99)
+        with pytest.raises(DatasetError):
+            dataset.entity_by_name("Omega")
+        with pytest.raises(DatasetError):
+            dataset.ultra_class("nope")
+
+    def test_entities_sorted_by_id(self):
+        dataset = small_container()
+        assert [e.entity_id for e in dataset.entities()] == [0, 1, 2, 3, 4]
+
+    def test_entities_of_fine_class(self):
+        dataset = small_container()
+        assert len(dataset.entities_of_fine_class("c")) == 4
+
+    def test_distractors(self):
+        dataset = small_container()
+        assert [d.name for d in dataset.distractors()] == ["Distractor"]
+
+    def test_queries_of_class(self):
+        dataset = small_container()
+        assert len(dataset.queries_of_class("c#000")) == 1
+
+    def test_targets_exclude_seed_entities(self):
+        dataset = small_container()
+        query = dataset.queries[0]
+        assert dataset.positive_targets(query) == {1}
+        assert dataset.negative_targets(query) == {3}
+
+    def test_counts(self):
+        dataset = small_container()
+        assert dataset.num_entities == 5
+        assert dataset.num_sentences == 1
+
+
+class TestPersistence:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        dataset = small_container()
+        dataset.save(tmp_path / "ds")
+        restored = UltraWikiDataset.load(tmp_path / "ds")
+        assert restored.num_entities == dataset.num_entities
+        assert restored.num_sentences == dataset.num_sentences
+        assert set(restored.ultra_classes) == set(dataset.ultra_classes)
+        assert [q.query_id for q in restored.queries] == [q.query_id for q in dataset.queries]
+        assert restored.metadata == dataset.metadata
+        assert restored.entity_by_name("Gamma").attributes == {"a": "y"}
+
+    def test_roundtrip_of_generated_dataset(self, tmp_path, tiny_dataset):
+        tiny_dataset.save(tmp_path / "tiny")
+        restored = UltraWikiDataset.load(tmp_path / "tiny")
+        assert restored.num_entities == tiny_dataset.num_entities
+        assert restored.num_sentences == tiny_dataset.num_sentences
+        query = tiny_dataset.queries[0]
+        assert restored.positive_targets(query) == tiny_dataset.positive_targets(query)

@@ -1,0 +1,127 @@
+"""Tests for the evaluator and report aggregation."""
+
+import pytest
+
+from repro.core.base import Expander
+from repro.eval.evaluator import Evaluator
+from repro.exceptions import EvaluationError
+from repro.types import ExpansionResult
+
+
+class OracleRanker(Expander):
+    """Ranks pure ground-truth positives (P − N) first, then unrelated, then negatives."""
+
+    name = "OracleRanker"
+
+    def _expand(self, query, top_k):
+        negatives = sorted(self.dataset.negative_targets(query))
+        positives = sorted(
+            self.dataset.positive_targets(query) - self.dataset.negative_targets(query)
+        )
+        rest = [
+            eid
+            for eid in self.dataset.entity_ids()
+            if eid not in set(positives) | set(negatives)
+        ]
+        ordered = positives + rest + negatives
+        scored = [(eid, float(len(ordered) - i)) for i, eid in enumerate(ordered)]
+        return ExpansionResult.from_scores(query.query_id, scored)
+
+
+class AntiRanker(Expander):
+    """Ranks ground-truth negatives first — the worst possible behaviour."""
+
+    name = "AntiRanker"
+
+    def _expand(self, query, top_k):
+        negatives = sorted(self.dataset.negative_targets(query))
+        rest = [eid for eid in self.dataset.entity_ids() if eid not in set(negatives)]
+        ordered = negatives + rest
+        scored = [(eid, float(len(ordered) - i)) for i, eid in enumerate(ordered)]
+        return ExpansionResult.from_scores(query.query_id, scored)
+
+
+class TestEvaluatorSelection:
+    def test_all_queries_by_default(self, tiny_dataset):
+        assert len(Evaluator(tiny_dataset).queries) == len(tiny_dataset.queries)
+
+    def test_max_queries_subsamples(self, tiny_dataset):
+        assert len(Evaluator(tiny_dataset, max_queries=10).queries) == 10
+
+    def test_subsample_is_deterministic(self, tiny_dataset):
+        a = [q.query_id for q in Evaluator(tiny_dataset, max_queries=10, seed=3).queries]
+        b = [q.query_id for q in Evaluator(tiny_dataset, max_queries=10, seed=3).queries]
+        assert a == b
+
+    def test_subsample_is_stratified_over_fine_classes(self, tiny_dataset):
+        evaluator = Evaluator(tiny_dataset, max_queries=8)
+        fine_classes = {
+            tiny_dataset.ultra_class(q.class_id).fine_class for q in evaluator.queries
+        }
+        assert len(fine_classes) == min(8, len(tiny_dataset.fine_classes))
+
+    def test_query_filter_applied(self, tiny_dataset):
+        target_class = tiny_dataset.queries[0].class_id
+        evaluator = Evaluator(
+            tiny_dataset, query_filter=lambda q: q.class_id == target_class
+        )
+        assert all(q.class_id == target_class for q in evaluator.queries)
+
+    def test_empty_selection_rejected(self, tiny_dataset):
+        with pytest.raises(EvaluationError):
+            Evaluator(tiny_dataset, query_filter=lambda q: False)
+
+
+class TestEvaluation:
+    def test_oracle_ranker_scores_high(self, tiny_dataset):
+        evaluator = Evaluator(tiny_dataset, max_queries=10)
+        report = evaluator.evaluate(OracleRanker().fit(tiny_dataset))
+        # P and N can overlap, so even this near-ideal ranker cannot reach 100
+        # on PosMAP while keeping NegMAP at 0.
+        assert report.value("pos", "map", 10) > 85.0
+        assert report.value("neg", "map", 10) < 5.0
+        assert report.value("comb", "map", 10) > 88.0
+
+    def test_anti_ranker_scores_low(self, tiny_dataset):
+        evaluator = Evaluator(tiny_dataset, max_queries=10)
+        report = evaluator.evaluate(AntiRanker().fit(tiny_dataset))
+        assert report.value("neg", "map", 10) > 90.0
+        assert report.value("comb", "map", 10) < 40.0
+
+    def test_oracle_beats_anti_ranker(self, tiny_dataset):
+        evaluator = Evaluator(tiny_dataset, max_queries=10)
+        oracle = evaluator.evaluate(OracleRanker().fit(tiny_dataset))
+        anti = evaluator.evaluate(AntiRanker().fit(tiny_dataset))
+        assert oracle.average("comb") > anti.average("comb")
+
+    def test_report_has_per_query_breakdown(self, tiny_dataset):
+        evaluator = Evaluator(tiny_dataset, max_queries=5)
+        report = evaluator.evaluate(OracleRanker().fit(tiny_dataset))
+        assert report.num_queries == 5
+        assert len(report.per_query) == 5
+
+    def test_evaluate_fits_unfitted_expander(self, tiny_dataset):
+        evaluator = Evaluator(tiny_dataset, max_queries=3)
+        report = evaluator.evaluate(OracleRanker())
+        assert report.num_queries == 3
+
+    def test_evaluate_many(self, tiny_dataset):
+        evaluator = Evaluator(tiny_dataset, max_queries=3)
+        reports = evaluator.evaluate_many(
+            [OracleRanker().fit(tiny_dataset), AntiRanker().fit(tiny_dataset)]
+        )
+        assert set(reports) == {"OracleRanker", "AntiRanker"}
+
+    def test_split_reports_partition_queries(self, tiny_dataset):
+        evaluator = Evaluator(tiny_dataset, max_queries=12)
+        grouped = evaluator.split_reports(
+            OracleRanker().fit(tiny_dataset),
+            lambda q: tiny_dataset.ultra_class(q.class_id).fine_class,
+        )
+        assert sum(report.num_queries for report in grouped.values()) == 12
+
+    def test_report_to_dict(self, tiny_dataset):
+        evaluator = Evaluator(tiny_dataset, max_queries=3)
+        payload = evaluator.evaluate(OracleRanker().fit(tiny_dataset)).to_dict()
+        assert payload["method"] == "OracleRanker"
+        assert payload["num_queries"] == 3

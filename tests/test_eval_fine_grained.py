@@ -1,0 +1,83 @@
+"""Tests for fine-grained-class-level evaluation (paper Section VI-B(4))."""
+
+import pytest
+
+from repro.baselines import SetExpan
+from repro.eval.evaluator import Evaluator
+from repro.eval.fine_grained import (
+    evaluate_fine_grained,
+    fine_grained_targets,
+)
+from repro.exceptions import EvaluationError
+from repro.retexpan import RetExpan
+
+
+class TestFineGrainedTargets:
+    def test_targets_are_class_members_minus_seeds(self, tiny_dataset, sample_query):
+        targets = fine_grained_targets(tiny_dataset, sample_query)
+        fine_class = tiny_dataset.ultra_class(sample_query.class_id).fine_class
+        seeds = set(sample_query.positive_seed_ids) | set(sample_query.negative_seed_ids)
+        assert targets
+        assert not (targets & seeds)
+        for entity_id in targets:
+            assert tiny_dataset.entity(entity_id).fine_class == fine_class
+
+    def test_targets_superset_of_ultra_fine_targets(self, tiny_dataset, sample_query):
+        targets = fine_grained_targets(tiny_dataset, sample_query)
+        assert tiny_dataset.positive_targets(sample_query) <= targets
+        assert tiny_dataset.negative_targets(sample_query) <= targets
+
+
+class TestEvaluateFineGrained:
+    def test_invalid_cutoffs_rejected(self, tiny_dataset, resources):
+        with pytest.raises(EvaluationError):
+            evaluate_fine_grained(
+                RetExpan(resources=resources), tiny_dataset, cutoffs=(0,)
+            )
+
+    def test_empty_queries_rejected(self, tiny_dataset, resources):
+        with pytest.raises(EvaluationError):
+            evaluate_fine_grained(
+                RetExpan(resources=resources), tiny_dataset, queries=[]
+            )
+
+    def test_report_structure(self, tiny_dataset, resources):
+        queries = Evaluator(tiny_dataset, max_queries=6).queries
+        report = evaluate_fine_grained(
+            RetExpan(resources=resources), tiny_dataset, queries=queries
+        )
+        assert report.method == "RetExpan"
+        assert report.num_queries == 6
+        for k in (10, 20, 50, 100):
+            assert 0.0 <= report.value("map", k) <= 100.0
+            assert 0.0 <= report.value("p", k) <= 100.0
+        with pytest.raises(EvaluationError):
+            report.value("map", 7)
+
+    def test_fine_grained_scores_exceed_ultra_fine_scores(self, tiny_dataset, resources):
+        """Recalling the fine-grained class is easier than the ultra-fine class."""
+        queries = Evaluator(tiny_dataset, max_queries=6).queries
+        expander = RetExpan(resources=resources).fit(tiny_dataset)
+        fine = evaluate_fine_grained(expander, tiny_dataset, queries=queries)
+        ultra = Evaluator(tiny_dataset, max_queries=6).evaluate(expander)
+        assert fine.value("map", 100) >= ultra.value("pos", "map", 100)
+
+    def test_retexpan_recalls_fine_class_better_than_setexpan(self, tiny_dataset, resources):
+        """Paper Section VI-B(4): the statistical baselines barely recall the
+        fine-grained class, while RetExpan recalls it well."""
+        queries = Evaluator(tiny_dataset, max_queries=8).queries
+        retexpan = evaluate_fine_grained(
+            RetExpan(resources=resources), tiny_dataset, queries=queries
+        )
+        setexpan = evaluate_fine_grained(
+            SetExpan(num_iterations=2, entities_per_iteration=15), tiny_dataset, queries=queries
+        )
+        assert retexpan.value("map", 100) > setexpan.value("map", 100)
+
+    def test_to_dict(self, tiny_dataset, resources):
+        queries = Evaluator(tiny_dataset, max_queries=3).queries
+        payload = evaluate_fine_grained(
+            RetExpan(resources=resources), tiny_dataset, queries=queries
+        ).to_dict()
+        assert payload["method"] == "RetExpan"
+        assert set(payload["map_at"]) == {10, 20, 50, 100}

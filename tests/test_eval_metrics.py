@@ -1,0 +1,131 @@
+"""Tests for the evaluation metrics (PosMAP/NegMAP/P/Comb @K)."""
+
+import pytest
+
+from repro.eval.metrics import (
+    MetricSet,
+    average_precision_at_k,
+    precision_at_k,
+    query_metrics,
+)
+from repro.exceptions import EvaluationError
+
+
+class TestPrecisionAtK:
+    def test_perfect_ranking(self):
+        assert precision_at_k([1, 2, 3], {1, 2, 3}, 3) == 100.0
+
+    def test_no_relevant(self):
+        assert precision_at_k([1, 2, 3], {9}, 3) == 0.0
+
+    def test_partial(self):
+        assert precision_at_k([1, 2, 3, 4], {1, 3}, 4) == 50.0
+
+    def test_k_larger_than_ranking_penalises(self):
+        # Only 2 of 10 slots filled with relevant items.
+        assert precision_at_k([1, 2], {1, 2}, 10) == 20.0
+
+    def test_position_does_not_matter(self):
+        assert precision_at_k([9, 9, 1], {1}, 3) == precision_at_k([1, 9, 9], {1}, 3)
+
+    def test_invalid_k(self):
+        with pytest.raises(EvaluationError):
+            precision_at_k([1], {1}, 0)
+
+    def test_empty_ranking(self):
+        assert precision_at_k([], {1}, 10) == 0.0
+
+
+class TestAveragePrecisionAtK:
+    def test_perfect_ranking(self):
+        assert average_precision_at_k([1, 2, 3], {1, 2, 3}, 3) == 100.0
+
+    def test_rank_aware(self):
+        early = average_precision_at_k([1, 9, 9, 9], {1}, 4)
+        late = average_precision_at_k([9, 9, 9, 1], {1}, 4)
+        assert early > late
+
+    def test_empty_relevant_set(self):
+        assert average_precision_at_k([1, 2], set(), 10) == 0.0
+
+    def test_normalised_by_min_of_relevant_and_k(self):
+        # 5 relevant entities but K=2: finding 2 of them perfectly scores 100.
+        assert average_precision_at_k([1, 2], {1, 2, 3, 4, 5}, 2) == 100.0
+
+    def test_bounded_by_100(self):
+        assert average_precision_at_k(list(range(50)), set(range(25)), 10) <= 100.0
+
+    def test_invalid_k(self):
+        with pytest.raises(EvaluationError):
+            average_precision_at_k([1], {1}, -1)
+
+
+class TestQueryMetrics:
+    def test_all_cutoffs_present(self):
+        metrics = query_metrics([1, 2, 3], {1}, {2}, cutoffs=(1, 2, 3))
+        for k in (1, 2, 3):
+            assert k in metrics.pos_map
+            assert k in metrics.neg_p
+
+    def test_comb_formula(self):
+        metrics = query_metrics([1, 2, 3, 4], {1, 2}, {3, 4}, cutoffs=(4,))
+        expected = (metrics.pos_map[4] + 100.0 - metrics.neg_map[4]) / 2.0
+        assert metrics.comb_map(4) == pytest.approx(expected)
+
+    def test_perfect_ranking_comb_is_100(self):
+        # All positives first, no negatives anywhere in the list.
+        metrics = query_metrics([1, 2], {1, 2}, {3, 4}, cutoffs=(2,))
+        assert metrics.comb_map(2) == 100.0
+        assert metrics.comb_p(2) == 100.0
+
+    def test_worst_ranking_comb_is_0(self):
+        metrics = query_metrics([3, 4], {1, 2}, {3, 4}, cutoffs=(2,))
+        assert metrics.comb_map(2) == 0.0
+
+    def test_value_lookup(self):
+        metrics = query_metrics([1, 2, 3], {1}, {3}, cutoffs=(3,))
+        assert metrics.value("pos", "map", 3) == metrics.pos_map[3]
+        assert metrics.value("neg", "p", 3) == metrics.neg_p[3]
+        assert metrics.value("comb", "map", 3) == metrics.comb_map(3)
+        with pytest.raises(EvaluationError):
+            metrics.value("banana", "map", 3)
+
+    def test_average_over_map_and_p(self):
+        metrics = query_metrics([1, 2, 3], {1, 2}, {3}, cutoffs=(2, 3))
+        manual = (
+            metrics.pos_map[2] + metrics.pos_map[3] + metrics.pos_p[2] + metrics.pos_p[3]
+        ) / 4
+        assert metrics.average("pos") == pytest.approx(manual)
+
+    def test_average_map_only(self):
+        metrics = query_metrics([1, 2, 3], {1, 2}, {3}, cutoffs=(2, 3))
+        manual = (metrics.pos_map[2] + metrics.pos_map[3]) / 2
+        assert metrics.average_map("pos") == pytest.approx(manual)
+
+
+class TestMetricSetMean:
+    def test_mean_of_identical_sets(self):
+        a = query_metrics([1, 2], {1}, {2}, cutoffs=(2,))
+        mean = MetricSet.mean([a, a, a])
+        assert mean.pos_map[2] == a.pos_map[2]
+
+    def test_mean_averages_values(self):
+        a = query_metrics([1, 2], {1, 2}, set(), cutoffs=(2,))  # pos P@2 = 100
+        b = query_metrics([3, 4], {1, 2}, set(), cutoffs=(2,))  # pos P@2 = 0
+        mean = MetricSet.mean([a, b])
+        assert mean.pos_p[2] == pytest.approx(50.0)
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(EvaluationError):
+            MetricSet.mean([])
+
+    def test_inconsistent_cutoffs_rejected(self):
+        a = query_metrics([1], {1}, set(), cutoffs=(1,))
+        b = query_metrics([1], {1}, set(), cutoffs=(2,))
+        with pytest.raises(EvaluationError):
+            MetricSet.mean([a, b])
+
+    def test_to_dict_roundtrip_fields(self):
+        payload = query_metrics([1, 2], {1}, {2}, cutoffs=(2,)).to_dict()
+        assert payload["cutoffs"] == [2]
+        assert 2 in payload["pos_map"]

@@ -1,0 +1,50 @@
+"""Tests for table formatting."""
+
+from repro.eval.evaluator import Evaluator
+from repro.eval.reporting import format_metric_report, format_table, metric_row
+from repro.baselines.gpt4 import GPT4Expander
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_contains_headers_and_values(self):
+        text = format_table([{"method": "RetExpan", "MAP@10": 41.73}])
+        assert "method" in text
+        assert "RetExpan" in text
+        assert "41.73" in text
+
+    def test_column_subset_and_order(self):
+        text = format_table(
+            [{"a": 1, "b": 2, "c": 3}], columns=["c", "a"]
+        )
+        header = text.splitlines()[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_missing_cell_rendered_empty(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert text  # should not raise
+
+    def test_boolean_rendering(self):
+        text = format_table([{"flag": True}, {"flag": False}])
+        assert "yes" in text and "no" in text
+
+    def test_alignment_consistent_width(self):
+        text = format_table([{"m": "x", "v": 1.0}, {"m": "longer-name", "v": 22.5}])
+        lines = text.splitlines()
+        assert len(set(len(line) for line in lines if line)) == 1
+
+
+class TestMetricReportFormatting:
+    def test_metric_row_and_report(self, tiny_dataset, resources):
+        evaluator = Evaluator(tiny_dataset, max_queries=4)
+        report = evaluator.evaluate(GPT4Expander(resources=resources).fit(tiny_dataset))
+        row = metric_row(report, "comb")
+        assert row["method"] == "GPT4"
+        assert "MAP@10" in row and "P@100" in row and "Avg" in row
+
+        text = format_metric_report({"GPT4": report})
+        assert "GPT4" in text
+        assert "Pos" in text and "Neg" in text and "Comb" in text

@@ -1,0 +1,105 @@
+"""Tests for the experiment harness (registry, context, and light experiments).
+
+The heavyweight experiments (Tables II-VIII) are exercised end-to-end by the
+benchmark suite; here the context plumbing and the cheap experiments
+(Table I, Figure 4, Figure 7) are verified on the tiny dataset.
+"""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import EXPERIMENTS, ExperimentContext, experiment_by_id
+from repro.experiments import figure4_heatmap, figure7_case_study, table1_dataset
+from repro.experiments.runner import metric_rows
+from repro.experiments.table2_main import METHODS as TABLE2_METHODS
+
+
+@pytest.fixture(scope="module")
+def context(tiny_dataset):
+    return ExperimentContext(dataset=tiny_dataset, max_queries=8, genexpan_max_queries=4)
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        ids = {spec.experiment_id for spec in EXPERIMENTS}
+        expected = {f"table{i}" for i in range(1, 9)} | {"figure4", "figure7"}
+        assert ids == expected
+
+    def test_every_spec_has_bench_target(self):
+        for spec in EXPERIMENTS:
+            assert spec.bench_target.startswith("benchmarks/")
+            assert callable(spec.runner)
+
+    def test_lookup_by_id(self):
+        assert experiment_by_id("table2").title.startswith("Main results")
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ConfigurationError):
+            experiment_by_id("table99")
+
+
+class TestExperimentContext:
+    def test_method_factory_covers_table2(self, context):
+        for name in TABLE2_METHODS:
+            expander = context.make_method(name)
+            assert expander.name == name
+
+    def test_unknown_method_rejected(self, context):
+        with pytest.raises(ConfigurationError):
+            context.make_method("FancyNewMethod")
+
+    def test_budget_for_generation_methods_is_smaller(self, context):
+        assert context.budget_for("GenExpan") == 4
+        assert context.budget_for("RetExpan") == 8
+
+    def test_evaluator_caching(self, context):
+        assert context.evaluator(max_queries=8) is context.evaluator(max_queries=8)
+
+    def test_query_filter_requires_key(self, context):
+        with pytest.raises(ConfigurationError):
+            context.evaluator(query_filter=lambda q: True)
+
+    def test_report_caching(self, context):
+        first = context.evaluate_method("GPT4")
+        second = context.evaluate_method("GPT4")
+        assert first is second
+
+    def test_attribute_grouping_helpers(self, context, tiny_dataset):
+        query = tiny_dataset.queries[0]
+        assert context.attribute_equality_of(query) in {"same", "diff"}
+        cardinality = context.attribute_cardinality_of(query)
+        assert len(cardinality) == 2
+
+    def test_metric_rows_structure(self, context):
+        report = context.evaluate_method("GPT4")
+        rows = metric_rows([report])
+        assert len(rows) == 3  # pos / neg / comb
+        assert {row["metric"] for row in rows} == {"Pos", "Neg", "Comb"}
+        assert all("MAP@10" in row and "Avg" in row for row in rows)
+
+
+class TestLightExperiments:
+    def test_table1_rows(self, context):
+        output = table1_dataset.run(context)
+        assert output["experiment"] == "table1"
+        assert any(row["dataset"] == "UltraWiki (paper)" for row in output["rows"])
+        assert output["statistics"]["num_entities"] == context.dataset.num_entities
+        assert "UltraWiki" in output["text"]
+
+    def test_figure4_heatmap(self, context):
+        output = figure4_heatmap.run(context, max_classes=10)
+        assert output["experiment"] == "figure4"
+        n = len(output["class_ids"])
+        assert n > 1
+        assert len(output["matrix"]) == n
+        assert output["intra_class_similarity"] > output["inter_class_similarity"]
+
+    def test_figure7_case_study(self, context, tiny_dataset):
+        output = figure7_case_study.run(context, query=tiny_dataset.queries[0], top_k=10)
+        assert output["experiment"] == "figure7"
+        assert set(output["listings"]) == {"GenExpan", "GenExpan + CoT"}
+        for listing in output["listings"].values():
+            assert listing
+            for item in listing:
+                assert item["annotation"] in {"+++", "---", "!!!", "   "}
+        assert "positive seeds" in output["text"]

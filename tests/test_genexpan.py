@@ -1,0 +1,219 @@
+"""Tests for the GenExpan framework: prompts, chain-of-thought, iterative
+generation, and the end-to-end pipeline."""
+
+import pytest
+
+from repro.config import GenExpanConfig
+from repro.eval.evaluator import Evaluator
+from repro.exceptions import ExpansionError
+from repro.genexpan.cot import ChainOfThoughtReasoner, ConceptMatcher
+from repro.genexpan.generation import IterativeGenerator
+from repro.genexpan.pipeline import GenExpan
+from repro.genexpan.prompts import (
+    SIMILARITY_TEMPLATE,
+    build_cot_prompt,
+    build_generation_prompt,
+    build_similarity_prompt,
+)
+
+
+class TestPrompts:
+    def test_plain_generation_prompt_lists_entities(self):
+        prompt = build_generation_prompt(["A", "B", "C"])
+        assert "A, B, C" in prompt
+        assert prompt.endswith("is")
+
+    def test_cot_generation_prompt_includes_reasoning(self):
+        prompt = build_generation_prompt(
+            ["A", "B"],
+            class_name="Mobile phone brands",
+            positive_attributes=["uses Android"],
+            negative_attributes=["made in Asia"],
+        )
+        assert "Mobile phone brands" in prompt
+        assert "uses Android" in prompt
+        assert "made in Asia" in prompt
+
+    def test_cot_prompt_mentions_both_seed_groups(self):
+        prompt = build_cot_prompt(["A"], ["B"])
+        assert "A" in prompt and "B" in prompt
+
+    def test_similarity_prompt_template(self):
+        assert build_similarity_prompt("Vexo") == SIMILARITY_TEMPLATE.format(entity="Vexo")
+
+
+class TestConceptMatcher:
+    def test_scores_in_unit_interval(self, tiny_dataset):
+        matcher = ConceptMatcher(tiny_dataset)
+        entity = tiny_dataset.entities()[0]
+        score = matcher.score(entity.entity_id, "located on the African continent")
+        assert 0.0 <= score <= 1.0
+
+    def test_empty_phrase_scores_zero(self, tiny_dataset):
+        matcher = ConceptMatcher(tiny_dataset)
+        assert matcher.score(tiny_dataset.entities()[0].entity_id, "the of a") == 0.0
+
+    def test_matching_attribute_scores_higher(self, tiny_dataset):
+        matcher = ConceptMatcher(tiny_dataset)
+        countries = tiny_dataset.entities_of_fine_class("countries")
+        africa = [e for e in countries if e.attributes.get("continent") == "africa"][:10]
+        europe = [e for e in countries if e.attributes.get("continent") == "europe"][:10]
+        phrase = "is located on the African continent"
+        africa_scores = [matcher.score(e.entity_id, phrase) for e in africa]
+        europe_scores = [matcher.score(e.entity_id, phrase) for e in europe]
+        assert sum(africa_scores) / len(africa_scores) > sum(europe_scores) / len(europe_scores)
+
+    def test_mean_score_empty_list(self, tiny_dataset):
+        matcher = ConceptMatcher(tiny_dataset)
+        assert matcher.mean_score(tiny_dataset.entities()[0].entity_id, []) == 0.0
+
+
+class TestChainOfThoughtReasoner:
+    def test_none_mode_returns_empty(self, tiny_dataset, resources, sample_query):
+        reasoner = ChainOfThoughtReasoner(tiny_dataset, resources.oracle(), mode="none")
+        assert reasoner.reason(sample_query).is_empty()
+
+    def test_gt_class_mode_returns_schema_description(self, tiny_dataset, resources, sample_query):
+        reasoner = ChainOfThoughtReasoner(tiny_dataset, resources.oracle(), mode="gt_class")
+        info = reasoner.reason(sample_query)
+        assert info.class_name
+        assert not info.positive_phrases
+
+    def test_gt_pos_phrases_match_assignment(self, tiny_dataset, resources, sample_query):
+        reasoner = ChainOfThoughtReasoner(
+            tiny_dataset, resources.oracle(), mode="gen_class_gt_pos"
+        )
+        info = reasoner.reason(sample_query)
+        ultra = tiny_dataset.ultra_class(sample_query.class_id)
+        assert len(info.positive_phrases) == len(ultra.positive_assignment)
+        assert not info.negative_phrases
+
+    def test_gt_neg_phrases_present_in_full_mode(self, tiny_dataset, resources, sample_query):
+        reasoner = ChainOfThoughtReasoner(
+            tiny_dataset, resources.oracle(), mode="gen_class_gt_pos_gt_neg"
+        )
+        info = reasoner.reason(sample_query)
+        assert info.positive_phrases
+        assert info.negative_phrases
+
+    def test_generated_modes_run_for_all_queries(self, tiny_dataset, resources):
+        reasoner = ChainOfThoughtReasoner(
+            tiny_dataset, resources.oracle(), mode="gen_class_gen_pos_gen_neg"
+        )
+        for query in tiny_dataset.queries[:10]:
+            info = reasoner.reason(query)
+            assert info.class_name
+
+    def test_unknown_mode_raises(self, tiny_dataset, resources):
+        with pytest.raises(ExpansionError):
+            ChainOfThoughtReasoner(tiny_dataset, resources.oracle(), mode="gen_class_bogus")
+
+
+class TestIterativeGenerator:
+    def test_invalid_parameters_rejected(self, tiny_dataset, resources):
+        with pytest.raises(ExpansionError):
+            IterativeGenerator(
+                tiny_dataset,
+                resources.causal_lm(True),
+                resources.prefix_tree(),
+                num_iterations=0,
+            )
+
+    def test_run_produces_ranked_valid_entities(self, tiny_dataset, resources, sample_query):
+        generator = IterativeGenerator(
+            tiny_dataset,
+            resources.causal_lm(True),
+            resources.prefix_tree(),
+            num_iterations=2,
+            beam_width=8,
+            selected_per_iteration=8,
+        )
+        ranked = generator.run(sample_query)
+        assert ranked
+        ids = [eid for eid, _ in ranked]
+        assert len(ids) == len(set(ids))
+        seeds = set(sample_query.positive_seed_ids) | set(sample_query.negative_seed_ids)
+        assert not (set(ids) & seeds)
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_more_iterations_find_at_least_as_many(self, tiny_dataset, resources, sample_query):
+        short = IterativeGenerator(
+            tiny_dataset, resources.causal_lm(True), resources.prefix_tree(),
+            num_iterations=1, beam_width=8, selected_per_iteration=8,
+        ).run(sample_query)
+        long = IterativeGenerator(
+            tiny_dataset, resources.causal_lm(True), resources.prefix_tree(),
+            num_iterations=3, beam_width=8, selected_per_iteration=8,
+        ).run(sample_query)
+        assert len(long) >= len(short)
+
+
+@pytest.fixture(scope="module")
+def genexpan(tiny_dataset, resources):
+    config = GenExpanConfig(num_iterations=2, beam_width=10, selected_per_iteration=10)
+    return GenExpan(config, resources=resources).fit(tiny_dataset)
+
+
+class TestGenExpanPipeline:
+    def test_name_reflects_configuration(self):
+        assert GenExpan().name == "GenExpan"
+        assert GenExpan(GenExpanConfig(cot_mode="gen_class")).name == "GenExpan + CoT"
+
+    def test_unfitted_expand_raises(self, sample_query):
+        with pytest.raises(ExpansionError):
+            GenExpan().expand(sample_query)
+
+    def test_expansion_is_constrained_to_candidates(self, genexpan, tiny_dataset, sample_query):
+        result = genexpan.expand(sample_query, top_k=40)
+        assert result.ranking
+        for entity_id in result.entity_ids():
+            assert entity_id in set(tiny_dataset.entity_ids())
+
+    def test_expansion_excludes_seeds(self, genexpan, sample_query):
+        result = genexpan.expand(sample_query, top_k=40)
+        seeds = set(sample_query.positive_seed_ids) | set(sample_query.negative_seed_ids)
+        assert not (set(result.entity_ids()) & seeds)
+
+    def test_expansion_mostly_same_fine_class(self, genexpan, tiny_dataset, sample_query):
+        fine_class = tiny_dataset.ultra_class(sample_query.class_id).fine_class
+        result = genexpan.expand(sample_query, top_k=15)
+        same = sum(
+            1
+            for eid in result.entity_ids()
+            if tiny_dataset.entity(eid).fine_class == fine_class
+        )
+        assert same >= len(result.ranking) // 2
+
+    def test_cot_pipeline_runs(self, tiny_dataset, resources, sample_query):
+        config = GenExpanConfig(
+            num_iterations=2, beam_width=10, selected_per_iteration=10, cot_mode="gen_class_gen_pos"
+        )
+        expander = GenExpan(config, resources=resources).fit(tiny_dataset)
+        assert expander.reasoner is not None
+        result = expander.expand(sample_query, top_k=20)
+        assert result.ranking
+
+    def test_unconstrained_ablation_degrades_recall(self, tiny_dataset, resources):
+        """Dropping the prefix constraint should find far fewer valid entities."""
+        evaluator = Evaluator(tiny_dataset, max_queries=4)
+        constrained = GenExpan(
+            GenExpanConfig(num_iterations=2, beam_width=10, selected_per_iteration=10),
+            resources=resources,
+        ).fit(tiny_dataset)
+        unconstrained = GenExpan(
+            GenExpanConfig(
+                num_iterations=2, beam_width=10, selected_per_iteration=10,
+                use_prefix_constraint=False,
+            ),
+            resources=resources,
+            name="unconstrained",
+        ).fit(tiny_dataset)
+        constrained_report = evaluator.evaluate(constrained)
+        unconstrained_report = evaluator.evaluate(unconstrained)
+        assert constrained_report.average("pos") > unconstrained_report.average("pos")
+
+    def test_results_are_deterministic(self, genexpan, sample_query):
+        first = genexpan.expand(sample_query, top_k=20).entity_ids()
+        second = genexpan.expand(sample_query, top_k=20).entity_ids()
+        assert first == second

@@ -1,0 +1,100 @@
+"""End-to-end integration tests: dataset → methods → evaluation.
+
+These tests assert the paper's headline qualitative claims on the tiny
+dataset (small margins, since the tiny profile is noisy): the proposed
+frameworks beat the statistical baselines, the enhancement strategies do not
+hurt, and every method satisfies the task contract.
+"""
+
+import pytest
+
+from repro.baselines import GPT4Expander, SetExpan
+from repro.config import GenExpanConfig, RetExpanConfig
+from repro.eval.evaluator import Evaluator
+from repro.genexpan import GenExpan
+from repro.retexpan import RetExpan
+
+
+@pytest.fixture(scope="module")
+def evaluator(tiny_dataset):
+    return Evaluator(tiny_dataset, max_queries=16)
+
+
+@pytest.fixture(scope="module")
+def reports(tiny_dataset, resources, evaluator):
+    methods = {
+        "SetExpan": SetExpan(num_iterations=2, entities_per_iteration=15),
+        "GPT4": GPT4Expander(resources=resources),
+        "RetExpan": RetExpan(resources=resources),
+        "RetExpan + Contrast": RetExpan(
+            RetExpanConfig(use_contrastive=True),
+            resources=resources,
+            contrastive_queries=evaluator.queries,
+        ),
+        "GenExpan": GenExpan(
+            GenExpanConfig(num_iterations=3, beam_width=12, selected_per_iteration=12),
+            resources=resources,
+        ),
+    }
+    return {
+        name: evaluator.evaluate(expander.fit(tiny_dataset))
+        for name, expander in methods.items()
+    }
+
+
+class TestHeadlineShapes:
+    def test_every_method_produces_sane_metrics(self, reports):
+        for name, report in reports.items():
+            assert 0.0 <= report.average("pos") <= 100.0, name
+            assert 0.0 <= report.average("neg") <= 100.0, name
+            assert 0.0 <= report.average("comb") <= 100.0, name
+
+    def test_proposed_frameworks_beat_statistical_baseline(self, reports):
+        assert reports["RetExpan"].average("comb") > reports["SetExpan"].average("comb")
+        assert reports["GenExpan"].average("comb") > reports["SetExpan"].average("comb")
+
+    def test_retexpan_competitive_with_gpt4(self, reports):
+        """Paper: RetExpan edges out GPT-4 on the Comb metrics.
+
+        The tiny profile gives the simulated GPT-4 oracle an outsized
+        advantage (its knowledge does not shrink with the corpus), so the
+        assertion here only requires RetExpan to stay in the same ballpark;
+        the full comparison is reproduced on the benchmark profile.
+        """
+        assert reports["RetExpan"].average("comb") >= reports["GPT4"].average("comb") - 8.0
+
+    def test_contrastive_learning_does_not_hurt(self, reports):
+        assert (
+            reports["RetExpan + Contrast"].average("comb")
+            >= reports["RetExpan"].average("comb") - 1.0
+        )
+
+    def test_positive_metrics_dominate_negative_for_proposed_methods(self, reports):
+        for name in ("RetExpan", "RetExpan + Contrast", "GenExpan"):
+            assert reports[name].average("pos") > reports[name].average("neg"), name
+
+    def test_reports_cover_requested_queries(self, reports, evaluator):
+        for report in reports.values():
+            assert report.num_queries == len(evaluator.queries)
+
+
+class TestCrossMethodConsistency:
+    def test_all_methods_respect_seed_exclusion(self, tiny_dataset, resources, evaluator):
+        query = evaluator.queries[0]
+        seeds = set(query.positive_seed_ids) | set(query.negative_seed_ids)
+        for expander in (
+            SetExpan(num_iterations=1, entities_per_iteration=10),
+            GPT4Expander(resources=resources),
+            RetExpan(resources=resources),
+        ):
+            result = expander.fit(tiny_dataset).expand(query, top_k=50)
+            assert not (set(result.entity_ids()) & seeds)
+
+    def test_rankings_contain_no_duplicates(self, tiny_dataset, resources, evaluator):
+        query = evaluator.queries[1]
+        for expander in (
+            GPT4Expander(resources=resources),
+            RetExpan(resources=resources),
+        ):
+            ids = expander.fit(tiny_dataset).expand(query, top_k=80).entity_ids()
+            assert len(ids) == len(set(ids))

@@ -1,0 +1,77 @@
+"""Tests for the corpus container."""
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.kb.corpus import Corpus
+from repro.text.tokenizer import MASK_TOKEN
+from repro.types import Sentence
+
+
+def build_corpus():
+    return Corpus(
+        [
+            Sentence(0, "Vexo Mobile ships Android handsets.", (1,)),
+            Sentence(1, "Vexo Mobile is publicly listed.", (1,)),
+            Sentence(2, "Nuvia Telecom makes feature phones.", (2,)),
+        ]
+    )
+
+
+class TestCorpus:
+    def test_len(self):
+        assert len(build_corpus()) == 3
+
+    def test_duplicate_sentence_id_rejected(self):
+        corpus = build_corpus()
+        with pytest.raises(DatasetError):
+            corpus.add(Sentence(0, "duplicate", (1,)))
+
+    def test_sentence_lookup(self):
+        assert build_corpus().sentence(2).text.startswith("Nuvia")
+
+    def test_unknown_sentence_raises(self):
+        with pytest.raises(DatasetError):
+            build_corpus().sentence(99)
+
+    def test_sentences_of_entity(self):
+        corpus = build_corpus()
+        assert len(corpus.sentences_of(1)) == 2
+        assert len(corpus.sentences_of(2)) == 1
+        assert corpus.sentences_of(42) == []
+
+    def test_entity_mention_counts(self):
+        assert build_corpus().entity_mention_counts() == {1: 2, 2: 1}
+
+    def test_masked_text_replaces_mention(self):
+        corpus = build_corpus()
+        masked = corpus.masked_text(corpus.sentence(0), "Vexo Mobile")
+        assert MASK_TOKEN in masked
+        assert "Vexo Mobile" not in masked
+
+    def test_masked_text_prepends_when_name_absent(self):
+        corpus = build_corpus()
+        masked = corpus.masked_text(corpus.sentence(0), "Unrelated Name")
+        assert masked.startswith(MASK_TOKEN)
+
+    def test_iteration_order(self):
+        assert [s.sentence_id for s in build_corpus()] == [0, 1, 2]
+
+    def test_bm25_index_built_over_all_sentences(self):
+        index = build_corpus().build_bm25()
+        assert index.num_documents == 3
+        results = index.search(["android"], top_k=3)
+        assert results and results[0][0] == 0
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        corpus = build_corpus()
+        path = tmp_path / "corpus.jsonl"
+        assert corpus.save(path) == 3
+        restored = Corpus.load(path)
+        assert len(restored) == 3
+        assert restored.sentence(1).text == corpus.sentence(1).text
+        assert restored.entity_mention_counts() == corpus.entity_mention_counts()
+
+    def test_multi_entity_sentence_indexed_for_each(self):
+        corpus = Corpus([Sentence(0, "Vexo and Nuvia compete.", (1, 2))])
+        assert corpus.sentences_of(1) == corpus.sentences_of(2)

@@ -1,0 +1,103 @@
+"""Tests for the synthetic entity generator."""
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.kb.generator import EntityGenerator
+from repro.kb.schema import schema_by_name
+from repro.utils.rng import RandomState
+
+
+@pytest.fixture()
+def generator():
+    return EntityGenerator(RandomState(7))
+
+
+class TestClassEntityGeneration:
+    def test_count_respected(self, generator):
+        schema = schema_by_name("countries")
+        assert len(generator.generate_class_entities(schema, 50)) == 50
+
+    def test_zero_count_rejected(self, generator):
+        with pytest.raises(DatasetError):
+            generator.generate_class_entities(schema_by_name("countries"), 0)
+
+    def test_unique_ids_and_names(self, generator):
+        schema = schema_by_name("mobile_phone_brands")
+        entities = generator.generate_class_entities(schema, 120)
+        assert len({e.entity_id for e in entities}) == 120
+        assert len({e.name for e in entities}) == 120
+
+    def test_all_attributes_assigned_valid_values(self, generator):
+        schema = schema_by_name("chemical_elements")
+        for entity in generator.generate_class_entities(schema, 60):
+            assert set(entity.attributes) == set(schema.attributes)
+            for attribute, value in entity.attributes.items():
+                assert value in schema.attributes[attribute]
+
+    def test_every_attribute_value_is_represented(self, generator):
+        # With enough entities, each value of each attribute should appear,
+        # which the negative-aware class generation relies on.
+        schema = schema_by_name("countries")
+        entities = generator.generate_class_entities(schema, 150)
+        for attribute, values in schema.attributes.items():
+            observed = {e.attributes[attribute] for e in entities}
+            assert observed == set(values)
+
+    def test_fine_class_recorded(self, generator):
+        schema = schema_by_name("us_airports")
+        assert all(
+            e.fine_class == "us_airports"
+            for e in generator.generate_class_entities(schema, 30)
+        )
+
+    def test_popularity_within_unit_interval(self, generator):
+        schema = schema_by_name("countries")
+        for entity in generator.generate_class_entities(schema, 80):
+            assert 0.0 < entity.popularity <= 1.0
+
+    def test_long_tail_fraction_controls_skew(self):
+        schema = schema_by_name("countries")
+        none_tail = EntityGenerator(RandomState(7)).generate_class_entities(
+            schema, 100, long_tail_fraction=0.0
+        )
+        heavy_tail = EntityGenerator(RandomState(7)).generate_class_entities(
+            schema, 100, long_tail_fraction=0.9
+        )
+        assert sum(e.popularity < 0.35 for e in none_tail) == 0
+        assert sum(e.popularity < 0.35 for e in heavy_tail) > 50
+
+    def test_ids_continue_across_classes(self, generator):
+        first = generator.generate_class_entities(schema_by_name("countries"), 10)
+        second = generator.generate_class_entities(schema_by_name("china_cities"), 10)
+        assert max(e.entity_id for e in first) < min(e.entity_id for e in second)
+
+    def test_determinism_for_same_seed(self):
+        schema = schema_by_name("countries")
+        a = EntityGenerator(RandomState(3)).generate_class_entities(schema, 20)
+        b = EntityGenerator(RandomState(3)).generate_class_entities(schema, 20)
+        assert [e.name for e in a] == [e.name for e in b]
+        assert [e.attributes for e in a] == [e.attributes for e in b]
+
+
+class TestDistractorGeneration:
+    def test_count_respected(self, generator):
+        assert len(generator.generate_distractors(40)) == 40
+
+    def test_negative_count_rejected(self, generator):
+        with pytest.raises(DatasetError):
+            generator.generate_distractors(-1)
+
+    def test_zero_count_allowed(self, generator):
+        assert generator.generate_distractors(0) == []
+
+    def test_distractors_have_no_class_or_attributes(self, generator):
+        for distractor in generator.generate_distractors(25):
+            assert distractor.fine_class is None
+            assert distractor.attributes == {}
+
+    def test_distractor_names_unique_and_disjoint_from_class_entities(self, generator):
+        entities = generator.generate_class_entities(schema_by_name("countries"), 50)
+        distractors = generator.generate_distractors(50)
+        names = {e.name for e in entities} | {d.name for d in distractors}
+        assert len(names) == 100

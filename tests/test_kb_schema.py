@@ -1,0 +1,95 @@
+"""Tests for the fine-grained class schemas."""
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.kb.schema import ClassSchema, default_schemas, schema_by_name
+
+PAPER_CLASS_NAMES = {
+    "countries",
+    "mobile_phone_brands",
+    "china_cities",
+    "chemical_elements",
+    "canada_universities",
+    "nobel_laureates",
+    "percussion_instruments",
+    "us_airports",
+    "us_national_monuments",
+    "us_presidents",
+}
+
+
+class TestDefaultSchemas:
+    def test_ten_fine_grained_classes(self):
+        assert len(default_schemas()) == 10
+
+    def test_class_names_match_paper_figure4(self):
+        assert {schema.name for schema in default_schemas()} == PAPER_CLASS_NAMES
+
+    def test_limit_parameter(self):
+        assert len(default_schemas(limit=4)) == 4
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(DatasetError):
+            default_schemas(limit=0)
+        with pytest.raises(DatasetError):
+            default_schemas(limit=11)
+
+    def test_each_class_has_two_or_three_attributes(self):
+        for schema in default_schemas():
+            assert 2 <= len(schema.attributes) <= 3, schema.name
+
+    def test_each_attribute_has_at_least_two_values(self):
+        for schema in default_schemas():
+            for attribute, values in schema.attributes.items():
+                assert len(values) >= 2, f"{schema.name}.{attribute}"
+
+    def test_every_attribute_value_has_a_phrase(self):
+        for schema in default_schemas():
+            for attribute, values in schema.attributes.items():
+                for value in values:
+                    assert schema.phrase(attribute, value)
+
+    def test_every_attribute_has_templates(self):
+        for schema in default_schemas():
+            for attribute in schema.attributes:
+                templates = schema.attribute_templates[attribute]
+                assert templates
+                for template in templates:
+                    assert "{name}" in template and "{phrase}" in template
+
+    def test_generic_templates_reference_name(self):
+        for schema in default_schemas():
+            assert schema.generic_templates
+            for template in schema.generic_templates:
+                assert "{name}" in template
+
+    def test_name_components_present(self):
+        for schema in default_schemas():
+            assert schema.name_prefixes
+            assert schema.name_suffixes
+
+    def test_descriptions_are_human_readable(self):
+        for schema in default_schemas():
+            assert schema.description
+            assert schema.description[0].isupper()
+
+
+class TestSchemaLookup:
+    def test_lookup_by_name(self):
+        schema = schema_by_name("mobile_phone_brands")
+        assert isinstance(schema, ClassSchema)
+        assert "os" in schema.attributes
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(DatasetError):
+            schema_by_name("galaxies")
+
+    def test_unknown_phrase_raises(self):
+        schema = schema_by_name("countries")
+        with pytest.raises(DatasetError):
+            schema.phrase("continent", "atlantis")
+
+    def test_attribute_names_helper(self):
+        schema = schema_by_name("countries")
+        assert set(schema.attribute_names()) == set(schema.attributes.keys())

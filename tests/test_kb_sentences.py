@@ -1,0 +1,90 @@
+"""Tests for the sentence generator."""
+
+import pytest
+
+from repro.kb.generator import EntityGenerator
+from repro.kb.schema import default_schemas, schema_by_name
+from repro.kb.sentences import SentenceGenerator
+from repro.utils.rng import RandomState
+
+
+@pytest.fixture()
+def phone_entities():
+    return EntityGenerator(RandomState(5)).generate_class_entities(
+        schema_by_name("mobile_phone_brands"), 20
+    )
+
+
+class TestSentenceGenerator:
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            SentenceGenerator(RandomState(0), attribute_sentence_ratio=1.5)
+
+    def test_every_entity_gets_at_least_two_sentences(self, phone_entities):
+        generator = SentenceGenerator(RandomState(1))
+        schema = schema_by_name("mobile_phone_brands")
+        for entity in phone_entities:
+            sentences = generator.generate_for_entity(entity, schema, mean_sentences=4.0)
+            assert len(sentences) >= 2
+
+    def test_sentences_mention_entity_name(self, phone_entities):
+        generator = SentenceGenerator(RandomState(1))
+        schema = schema_by_name("mobile_phone_brands")
+        entity = phone_entities[0]
+        for sentence in generator.generate_for_entity(entity, schema, 4.0):
+            assert entity.name in sentence.text
+            assert sentence.entity_ids == (entity.entity_id,)
+
+    def test_attribute_signal_present_in_corpus(self, phone_entities):
+        """Most entities should have at least one sentence expressing an attribute value."""
+        generator = SentenceGenerator(RandomState(1), attribute_sentence_ratio=0.8)
+        schema = schema_by_name("mobile_phone_brands")
+        with_signal = 0
+        for entity in phone_entities:
+            sentences = generator.generate_for_entity(entity, schema, 5.0)
+            phrases = [
+                schema.phrase(attribute, value)
+                for attribute, value in entity.attributes.items()
+            ]
+            if any(any(p in s.text for p in phrases) for s in sentences):
+                with_signal += 1
+        assert with_signal >= int(0.8 * len(phone_entities))
+
+    def test_zero_attribute_ratio_yields_generic_only(self, phone_entities):
+        generator = SentenceGenerator(RandomState(1), attribute_sentence_ratio=0.0)
+        schema = schema_by_name("mobile_phone_brands")
+        entity = phone_entities[0]
+        phrases = [
+            schema.phrase(attribute, value)
+            for attribute, value in entity.attributes.items()
+        ]
+        for sentence in generator.generate_for_entity(entity, schema, 5.0):
+            assert not any(p in sentence.text for p in phrases)
+
+    def test_popular_entities_get_more_sentences(self, phone_entities):
+        generator = SentenceGenerator(RandomState(1))
+        schema = schema_by_name("mobile_phone_brands")
+        popular = phone_entities[0].__class__(**{**phone_entities[0].to_dict(), "popularity": 1.0})
+        obscure = phone_entities[1].__class__(**{**phone_entities[1].to_dict(), "popularity": 0.05})
+        popular_count = len(generator.generate_for_entity(popular, schema, 8.0))
+        obscure_count = len(
+            SentenceGenerator(RandomState(1)).generate_for_entity(obscure, schema, 8.0)
+        )
+        assert popular_count >= obscure_count
+
+    def test_distractors_use_generic_templates(self):
+        generator = SentenceGenerator(RandomState(2))
+        distractor = EntityGenerator(RandomState(9)).generate_distractors(1)[0]
+        sentences = generator.generate_for_entity(distractor, None, 4.0)
+        assert sentences
+        assert all(distractor.name in s.text for s in sentences)
+
+    def test_sentence_ids_unique_across_corpus(self, phone_entities):
+        generator = SentenceGenerator(RandomState(3))
+        schemas = {s.name: s for s in default_schemas()}
+        corpus = generator.generate_corpus(phone_entities, schemas, 4.0)
+        ids = [s.sentence_id for s in corpus]
+        assert len(ids) == len(set(ids))
+
+    def test_expected_sentences_lower_bound(self):
+        assert SentenceGenerator.expected_sentences(100, 4.0) >= 400

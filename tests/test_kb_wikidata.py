@@ -1,0 +1,103 @@
+"""Tests for the Wikidata client and annotation simulator."""
+
+import pytest
+
+from repro.kb.generator import EntityGenerator
+from repro.kb.schema import schema_by_name
+from repro.kb.wikidata import AnnotationSimulator, WikidataClient
+from repro.utils.rng import RandomState
+
+
+@pytest.fixture()
+def entities():
+    return EntityGenerator(RandomState(11)).generate_class_entities(
+        schema_by_name("countries"), 80
+    )
+
+
+class TestWikidataClient:
+    def test_invalid_coverage_rejected(self, entities):
+        with pytest.raises(ValueError):
+            WikidataClient(entities, coverage=1.5, rng=RandomState(0))
+
+    def test_full_coverage_answers_everything(self, entities):
+        client = WikidataClient(entities, coverage=1.0, rng=RandomState(0))
+        for entity in entities:
+            for attribute, value in entity.attributes.items():
+                assert client.query(entity.entity_id, attribute) == value
+
+    def test_zero_coverage_answers_nothing(self, entities):
+        client = WikidataClient(entities, coverage=0.0, rng=RandomState(0))
+        assert client.num_statements() == 0
+        assert client.query(entities[0].entity_id, "continent") is None
+
+    def test_partial_coverage_in_between(self, entities):
+        client = WikidataClient(entities, coverage=0.6, rng=RandomState(0))
+        total = sum(len(e.attributes) for e in entities)
+        assert 0 < client.num_statements() < total
+
+    def test_answers_are_never_wrong(self, entities):
+        client = WikidataClient(entities, coverage=0.5, rng=RandomState(3))
+        for entity in entities:
+            for attribute, value in entity.attributes.items():
+                answer = client.query(entity.entity_id, attribute)
+                assert answer is None or answer == value
+
+    def test_query_count_tracked(self, entities):
+        client = WikidataClient(entities, coverage=0.5, rng=RandomState(0))
+        client.query(entities[0].entity_id, "continent")
+        client.query(entities[1].entity_id, "continent")
+        assert client.query_count == 2
+
+    def test_unknown_entity_returns_none(self, entities):
+        client = WikidataClient(entities, coverage=1.0, rng=RandomState(0))
+        assert client.query(10_000_000, "continent") is None
+
+
+class TestAnnotationSimulator:
+    def _items(self, entities, attribute="continent"):
+        schema = schema_by_name("countries")
+        return [(e, attribute, schema.attributes[attribute]) for e in entities]
+
+    def test_invalid_error_rate_rejected(self):
+        with pytest.raises(ValueError):
+            AnnotationSimulator(RandomState(0), error_rate=0.7)
+
+    def test_invalid_annotator_count_rejected(self):
+        with pytest.raises(ValueError):
+            AnnotationSimulator(RandomState(0), num_annotators=0)
+
+    def test_majority_vote_mostly_correct(self, entities):
+        simulator = AnnotationSimulator(RandomState(1), error_rate=0.05)
+        report = simulator.annotate(self._items(entities))
+        correct = sum(
+            1
+            for e in entities
+            if report.labels[(e.entity_id, "continent")] == e.attributes["continent"]
+        )
+        assert correct >= int(0.95 * len(entities))
+
+    def test_zero_error_rate_is_perfect_and_unanimous(self, entities):
+        simulator = AnnotationSimulator(RandomState(1), error_rate=0.0)
+        report = simulator.annotate(self._items(entities))
+        assert report.agreement == 1.0
+        assert all(
+            report.labels[(e.entity_id, "continent")] == e.attributes["continent"]
+            for e in entities
+        )
+
+    def test_agreement_decreases_with_error_rate(self, entities):
+        low = AnnotationSimulator(RandomState(1), error_rate=0.02).annotate(self._items(entities))
+        high = AnnotationSimulator(RandomState(1), error_rate=0.4).annotate(self._items(entities))
+        assert high.agreement <= low.agreement
+
+    def test_empty_items(self):
+        report = AnnotationSimulator(RandomState(1)).annotate([])
+        assert report.num_items == 0
+        assert report.agreement == 1.0
+
+    def test_report_counts(self, entities):
+        report = AnnotationSimulator(RandomState(1)).annotate(self._items(entities[:10]))
+        assert report.num_items == 10
+        assert report.num_annotators == 3
+        assert len(report.labels) == 10

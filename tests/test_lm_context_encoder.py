@@ -1,0 +1,133 @@
+"""Tests for the masked-entity context encoder (BERT substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.config import EncoderConfig
+from repro.exceptions import ModelError
+from repro.lm.context_encoder import ContextEncoder, EntityRepresentations
+
+
+@pytest.fixture(scope="module")
+def trained_encoder(tiny_dataset):
+    config = EncoderConfig(epochs=2, embedding_dim=32, hidden_dim=48, seed=5)
+    return ContextEncoder(config).fit(
+        tiny_dataset.corpus, tiny_dataset.entities(), pretrained=None, train=True
+    )
+
+
+class TestLifecycle:
+    def test_unfitted_encoder_raises(self):
+        encoder = ContextEncoder(EncoderConfig(epochs=0))
+        with pytest.raises(ModelError):
+            encoder.encode_masked_text("[MASK] is a phone brand")
+        with pytest.raises(ModelError):
+            encoder.predict_distribution("[MASK] is a phone brand")
+
+    def test_fit_marks_fitted(self, trained_encoder):
+        assert trained_encoder.is_fitted
+
+    def test_hidden_dim_reflects_training(self, tiny_dataset):
+        config = EncoderConfig(epochs=0, embedding_dim=32, hidden_dim=48)
+        untrained = ContextEncoder(config).fit(
+            tiny_dataset.corpus, tiny_dataset.entities(), train=False
+        )
+        assert untrained.hidden_dim == 32
+        trained_dim = ContextEncoder(
+            EncoderConfig(epochs=1, embedding_dim=32, hidden_dim=48)
+        ).fit(tiny_dataset.corpus, tiny_dataset.entities()[:100]).hidden_dim
+        assert trained_dim == 32 + 48
+
+
+class TestEncoding:
+    def test_encode_masked_text_shape(self, trained_encoder):
+        vector = trained_encoder.encode_masked_text("[MASK] ships Android handsets.")
+        assert vector.shape == (trained_encoder.hidden_dim,)
+        assert np.isfinite(vector).all()
+
+    def test_text_without_mask_still_encodes(self, trained_encoder):
+        vector = trained_encoder.encode_masked_text("ships Android handsets.")
+        assert np.isfinite(vector).all()
+
+    def test_similar_contexts_have_similar_encodings(self, trained_encoder):
+        android_a = trained_encoder.encode_masked_text(
+            "[MASK] is a mobile phone brand that ships handsets running the Android operating system."
+        )
+        android_b = trained_encoder.encode_masked_text(
+            "Reviewers note that [MASK] ships handsets running the Android operating system across its current lineup."
+        )
+        country = trained_encoder.encode_masked_text(
+            "[MASK] is located on the African continent and maintains regional trade agreements."
+        )
+
+        def cos(a, b):
+            return float(np.dot(a, b) / (np.linalg.norm(a) * np.linalg.norm(b) + 1e-12))
+
+        assert cos(android_a, android_b) > cos(android_a, country)
+
+    def test_predict_distribution_is_probability(self, trained_encoder, tiny_dataset):
+        probs = trained_encoder.predict_distribution("[MASK] ships Android handsets.")
+        assert probs.shape == (tiny_dataset.num_entities,)
+        assert probs.min() >= 0.0
+        assert probs.sum() == pytest.approx(1.0, abs=1e-6)
+
+
+class TestEntityRepresentations:
+    def test_all_entities_represented(self, trained_encoder, tiny_dataset):
+        reps = trained_encoder.entity_representations(
+            tiny_dataset.corpus, tiny_dataset.entities(), with_distributions=False
+        )
+        assert len(reps.hidden) == tiny_dataset.num_entities
+
+    def test_distribution_representations_optional(self, trained_encoder, tiny_dataset):
+        entities = tiny_dataset.entities()[:30]
+        with_dist = trained_encoder.entity_representations(tiny_dataset.corpus, entities)
+        without = trained_encoder.entity_representations(
+            tiny_dataset.corpus, entities, with_distributions=False
+        )
+        assert len(with_dist.distribution) == len(entities)
+        assert len(without.distribution) == 0
+
+    def test_representation_container_api(self, trained_encoder, tiny_dataset):
+        entities = tiny_dataset.entities()[:10]
+        reps = trained_encoder.entity_representations(tiny_dataset.corpus, entities)
+        ids = reps.ids()
+        assert ids == sorted(e.entity_id for e in entities)
+        matrix = reps.matrix(ids)
+        assert matrix.shape == (len(ids), trained_encoder.hidden_dim)
+        assert reps.has(ids[0])
+        with pytest.raises(ModelError):
+            reps.vector(10**9)
+
+    def test_entity_prediction_improves_attribute_separation(self, tiny_dataset, resources):
+        """Trained representations should separate attribute values at least as
+        well as the ablated (untrained) ones — the mechanism behind Table III."""
+        trained = resources.entity_representations(trained=True)
+        untrained = resources.entity_representations(trained=False)
+        countries = [e for e in tiny_dataset.entities() if e.fine_class == "countries"][:60]
+
+        def separation(reps: EntityRepresentations) -> float:
+            same, diff = [], []
+            for i, a in enumerate(countries):
+                for b in countries[i + 1 : i + 5]:
+                    va, vb = reps.hidden[a.entity_id], reps.hidden[b.entity_id]
+                    sim = float(
+                        np.dot(va, vb) / (np.linalg.norm(va) * np.linalg.norm(vb) + 1e-12)
+                    )
+                    if a.attributes["continent"] == b.attributes["continent"]:
+                        same.append(sim)
+                    else:
+                        diff.append(sim)
+            return float(np.mean(same) - np.mean(diff))
+
+        assert separation(trained) >= separation(untrained) - 0.02
+
+    def test_deterministic_given_seed(self, tiny_dataset):
+        config = EncoderConfig(epochs=1, embedding_dim=24, hidden_dim=32, seed=3)
+        entities = tiny_dataset.entities()[:80]
+        a = ContextEncoder(config).fit(tiny_dataset.corpus, entities)
+        b = ContextEncoder(config).fit(tiny_dataset.corpus, entities)
+        rep_a = a.entity_representations(tiny_dataset.corpus, entities, with_distributions=False)
+        rep_b = b.entity_representations(tiny_dataset.corpus, entities, with_distributions=False)
+        sample = entities[0].entity_id
+        assert np.allclose(rep_a.hidden[sample], rep_b.hidden[sample])

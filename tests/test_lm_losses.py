@@ -1,0 +1,114 @@
+"""Tests for the loss functions, including finite-difference gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.lm.losses import info_nce_loss, label_smoothed_cross_entropy
+from repro.utils.mathx import l2_normalize
+
+
+class TestLabelSmoothedCrossEntropy:
+    def test_perfect_prediction_has_low_loss(self):
+        logits = np.array([[10.0, -10.0, -10.0]])
+        targets = np.array([0])
+        loss, _ = label_smoothed_cross_entropy(logits, targets, smoothing=0.0)
+        assert loss < 1e-3
+
+    def test_wrong_prediction_has_high_loss(self):
+        logits = np.array([[10.0, -10.0, -10.0]])
+        good, _ = label_smoothed_cross_entropy(logits, np.array([0]), smoothing=0.0)
+        bad, _ = label_smoothed_cross_entropy(logits, np.array([1]), smoothing=0.0)
+        assert bad > good
+
+    def test_smoothing_raises_loss_of_confident_correct_prediction(self):
+        logits = np.array([[10.0, -10.0, -10.0]])
+        plain, _ = label_smoothed_cross_entropy(logits, np.array([0]), smoothing=0.0)
+        smoothed, _ = label_smoothed_cross_entropy(logits, np.array([0]), smoothing=0.2)
+        assert smoothed > plain
+
+    def test_gradient_shape(self):
+        logits = np.random.default_rng(0).normal(size=(4, 6))
+        _, grad = label_smoothed_cross_entropy(logits, np.array([0, 1, 2, 3]))
+        assert grad.shape == logits.shape
+
+    def test_gradient_matches_finite_differences(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(3, 5))
+        targets = np.array([1, 0, 4])
+        smoothing = 0.1
+        _, grad = label_smoothed_cross_entropy(logits, targets, smoothing)
+        eps = 1e-6
+        for i in (0, 1, 2):
+            for j in (0, 2, 4):
+                bumped = logits.copy()
+                bumped[i, j] += eps
+                up, _ = label_smoothed_cross_entropy(bumped, targets, smoothing)
+                bumped[i, j] -= 2 * eps
+                down, _ = label_smoothed_cross_entropy(bumped, targets, smoothing)
+                numeric = (up - down) / (2 * eps)
+                assert numeric == pytest.approx(grad[i, j], abs=1e-5)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ModelError):
+            label_smoothed_cross_entropy(np.zeros(3), np.array([0]))
+        with pytest.raises(ModelError):
+            label_smoothed_cross_entropy(np.zeros((2, 3)), np.array([0]))
+        with pytest.raises(ModelError):
+            label_smoothed_cross_entropy(np.zeros((1, 3)), np.array([0]), smoothing=1.0)
+
+
+class TestInfoNCE:
+    def _inputs(self, seed=0, batch=4, num_neg=3, dim=8):
+        rng = np.random.default_rng(seed)
+        anchors = l2_normalize(rng.normal(size=(batch, dim)), axis=1)
+        positives = l2_normalize(rng.normal(size=(batch, dim)), axis=1)
+        negatives = l2_normalize(rng.normal(size=(batch, num_neg, dim)), axis=2)
+        return anchors, positives, negatives
+
+    def test_loss_positive(self):
+        loss, *_ = info_nce_loss(*self._inputs())
+        assert loss > 0
+
+    def test_aligned_positives_give_lower_loss(self):
+        anchors, _, negatives = self._inputs()
+        aligned_loss, *_ = info_nce_loss(anchors, anchors.copy(), negatives)
+        random_loss, *_ = info_nce_loss(*self._inputs(seed=3))
+        assert aligned_loss < random_loss
+
+    def test_gradient_shapes(self):
+        anchors, positives, negatives = self._inputs()
+        _, ga, gp, gn = info_nce_loss(anchors, positives, negatives)
+        assert ga.shape == anchors.shape
+        assert gp.shape == positives.shape
+        assert gn.shape == negatives.shape
+
+    def test_anchor_gradient_matches_finite_differences(self):
+        anchors, positives, negatives = self._inputs(batch=2, num_neg=2, dim=4)
+        temperature = 0.2
+        _, grad_anchor, _, _ = info_nce_loss(anchors, positives, negatives, temperature)
+        eps = 1e-6
+        for i in range(anchors.shape[0]):
+            for j in range(anchors.shape[1]):
+                bumped = anchors.copy()
+                bumped[i, j] += eps
+                up, *_ = info_nce_loss(bumped, positives, negatives, temperature)
+                bumped[i, j] -= 2 * eps
+                down, *_ = info_nce_loss(bumped, positives, negatives, temperature)
+                numeric = (up - down) / (2 * eps)
+                assert numeric == pytest.approx(grad_anchor[i, j], abs=1e-5)
+
+    def test_invalid_inputs_rejected(self):
+        anchors, positives, negatives = self._inputs()
+        with pytest.raises(ModelError):
+            info_nce_loss(anchors, positives[:2], negatives)
+        with pytest.raises(ModelError):
+            info_nce_loss(anchors, positives, negatives[:, 0, :])
+        with pytest.raises(ModelError):
+            info_nce_loss(anchors, positives, negatives, temperature=0.0)
+
+    def test_temperature_scales_confidence(self):
+        anchors, positives, negatives = self._inputs()
+        sharp, *_ = info_nce_loss(anchors, anchors.copy(), negatives, temperature=0.05)
+        soft, *_ = info_nce_loss(anchors, anchors.copy(), negatives, temperature=1.0)
+        assert sharp < soft

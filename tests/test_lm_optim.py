@@ -1,0 +1,60 @@
+"""Tests for the Adam optimiser."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.lm.optim import AdamOptimizer
+
+
+class TestAdamOptimizer:
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(ModelError):
+            AdamOptimizer({"w": np.zeros(2)}, learning_rate=0.0)
+        with pytest.raises(ModelError):
+            AdamOptimizer({"w": np.zeros(2)}, beta1=1.0)
+
+    def test_step_moves_against_gradient(self):
+        params = {"w": np.array([1.0, 1.0])}
+        optimizer = AdamOptimizer(params, learning_rate=0.1)
+        optimizer.step({"w": np.array([1.0, -1.0])})
+        assert params["w"][0] < 1.0
+        assert params["w"][1] > 1.0
+
+    def test_unknown_parameter_rejected(self):
+        optimizer = AdamOptimizer({"w": np.zeros(2)})
+        with pytest.raises(ModelError):
+            optimizer.step({"v": np.zeros(2)})
+
+    def test_shape_mismatch_rejected(self):
+        optimizer = AdamOptimizer({"w": np.zeros(2)})
+        with pytest.raises(ModelError):
+            optimizer.step({"w": np.zeros(3)})
+
+    def test_step_counter(self):
+        optimizer = AdamOptimizer({"w": np.zeros(2)})
+        optimizer.step({"w": np.ones(2)})
+        optimizer.step({"w": np.ones(2)})
+        assert optimizer.num_steps == 2
+
+    def test_minimises_quadratic(self):
+        """Adam should drive a simple quadratic toward its minimum at w = 3."""
+        params = {"w": np.array([0.0])}
+        optimizer = AdamOptimizer(params, learning_rate=0.05)
+        for _ in range(500):
+            grad = 2.0 * (params["w"] - 3.0)
+            optimizer.step({"w": grad})
+        assert abs(params["w"][0] - 3.0) < 0.05
+
+    def test_partial_gradient_updates_only_named_parameters(self):
+        params = {"w": np.ones(2), "b": np.ones(2)}
+        optimizer = AdamOptimizer(params, learning_rate=0.1)
+        optimizer.step({"w": np.ones(2)})
+        assert not np.allclose(params["w"], 1.0)
+        assert np.allclose(params["b"], 1.0)
+
+    def test_updates_are_in_place(self):
+        weights = np.ones(3)
+        optimizer = AdamOptimizer({"w": weights}, learning_rate=0.1)
+        optimizer.step({"w": np.ones(3)})
+        assert not np.allclose(weights, 1.0)

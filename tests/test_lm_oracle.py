@@ -1,0 +1,192 @@
+"""Tests for the simulated GPT-4 oracle."""
+
+import pytest
+
+from repro.config import OracleConfig
+from repro.exceptions import ModelError
+from repro.lm.oracle import OracleLLM
+
+
+@pytest.fixture(scope="module")
+def oracle(tiny_dataset):
+    attribute_values = {
+        fc.name: {a: tuple(v) for a, v in fc.attributes.items()}
+        for fc in tiny_dataset.fine_classes.values()
+    }
+    return OracleLLM(
+        tiny_dataset.entities(),
+        attribute_values,
+        config=OracleConfig(seed=17),
+        class_descriptions={name: name.replace("_", " ") for name in attribute_values},
+    )
+
+
+@pytest.fixture(scope="module")
+def noisy_oracle(tiny_dataset):
+    attribute_values = {
+        fc.name: {a: tuple(v) for a, v in fc.attributes.items()}
+        for fc in tiny_dataset.fine_classes.values()
+    }
+    return OracleLLM(
+        tiny_dataset.entities(),
+        attribute_values,
+        config=OracleConfig(seed=17, base_error_rate=0.4, long_tail_error_rate=0.5),
+    )
+
+
+class TestAttributeReads:
+    def test_unknown_entity_raises(self, oracle):
+        with pytest.raises(ModelError):
+            oracle.read_attribute(10**9, "os")
+
+    def test_reads_are_cached_and_consistent(self, oracle, tiny_dataset):
+        entity = tiny_dataset.entities_of_fine_class("countries")[0]
+        first = oracle.read_attribute(entity.entity_id, "continent")
+        second = oracle.read_attribute(entity.entity_id, "continent")
+        assert first == second
+
+    def test_reads_mostly_correct_for_popular_entities(self, oracle, tiny_dataset):
+        popular = [
+            e for e in tiny_dataset.entities_of_fine_class("countries") if e.popularity > 0.7
+        ][:40]
+        correct = sum(
+            oracle.read_attribute(e.entity_id, "continent") == e.attributes["continent"]
+            for e in popular
+        )
+        assert correct >= int(0.75 * len(popular))
+
+    def test_error_rate_increases_for_long_tail(self, noisy_oracle, tiny_dataset):
+        entities = tiny_dataset.entities_of_fine_class("countries")
+        popular = [e for e in entities if e.popularity > 0.7]
+        obscure = [e for e in entities if e.popularity < 0.3]
+        if not popular or not obscure:
+            pytest.skip("tiny dataset lacks a long tail for this class")
+
+        def accuracy(group):
+            hits = sum(
+                noisy_oracle.read_attribute(e.entity_id, "continent")
+                == e.attributes["continent"]
+                for e in group
+            )
+            return hits / len(group)
+
+        assert accuracy(popular) >= accuracy(obscure)
+
+    def test_unannotated_attribute_returns_none(self, oracle, tiny_dataset):
+        distractor = tiny_dataset.distractors()[0]
+        assert oracle.read_attribute(distractor.entity_id, "continent") is None
+
+
+class TestReasoning:
+    def test_shared_attributes_include_the_true_positive_attribute(self, oracle, tiny_dataset):
+        hits = 0
+        for query in tiny_dataset.queries[:20]:
+            ultra = tiny_dataset.ultra_class(query.class_id)
+            inferred = oracle.infer_positive_attributes(query.positive_seed_ids)
+            if all(inferred.get(a) == v for a, v in ultra.positive_assignment.items()):
+                hits += 1
+        assert hits >= 12
+
+    def test_infer_class_name_mentions_class(self, oracle, tiny_dataset):
+        query = tiny_dataset.queries[0]
+        fine = tiny_dataset.ultra_class(query.class_id).fine_class
+        name = oracle.infer_class_name(query.positive_seed_ids)
+        assert fine.replace("_", " ").split()[0] in name
+
+    def test_infer_class_name_empty_seeds(self, oracle):
+        assert oracle.infer_class_name([]) == "entities"
+
+    def test_negative_attribute_inference_excludes_positive_agreement(self, oracle, tiny_dataset):
+        for query in tiny_dataset.queries[:10]:
+            positive = oracle.infer_positive_attributes(query.positive_seed_ids)
+            negative = oracle.infer_negative_attributes(
+                query.positive_seed_ids, query.negative_seed_ids
+            )
+            for attribute, value in negative.items():
+                assert positive.get(attribute) != value
+
+
+class TestSelectionAndExpansion:
+    def test_select_similar_returns_subset(self, oracle, tiny_dataset):
+        query = tiny_dataset.queries[0]
+        candidates = tiny_dataset.entity_ids()[:200]
+        selected = oracle.select_similar(query.positive_seed_ids, candidates, top_t=10)
+        assert len(selected) == 10
+        assert set(selected) <= set(candidates)
+
+    def test_select_similar_prefers_matching_entities(self, oracle, tiny_dataset):
+        query = tiny_dataset.queries[0]
+        ultra = tiny_dataset.ultra_class(query.class_id)
+        candidates = [
+            e.entity_id
+            for e in tiny_dataset.entities_of_fine_class(ultra.fine_class)
+        ]
+        selected = oracle.select_similar(query.positive_seed_ids, candidates, top_t=10)
+        matching = sum(
+            1 for eid in selected if eid in set(ultra.positive_entity_ids)
+        )
+        assert matching >= 5
+
+    def test_expand_returns_names_not_ids(self, oracle, tiny_dataset):
+        query = tiny_dataset.queries[0]
+        names = oracle.expand(
+            query.positive_seed_ids,
+            query.negative_seed_ids,
+            tiny_dataset.entity_ids(),
+            top_k=50,
+        )
+        assert names
+        assert all(isinstance(name, str) for name in names)
+        assert len(names) <= 50
+
+    def test_expand_excludes_seed_entities(self, oracle, tiny_dataset):
+        query = tiny_dataset.queries[0]
+        seed_names = {
+            tiny_dataset.entity(eid).name
+            for eid in (*query.positive_seed_ids, *query.negative_seed_ids)
+        }
+        names = oracle.expand(
+            query.positive_seed_ids,
+            query.negative_seed_ids,
+            tiny_dataset.entity_ids(),
+            top_k=100,
+        )
+        assert not (set(names) & seed_names)
+
+    def test_expand_can_hallucinate(self, tiny_dataset):
+        attribute_values = {
+            fc.name: {a: tuple(v) for a, v in fc.attributes.items()}
+            for fc in tiny_dataset.fine_classes.values()
+        }
+        halluc_oracle = OracleLLM(
+            tiny_dataset.entities(),
+            attribute_values,
+            config=OracleConfig(seed=1, hallucination_rate=0.9),
+        )
+        query = tiny_dataset.queries[0]
+        names = halluc_oracle.expand(
+            query.positive_seed_ids, query.negative_seed_ids, tiny_dataset.entity_ids(), top_k=60
+        )
+        assert any(not tiny_dataset.has_entity_name(name) for name in names)
+
+    def test_expand_ranks_positive_targets_above_negative(self, oracle, tiny_dataset):
+        query = tiny_dataset.queries[0]
+        ultra = tiny_dataset.ultra_class(query.class_id)
+        names = oracle.expand(
+            query.positive_seed_ids, query.negative_seed_ids, tiny_dataset.entity_ids(), top_k=200
+        )
+        ranks = {name: i for i, name in enumerate(names)}
+        positive_ranks = [
+            ranks[tiny_dataset.entity(eid).name]
+            for eid in ultra.positive_entity_ids
+            if tiny_dataset.entity(eid).name in ranks
+        ]
+        negative_ranks = [
+            ranks[tiny_dataset.entity(eid).name]
+            for eid in ultra.negative_entity_ids
+            if tiny_dataset.entity(eid).name in ranks
+        ]
+        if positive_ranks and negative_ranks:
+            assert sum(positive_ranks) / len(positive_ranks) < sum(negative_ranks) / len(
+                negative_ranks
+            )

@@ -1,0 +1,82 @@
+"""Tests for the contrastive projection head."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.lm.projection import ProjectionHead
+
+
+class TestProjectionHead:
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ModelError):
+            ProjectionHead(0, 8)
+        with pytest.raises(ModelError):
+            ProjectionHead(8, 0)
+
+    def test_projection_is_unit_norm(self):
+        head = ProjectionHead(16, 8, seed=1)
+        vector = head.project(np.random.default_rng(0).normal(size=16))
+        assert np.isclose(np.linalg.norm(vector), 1.0)
+
+    def test_batch_projection_shape(self):
+        head = ProjectionHead(16, 8, seed=1)
+        batch = head.project(np.random.default_rng(0).normal(size=(5, 16)))
+        assert batch.shape == (5, 8)
+        assert np.allclose(np.linalg.norm(batch, axis=1), 1.0)
+
+    def test_wrong_input_dim_rejected(self):
+        head = ProjectionHead(16, 8)
+        with pytest.raises(ModelError):
+            head.project(np.zeros(10))
+
+    def test_deterministic_given_seed(self):
+        x = np.random.default_rng(0).normal(size=16)
+        assert np.allclose(
+            ProjectionHead(16, 8, seed=7).project(x), ProjectionHead(16, 8, seed=7).project(x)
+        )
+
+    def test_training_on_empty_data_is_noop(self):
+        head = ProjectionHead(16, 8)
+        assert head.train_info_nce(np.zeros((0, 16)), np.zeros((0, 16)), np.zeros((0, 2, 16))) == []
+
+    def test_inconsistent_triplets_rejected(self):
+        head = ProjectionHead(16, 8)
+        with pytest.raises(ModelError):
+            head.train_info_nce(np.zeros((4, 16)), np.zeros((3, 16)), np.zeros((4, 2, 16)))
+
+    def test_training_reduces_loss(self):
+        """On separable synthetic data the InfoNCE loss should decrease."""
+        rng = np.random.default_rng(2)
+        dim, n = 16, 200
+        cluster_a = rng.normal(loc=1.0, size=(n, dim))
+        cluster_b = rng.normal(loc=-1.0, size=(n, dim))
+        anchors = cluster_a
+        positives = cluster_a + 0.1 * rng.normal(size=(n, dim))
+        negatives = cluster_b[:, None, :] + 0.1 * rng.normal(size=(n, 4, dim))
+
+        head = ProjectionHead(dim, 8, seed=3)
+        history = head.train_info_nce(
+            anchors, positives, negatives, epochs=6, learning_rate=1e-2, seed=3
+        )
+        assert len(history) == 6
+        assert history[-1] < history[0]
+
+    def test_training_separates_clusters(self):
+        rng = np.random.default_rng(4)
+        dim, n = 12, 150
+        cluster_a = rng.normal(loc=1.0, scale=0.5, size=(n, dim))
+        cluster_b = rng.normal(loc=-1.0, scale=0.5, size=(n, dim))
+        head = ProjectionHead(dim, 6, seed=5)
+        head.train_info_nce(
+            cluster_a,
+            cluster_a + 0.05 * rng.normal(size=(n, dim)),
+            cluster_b[:, None, :].repeat(3, axis=1),
+            epochs=8,
+            learning_rate=1e-2,
+        )
+        projected_a = head.project(cluster_a)
+        projected_b = head.project(cluster_b)
+        within = float(np.mean(projected_a[:50] @ projected_a[50:100].T))
+        across = float(np.mean(projected_a[:50] @ projected_b[:50].T))
+        assert within > across

@@ -1,0 +1,179 @@
+"""Tests for the RetExpan framework: expansion scoring, contrastive learning,
+and the end-to-end pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.config import ContrastiveConfig, RetExpanConfig
+from repro.eval.evaluator import Evaluator
+from repro.exceptions import ExpansionError, ModelError
+from repro.retexpan.contrastive import UltraContrastiveLearner
+from repro.retexpan.expansion import positive_similarity_scores, top_k_expansion
+from repro.retexpan.pipeline import RetExpan
+
+
+class TestExpansionScoring:
+    def test_scores_bounded_by_cosine_range(self):
+        vectors = {i: np.random.default_rng(i).normal(size=8) for i in range(10)}
+        scores = positive_similarity_scores(list(range(5)), [5, 6], vectors)
+        assert all(-1.0 - 1e-9 <= s <= 1.0 + 1e-9 for s in scores.values())
+
+    def test_identical_vector_scores_highest(self):
+        vectors = {0: np.array([1.0, 0.0]), 1: np.array([1.0, 0.05]), 2: np.array([0.0, 1.0])}
+        scores = positive_similarity_scores([1, 2], [0], vectors)
+        assert scores[1] > scores[2]
+
+    def test_missing_seed_representations_raise(self):
+        with pytest.raises(ExpansionError):
+            positive_similarity_scores([0], [99], {0: np.ones(4)})
+
+    def test_missing_candidates_skipped(self):
+        vectors = {0: np.ones(4), 1: np.ones(4)}
+        scores = positive_similarity_scores([1, 7], [0], vectors)
+        assert set(scores) == {1}
+
+    def test_top_k_expansion_sorted_and_truncated(self):
+        scores = {1: 0.3, 2: 0.9, 3: 0.5, 4: 0.9}
+        top = top_k_expansion(scores, k=3)
+        assert [eid for eid, _ in top] == [2, 4, 3]
+
+    def test_top_k_invalid_k(self):
+        with pytest.raises(ExpansionError):
+            top_k_expansion({1: 0.5}, k=0)
+
+
+class TestContrastiveLearner:
+    def test_unfitted_projection_raises(self, tiny_dataset, sample_query):
+        learner = UltraContrastiveLearner()
+        with pytest.raises(ModelError):
+            learner.project(0, sample_query)
+
+    def test_fit_and_project(self, tiny_dataset, resources):
+        config = ContrastiveConfig(epochs=1, mined_list_size=5, num_other_class_entities=10)
+        learner = UltraContrastiveLearner(config).fit(
+            tiny_dataset,
+            resources.entity_representations(True),
+            resources.oracle(),
+            queries=tiny_dataset.queries[:6],
+        )
+        assert learner.is_fitted
+        query = tiny_dataset.queries[0]
+        entity_id = tiny_dataset.positive_targets(query).pop()
+        vector = learner.project(entity_id, query)
+        assert np.isclose(np.linalg.norm(vector), 1.0)
+        assert vector.shape == (config.projection_dim,)
+
+    def test_mined_lists_recorded_per_query(self, tiny_dataset, resources):
+        config = ContrastiveConfig(epochs=1, mined_list_size=5, num_other_class_entities=10)
+        queries = tiny_dataset.queries[:4]
+        learner = UltraContrastiveLearner(config).fit(
+            tiny_dataset, resources.entity_representations(True), resources.oracle(), queries
+        )
+        assert set(learner.mined) == {q.query_id for q in queries}
+        for mined_pos, mined_neg in learner.mined.values():
+            assert not set(mined_pos) & set(mined_neg)
+
+    def test_projected_vectors_batch(self, tiny_dataset, resources):
+        config = ContrastiveConfig(epochs=1, mined_list_size=5, num_other_class_entities=10)
+        query = tiny_dataset.queries[0]
+        learner = UltraContrastiveLearner(config).fit(
+            tiny_dataset, resources.entity_representations(True), resources.oracle(), [query]
+        )
+        ids = tiny_dataset.entity_ids()[:20]
+        projected = learner.projected_vectors(ids, query)
+        assert set(projected) <= set(ids)
+        assert all(np.isclose(np.linalg.norm(v), 1.0) for v in projected.values())
+
+
+@pytest.fixture(scope="module")
+def retexpan(tiny_dataset, resources):
+    return RetExpan(resources=resources).fit(tiny_dataset)
+
+
+class TestRetExpanPipeline:
+    def test_name_reflects_configuration(self):
+        assert RetExpan().name == "RetExpan"
+        assert RetExpan(RetExpanConfig(use_contrastive=True)).name == "RetExpan + Contrast"
+        assert RetExpan(name="custom").name == "custom"
+
+    def test_unfitted_expand_raises(self, sample_query):
+        with pytest.raises(ExpansionError):
+            RetExpan().expand(sample_query)
+
+    def test_expansion_excludes_seeds_and_respects_top_k(self, retexpan, sample_query):
+        result = retexpan.expand(sample_query, top_k=50)
+        assert len(result.ranking) == 50
+        seeds = set(sample_query.positive_seed_ids) | set(sample_query.negative_seed_ids)
+        assert not (set(result.entity_ids()) & seeds)
+
+    def test_scores_monotonically_usable(self, retexpan, sample_query):
+        result = retexpan.expand(sample_query, top_k=30)
+        assert len(set(result.entity_ids())) == 30
+
+    def test_expansion_finds_positive_targets(self, retexpan, tiny_dataset, sample_query):
+        """Top-ranked entities should contain clearly more positives than expected by chance."""
+        result = retexpan.expand(sample_query, top_k=20)
+        positives = tiny_dataset.positive_targets(sample_query)
+        hits = sum(1 for eid in result.entity_ids() if eid in positives)
+        chance = 20 * len(positives) / tiny_dataset.num_entities
+        assert hits > chance * 2
+
+    def test_expansion_mostly_stays_in_fine_class(self, retexpan, tiny_dataset, sample_query):
+        fine_class = tiny_dataset.ultra_class(sample_query.class_id).fine_class
+        result = retexpan.expand(sample_query, top_k=20)
+        same = sum(
+            1
+            for eid in result.entity_ids()
+            if tiny_dataset.entity(eid).fine_class == fine_class
+        )
+        assert same >= 14
+
+    def test_negative_rerank_reduces_negative_intrusion(self, tiny_dataset, resources):
+        evaluator = Evaluator(tiny_dataset, max_queries=12)
+        with_rerank = evaluator.evaluate(RetExpan(resources=resources).fit(tiny_dataset))
+        without = evaluator.evaluate(
+            RetExpan(
+                RetExpanConfig(use_negative_rerank=False), resources=resources, name="no-rr"
+            ).fit(tiny_dataset)
+        )
+        assert with_rerank.average("neg") <= without.average("neg") + 1e-9
+
+    def test_entity_prediction_ablation_changes_representation(self, tiny_dataset, resources):
+        """The "- Entity prediction" ablation must swap in the low-capacity
+        pretrained representation (the quality gap itself is asserted on the
+        benchmark-scale dataset, where the refined encoder has enough data)."""
+        evaluator = Evaluator(tiny_dataset, max_queries=12)
+        full = RetExpan(resources=resources).fit(tiny_dataset)
+        ablated = RetExpan(
+            RetExpanConfig(use_entity_prediction=False), resources=resources, name="no-ep"
+        ).fit(tiny_dataset)
+        sample_id = tiny_dataset.entity_ids()[0]
+        assert (
+            ablated.representations.hidden[sample_id].shape[0]
+            < full.representations.hidden[sample_id].shape[0]
+        )
+        full_report = evaluator.evaluate(full)
+        ablated_report = evaluator.evaluate(ablated)
+        assert full_report.average("comb") > 40.0
+        assert ablated_report.average("comb") > 40.0
+
+    def test_contrastive_variant_runs_and_projects(self, tiny_dataset, resources):
+        evaluator = Evaluator(tiny_dataset, max_queries=6)
+        config = RetExpanConfig(
+            use_contrastive=True,
+            contrastive=ContrastiveConfig(epochs=1, mined_list_size=5, num_other_class_entities=10),
+        )
+        expander = RetExpan(
+            config, resources=resources, contrastive_queries=evaluator.queries
+        ).fit(tiny_dataset)
+        assert expander.contrastive_learner is not None
+        report = evaluator.evaluate(expander)
+        assert report.average("comb") > 40.0
+
+    def test_representations_property(self, retexpan, tiny_dataset):
+        assert len(retexpan.representations.hidden) == tiny_dataset.num_entities
+
+    def test_results_are_deterministic(self, retexpan, sample_query):
+        first = retexpan.expand(sample_query, top_k=25).entity_ids()
+        second = retexpan.expand(sample_query, top_k=25).entity_ids()
+        assert first == second

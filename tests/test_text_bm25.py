@@ -1,0 +1,76 @@
+"""Tests for the BM25 index."""
+
+import pytest
+
+from repro.text.bm25 import BM25Index
+
+
+def build_index():
+    index = BM25Index()
+    index.add_document(1, "android phone brand with android system".split())
+    index.add_document(2, "ios phone brand from america".split())
+    index.add_document(3, "a country located in europe with high income".split())
+    index.add_document(4, "another android handset maker".split())
+    return index
+
+
+class TestBM25:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BM25Index(k1=-1.0)
+        with pytest.raises(ValueError):
+            BM25Index(b=1.5)
+
+    def test_num_documents(self):
+        assert build_index().num_documents == 4
+
+    def test_idf_decreases_with_document_frequency(self):
+        index = build_index()
+        assert index.idf("europe") > index.idf("android")
+        assert index.idf("android") > index.idf("phone") or index.idf("android") == pytest.approx(
+            index.idf("phone")
+        )
+
+    def test_idf_non_negative(self):
+        index = build_index()
+        for token in ("android", "phone", "brand", "europe", "missing"):
+            assert index.idf(token) >= 0.0
+
+    def test_score_zero_for_disjoint_query(self):
+        index = build_index()
+        assert index.score(["zebra"], 1) == 0.0
+
+    def test_matching_document_scores_higher(self):
+        index = build_index()
+        assert index.score(["android"], 1) > index.score(["android"], 2)
+
+    def test_search_returns_relevant_first(self):
+        index = build_index()
+        results = index.search(["android", "phone"], top_k=3)
+        assert results[0][0] == 1
+
+    def test_search_respects_top_k(self):
+        assert len(build_index().search(["phone", "android", "europe"], top_k=2)) == 2
+
+    def test_search_only_returns_matching_documents(self):
+        results = build_index().search(["europe"], top_k=10)
+        assert [doc_id for doc_id, _ in results] == [3]
+
+    def test_search_empty_query(self):
+        assert build_index().search([], top_k=5) == []
+
+    def test_scores_sorted_descending(self):
+        results = build_index().search(["android", "phone", "brand"], top_k=4)
+        scores = [score for _, score in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_term_frequency_saturation(self):
+        # BM25 saturates: doubling tf should less than double the score.
+        index = BM25Index()
+        index.add_document(1, ["android"] * 1 + ["filler"] * 9)
+        index.add_document(2, ["android"] * 2 + ["filler"] * 8)
+        index.add_document(3, ["other"] * 10)
+        single = index.score(["android"], 1)
+        double = index.score(["android"], 2)
+        assert double > single
+        assert double < 2 * single

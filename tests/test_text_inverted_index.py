@@ -1,0 +1,72 @@
+"""Tests for the inverted index."""
+
+from repro.text.inverted_index import InvertedIndex
+
+
+def build_index():
+    index = InvertedIndex()
+    index.add_document(1, ["android", "phone", "brand"])
+    index.add_document(2, ["ios", "phone", "brand", "brand"])
+    index.add_document(3, ["country", "europe"])
+    return index
+
+
+class TestInvertedIndex:
+    def test_document_frequency(self):
+        index = build_index()
+        assert index.document_frequency("phone") == 2
+        assert index.document_frequency("europe") == 1
+        assert index.document_frequency("missing") == 0
+
+    def test_postings_contain_term_frequencies(self):
+        index = build_index()
+        assert index.postings("brand") == {1: 1, 2: 2}
+
+    def test_documents_containing(self):
+        index = build_index()
+        assert index.documents_containing("phone") == {1, 2}
+
+    def test_documents_containing_all(self):
+        index = build_index()
+        assert index.documents_containing_all(["phone", "android"]) == {1}
+        assert index.documents_containing_all(["phone", "europe"]) == set()
+
+    def test_documents_containing_all_empty_query(self):
+        assert build_index().documents_containing_all([]) == set()
+
+    def test_document_length(self):
+        index = build_index()
+        assert index.document_length(2) == 4
+        assert index.document_length(99) == 0
+
+    def test_average_document_length(self):
+        index = build_index()
+        assert index.average_document_length == (3 + 4 + 2) / 3
+
+    def test_average_length_empty_index(self):
+        assert InvertedIndex().average_document_length == 0.0
+
+    def test_num_documents(self):
+        assert build_index().num_documents == 3
+
+    def test_remove_document(self):
+        index = build_index()
+        index.remove_document(2)
+        assert index.num_documents == 2
+        assert index.documents_containing("ios") == set()
+        assert index.document_frequency("phone") == 1
+
+    def test_remove_missing_document_is_noop(self):
+        index = build_index()
+        index.remove_document(42)
+        assert index.num_documents == 3
+
+    def test_readding_document_overwrites(self):
+        index = build_index()
+        index.add_document(1, ["new", "tokens"])
+        assert index.documents_containing("android") == set()
+        assert index.documents_containing("new") == {1}
+        assert index.num_documents == 3
+
+    def test_vocabulary(self):
+        assert "android" in build_index().vocabulary()

@@ -1,0 +1,50 @@
+"""Tests for the word tokenizer."""
+
+from repro.text.tokenizer import MASK_TOKEN, WordTokenizer
+
+
+class TestWordTokenizer:
+    def setup_method(self):
+        self.tokenizer = WordTokenizer()
+
+    def test_lowercases_words(self):
+        assert self.tokenizer.tokenize("Vexo Mobile ships Phones") == [
+            "vexo",
+            "mobile",
+            "ships",
+            "phones",
+        ]
+
+    def test_mask_token_preserved(self):
+        tokens = self.tokenizer.tokenize(f"{MASK_TOKEN} ships phones.")
+        assert tokens[0] == MASK_TOKEN
+
+    def test_mask_token_case_sensitive(self):
+        # Only the exact [MASK] spelling is special.
+        tokens = self.tokenizer.tokenize("[mask] ships")
+        assert MASK_TOKEN not in tokens
+
+    def test_punctuation_dropped_by_default(self):
+        assert self.tokenizer.tokenize("Hello, world!") == ["hello", "world"]
+
+    def test_punctuation_kept_when_requested(self):
+        tokenizer = WordTokenizer(keep_punctuation=True)
+        assert "," in tokenizer.tokenize("Hello, world!")
+
+    def test_numbers_kept(self):
+        assert self.tokenizer.tokenize("Founded in 1998") == ["founded", "in", "1998"]
+
+    def test_apostrophes_kept_in_word(self):
+        assert self.tokenizer.tokenize("the brand's phones") == ["the", "brand's", "phones"]
+
+    def test_empty_string(self):
+        assert self.tokenizer.tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert self.tokenizer.tokenize("   \n\t ") == []
+
+    def test_entity_name_tokenization_strips_mask(self):
+        assert self.tokenizer.tokenize_entity_name("Vexo [MASK] Mobile") == ["vexo", "mobile"]
+
+    def test_hyphenated_names_split(self):
+        assert self.tokenizer.tokenize("Saint-Pierre") == ["saint", "pierre"]

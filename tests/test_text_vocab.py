@@ -1,0 +1,77 @@
+"""Tests for the vocabulary."""
+
+import pytest
+
+from repro.exceptions import VocabularyError
+from repro.text.vocab import (
+    BOS_TOKEN,
+    EOS_TOKEN,
+    MASK_TOKEN,
+    PAD_TOKEN,
+    SPECIAL_TOKENS,
+    UNK_TOKEN,
+    Vocabulary,
+)
+
+
+class TestVocabulary:
+    def test_special_tokens_present(self):
+        vocab = Vocabulary()
+        for token in SPECIAL_TOKENS:
+            assert token in vocab
+
+    def test_special_token_ids_stable(self):
+        vocab = Vocabulary(["apple"])
+        assert vocab.pad_id == vocab.strict_id_of(PAD_TOKEN)
+        assert vocab.unk_id == vocab.strict_id_of(UNK_TOKEN)
+        assert vocab.mask_id == vocab.strict_id_of(MASK_TOKEN)
+        assert vocab.bos_id == vocab.strict_id_of(BOS_TOKEN)
+        assert vocab.eos_id == vocab.strict_id_of(EOS_TOKEN)
+
+    def test_add_returns_same_id_for_duplicates(self):
+        vocab = Vocabulary()
+        first = vocab.add("apple")
+        second = vocab.add("apple")
+        assert first == second
+
+    def test_unknown_token_maps_to_unk(self):
+        vocab = Vocabulary(["apple"])
+        assert vocab.id_of("zebra") == vocab.unk_id
+
+    def test_strict_lookup_raises_for_unknown(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary().strict_id_of("zebra")
+
+    def test_token_of_out_of_range_raises(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary().token_of(10_000)
+
+    def test_encode_decode_roundtrip(self):
+        vocab = Vocabulary(["a", "b", "c"])
+        tokens = ["a", "c", "b", "a"]
+        assert vocab.decode(vocab.encode(tokens)) == tokens
+
+    def test_len_counts_specials(self):
+        vocab = Vocabulary(["a", "b"])
+        assert len(vocab) == len(SPECIAL_TOKENS) + 2
+
+    def test_from_token_lists_frequency_ordering(self):
+        vocab = Vocabulary.from_token_lists([["b", "a", "a"], ["a", "b", "c"]])
+        # "a" (3 occurrences) gets a lower id than "b" (2), which beats "c" (1).
+        assert vocab.id_of("a") < vocab.id_of("b") < vocab.id_of("c")
+
+    def test_from_token_lists_min_count(self):
+        vocab = Vocabulary.from_token_lists([["a", "a", "b"]], min_count=2)
+        assert "a" in vocab
+        assert "b" not in vocab
+
+    def test_from_token_lists_max_size(self):
+        vocab = Vocabulary.from_token_lists(
+            [["a", "a", "a", "b", "b", "c"]], max_size=len(SPECIAL_TOKENS) + 2
+        )
+        assert "a" in vocab and "b" in vocab
+        assert "c" not in vocab
+
+    def test_iteration_yields_all_tokens(self):
+        vocab = Vocabulary(["x"])
+        assert set(iter(vocab)) == set(SPECIAL_TOKENS) | {"x"}

@@ -1,0 +1,154 @@
+"""Tests for the core data types."""
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.types import (
+    Entity,
+    ExpansionResult,
+    FineGrainedClass,
+    Query,
+    RankedEntity,
+    Sentence,
+    UltraFineGrainedClass,
+)
+
+
+def make_entity(**overrides):
+    payload = {
+        "entity_id": 1,
+        "name": "Vexo Mobile",
+        "fine_class": "mobile_phone_brands",
+        "attributes": {"os": "android", "listed": "public"},
+        "popularity": 0.8,
+    }
+    payload.update(overrides)
+    return Entity(**payload)
+
+
+class TestEntity:
+    def test_get_existing_attribute(self):
+        assert make_entity().get("os") == "android"
+
+    def test_get_missing_attribute_returns_none(self):
+        assert make_entity().get("colour") is None
+
+    def test_matches_full_assignment(self):
+        assert make_entity().matches({"os": "android"})
+        assert make_entity().matches({"os": "android", "listed": "public"})
+
+    def test_matches_rejects_wrong_value(self):
+        assert not make_entity().matches({"os": "ios"})
+
+    def test_matches_rejects_unknown_attribute(self):
+        assert not make_entity().matches({"colour": "red"})
+
+    def test_matches_empty_assignment_is_true(self):
+        assert make_entity().matches({})
+
+    def test_dict_roundtrip(self):
+        entity = make_entity()
+        assert Entity.from_dict(entity.to_dict()) == entity
+
+    def test_distractor_has_no_class(self):
+        distractor = Entity(entity_id=9, name="Harbor Bridge")
+        assert distractor.fine_class is None
+        assert distractor.attributes == {}
+
+
+class TestSentence:
+    def test_dict_roundtrip(self):
+        sentence = Sentence(sentence_id=3, text="Vexo Mobile ships phones.", entity_ids=(1,))
+        assert Sentence.from_dict(sentence.to_dict()) == sentence
+
+    def test_entity_ids_are_tuple(self):
+        sentence = Sentence.from_dict(
+            {"sentence_id": 1, "text": "x", "entity_ids": [4, 5]}
+        )
+        assert sentence.entity_ids == (4, 5)
+
+
+class TestFineGrainedClass:
+    def test_attribute_names(self):
+        fc = FineGrainedClass("c", "desc", {"os": ("a", "b"), "region": ("x",)})
+        assert fc.attribute_names() == ("os", "region")
+
+    def test_values_of_known_attribute(self):
+        fc = FineGrainedClass("c", "desc", {"os": ("a", "b")})
+        assert fc.values_of("os") == ("a", "b")
+
+    def test_values_of_unknown_attribute_raises(self):
+        fc = FineGrainedClass("c", "desc", {"os": ("a",)})
+        with pytest.raises(DatasetError):
+            fc.values_of("missing")
+
+    def test_dict_roundtrip(self):
+        fc = FineGrainedClass("c", "desc", {"os": ("a", "b")})
+        restored = FineGrainedClass.from_dict(fc.to_dict())
+        assert restored.name == fc.name
+        assert restored.attributes == fc.attributes
+
+
+class TestUltraFineGrainedClass:
+    def make(self, pos=None, neg=None):
+        return UltraFineGrainedClass(
+            class_id="c#000",
+            fine_class="c",
+            positive_assignment=pos or {"os": "android"},
+            negative_assignment=neg or {"os": "ios"},
+            positive_entity_ids=(1, 2, 3),
+            negative_entity_ids=(4, 5),
+        )
+
+    def test_same_attributes_true_for_identical_keys(self):
+        assert self.make().same_attributes
+
+    def test_same_attributes_false_for_different_keys(self):
+        ultra = self.make(neg={"region": "asia"})
+        assert not ultra.same_attributes
+
+    def test_attribute_cardinality(self):
+        ultra = self.make(pos={"os": "android"}, neg={"region": "asia", "listed": "yes"})
+        assert ultra.attribute_cardinality == (1, 2)
+
+    def test_dict_roundtrip(self):
+        ultra = self.make()
+        restored = UltraFineGrainedClass.from_dict(ultra.to_dict())
+        assert restored == ultra
+
+
+class TestQuery:
+    def test_overlapping_seeds_rejected(self):
+        with pytest.raises(DatasetError):
+            Query(
+                query_id="q",
+                class_id="c",
+                positive_seed_ids=(1, 2),
+                negative_seed_ids=(2, 3),
+            )
+
+    def test_dict_roundtrip(self):
+        query = Query("q", "c", (1, 2, 3), (4, 5))
+        assert Query.from_dict(query.to_dict()) == query
+
+
+class TestExpansionResult:
+    def test_from_scores_sorted_descending(self):
+        result = ExpansionResult.from_scores("q", [(1, 0.2), (2, 0.9), (3, 0.5)])
+        assert result.entity_ids() == [2, 3, 1]
+
+    def test_ties_broken_by_entity_id(self):
+        result = ExpansionResult.from_scores("q", [(5, 0.5), (1, 0.5), (3, 0.5)])
+        assert result.entity_ids() == [1, 3, 5]
+
+    def test_top_k(self):
+        result = ExpansionResult.from_scores("q", [(i, -i) for i in range(10)])
+        assert result.top(3) == [0, 1, 2]
+
+    def test_empty_result(self):
+        result = ExpansionResult(query_id="q", ranking=())
+        assert result.entity_ids() == []
+        assert result.top(5) == []
+
+    def test_ranked_entity_to_dict(self):
+        assert RankedEntity(3, 0.5).to_dict() == {"entity_id": 3, "score": 0.5}

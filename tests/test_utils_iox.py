@@ -1,0 +1,45 @@
+"""Tests for the JSON / JSON-lines IO helpers."""
+
+from repro.utils.iox import read_json, read_jsonl, write_json, write_jsonl
+
+
+class TestJson:
+    def test_roundtrip(self, tmp_path):
+        payload = {"a": 1, "b": [1, 2, 3], "c": {"nested": True}}
+        path = tmp_path / "data.json"
+        write_json(path, payload)
+        assert read_json(path) == payload
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "data.json"
+        write_json(path, {"x": 1})
+        assert read_json(path) == {"x": 1}
+
+    def test_unicode_preserved(self, tmp_path):
+        path = tmp_path / "data.json"
+        write_json(path, {"name": "Zürich — 北京"})
+        assert read_json(path)["name"] == "Zürich — 北京"
+
+
+class TestJsonl:
+    def test_roundtrip(self, tmp_path):
+        rows = [{"i": i} for i in range(5)]
+        path = tmp_path / "rows.jsonl"
+        count = write_jsonl(path, rows)
+        assert count == 5
+        assert list(read_jsonl(path)) == rows
+
+    def test_empty_iterable(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert write_jsonl(path, []) == 0
+        assert list(read_jsonl(path)) == []
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        path.write_text('{"a": 1}\n\n{"a": 2}\n', encoding="utf-8")
+        assert list(read_jsonl(path)) == [{"a": 1}, {"a": 2}]
+
+    def test_generator_input(self, tmp_path):
+        path = tmp_path / "gen.jsonl"
+        count = write_jsonl(path, ({"i": i} for i in range(3)))
+        assert count == 3

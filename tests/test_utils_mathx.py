@@ -1,0 +1,110 @@
+"""Tests for the numerical helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.mathx import (
+    cosine_similarity,
+    cosine_similarity_matrix,
+    l2_normalize,
+    log_softmax,
+    logsumexp,
+    softmax,
+)
+
+
+class TestL2Normalize:
+    def test_unit_norm(self):
+        x = np.array([3.0, 4.0])
+        assert np.isclose(np.linalg.norm(l2_normalize(x)), 1.0)
+
+    def test_zero_vector_unchanged(self):
+        out = l2_normalize(np.zeros(4))
+        assert np.allclose(out, 0.0)
+
+    def test_matrix_rows_normalised(self):
+        matrix = np.array([[1.0, 0.0], [0.0, 5.0], [3.0, 4.0]])
+        norms = np.linalg.norm(l2_normalize(matrix, axis=1), axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_direction_preserved(self):
+        x = np.array([2.0, 2.0])
+        out = l2_normalize(x)
+        assert np.allclose(out, np.array([1.0, 1.0]) / np.sqrt(2))
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert np.isclose(cosine_similarity(v, v), 1.0)
+
+    def test_orthogonal_vectors(self):
+        assert np.isclose(cosine_similarity([1, 0], [0, 1]), 0.0)
+
+    def test_opposite_vectors(self):
+        assert np.isclose(cosine_similarity([1.0, 0.0], [-1.0, 0.0]), -1.0)
+
+    def test_scale_invariance(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([3.0, 1.0])
+        assert np.isclose(cosine_similarity(a, b), cosine_similarity(10 * a, 0.5 * b))
+
+    def test_zero_vector_returns_zero(self):
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == pytest.approx(0.0)
+
+    def test_matrix_shape(self):
+        a = np.random.default_rng(0).normal(size=(4, 8))
+        b = np.random.default_rng(1).normal(size=(6, 8))
+        assert cosine_similarity_matrix(a, b).shape == (4, 6)
+
+    def test_matrix_self_diagonal(self):
+        a = np.random.default_rng(0).normal(size=(5, 8))
+        matrix = cosine_similarity_matrix(a)
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_matrix_symmetry(self):
+        a = np.random.default_rng(0).normal(size=(5, 8))
+        matrix = cosine_similarity_matrix(a)
+        assert np.allclose(matrix, matrix.T)
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        probs = softmax(np.array([1.0, 2.0, 3.0]))
+        assert np.isclose(probs.sum(), 1.0)
+
+    def test_monotonic(self):
+        probs = softmax(np.array([1.0, 2.0, 3.0]))
+        assert probs[0] < probs[1] < probs[2]
+
+    def test_shift_invariance(self):
+        x = np.array([1.0, 5.0, -2.0])
+        assert np.allclose(softmax(x), softmax(x + 100.0))
+
+    def test_large_values_stable(self):
+        probs = softmax(np.array([1000.0, 1001.0]))
+        assert np.all(np.isfinite(probs))
+        assert np.isclose(probs.sum(), 1.0)
+
+    def test_batch_axis(self):
+        x = np.random.default_rng(0).normal(size=(3, 5))
+        probs = softmax(x, axis=1)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_log_softmax_consistent(self):
+        x = np.array([0.5, -1.0, 2.0])
+        assert np.allclose(log_softmax(x), np.log(softmax(x)))
+
+
+class TestLogSumExp:
+    def test_matches_naive(self):
+        x = np.array([0.1, 0.2, 0.3])
+        assert np.isclose(logsumexp(x), np.log(np.exp(x).sum()))
+
+    def test_large_values_stable(self):
+        x = np.array([1000.0, 1000.0])
+        assert np.isclose(logsumexp(x), 1000.0 + np.log(2.0))
+
+    def test_axis_reduction_shape(self):
+        x = np.random.default_rng(0).normal(size=(4, 6))
+        assert logsumexp(x, axis=1).shape == (4,)

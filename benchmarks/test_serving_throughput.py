@@ -1,0 +1,78 @@
+"""Serving throughput — cached vs uncached queries/sec through the service.
+
+Complements the paper-artefact benchmarks with a systems metric: how fast
+the online serving layer (:mod:`repro.serve`) answers expansion requests
+once the registry is warm, and how much the result cache buys on repeated
+traffic.  Tracked from this PR onward so serving-speed regressions show up
+alongside quality regressions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+from repro.config import ServiceConfig
+from repro.serve import ExpandRequest, ExpansionService
+
+#: queries per measured pass; small enough to keep the suite fast.
+SERVING_QUERY_BUDGET = 20
+
+
+def run_serving_benchmark(context, num_queries: int = SERVING_QUERY_BUDGET) -> dict:
+    service = ExpansionService(
+        context.dataset,
+        config=ServiceConfig(batch_wait_ms=0.0, cache_ttl_seconds=None),
+        resources=context.resources,
+    )
+    with service:
+        service.warm_up(["retexpan"])  # fit cost excluded from the measurement
+        queries = context.dataset.queries[:num_queries]
+        requests = [
+            ExpandRequest(method="retexpan", query_id=query.query_id, top_k=50)
+            for query in queries
+        ]
+
+        started = time.perf_counter()
+        for request in requests:
+            service.submit(replace(request, use_cache=False))
+        uncached_s = time.perf_counter() - started
+
+        for request in requests:  # prime the cache
+            service.submit(request)
+
+        started = time.perf_counter()
+        for request in requests:
+            assert service.submit(request).cached
+        cached_s = time.perf_counter() - started
+
+        stats = service.stats()
+    return {
+        "num_queries": len(requests),
+        "uncached_qps": len(requests) / uncached_s,
+        "cached_qps": len(requests) / cached_s,
+        "uncached_s": uncached_s,
+        "cached_s": cached_s,
+        "stats": stats,
+    }
+
+
+def test_serving_throughput(benchmark, context):
+    result = benchmark.pedantic(
+        run_serving_benchmark, args=(context,), rounds=1, iterations=1
+    )
+    print(
+        f"\nserving throughput over {result['num_queries']} queries (warm registry): "
+        f"uncached {result['uncached_qps']:.1f} q/s, "
+        f"cached {result['cached_qps']:.1f} q/s "
+        f"({result['cached_qps'] / result['uncached_qps']:.0f}x)"
+    )
+
+    stats = result["stats"]
+    # The registry fitted retexpan exactly once (at warm-up) for the whole run.
+    assert stats["registry"]["fits"] == 1
+    # Every request of the cached pass was a hit, verified via the counters.
+    assert stats["cache"]["hits"] == result["num_queries"]
+    assert stats["cache"]["misses"] == result["num_queries"]
+    # The cache must not be slower than recomputing the expansion.
+    assert result["cached_s"] < result["uncached_s"]

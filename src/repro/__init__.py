@@ -25,6 +25,7 @@ from repro.config import (
     GenExpanConfig,
     OracleConfig,
     RetExpanConfig,
+    ServiceConfig,
 )
 from repro.types import (
     Entity,
@@ -47,6 +48,12 @@ from repro.retexpan import RetExpan
 from repro.genexpan import GenExpan
 from repro.baselines import CGExpan, CaSE, GPT4Expander, ProbExpan, SetExpan
 from repro.eval import EvaluationReport, Evaluator, format_metric_report, format_table
+from repro.serve import (
+    ExpandRequest,
+    ExpandResponse,
+    ExpansionHTTPServer,
+    ExpansionService,
+)
 
 __version__ = "0.1.0"
 
@@ -91,4 +98,10 @@ __all__ = [
     "EvaluationReport",
     "format_table",
     "format_metric_report",
+    # serving
+    "ServiceConfig",
+    "ExpandRequest",
+    "ExpandResponse",
+    "ExpansionService",
+    "ExpansionHTTPServer",
 ]

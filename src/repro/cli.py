@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands cover the workflows a downstream user needs without
+Five subcommands cover the workflows a downstream user needs without
 writing Python:
 
 * ``build-dataset`` — construct a synthetic UltraWiki-style dataset and save
@@ -8,27 +8,41 @@ writing Python:
 * ``list-experiments`` — show every reproducible paper artefact and its
   benchmark target;
 * ``run-experiment`` — run one experiment (table/figure) and print the rows
-  the paper reports, optionally writing the raw output as JSON.
+  the paper reports, optionally writing the raw output as JSON;
+* ``serve`` — start the online expansion service (:mod:`repro.serve`): a
+  JSON/HTTP endpoint with a lazily-fitted expander registry, result caching,
+  and request micro-batching;
+* ``query`` — submit one expansion request through the same service stack
+  in-process and print the ranked entities.
 
 Examples::
 
     python -m repro.cli build-dataset --profile small --output ./ultrawiki
     python -m repro.cli list-experiments
     python -m repro.cli run-experiment table2 --profile tiny --max-queries 12
+    python -m repro.cli serve --dataset ./ultrawiki --port 8080 --warm retexpan
+    python -m repro.cli query --dataset ./ultrawiki --method retexpan --top-k 20
+
+Serving workflow: ``build-dataset`` once, ``serve`` against the saved
+directory, then POST ``{"method": "retexpan", "query_id": ...}`` to
+``/expand`` (see ``repro.serve.server`` for the endpoint list); repeated
+requests hit the result cache, visible under ``/stats``.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
-from repro.config import DatasetConfig
+from repro.config import DatasetConfig, ServiceConfig
 from repro.dataset.analysis import compute_statistics
 from repro.dataset.builder import build_dataset
+from repro.dataset.ultrawiki import UltraWikiDataset
 from repro.experiments.registry import EXPERIMENTS, experiment_by_id
 from repro.experiments.runner import ExperimentContext
+from repro.serve import ExpandRequest, ExpansionHTTPServer, ExpansionService
+from repro.utils.iox import to_jsonable, write_json
 
 _PROFILES = {
     "tiny": DatasetConfig.tiny,
@@ -86,9 +100,93 @@ def _cmd_run_experiment(args: argparse.Namespace) -> int:
         serialisable = {
             key: value for key, value in output.items() if key != "text"
         }
-        Path(args.json).write_text(json.dumps(serialisable, indent=2, default=str))
+        write_json(args.json, to_jsonable(serialisable))
         print(f"\nwrote JSON output to {Path(args.json).resolve()}")
     return 0
+
+
+def _load_or_build_dataset(args: argparse.Namespace) -> UltraWikiDataset:
+    """A dataset from ``--dataset DIR`` (saved) or ``--profile`` (built)."""
+    if args.dataset:
+        print(f"Loading dataset from {Path(args.dataset).resolve()} ...")
+        return UltraWikiDataset.load(args.dataset)
+    print(f"Building dataset (profile={args.profile}, seed={args.seed}) ...")
+    return build_dataset(_dataset_config(args.profile, args.seed))
+
+
+def _service_config(args: argparse.Namespace) -> ServiceConfig:
+    config = ServiceConfig(
+        cache_capacity=args.cache_capacity,
+        # only the literal 0 means "disable expiry"; negatives reach
+        # validate() and are rejected there.
+        cache_ttl_seconds=None if args.cache_ttl == 0 else args.cache_ttl,
+        max_batch_size=args.max_batch_size,
+        batch_wait_ms=args.batch_wait_ms,
+        host=getattr(args, "host", ServiceConfig.host),
+        port=getattr(args, "port", ServiceConfig.port),
+    )
+    config.validate()
+    return config
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    dataset = _load_or_build_dataset(args)
+    service = ExpansionService(dataset, config=_service_config(args))
+    if args.warm:
+        print(f"Warming up {args.warm} ...")
+        service.warm_up(args.warm)
+    server = ExpansionHTTPServer(service, verbose=True)
+    host, port = server.address
+    print(f"Serving expansion API on http://{host}:{port}")
+    print("  endpoints: POST /expand · GET /methods · GET /stats · GET /healthz")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shutdown()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    dataset = _load_or_build_dataset(args)
+    config = _service_config(args)
+    config.batch_wait_ms = 0.0  # one-shot CLI query: no batching window
+    with ExpansionService(dataset, config=config) as service:
+        request = ExpandRequest(
+            method=args.method,
+            query_id=args.query_id or dataset.queries[0].query_id,
+            top_k=args.top_k,
+        )
+        response = service.submit(request)
+        print(
+            f"{response.method} on {response.query_id}: top-{response.top_k} "
+            f"(cached={response.cached}, {response.latency_ms:.1f} ms)"
+        )
+        for rank, item in enumerate(response.ranking[: args.top_k], start=1):
+            print(f"  {rank:>3}. {item.name}  (id={item.entity_id}, score={item.score:.4f})")
+        if args.json:
+            write_json(args.json, to_jsonable(response))
+            print(f"wrote JSON response to {Path(args.json).resolve()}")
+    return 0
+
+
+def _add_dataset_source_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default=None, help="directory of a saved dataset")
+    parser.add_argument("--profile", default="small", choices=sorted(_PROFILES))
+    parser.add_argument("--seed", type=int, default=13)
+
+
+def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-capacity", type=int, default=ServiceConfig.cache_capacity)
+    parser.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=ServiceConfig.cache_ttl_seconds,
+        help="result TTL in seconds; 0 disables expiry",
+    )
+    parser.add_argument("--max-batch-size", type=int, default=ServiceConfig.max_batch_size)
+    parser.add_argument("--batch-wait-ms", type=float, default=ServiceConfig.batch_wait_ms)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -115,6 +213,29 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--genexpan-max-queries", type=int, default=20)
     run.add_argument("--json", default=None, help="path to write the raw output as JSON")
     run.set_defaults(handler=_cmd_run_experiment)
+
+    serve = subparsers.add_parser("serve", help="start the online expansion HTTP service")
+    _add_dataset_source_arguments(serve)
+    _add_service_arguments(serve)
+    serve.add_argument("--host", default=ServiceConfig.host)
+    serve.add_argument("--port", type=int, default=ServiceConfig.port)
+    serve.add_argument(
+        "--warm",
+        nargs="*",
+        default=[],
+        metavar="METHOD",
+        help="methods to fit and pin before accepting traffic (e.g. retexpan)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    query = subparsers.add_parser("query", help="run one expansion request in-process")
+    _add_dataset_source_arguments(query)
+    _add_service_arguments(query)
+    query.add_argument("--method", default="retexpan", help="e.g. retexpan, genexpan, setexpan")
+    query.add_argument("--query-id", default=None, help="dataset query id (default: first)")
+    query.add_argument("--top-k", type=int, default=20)
+    query.add_argument("--json", default=None, help="path to write the response as JSON")
+    query.set_defaults(handler=_cmd_query)
     return parser
 
 

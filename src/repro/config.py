@@ -304,3 +304,47 @@ class EvaluationConfig:
     def validate(self) -> None:
         if not self.cutoffs or any(k <= 0 for k in self.cutoffs):
             raise ConfigurationError("cutoffs must be positive integers")
+
+
+@dataclass
+class ServiceConfig:
+    """Parameters of the online expansion service (:mod:`repro.serve`)."""
+
+    #: maximum number of fitted expanders kept in the registry (LRU-evicted;
+    #: pinned expanders are never evicted and do not count toward the limit).
+    registry_capacity: int = 8
+    #: maximum number of cached expansion results.
+    cache_capacity: int = 1024
+    #: result time-to-live in seconds; ``None`` disables expiry.
+    cache_ttl_seconds: float | None = 300.0
+    #: largest number of requests coalesced into one ``expand_batch`` call.
+    max_batch_size: int = 16
+    #: how long the batcher holds the first request of a batch open for
+    #: followers, in milliseconds; 0 executes every request unbatched.
+    batch_wait_ms: float = 2.0
+    #: worker threads executing batches.
+    batch_workers: int = 2
+    #: ranked-list size used when a request does not specify ``top_k``.
+    default_top_k: int = 100
+    #: bind address of the HTTP server.
+    host: str = "127.0.0.1"
+    #: TCP port of the HTTP server; 0 picks an ephemeral port.
+    port: int = 8080
+
+    def validate(self) -> None:
+        if self.registry_capacity < 1:
+            raise ConfigurationError("registry_capacity must be >= 1")
+        if self.cache_capacity < 0:
+            raise ConfigurationError("cache_capacity must be non-negative")
+        if self.cache_ttl_seconds is not None and self.cache_ttl_seconds <= 0:
+            raise ConfigurationError("cache_ttl_seconds must be positive or None")
+        if self.max_batch_size < 1:
+            raise ConfigurationError("max_batch_size must be >= 1")
+        if self.batch_wait_ms < 0:
+            raise ConfigurationError("batch_wait_ms must be non-negative")
+        if self.batch_workers < 1:
+            raise ConfigurationError("batch_workers must be >= 1")
+        if self.default_top_k < 1:
+            raise ConfigurationError("default_top_k must be >= 1")
+        if not 0 <= self.port <= 65535:
+            raise ConfigurationError("port must be in [0, 65535]")

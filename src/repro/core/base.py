@@ -9,6 +9,7 @@ a ranked list of candidate entity ids that never contains the seed entities.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Sequence
 
 from repro.dataset.ultrawiki import UltraWikiDataset
 from repro.exceptions import ExpansionError
@@ -55,9 +56,20 @@ class Expander(ABC):
                 f"query {query.query_id!r} references unknown class {query.class_id!r}"
             )
         result = self._expand(query, top_k)
-        seeds = set(query.positive_seed_ids) | set(query.negative_seed_ids)
+        seeds = query.seed_ids()
         filtered = [item for item in result.ranking if item.entity_id not in seeds]
         return ExpansionResult(query_id=result.query_id, ranking=tuple(filtered[:top_k]))
+
+    def expand_batch(
+        self, queries: Sequence[Query], top_k: int = 100
+    ) -> list[ExpansionResult]:
+        """Expand several queries at once.
+
+        The default runs :meth:`expand` per query; methods whose scoring
+        vectorises across queries can override this to amortise work when the
+        serving layer batches concurrent requests.
+        """
+        return [self.expand(query, top_k) for query in queries]
 
     @abstractmethod
     def _expand(self, query: Query, top_k: int) -> ExpansionResult:
@@ -66,7 +78,7 @@ class Expander(ABC):
     # -- helpers -------------------------------------------------------------------
     def candidate_ids(self, query: Query) -> list[int]:
         """All candidate entity ids excluding the query's seeds."""
-        seeds = set(query.positive_seed_ids) | set(query.negative_seed_ids)
+        seeds = query.seed_ids()
         return [eid for eid in self.dataset.entity_ids() if eid not in seeds]
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

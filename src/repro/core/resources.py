@@ -9,6 +9,8 @@ refit identical models.
 
 from __future__ import annotations
 
+import threading
+
 from repro.config import CausalLMConfig, EncoderConfig, OracleConfig
 from repro.dataset.ultrawiki import UltraWikiDataset
 from repro.kb.schema import default_schemas
@@ -31,6 +33,10 @@ class SharedResources:
         oracle_config: OracleConfig | None = None,
     ):
         self.dataset = dataset
+        # Serving fits expanders from multiple threads; one reentrant lock
+        # keeps each lazy substrate built exactly once (accessors nest:
+        # e.g. entity_representations -> context_encoder -> embeddings).
+        self._build_lock = threading.RLock()
         self.encoder_config = encoder_config or EncoderConfig()
         self.causal_lm_config = causal_lm_config or CausalLMConfig()
         self.oracle_config = oracle_config or OracleConfig()
@@ -48,92 +54,98 @@ class SharedResources:
     # -- embeddings ------------------------------------------------------------
     def cooccurrence_embeddings(self) -> CooccurrenceEmbeddings:
         """PPMI-SVD embeddings over the dataset corpus (pre-training substitute)."""
-        if self._cooccurrence is None:
-            self._cooccurrence = CooccurrenceEmbeddings(
-                dim=self.encoder_config.embedding_dim,
-                seed=self.encoder_config.seed,
-            ).fit(self.dataset.corpus, self.dataset.entities())
-        return self._cooccurrence
+        with self._build_lock:
+            if self._cooccurrence is None:
+                self._cooccurrence = CooccurrenceEmbeddings(
+                    dim=self.encoder_config.embedding_dim,
+                    seed=self.encoder_config.seed,
+                ).fit(self.dataset.corpus, self.dataset.entities())
+            return self._cooccurrence
 
     # -- context encoder -----------------------------------------------------------
     def context_encoder(self, trained: bool = True) -> ContextEncoder:
         """The masked-entity encoder, with or without entity-prediction training."""
-        if trained:
-            if self._encoder is None:
-                self._encoder = ContextEncoder(self.encoder_config).fit(
+        with self._build_lock:
+            if trained:
+                if self._encoder is None:
+                    self._encoder = ContextEncoder(self.encoder_config).fit(
+                        self.dataset.corpus,
+                        self.dataset.entities(),
+                        pretrained=self.cooccurrence_embeddings(),
+                        train=True,
+                    )
+                return self._encoder
+            if self._untrained_encoder is None:
+                self._untrained_encoder = ContextEncoder(self.encoder_config).fit(
                     self.dataset.corpus,
                     self.dataset.entities(),
                     pretrained=self.cooccurrence_embeddings(),
-                    train=True,
+                    train=False,
                 )
-            return self._encoder
-        if self._untrained_encoder is None:
-            self._untrained_encoder = ContextEncoder(self.encoder_config).fit(
-                self.dataset.corpus,
-                self.dataset.entities(),
-                pretrained=self.cooccurrence_embeddings(),
-                train=False,
-            )
-        return self._untrained_encoder
+            return self._untrained_encoder
 
     def entity_representations(self, trained: bool = True) -> EntityRepresentations:
         """Entity hidden-state / distribution representations for all candidates."""
-        if trained:
-            if self._representations is None:
-                self._representations = self.context_encoder(True).entity_representations(
-                    self.dataset.corpus, self.dataset.entities()
+        with self._build_lock:
+            if trained:
+                if self._representations is None:
+                    self._representations = self.context_encoder(True).entity_representations(
+                        self.dataset.corpus, self.dataset.entities()
+                    )
+                return self._representations
+            if self._untrained_representations is None:
+                self._untrained_representations = self.context_encoder(
+                    False
+                ).entity_representations(
+                    self.dataset.corpus, self.dataset.entities(), with_distributions=False
                 )
-            return self._representations
-        if self._untrained_representations is None:
-            self._untrained_representations = self.context_encoder(
-                False
-            ).entity_representations(
-                self.dataset.corpus, self.dataset.entities(), with_distributions=False
-            )
-        return self._untrained_representations
+            return self._untrained_representations
 
     # -- causal LM ---------------------------------------------------------------------
     def causal_lm(self, further_pretrain: bool = True) -> CausalEntityLM:
         """The GenExpan backbone, with or without continued pre-training."""
-        if further_pretrain:
-            if self._causal_lm is None:
-                config = CausalLMConfig(**{**self.causal_lm_config.__dict__, "further_pretrain": True})
-                self._causal_lm = CausalEntityLM(config).fit(
+        with self._build_lock:
+            if further_pretrain:
+                if self._causal_lm is None:
+                    config = CausalLMConfig(**{**self.causal_lm_config.__dict__, "further_pretrain": True})
+                    self._causal_lm = CausalEntityLM(config).fit(
+                        self.dataset.corpus, self.dataset.entities()
+                    )
+                return self._causal_lm
+            if self._causal_lm_no_pretrain is None:
+                config = CausalLMConfig(**{**self.causal_lm_config.__dict__, "further_pretrain": False})
+                self._causal_lm_no_pretrain = CausalEntityLM(config).fit(
                     self.dataset.corpus, self.dataset.entities()
                 )
-            return self._causal_lm
-        if self._causal_lm_no_pretrain is None:
-            config = CausalLMConfig(**{**self.causal_lm_config.__dict__, "further_pretrain": False})
-            self._causal_lm_no_pretrain = CausalEntityLM(config).fit(
-                self.dataset.corpus, self.dataset.entities()
-            )
-        return self._causal_lm_no_pretrain
+            return self._causal_lm_no_pretrain
 
     # -- oracle and prefix tree -----------------------------------------------------------
     def oracle(self) -> OracleLLM:
         """The simulated GPT-4 oracle bound to this dataset."""
-        if self._oracle is None:
-            attribute_values = {
-                fc.name: {a: tuple(v) for a, v in fc.attributes.items()}
-                for fc in self.dataset.fine_classes.values()
-            }
-            descriptions = {
-                schema.name: schema.description
-                for schema in default_schemas()
-                if schema.name in self.dataset.fine_classes
-            }
-            self._oracle = OracleLLM(
-                self.dataset.entities(),
-                attribute_values,
-                config=self.oracle_config,
-                class_descriptions=descriptions,
-            )
-        return self._oracle
+        with self._build_lock:
+            if self._oracle is None:
+                attribute_values = {
+                    fc.name: {a: tuple(v) for a, v in fc.attributes.items()}
+                    for fc in self.dataset.fine_classes.values()
+                }
+                descriptions = {
+                    schema.name: schema.description
+                    for schema in default_schemas()
+                    if schema.name in self.dataset.fine_classes
+                }
+                self._oracle = OracleLLM(
+                    self.dataset.entities(),
+                    attribute_values,
+                    config=self.oracle_config,
+                    class_descriptions=descriptions,
+                )
+            return self._oracle
 
     def prefix_tree(self) -> PrefixTree:
         """Prefix tree over every candidate entity surface form."""
-        if self._prefix_tree is None:
-            self._prefix_tree = PrefixTree.from_entities(
-                (entity.name for entity in self.dataset.entities()), self._tokenizer
-            )
-        return self._prefix_tree
+        with self._build_lock:
+            if self._prefix_tree is None:
+                self._prefix_tree = PrefixTree.from_entities(
+                    (entity.name for entity in self.dataset.entities()), self._tokenizer
+                )
+            return self._prefix_tree

@@ -7,6 +7,7 @@ with their ground-truth ``P`` / ``N`` sets, and the queries ``S``.
 
 from __future__ import annotations
 
+import hashlib
 from pathlib import Path
 from typing import Iterable, Mapping
 
@@ -107,14 +108,46 @@ class UltraWikiDataset:
     def positive_targets(self, query: Query) -> set[int]:
         """Ground-truth ``P`` for a query, excluding its seed entities."""
         ultra = self.ultra_class_of_query(query)
-        seeds = set(query.positive_seed_ids) | set(query.negative_seed_ids)
-        return set(ultra.positive_entity_ids) - seeds
+        return set(ultra.positive_entity_ids) - query.seed_ids()
 
     def negative_targets(self, query: Query) -> set[int]:
         """Ground-truth ``N`` for a query, excluding its seed entities."""
         ultra = self.ultra_class_of_query(query)
-        seeds = set(query.positive_seed_ids) | set(query.negative_seed_ids)
-        return set(ultra.negative_entity_ids) - seeds
+        return set(ultra.negative_entity_ids) - query.seed_ids()
+
+    # -- identity ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """A stable content fingerprint of the dataset.
+
+        Serving components key fitted expanders by ``(method, fingerprint)``
+        so that two services over the same dataset share cache entries while a
+        rebuilt or differently-seeded dataset never reuses stale models.  The
+        fingerprint covers the vocabulary, class structure, queries, and the
+        corpus content — the inputs that determine a fitted expander.  It is
+        recomputed on every call (the container is mutable), so consumers
+        should capture it once per binding, as the registry does.
+        """
+        digest = hashlib.sha256()
+        for entity in self.entities():
+            digest.update(f"{entity.entity_id}:{entity.name}:{entity.fine_class}".encode())
+        for class_id in sorted(self.ultra_classes):
+            ultra = self.ultra_classes[class_id]
+            digest.update(
+                f"{class_id}:{sorted(ultra.positive_entity_ids)}:"
+                f"{sorted(ultra.negative_entity_ids)}".encode()
+            )
+        for query in self.queries:
+            digest.update(
+                f"{query.query_id}:{query.class_id}:"
+                f"{query.positive_seed_ids}:{query.negative_seed_ids}".encode()
+            )
+        # Models are trained on the corpus, so its content (not just its
+        # size) must contribute to the fingerprint.
+        for sentence in self.corpus:
+            digest.update(
+                f"{sentence.sentence_id}:{sentence.text}:{sentence.entity_ids}".encode()
+            )
+        return digest.hexdigest()[:16]
 
     # -- persistence ---------------------------------------------------------------
     def save(self, directory: str | Path) -> None:

@@ -34,3 +34,11 @@ class ExpansionError(ReproError):
 
 class EvaluationError(ReproError):
     """Evaluation inputs are inconsistent (e.g. empty ground truth)."""
+
+
+class ServiceError(ReproError):
+    """An online serving request is invalid or cannot be fulfilled."""
+
+
+class UnknownMethodError(ServiceError):
+    """A serving request names a method the registry does not provide."""

@@ -1,0 +1,183 @@
+"""Micro-batching of concurrent expansion requests.
+
+Several expanders score whole candidate matrices at once, so executing K
+concurrent requests as one ``expand_batch`` call is cheaper than K
+independent ``expand`` calls — and even for loop-based methods, batching
+bounds the number of in-flight model invocations.  The batcher implements
+the classic serving pattern:
+
+* the **first** request for a ``(method, top_k)`` bucket becomes the batch
+  leader and opens a short collection window (``max_wait_ms``);
+* followers arriving inside the window join the bucket;
+* the batch executes on a worker thread when the window closes, or
+  immediately once ``max_batch_size`` requests have joined;
+* every caller blocks on its own :class:`~concurrent.futures.Future`, so the
+  coalescing is invisible to the request path.
+
+With ``max_wait_ms=0`` the batcher degrades to synchronous per-request
+execution in the caller's thread (no window, no workers), which is the
+right mode for single-user CLI queries.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Sequence
+
+from repro.types import ExpansionResult, Query
+
+#: executes one coalesced batch: (method, top_k, queries) -> results.
+BatchExecutor = Callable[[str, int, Sequence[Query]], Sequence[ExpansionResult]]
+
+
+class _Bucket:
+    """Requests collected for one (method, top_k) batch in flight."""
+
+    __slots__ = ("generation", "queries", "futures")
+
+    def __init__(self, generation: int):
+        self.generation = generation
+        self.queries: list[Query] = []
+        self.futures: list[Future] = []
+
+
+class MicroBatcher:
+    """Coalesces concurrent ``expand`` requests into per-method batches."""
+
+    def __init__(
+        self,
+        execute: BatchExecutor,
+        max_batch_size: int = 16,
+        max_wait_ms: float = 2.0,
+        num_workers: int = 2,
+    ):
+        self._execute = execute
+        self.max_batch_size = max(1, max_batch_size)
+        self.max_wait_s = max(0.0, max_wait_ms) / 1000.0
+        self._lock = threading.Lock()
+        self._buckets: dict[tuple[str, int], _Bucket] = {}
+        self._generation = 0
+        self._closed = False
+        self._pool: ThreadPoolExecutor | None = (
+            ThreadPoolExecutor(
+                max_workers=max(1, num_workers), thread_name_prefix="repro-batch"
+            )
+            if self.max_wait_s > 0
+            else None
+        )
+        self._requests = 0
+        self._batches = 0
+        self._batched_requests = 0
+        self._max_batch = 0
+
+    # -- submission -----------------------------------------------------------------
+    def submit(self, method: str, query: Query, top_k: int) -> Future:
+        """Enqueue one request; the future resolves to its ExpansionResult."""
+        future: Future = Future()
+        if self._pool is None:
+            # Synchronous mode: execute in the caller's thread, batch of one.
+            with self._lock:
+                if self._closed:
+                    raise RuntimeError("batcher is shut down")
+            self._record(1)
+            self._run([query], [future], method, top_k)
+            return future
+        key = (method, top_k)
+        flush_now: _Bucket | None = None
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("batcher is shut down")
+            self._requests += 1
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                self._generation += 1
+                bucket = _Bucket(self._generation)
+                self._buckets[key] = bucket
+                timer = threading.Timer(
+                    self.max_wait_s, self._flush, args=(key, bucket.generation)
+                )
+                timer.daemon = True
+                timer.start()
+            bucket.queries.append(query)
+            bucket.futures.append(future)
+            if len(bucket.queries) >= self.max_batch_size:
+                flush_now = self._buckets.pop(key)
+        if flush_now is not None:
+            self._submit_batch(flush_now, method, top_k)
+        return future
+
+    def _flush(self, key: tuple[str, int], generation: int) -> None:
+        """Timer callback: close the collection window for one bucket."""
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is None or bucket.generation != generation or self._closed:
+                return
+            del self._buckets[key]
+        self._submit_batch(bucket, key[0], key[1])
+
+    def _submit_batch(self, bucket: _Bucket, method: str, top_k: int) -> None:
+        try:
+            self._pool.submit(self._run, bucket.queries, bucket.futures, method, top_k)
+        except RuntimeError:
+            # The pool shut down between the closed-check and the submit;
+            # execute inline so no caller is left waiting on its future.
+            self._run(bucket.queries, bucket.futures, method, top_k)
+
+    # -- execution ------------------------------------------------------------------
+    def _run(
+        self,
+        queries: list[Query],
+        futures: list[Future],
+        method: str,
+        top_k: int,
+    ) -> None:
+        if self._pool is not None:
+            self._record(len(queries))
+        try:
+            results = list(self._execute(method, top_k, queries))
+            if len(results) != len(queries):
+                raise RuntimeError(
+                    f"batch executor returned {len(results)} results "
+                    f"for {len(queries)} queries"
+                )
+        except BaseException as exc:  # propagate to every waiting caller
+            for future in futures:
+                future.set_exception(exc)
+            return
+        for future, result in zip(futures, results):
+            future.set_result(result)
+
+    def _record(self, batch_size: int) -> None:
+        with self._lock:
+            if self._pool is None:
+                self._requests += 1
+            self._batches += 1
+            self._batched_requests += batch_size
+            self._max_batch = max(self._max_batch, batch_size)
+
+    # -- lifecycle ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Flush every pending bucket and stop the workers."""
+        with self._lock:
+            self._closed = True
+            pending = list(self._buckets.items())
+            self._buckets.clear()
+        for (method, top_k), bucket in pending:
+            self._run(bucket.queries, bucket.futures, method, top_k)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "requests": self._requests,
+                "batches": self._batches,
+                "max_batch_size_observed": self._max_batch,
+                "avg_batch_size": (
+                    self._batched_requests / self._batches if self._batches else 0.0
+                ),
+                "max_batch_size": self.max_batch_size,
+                "max_wait_ms": self.max_wait_s * 1000.0,
+                "mode": "sync" if self._pool is None else "batched",
+            }

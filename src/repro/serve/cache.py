@@ -1,0 +1,101 @@
+"""A thread-safe LRU + TTL cache for expansion results.
+
+Repeated queries dominate realistic expansion traffic (the same seed sets
+get re-issued by dashboards, retries, and pagination), so the service caches
+``(method, query, top_k) -> ExpansionResult`` with two independent bounds:
+
+* **capacity** — least-recently-used entries are evicted once the cache is
+  full, and
+* **TTL** — entries older than ``ttl_seconds`` are treated as misses and
+  dropped, so long-lived services pick up refitted models eventually.
+
+All operations are O(1) under a single lock; hit/miss/eviction/expiry
+counters are exposed through :meth:`stats` and surfaced by the ``/stats``
+endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+
+class ResultCache:
+    """Bounded LRU cache with optional per-entry time-to-live."""
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        ttl_seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        """``clock`` is injectable so tests can drive expiry deterministically."""
+        self.capacity = capacity
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: key -> (value, insertion timestamp); order is recency (newest last).
+        self._entries: OrderedDict[Hashable, tuple[Any, float]] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value, or ``None`` on a miss or an expired entry."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            value, stored_at = entry
+            if self._expired(stored_at):
+                del self._entries[key]
+                self._expirations += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh ``key``; evicts the LRU entry when full."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (value, self._clock())
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def _expired(self, stored_at: float) -> bool:
+        return self.ttl_seconds is not None and (
+            self._clock() - stored_at > self.ttl_seconds
+        )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """Counters and shape of the cache as a plain dict."""
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "ttl_seconds": self.ttl_seconds,
+                "hits": self._hits,
+                "misses": self._misses,
+                "hit_rate": (self._hits / total) if total else 0.0,
+                "evictions": self._evictions,
+                "expirations": self._expirations,
+            }

@@ -1,0 +1,168 @@
+"""Request / response dataclasses of the expansion service.
+
+The protocol is deliberately transport-agnostic: :class:`ExpandRequest` and
+:class:`ExpandResponse` are plain dataclasses used directly by in-process
+callers (:meth:`ExpansionService.submit`) and serialised to JSON by the HTTP
+front-end through :func:`repro.utils.iox.to_jsonable`.
+
+A request addresses a query in one of two ways:
+
+* ``query_id`` — one of the dataset's pre-built benchmark queries; or
+* inline seeds — ``class_id`` + ``positive_seed_ids`` (and optionally
+  ``negative_seed_ids``) for ad-hoc expansion, mirroring how a production
+  caller would phrase "more entities like these, unlike those".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.exceptions import ServiceError
+from repro.types import ExpansionResult
+
+
+@dataclass(frozen=True)
+class ExpandRequest:
+    """One expansion request submitted to the service."""
+
+    method: str
+    query_id: str | None = None
+    class_id: str | None = None
+    positive_seed_ids: tuple[int, ...] = ()
+    negative_seed_ids: tuple[int, ...] = ()
+    top_k: int | None = None
+    #: set to ``False`` to bypass the result cache (always recompute).
+    use_cache: bool = True
+
+    def validate(self) -> None:
+        if not self.method:
+            raise ServiceError("request must name a method")
+        if self.query_id is None:
+            if self.class_id is None:
+                raise ServiceError(
+                    "request must provide either query_id or class_id with seeds"
+                )
+            if not self.positive_seed_ids:
+                raise ServiceError("ad-hoc requests need at least one positive seed")
+        elif self.class_id is not None or self.positive_seed_ids or self.negative_seed_ids:
+            raise ServiceError("query_id and inline seeds are mutually exclusive")
+        if self.top_k is not None and self.top_k <= 0:
+            raise ServiceError("top_k must be positive")
+
+    def cache_key(self, top_k: int) -> tuple:
+        """The result-cache key; equivalent requests must collide, so the
+        method is normalized the same way the registry normalizes it."""
+        if self.query_id is not None:
+            query_part: tuple = ("q", self.query_id)
+        else:
+            query_part = (
+                "s",
+                self.class_id,
+                tuple(sorted(self.positive_seed_ids)),
+                tuple(sorted(self.negative_seed_ids)),
+            )
+        return (self.method.strip().lower(), query_part, top_k)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ExpandRequest":
+        """Parse a JSON payload, rejecting unknown fields."""
+        if not isinstance(payload, Mapping):
+            raise ServiceError("request payload must be a JSON object")
+        known = {
+            "method",
+            "query_id",
+            "class_id",
+            "positive_seed_ids",
+            "negative_seed_ids",
+            "top_k",
+            "use_cache",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ServiceError(f"unknown request fields: {sorted(unknown)}")
+        for field in ("positive_seed_ids", "negative_seed_ids"):
+            if isinstance(payload.get(field), (str, bytes)):
+                raise ServiceError(f"{field} must be an array of entity ids")
+        try:
+            return cls(
+                method=str(payload.get("method", "")),
+                query_id=(
+                    None if payload.get("query_id") is None else str(payload["query_id"])
+                ),
+                class_id=(
+                    None if payload.get("class_id") is None else str(payload["class_id"])
+                ),
+                positive_seed_ids=tuple(
+                    int(i) for i in payload.get("positive_seed_ids", ())
+                ),
+                negative_seed_ids=tuple(
+                    int(i) for i in payload.get("negative_seed_ids", ())
+                ),
+                top_k=(None if payload.get("top_k") is None else int(payload["top_k"])),
+                use_cache=bool(payload.get("use_cache", True)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed request: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class RankedEntityView:
+    """One ranked entry of a response, resolved to its surface form."""
+
+    entity_id: int
+    name: str
+    score: float
+
+
+@dataclass(frozen=True)
+class ExpandResponse:
+    """The service's answer to one :class:`ExpandRequest`."""
+
+    method: str
+    query_id: str
+    top_k: int
+    ranking: tuple[RankedEntityView, ...]
+    #: True when the ranking was served from the result cache.
+    cached: bool
+    latency_ms: float
+
+    def entity_ids(self) -> list[int]:
+        return [item.entity_id for item in self.ranking]
+
+    @classmethod
+    def from_result(
+        cls,
+        request_method: str,
+        result: ExpansionResult,
+        names: Mapping[int, str],
+        top_k: int,
+        cached: bool,
+        latency_ms: float,
+    ) -> "ExpandResponse":
+        resolve = names.get
+        ranking = tuple(
+            RankedEntityView(
+                entity_id=item.entity_id,
+                name=resolve(item.entity_id) or "",
+                score=item.score,
+            )
+            for item in result.ranking
+        )
+        return cls(
+            method=request_method,
+            query_id=result.query_id,
+            top_k=top_k,
+            ranking=ranking,
+            cached=cached,
+            latency_ms=latency_ms,
+        )
+
+
+@dataclass(frozen=True)
+class MethodInfo:
+    """One row of the ``/methods`` listing."""
+
+    method: str
+    fitted: bool
+    expander_name: str | None = None

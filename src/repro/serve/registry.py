@@ -1,0 +1,172 @@
+"""Lazily-fitted, shared expanders for the serving layer.
+
+``Expander.fit`` is by far the most expensive step of every method (training
+the context encoder, continued pre-training of the causal LM, ...), so an
+online service must amortise it: the :class:`ExpanderRegistry` fits each
+named method **at most once per dataset** and hands the same fitted instance
+to every request.
+
+Entries are keyed by ``(method, dataset.fingerprint())`` so a registry can
+outlive dataset reloads without serving a model trained on stale data.
+Fitting is guarded by a per-key lock: when N requests race for an unfitted
+method, one fits while the other N-1 block, and nobody fits twice.  A small
+LRU bound keeps memory in check; frequently-used methods can be pinned to
+exempt them from eviction.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Mapping
+
+from repro.baselines import CGExpan, CaSE, GPT4Expander, ProbExpan, SetExpan
+from repro.core.base import Expander
+from repro.core.resources import SharedResources
+from repro.dataset.ultrawiki import UltraWikiDataset
+from repro.exceptions import ServiceError, UnknownMethodError
+from repro.genexpan import GenExpan
+from repro.retexpan import RetExpan
+
+#: canonical method name -> factory over the shared substrates.
+ExpanderFactory = Callable[[SharedResources], Expander]
+
+DEFAULT_FACTORIES: dict[str, ExpanderFactory] = {
+    "retexpan": lambda res: RetExpan(resources=res),
+    "genexpan": lambda res: GenExpan(resources=res),
+    "setexpan": lambda res: SetExpan(),
+    "case": lambda res: CaSE(resources=res),
+    "cgexpan": lambda res: CGExpan(resources=res),
+    "probexpan": lambda res: ProbExpan(resources=res),
+    "gpt4": lambda res: GPT4Expander(resources=res),
+}
+
+
+class ExpanderRegistry:
+    """Fits and pins named expanders against one dataset."""
+
+    def __init__(
+        self,
+        dataset: UltraWikiDataset,
+        resources: SharedResources | None = None,
+        factories: Mapping[str, ExpanderFactory] | None = None,
+        capacity: int = 8,
+    ):
+        if capacity < 1:
+            raise ServiceError("registry capacity must be >= 1")
+        self.dataset = dataset
+        self.resources = resources or SharedResources(dataset)
+        self.capacity = capacity
+        self._factories = dict(
+            DEFAULT_FACTORIES if factories is None else factories
+        )
+        self._fingerprint = dataset.fingerprint()
+        self._lock = threading.Lock()
+        #: (method, fingerprint) -> fitted expander, in recency order.
+        self._entries: OrderedDict[tuple[str, str], Expander] = OrderedDict()
+        self._pinned: set[tuple[str, str]] = set()
+        self._fit_locks: dict[tuple[str, str], threading.Lock] = {}
+        self._fits = 0
+        self._hits = 0
+        self._evictions = 0
+
+    # -- lookup ------------------------------------------------------------------
+    def methods(self) -> list[str]:
+        """The method names this registry can serve."""
+        return sorted(self._factories)
+
+    def is_fitted(self, method: str) -> bool:
+        with self._lock:
+            return self._key(method) in self._entries
+
+    def peek(self, method: str) -> Expander | None:
+        """The fitted expander if present, without fitting or touching LRU order."""
+        with self._lock:
+            return self._entries.get(self._key(method))
+
+    def _key(self, method: str) -> tuple[str, str]:
+        return (method.strip().lower(), self._fingerprint)
+
+    def ensure_known(self, method: str) -> None:
+        """Raise :class:`UnknownMethodError` unless ``method`` is servable."""
+        if self._key(method)[0] not in self._factories:
+            raise UnknownMethodError(
+                f"unknown method {method!r}; available: {self.methods()}"
+            )
+
+    def get(self, method: str) -> Expander:
+        """The fitted expander for ``method``, fitting it on first use."""
+        self.ensure_known(method)
+        key = self._key(method)
+        name = key[0]
+        with self._lock:
+            expander = self._entries.get(key)
+            if expander is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return expander
+            fit_lock = self._fit_locks.setdefault(key, threading.Lock())
+        # Fit outside the registry lock so other methods stay servable, but
+        # under the per-key lock so concurrent requests fit at most once.
+        with fit_lock:
+            with self._lock:
+                expander = self._entries.get(key)
+                if expander is not None:
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+                    return expander
+            expander = self._factories[name](self.resources).fit(self.dataset)
+            with self._lock:
+                self._entries[key] = expander
+                self._fits += 1
+                self._evict_locked()
+            return expander
+
+    def _evict_locked(self) -> None:
+        unpinned = [k for k in self._entries if k not in self._pinned]
+        while len(unpinned) > self.capacity:
+            victim = unpinned.pop(0)
+            del self._entries[victim]
+            self._evictions += 1
+
+    # -- pinning -----------------------------------------------------------------
+    def pin(self, method: str) -> Expander:
+        """Fit (if needed) and exempt ``method`` from LRU eviction."""
+        expander = self.get(method)
+        with self._lock:
+            self._pinned.add(self._key(method))
+        return expander
+
+    def unpin(self, method: str) -> None:
+        with self._lock:
+            self._pinned.discard(self._key(method))
+            self._evict_locked()
+
+    # -- maintenance ---------------------------------------------------------------
+    def register(self, method: str, factory: ExpanderFactory) -> None:
+        """Add (or replace) a method factory, e.g. a custom ablation variant."""
+        with self._lock:
+            self._factories[method.strip().lower()] = factory
+
+    def evict(self, method: str) -> bool:
+        """Drop a fitted expander explicitly; returns True when one existed."""
+        key = self._key(method)
+        with self._lock:
+            self._pinned.discard(key)
+            if key in self._entries:
+                del self._entries[key]
+                self._evictions += 1
+                return True
+            return False
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "fitted": sorted(k[0] for k in self._entries),
+                "pinned": sorted(k[0] for k in self._pinned),
+                "capacity": self.capacity,
+                "dataset_fingerprint": self._fingerprint,
+                "fits": self._fits,
+                "hits": self._hits,
+                "evictions": self._evictions,
+            }

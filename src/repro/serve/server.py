@@ -1,0 +1,166 @@
+"""A dependency-free JSON/HTTP front-end for the expansion service.
+
+Built on the stdlib :mod:`http.server` (``ThreadingHTTPServer``) so the repo
+stays installable without a web framework.  Endpoints:
+
+* ``GET /healthz`` — liveness probe;
+* ``GET /methods`` — the methods the registry can serve and their fit state;
+* ``GET /stats``   — merged service/cache/registry/batcher counters;
+* ``POST /expand`` — a JSON :class:`~repro.serve.protocol.ExpandRequest`.
+
+Error mapping: malformed payloads and invalid parameters are ``400``,
+unknown methods / classes / query ids are ``404``, anything unexpected is
+``500`` — always with a JSON body ``{"error": ..., "message": ...}``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.exceptions import DatasetError, ReproError, UnknownMethodError
+from repro.serve.protocol import ExpandRequest
+from repro.serve.service import ExpansionService
+from repro.utils.iox import to_jsonable
+
+#: request body size guard (1 MiB) against accidental or hostile payloads.
+MAX_BODY_BYTES = 1 << 20
+
+
+def _status_of(exc: BaseException) -> int:
+    if isinstance(exc, (UnknownMethodError, DatasetError)):
+        return 404
+    if isinstance(exc, ReproError):
+        return 400
+    return 500
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the :class:`ExpansionService` set on the server."""
+
+    server_version = "repro-serve/0.1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> ExpansionService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- routing -----------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._send(200, {"status": "ok"})
+        elif path == "/methods":
+            self._send(200, {"methods": self.service.methods()})
+        elif path == "/stats":
+            self._send(200, self.service.stats())
+        else:
+            self._send(404, {"error": "not_found", "message": f"no route {path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path != "/expand":
+            self._send(404, {"error": "not_found", "message": f"no route {path!r}"})
+            return
+        try:
+            payload = self._read_json()
+            request = ExpandRequest.from_dict(payload)
+            response = self.service.submit(request)
+        except Exception as exc:  # noqa: BLE001 - mapped to a status code
+            self._send(
+                _status_of(exc),
+                {"error": type(exc).__name__, "message": str(exc)},
+            )
+            return
+        self._send(200, response)
+
+    # -- plumbing ----------------------------------------------------------------
+    def _read_json(self) -> dict:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError as exc:
+            raise ReproError("Content-Length header is not a number") from exc
+        if length <= 0:
+            raise ReproError("request body is empty")
+        if length > MAX_BODY_BYTES:
+            raise ReproError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ReproError(f"request body is not valid JSON: {exc}") from exc
+
+    def _send(self, status: int, body) -> None:
+        encoded = json.dumps(to_jsonable(body)).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(encoded)))
+        if status >= 400:
+            # An error response may leave an unread request body on the
+            # socket; closing keeps keep-alive clients from desynchronizing.
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):  # quiet by default (tests)
+            super().log_message(format, *args)
+
+
+class ExpansionHTTPServer:
+    """Owns the listening socket and (optionally) a background serving thread."""
+
+    def __init__(
+        self,
+        service: ExpansionService,
+        host: str | None = None,
+        port: int | None = None,
+        verbose: bool = False,
+    ):
+        host = host if host is not None else service.config.host
+        port = port if port is not None else service.config.port
+        self.service = service
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.service = service  # type: ignore[attr-defined]
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — useful with an ephemeral port 0."""
+        host, port = self._httpd.server_address[:2]
+        return (str(host), int(port))
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ExpansionHTTPServer":
+        """Serve on a daemon thread and return immediately (test/embedded use)."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (CLI use)."""
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+        self.service.close()
+
+    def __enter__(self) -> "ExpansionHTTPServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

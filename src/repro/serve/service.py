@@ -1,0 +1,204 @@
+"""The expansion service: registry + cache + micro-batcher behind one API.
+
+:class:`ExpansionService` is the in-process facade the HTTP server, the CLI
+``query`` command, and tests all talk to.  One ``submit`` call is one
+request; the hot path is::
+
+    request -> validate -> resolve query -> result cache? -> micro-batcher
+            -> ExpanderRegistry (lazy one-time fit) -> expand_batch -> cache
+
+Every layer keeps its own counters and :meth:`stats` merges them, so the
+``/stats`` endpoint shows cache hit rates, fit counts, and batch shapes for
+a running service.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Mapping, Sequence
+
+from repro.config import ServiceConfig
+from repro.core.resources import SharedResources
+from repro.dataset.ultrawiki import UltraWikiDataset
+from repro.exceptions import DatasetError, ServiceError
+from repro.serve.batcher import MicroBatcher
+from repro.serve.cache import ResultCache
+from repro.serve.protocol import ExpandRequest, ExpandResponse, MethodInfo
+from repro.serve.registry import ExpanderFactory, ExpanderRegistry
+from repro.types import ExpansionResult, Query
+
+
+class ExpansionService:
+    """Serves expansion queries over a fitted expander fleet."""
+
+    def __init__(
+        self,
+        dataset: UltraWikiDataset,
+        config: ServiceConfig | None = None,
+        resources: SharedResources | None = None,
+        factories: Mapping[str, ExpanderFactory] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        """``resources`` lets callers share already-fitted substrates (e.g.
+        an :class:`ExperimentContext`); ``clock`` feeds the TTL cache and is
+        injectable for deterministic expiry tests."""
+        self.config = config or ServiceConfig()
+        self.config.validate()
+        self.dataset = dataset
+        self.registry = ExpanderRegistry(
+            dataset,
+            resources=resources,
+            factories=factories,
+            capacity=self.config.registry_capacity,
+        )
+        self.cache = ResultCache(
+            capacity=self.config.cache_capacity,
+            ttl_seconds=self.config.cache_ttl_seconds,
+            clock=clock,
+        )
+        self.batcher = MicroBatcher(
+            self._execute_batch,
+            max_batch_size=self.config.max_batch_size,
+            max_wait_ms=self.config.batch_wait_ms,
+            num_workers=self.config.batch_workers,
+        )
+        self._queries_by_id: dict[str, Query] = {
+            q.query_id: q for q in dataset.queries
+        }
+        self._entity_names: dict[int, str] = {
+            e.entity_id: e.name for e in dataset.entities()
+        }
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._errors = 0
+        self._adhoc = 0
+        self._closed = False
+
+    # -- request path ----------------------------------------------------------------
+    def submit(self, request: ExpandRequest) -> ExpandResponse:
+        """Serve one request synchronously; raises a ReproError on bad input."""
+        started = time.perf_counter()
+        try:
+            response = self._submit(request, started)
+        except BaseException:
+            with self._lock:
+                self._requests += 1
+                self._errors += 1
+            raise
+        with self._lock:
+            self._requests += 1
+        return response
+
+    def _submit(self, request: ExpandRequest, started: float) -> ExpandResponse:
+        if self._closed:
+            raise ServiceError("service is shut down")
+        request.validate()
+        method = request.method.strip().lower()
+        self.registry.ensure_known(request.method)
+        query = self._resolve_query(request)
+        top_k = request.top_k or self.config.default_top_k
+
+        key = request.cache_key(top_k)
+        if request.use_cache:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return self._respond(method, cached, top_k, True, started)
+
+        result = self.batcher.submit(method, query, top_k).result()
+        if request.use_cache:
+            self.cache.put(key, result)
+        return self._respond(method, result, top_k, False, started)
+
+    def _respond(
+        self,
+        method: str,
+        result: ExpansionResult,
+        top_k: int,
+        cached: bool,
+        started: float,
+    ) -> ExpandResponse:
+        return ExpandResponse.from_result(
+            method,
+            result,
+            self._entity_names,
+            top_k=top_k,
+            cached=cached,
+            latency_ms=(time.perf_counter() - started) * 1000.0,
+        )
+
+    def _resolve_query(self, request: ExpandRequest) -> Query:
+        if request.query_id is not None:
+            query = self._queries_by_id.get(request.query_id)
+            if query is None:
+                raise DatasetError(f"unknown query id {request.query_id!r}")
+            return query
+        if request.class_id not in self.dataset.ultra_classes:
+            raise DatasetError(f"unknown ultra-fine-grained class {request.class_id!r}")
+        for entity_id in (*request.positive_seed_ids, *request.negative_seed_ids):
+            self.dataset.entity(entity_id)  # raises DatasetError when unknown
+        with self._lock:
+            self._adhoc += 1
+            serial = self._adhoc
+        return Query(
+            query_id=f"adhoc-{serial}",
+            class_id=request.class_id,
+            positive_seed_ids=request.positive_seed_ids,
+            negative_seed_ids=request.negative_seed_ids,
+        )
+
+    def _execute_batch(
+        self, method: str, top_k: int, queries: Sequence[Query]
+    ) -> Sequence[ExpansionResult]:
+        """Batch executor handed to the micro-batcher."""
+        expander = self.registry.get(method)
+        return expander.expand_batch(list(queries), top_k=top_k)
+
+    # -- warm-up / introspection ------------------------------------------------------
+    def warm_up(self, methods: Sequence[str] = ("retexpan",)) -> None:
+        """Fit and pin the given methods up front (e.g. at server start)."""
+        for method in methods:
+            self.registry.pin(method)
+
+    def methods(self) -> list[MethodInfo]:
+        infos = []
+        for name in self.registry.methods():
+            fitted = self.registry.peek(name)
+            infos.append(
+                MethodInfo(
+                    method=name,
+                    fitted=fitted is not None,
+                    expander_name=fitted.name if fitted is not None else None,
+                )
+            )
+        return infos
+
+    def stats(self) -> dict:
+        with self._lock:
+            service = {
+                "requests": self._requests,
+                "errors": self._errors,
+                "adhoc_queries": self._adhoc,
+                "dataset_queries": len(self._queries_by_id),
+                "entities": len(self._entity_names),
+            }
+        return {
+            "service": service,
+            "cache": self.cache.stats(),
+            "registry": self.registry.stats(),
+            "batcher": self.batcher.stats(),
+        }
+
+    # -- lifecycle ---------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.batcher.shutdown()
+
+    def __enter__(self) -> "ExpansionService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

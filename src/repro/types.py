@@ -205,6 +205,19 @@ class Query:
                 "both positive and negative"
             )
 
+    def seed_ids(self) -> frozenset[int]:
+        """All seed entity ids (positive and negative), cached per query.
+
+        Seed-set membership is tested on every expansion and candidate scan,
+        so the union is materialised once per :class:`Query` instance instead
+        of being rebuilt per call.
+        """
+        cached = self.__dict__.get("_seed_ids")
+        if cached is None:
+            cached = frozenset(self.positive_seed_ids) | frozenset(self.negative_seed_ids)
+            object.__setattr__(self, "_seed_ids", cached)
+        return cached
+
     def to_dict(self) -> dict:
         return {
             "query_id": self.query_id,

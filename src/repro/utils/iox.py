@@ -2,9 +2,45 @@
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from pathlib import Path
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, Mapping
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into plain JSON-serialisable values.
+
+    Shared by the experiment ``--json`` dump and the serving protocol so both
+    produce the same encoding: dataclasses and objects exposing ``to_dict()``
+    become dicts, mappings keep (stringified) keys, sets are sorted for
+    determinism, numpy scalars/arrays reduce via ``item()``/``tolist()``, and
+    anything else unknown falls back to ``str`` — explicitly, rather than via
+    a silent ``json.dumps(default=str)``.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        # One pass over the fields (asdict would deep-copy the whole tree
+        # first and bypass nested objects' to_dict hooks).
+        return {
+            f.name: to_jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)
+        }
+    if hasattr(obj, "to_dict") and callable(obj.to_dict):
+        return to_jsonable(obj.to_dict())
+    if isinstance(obj, Mapping):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (set, frozenset)):
+        return [to_jsonable(v) for v in sorted(obj, key=repr)]
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, Path):
+        return str(obj)
+    if hasattr(obj, "item") and callable(obj.item) and getattr(obj, "ndim", None) == 0:
+        return obj.item()  # numpy scalar
+    if hasattr(obj, "tolist") and callable(obj.tolist):
+        return to_jsonable(obj.tolist())  # numpy array
+    return str(obj)
 
 
 def write_json(path: str | Path, obj: Any, indent: int = 2) -> None:

@@ -30,6 +30,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["build-dataset", "--profile", "huge"])
 
+    def test_serve_arguments(self):
+        args = build_parser().parse_args(
+            ["serve", "--profile", "tiny", "--port", "0", "--warm", "retexpan", "setexpan"]
+        )
+        assert args.profile == "tiny"
+        assert args.port == 0
+        assert args.warm == ["retexpan", "setexpan"]
+        assert args.dataset is None
+
+    def test_query_arguments(self):
+        args = build_parser().parse_args(
+            ["query", "--dataset", "./ds", "--method", "setexpan", "--top-k", "7"]
+        )
+        assert args.dataset == "./ds"
+        assert args.method == "setexpan"
+        assert args.top_k == 7
+        assert args.query_id is None
+
 
 class TestCommands:
     def test_list_experiments(self, capsys):
@@ -77,3 +95,31 @@ class TestCommands:
 
         with pytest.raises(ConfigurationError):
             main(["run-experiment", "table42", "--profile", "tiny"])
+
+    def test_query_command_round_trip(self, tmp_path, capsys):
+        """``repro query`` serves one request through the full service stack."""
+        dataset_dir = tmp_path / "ds"
+        assert main(
+            ["build-dataset", "--profile", "tiny", "--seed", "7", "--output", str(dataset_dir)]
+        ) == 0
+        json_path = tmp_path / "response.json"
+        code = main(
+            [
+                "query",
+                "--dataset",
+                str(dataset_dir),
+                "--method",
+                "setexpan",
+                "--top-k",
+                "5",
+                "--json",
+                str(json_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "setexpan on" in output
+        payload = json.loads(json_path.read_text())
+        assert payload["method"] == "setexpan"
+        assert payload["cached"] is False
+        assert 1 <= len(payload["ranking"]) <= 5

@@ -101,6 +101,23 @@ class TestContainerAccess:
         assert dataset.num_sentences == 1
 
 
+class TestFingerprint:
+    def test_identical_content_gives_identical_fingerprint(self):
+        assert small_container().fingerprint() == small_container().fingerprint()
+
+    def test_corpus_content_changes_the_fingerprint(self):
+        base = small_container()
+        changed = small_container()
+        changed.corpus = Corpus([Sentence(0, "Alpha is elsewhere.", (0,))])
+        assert base.fingerprint() != changed.fingerprint()
+
+    def test_query_changes_the_fingerprint(self):
+        base = small_container()
+        changed = small_container()
+        changed.queries = [Query("c#000/q0", "c#000", (1,), (2,))]
+        assert base.fingerprint() != changed.fingerprint()
+
+
 class TestPersistence:
     def test_save_and_load_roundtrip(self, tmp_path):
         dataset = small_container()

@@ -1,0 +1,207 @@
+"""HTTP round-trip tests for the serving front-end (ephemeral port)."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.config import ServiceConfig
+from repro.core.base import Expander
+from repro.serve import ExpansionHTTPServer, ExpansionService
+from repro.types import ExpansionResult
+
+
+class StubExpander(Expander):
+    name = "stub"
+
+    def _expand(self, query, top_k):
+        scored = [(eid, 1.0 / (1.0 + eid)) for eid in self.candidate_ids(query)]
+        return ExpansionResult.from_scores(query.query_id, scored)
+
+
+@pytest.fixture(scope="module")
+def server(tiny_dataset):
+    service = ExpansionService(
+        tiny_dataset,
+        config=ServiceConfig(batch_wait_ms=0.0, port=0),
+        factories={"stub": lambda _resources: StubExpander()},
+    )
+    server = ExpansionHTTPServer(service, port=0).start()
+    yield server
+    server.shutdown()
+
+
+def get(server, path):
+    with urllib.request.urlopen(server.url + path, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def post(server, path, payload):
+    body = json.dumps(payload).encode("utf-8") if not isinstance(payload, bytes) else payload
+    request = urllib.request.Request(
+        server.url + path, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, payload = get(server, "/healthz")
+        assert status == 200
+        assert payload == {"status": "ok"}
+
+    def test_methods_lists_the_registry(self, server):
+        status, payload = get(server, "/methods")
+        assert status == 200
+        assert {row["method"] for row in payload["methods"]} == {"stub"}
+
+    def test_expand_round_trip_and_cache_hit(self, server, tiny_dataset):
+        query = tiny_dataset.queries[0]
+        body = {"method": "stub", "query_id": query.query_id, "top_k": 10}
+
+        status, first = post(server, "/expand", body)
+        assert status == 200
+        assert first["cached"] is False
+        assert first["query_id"] == query.query_id
+        assert len(first["ranking"]) == 10
+        returned = {item["entity_id"] for item in first["ranking"]}
+        assert not returned & set(query.seed_ids())
+
+        hits_before = get(server, "/stats")[1]["cache"]["hits"]
+        status, second = post(server, "/expand", body)
+        assert status == 200
+        assert second["cached"] is True
+        assert [i["entity_id"] for i in second["ranking"]] == [
+            i["entity_id"] for i in first["ranking"]
+        ]
+        assert get(server, "/stats")[1]["cache"]["hits"] == hits_before + 1
+
+    def test_stats_shape(self, server):
+        status, payload = get(server, "/stats")
+        assert status == 200
+        assert set(payload) == {"service", "cache", "registry", "batcher"}
+        assert payload["service"]["requests"] >= 1
+
+    def test_concurrent_http_clients(self, server, tiny_dataset):
+        from concurrent.futures import ThreadPoolExecutor
+
+        queries = tiny_dataset.queries[:6]
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            results = list(
+                pool.map(
+                    lambda q: post(
+                        server,
+                        "/expand",
+                        {"method": "stub", "query_id": q.query_id, "top_k": 5},
+                    ),
+                    queries,
+                )
+            )
+        assert all(status == 200 for status, _ in results)
+        assert {payload["query_id"] for _, payload in results} == {
+            q.query_id for q in queries
+        }
+
+
+class TestErrorMapping:
+    def test_unknown_method_is_404(self, server, tiny_dataset):
+        status, payload = post(
+            server,
+            "/expand",
+            {"method": "nope", "query_id": tiny_dataset.queries[0].query_id},
+        )
+        assert status == 404
+        assert payload["error"] == "UnknownMethodError"
+
+    def test_unknown_class_is_404(self, server):
+        status, payload = post(
+            server,
+            "/expand",
+            {"method": "stub", "class_id": "no-such-class", "positive_seed_ids": [0]},
+        )
+        assert status == 404
+        assert payload["error"] == "DatasetError"
+
+    def test_unknown_query_id_is_404(self, server):
+        status, _ = post(server, "/expand", {"method": "stub", "query_id": "missing"})
+        assert status == 404
+
+    def test_malformed_json_is_400(self, server):
+        status, payload = post(server, "/expand", b"{not json")
+        assert status == 400
+        assert "JSON" in payload["message"]
+
+    def test_non_numeric_content_length_is_400(self, server):
+        import http.client
+
+        host, port = server.address
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            connection.putrequest("POST", "/expand")
+            connection.putheader("Content-Length", "abc")
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 400
+            assert json.loads(response.read())["message"].startswith("Content-Length")
+        finally:
+            connection.close()
+
+    def test_error_responses_close_the_connection(self, server):
+        status, _ = post(server, "/expand", b"{not json")
+        assert status == 400
+        # header check via a raw connection
+        import http.client
+
+        host, port = server.address
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            connection.request(
+                "POST", "/expand", body=b"{broken", headers={"Content-Type": "application/json"}
+            )
+            response = connection.getresponse()
+            assert response.status == 400
+            assert response.getheader("Connection") == "close"
+        finally:
+            connection.close()
+
+    def test_invalid_request_fields_are_400(self, server, tiny_dataset):
+        status, _ = post(
+            server,
+            "/expand",
+            {
+                "method": "stub",
+                "query_id": tiny_dataset.queries[0].query_id,
+                "top_k": -3,
+            },
+        )
+        assert status == 400
+
+    def test_unknown_route_is_404(self, server):
+        status, _ = post(server, "/elsewhere", {"method": "stub"})
+        assert status == 404
+        try:
+            with urllib.request.urlopen(server.url + "/nothing", timeout=10) as response:
+                status = response.status
+        except urllib.error.HTTPError as error:
+            status = error.code
+        assert status == 404
+
+
+def test_server_shutdown_closes_the_service(tiny_dataset):
+    service = ExpansionService(
+        tiny_dataset,
+        config=ServiceConfig(batch_wait_ms=0.0, port=0),
+        factories={"stub": lambda _resources: StubExpander()},
+    )
+    server = ExpansionHTTPServer(service, port=0).start()
+    assert get(server, "/healthz")[0] == 200
+    server.shutdown()
+    with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
+        urllib.request.urlopen(server.url + "/healthz", timeout=1)

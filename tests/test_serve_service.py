@@ -1,0 +1,384 @@
+"""Tests for the online expansion service (registry + cache + batcher)."""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.config import ServiceConfig
+from repro.core.base import Expander
+from repro.exceptions import DatasetError, ServiceError, UnknownMethodError
+from repro.serve import ExpandRequest, ExpansionService, ResultCache
+from repro.types import ExpansionResult
+from repro.utils.iox import to_jsonable
+
+
+class CountingExpander(Expander):
+    """A cheap expander that records fits and batch shapes.
+
+    ``_expand`` deliberately scores *every* entity — including the query's
+    seeds — so the tests can verify that seed filtering survives the whole
+    service path.
+    """
+
+    name = "stub"
+
+    def __init__(self, fit_delay: float = 0.0):
+        super().__init__()
+        self.fit_calls = 0
+        self.batch_sizes: list[int] = []
+        self.fit_delay = fit_delay
+
+    def _fit(self, dataset) -> None:
+        self.fit_calls += 1
+        if self.fit_delay:
+            time.sleep(self.fit_delay)
+
+    def _expand(self, query, top_k) -> ExpansionResult:
+        scored = [(eid, 1.0 / (1.0 + eid)) for eid in self.dataset.entity_ids()]
+        return ExpansionResult.from_scores(query.query_id, scored)
+
+    def expand_batch(self, queries, top_k=100):
+        self.batch_sizes.append(len(queries))
+        return [self.expand(query, top_k) for query in queries]
+
+
+def make_service(dataset, config=None, clock=time.monotonic, fit_delay=0.0):
+    """A service whose only methods are two independent stub expanders."""
+    created: dict[str, list[CountingExpander]] = {"stub": [], "stub2": []}
+
+    def factory_for(name):
+        def factory(_resources):
+            expander = CountingExpander(fit_delay=fit_delay)
+            created[name].append(expander)
+            return expander
+
+        return factory
+
+    service = ExpansionService(
+        dataset,
+        config=config or ServiceConfig(batch_wait_ms=0.0),
+        factories={"stub": factory_for("stub"), "stub2": factory_for("stub2")},
+        clock=clock,
+    )
+    return service, created
+
+
+class TestRegistryReuse:
+    def test_expander_fitted_at_most_once_across_concurrent_requests(self, tiny_dataset):
+        service, created = make_service(tiny_dataset, fit_delay=0.05)
+        queries = tiny_dataset.queries[:8]
+        with service:
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                responses = list(
+                    pool.map(
+                        lambda q: service.submit(
+                            ExpandRequest(method="stub", query_id=q.query_id, top_k=10)
+                        ),
+                        queries,
+                    )
+                )
+        assert len(responses) == len(queries)
+        assert len(created["stub"]) == 1
+        assert created["stub"][0].fit_calls == 1
+        assert service.stats()["registry"]["fits"] == 1
+
+    def test_sequential_requests_reuse_the_fitted_expander(self, tiny_dataset):
+        service, created = make_service(tiny_dataset)
+        with service:
+            for query in tiny_dataset.queries[:3]:
+                service.submit(ExpandRequest(method="stub", query_id=query.query_id))
+        assert len(created["stub"]) == 1
+
+    def test_registry_evicts_lru_and_refits_on_return(self, tiny_dataset):
+        config = ServiceConfig(batch_wait_ms=0.0, registry_capacity=1)
+        service, created = make_service(tiny_dataset, config=config)
+        query_id = tiny_dataset.queries[0].query_id
+        with service:
+            service.submit(ExpandRequest(method="stub", query_id=query_id, use_cache=False))
+            service.submit(ExpandRequest(method="stub2", query_id=query_id, use_cache=False))
+            service.submit(ExpandRequest(method="stub", query_id=query_id, use_cache=False))
+        stats = service.stats()["registry"]
+        assert stats["evictions"] >= 1
+        assert len(created["stub"]) == 2  # evicted, then lazily refitted
+
+    def test_pinned_expander_survives_eviction_pressure(self, tiny_dataset):
+        config = ServiceConfig(batch_wait_ms=0.0, registry_capacity=1)
+        service, created = make_service(tiny_dataset, config=config)
+        query_id = tiny_dataset.queries[0].query_id
+        with service:
+            service.warm_up(["stub"])
+            service.submit(ExpandRequest(method="stub2", query_id=query_id, use_cache=False))
+            service.submit(ExpandRequest(method="stub", query_id=query_id, use_cache=False))
+        assert len(created["stub"]) == 1
+        assert "stub" in service.stats()["registry"]["pinned"]
+
+
+class TestResultCache:
+    def test_second_identical_request_is_served_from_cache(self, tiny_dataset):
+        service, created = make_service(tiny_dataset)
+        request = ExpandRequest(
+            method="stub", query_id=tiny_dataset.queries[0].query_id, top_k=10
+        )
+        with service:
+            first = service.submit(request)
+            second = service.submit(request)
+        assert first.cached is False
+        assert second.cached is True
+        assert first.entity_ids() == second.entity_ids()
+        stats = service.stats()["cache"]
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        # only the first request reached the expander.
+        assert sum(created["stub"][0].batch_sizes) == 1
+
+    def test_different_top_k_is_a_different_cache_entry(self, tiny_dataset):
+        service, _ = make_service(tiny_dataset)
+        query_id = tiny_dataset.queries[0].query_id
+        with service:
+            service.submit(ExpandRequest(method="stub", query_id=query_id, top_k=10))
+            response = service.submit(
+                ExpandRequest(method="stub", query_id=query_id, top_k=20)
+            )
+        assert response.cached is False
+        assert len(response.ranking) == 20
+
+    def test_use_cache_false_bypasses_the_cache(self, tiny_dataset):
+        service, created = make_service(tiny_dataset)
+        request = ExpandRequest(
+            method="stub",
+            query_id=tiny_dataset.queries[0].query_id,
+            use_cache=False,
+        )
+        with service:
+            assert service.submit(request).cached is False
+            assert service.submit(request).cached is False
+        assert sum(created["stub"][0].batch_sizes) == 2
+
+    def test_ttl_expiry_recomputes(self, tiny_dataset):
+        now = [0.0]
+        config = ServiceConfig(batch_wait_ms=0.0, cache_ttl_seconds=10.0)
+        service, _ = make_service(tiny_dataset, config=config, clock=lambda: now[0])
+        request = ExpandRequest(method="stub", query_id=tiny_dataset.queries[0].query_id)
+        with service:
+            service.submit(request)
+            now[0] = 5.0
+            assert service.submit(request).cached is True
+            now[0] = 20.1
+            assert service.submit(request).cached is False
+        assert service.stats()["cache"]["expirations"] == 1
+
+    def test_lru_eviction_is_counted(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a": "b" is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["size"] == 2
+
+
+class TestBatching:
+    def test_concurrent_requests_coalesce_into_batches(self, tiny_dataset):
+        config = ServiceConfig(batch_wait_ms=75.0, max_batch_size=8, batch_workers=2)
+        service, created = make_service(tiny_dataset, config=config)
+        queries = tiny_dataset.queries[:8]
+        with service:
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                responses = list(
+                    pool.map(
+                        lambda q: service.submit(
+                            ExpandRequest(
+                                method="stub", query_id=q.query_id, use_cache=False
+                            )
+                        ),
+                        queries,
+                    )
+                )
+        assert {r.query_id for r in responses} == {q.query_id for q in queries}
+        sizes = created["stub"][0].batch_sizes
+        assert sum(sizes) == len(queries)
+        assert len(sizes) < len(queries)  # at least one real batch formed
+        assert max(sizes) >= 2
+        assert service.stats()["batcher"]["max_batch_size_observed"] == max(sizes)
+
+    def test_full_bucket_flushes_before_the_window_closes(self, tiny_dataset):
+        config = ServiceConfig(batch_wait_ms=10_000.0, max_batch_size=2)
+        service, created = make_service(tiny_dataset, config=config)
+        queries = tiny_dataset.queries[:2]
+        started = time.perf_counter()
+        with service:
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                list(
+                    pool.map(
+                        lambda q: service.submit(
+                            ExpandRequest(
+                                method="stub", query_id=q.query_id, use_cache=False
+                            )
+                        ),
+                        queries,
+                    )
+                )
+        elapsed = time.perf_counter() - started
+        assert elapsed < 5.0  # did not wait for the 10 s window
+        assert max(created["stub"][0].batch_sizes) == 2
+
+    def test_batch_results_map_back_to_their_requests(self, tiny_dataset):
+        config = ServiceConfig(batch_wait_ms=50.0, max_batch_size=8)
+        service, _ = make_service(tiny_dataset, config=config)
+        queries = tiny_dataset.queries[:6]
+        with service:
+            with ThreadPoolExecutor(max_workers=6) as pool:
+                responses = list(
+                    pool.map(
+                        lambda q: service.submit(
+                            ExpandRequest(
+                                method="stub", query_id=q.query_id, use_cache=False
+                            )
+                        ),
+                        queries,
+                    )
+                )
+        for query, response in zip(queries, responses):
+            assert response.query_id == query.query_id
+
+
+class TestServicePath:
+    def test_seed_filtering_is_preserved_through_the_service(self, tiny_dataset):
+        service, _ = make_service(tiny_dataset)
+        query = tiny_dataset.queries[0]
+        with service:
+            response = service.submit(
+                ExpandRequest(method="stub", query_id=query.query_id, top_k=50)
+            )
+        returned = set(response.entity_ids())
+        assert returned  # the stub scored every entity, seeds included
+        assert not returned & set(query.positive_seed_ids)
+        assert not returned & set(query.negative_seed_ids)
+
+    def test_adhoc_query_expands_and_caches(self, tiny_dataset):
+        query = tiny_dataset.queries[0]
+        request = ExpandRequest(
+            method="stub",
+            class_id=query.class_id,
+            positive_seed_ids=query.positive_seed_ids,
+            negative_seed_ids=query.negative_seed_ids,
+            top_k=10,
+        )
+        service, _ = make_service(tiny_dataset)
+        with service:
+            first = service.submit(request)
+            second = service.submit(request)
+        assert first.query_id.startswith("adhoc-")
+        assert first.cached is False
+        assert second.cached is True  # same seeds -> same cache key
+
+    def test_response_entities_resolve_names(self, tiny_dataset):
+        service, _ = make_service(tiny_dataset)
+        with service:
+            response = service.submit(
+                ExpandRequest(method="stub", query_id=tiny_dataset.queries[0].query_id)
+            )
+        for item in response.ranking[:5]:
+            assert item.name == tiny_dataset.entity(item.entity_id).name
+
+    def test_response_is_jsonable(self, tiny_dataset):
+        service, _ = make_service(tiny_dataset)
+        with service:
+            response = service.submit(
+                ExpandRequest(method="stub", query_id=tiny_dataset.queries[0].query_id)
+            )
+        payload = json.loads(json.dumps(to_jsonable(response)))
+        assert payload["cached"] is False
+        assert payload["ranking"][0]["entity_id"] == response.ranking[0].entity_id
+
+
+class TestErrors:
+    def test_unknown_method_is_rejected(self, tiny_dataset):
+        service, _ = make_service(tiny_dataset)
+        with service:
+            with pytest.raises(UnknownMethodError):
+                service.submit(
+                    ExpandRequest(
+                        method="nope", query_id=tiny_dataset.queries[0].query_id
+                    )
+                )
+        assert service.stats()["service"]["errors"] == 1
+
+    def test_unknown_query_id_is_rejected(self, tiny_dataset):
+        service, _ = make_service(tiny_dataset)
+        with service:
+            with pytest.raises(DatasetError):
+                service.submit(ExpandRequest(method="stub", query_id="no-such-query"))
+
+    def test_unknown_class_is_rejected(self, tiny_dataset):
+        service, _ = make_service(tiny_dataset)
+        with service:
+            with pytest.raises(DatasetError):
+                service.submit(
+                    ExpandRequest(
+                        method="stub", class_id="no-such-class", positive_seed_ids=(1,)
+                    )
+                )
+
+    def test_request_validation(self):
+        with pytest.raises(ServiceError):
+            ExpandRequest(method="stub").validate()  # neither query_id nor seeds
+        with pytest.raises(ServiceError):
+            ExpandRequest(method="stub", query_id="q", class_id="c").validate()
+        with pytest.raises(ServiceError):
+            ExpandRequest(method="stub", query_id="q", top_k=0).validate()
+        with pytest.raises(ServiceError):
+            ExpandRequest.from_dict({"method": "stub", "bogus": 1})
+        with pytest.raises(ServiceError):
+            # a JSON string must not be iterated character-by-character
+            ExpandRequest.from_dict(
+                {"method": "stub", "class_id": "c", "positive_seed_ids": "12"}
+            )
+
+    def test_cache_key_normalizes_the_method_spelling(self):
+        key = ExpandRequest(method=" RetExpan ", query_id="q").cache_key(10)
+        assert key == ExpandRequest(method="retexpan", query_id="q").cache_key(10)
+
+    def test_submitting_after_close_fails(self, tiny_dataset):
+        service, _ = make_service(tiny_dataset)
+        service.close()
+        with pytest.raises(ServiceError):
+            service.submit(
+                ExpandRequest(method="stub", query_id=tiny_dataset.queries[0].query_id)
+            )
+
+
+class TestDefaultRegistry:
+    def test_default_methods_are_listed(self, tiny_dataset, resources):
+        service = ExpansionService(
+            tiny_dataset,
+            config=ServiceConfig(batch_wait_ms=0.0),
+            resources=resources,
+        )
+        with service:
+            names = [info.method for info in service.methods()]
+        assert {"retexpan", "genexpan", "setexpan", "probexpan"} <= set(names)
+
+    def test_setexpan_round_trip_with_real_expander(self, tiny_dataset, resources):
+        service = ExpansionService(
+            tiny_dataset,
+            config=ServiceConfig(batch_wait_ms=0.0),
+            resources=resources,
+        )
+        query = tiny_dataset.queries[0]
+        with service:
+            response = service.submit(
+                ExpandRequest(method="SetExpan", query_id=query.query_id, top_k=10)
+            )
+        assert len(response.ranking) <= 10
+        assert not set(response.entity_ids()) & set(query.seed_ids())
+        info = {i.method: i for i in service.methods()}["setexpan"]
+        assert info.fitted is True
+        assert info.expander_name == "SetExpan"

@@ -1,6 +1,50 @@
 """Tests for the JSON / JSON-lines IO helpers."""
 
-from repro.utils.iox import read_json, read_jsonl, write_json, write_jsonl
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.types import RankedEntity
+from repro.utils.iox import read_json, read_jsonl, to_jsonable, write_json, write_jsonl
+
+
+class TestToJsonable:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 3, 2.5, "x"):
+            assert to_jsonable(value) == value
+
+    def test_dataclasses_and_to_dict_objects(self):
+        @dataclass
+        class Point:
+            x: int
+            tags: tuple
+
+        assert to_jsonable(Point(1, ("a", "b"))) == {"x": 1, "tags": ["a", "b"]}
+        assert to_jsonable(RankedEntity(7, 0.5)) == {"entity_id": 7, "score": 0.5}
+
+    def test_containers_recurse(self):
+        payload = {"rows": [(1, 2), {3, 4}], 5: "five", "path": Path("/tmp/x")}
+        assert to_jsonable(payload) == {
+            "rows": [[1, 2], [3, 4]],
+            "5": "five",
+            "path": "/tmp/x",
+        }
+
+    def test_numpy_values_reduce(self):
+        converted = to_jsonable(
+            {"scalar": np.float64(0.25), "vec": np.array([1, 2]), "i": np.int64(3)}
+        )
+        assert converted == {"scalar": 0.25, "vec": [1, 2], "i": 3}
+        json.dumps(converted)  # actually serialisable
+
+    def test_unknown_objects_fall_back_to_str(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        assert to_jsonable(Opaque()) == "<opaque>"
 
 
 class TestJson:

@@ -54,6 +54,7 @@ from repro.serve import (
     ExpansionHTTPServer,
     ExpansionService,
 )
+from repro.store import ArtifactInfo, ArtifactStore
 
 __version__ = "0.1.0"
 
@@ -104,4 +105,7 @@ __all__ = [
     "ExpandResponse",
     "ExpansionService",
     "ExpansionHTTPServer",
+    # persistence
+    "ArtifactStore",
+    "ArtifactInfo",
 ]

@@ -10,6 +10,8 @@ SetExpan it only consumes positive seeds.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from repro.core.base import Expander
@@ -26,6 +28,8 @@ class CaSE(Expander):
     """Lexical + distributed one-shot ranking."""
 
     name = "CaSE"
+    supports_persistence = True
+    state_version = 1
 
     def __init__(
         self,
@@ -66,6 +70,34 @@ class CaSE(Expander):
                 )
             self._entity_terms[entity.entity_id] = tokens
             self._bm25.add_document(entity.entity_id, tokens)
+
+    # -- persistence ----------------------------------------------------------------
+    def _save_state(self, directory: Path) -> None:
+        from repro.store.serialization import write_json_state
+
+        self._embeddings.save(directory / "embeddings")
+        write_json_state(
+            directory / "entity_terms.json",
+            {str(entity_id): terms for entity_id, terms in self._entity_terms.items()},
+        )
+
+    def _load_state(self, directory: Path, dataset: UltraWikiDataset) -> None:
+        from repro.store.serialization import read_json_state
+
+        self._embeddings = CooccurrenceEmbeddings.load(directory / "embeddings")
+        if self._resources is not None:
+            # Other methods sharing this resource pool can reuse the restored
+            # embeddings instead of refitting the PPMI-SVD.
+            self._resources.adopt_cooccurrence_embeddings(self._embeddings)
+        terms = read_json_state(directory / "entity_terms.json")
+        self._entity_terms = {
+            int(entity_id): [str(t) for t in tokens] for entity_id, tokens in terms.items()
+        }
+        # The BM25 index is derived from the term profiles; re-adding the
+        # documents in id order reproduces the fitted index exactly.
+        self._bm25 = BM25Index()
+        for entity_id in sorted(self._entity_terms):
+            self._bm25.add_document(entity_id, self._entity_terms[entity_id])
 
     def _lexical_score(self, candidate_id: int, seed_ids: tuple[int, ...]) -> float:
         """Mean BM25 score of the candidate's context document for each seed's terms."""

@@ -15,12 +15,15 @@ name and each candidate's context sentences.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from repro.core.base import Expander
 from repro.core.resources import SharedResources
 from repro.dataset.ultrawiki import UltraWikiDataset
 from repro.genexpan.cot import ConceptMatcher
+from repro.lm.embeddings import CooccurrenceEmbeddings
 from repro.types import ExpansionResult, Query
 from repro.utils.mathx import l2_normalize
 
@@ -29,6 +32,8 @@ class CGExpan(Expander):
     """Class-name guided expansion with positive seeds only."""
 
     name = "CGExpan"
+    supports_persistence = True
+    state_version = 1
 
     def __init__(
         self,
@@ -47,13 +52,28 @@ class CGExpan(Expander):
         self.class_name_weight = class_name_weight
         self.distributed_dim = distributed_dim
         self._resources = resources
+        self._embeddings: CooccurrenceEmbeddings | None = None
         self._concept_matcher: ConceptMatcher | None = None
 
     def _fit(self, dataset: UltraWikiDataset) -> None:
         resources = self._resources or SharedResources(dataset)
         self._resources = resources
         # Pre-build the expensive shared pieces.
-        resources.cooccurrence_embeddings()
+        self._embeddings = resources.cooccurrence_embeddings()
+        self._concept_matcher = ConceptMatcher(dataset)
+
+    # -- persistence ----------------------------------------------------------------
+    def _save_state(self, directory: Path) -> None:
+        self._embeddings.save(directory / "embeddings")
+
+    def _load_state(self, directory: Path, dataset: UltraWikiDataset) -> None:
+        """Restore the PPMI-SVD embeddings; the concept matcher and oracle
+        are cheap, dataset-derived pieces and are rebuilt."""
+        self._resources = self._resources or SharedResources(dataset)
+        self._embeddings = CooccurrenceEmbeddings.load(directory / "embeddings")
+        # Other methods sharing this resource pool can reuse the restored
+        # embeddings instead of refitting the PPMI-SVD.
+        self._resources.adopt_cooccurrence_embeddings(self._embeddings)
         self._concept_matcher = ConceptMatcher(dataset)
 
     def _probe_class_name(self, query: Query) -> str:
@@ -68,7 +88,7 @@ class CGExpan(Expander):
         return name.split(" with ")[0]
 
     def _expand(self, query: Query, top_k: int) -> ExpansionResult:
-        embeddings = self._resources.cooccurrence_embeddings()
+        embeddings = self._embeddings
         vectors = {
             eid: vec[: self.distributed_dim]
             for eid, vec in embeddings.entity_vectors().items()

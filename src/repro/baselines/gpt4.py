@@ -11,6 +11,8 @@ simply lost, mirroring the wasted generations the paper describes.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.core.base import Expander
 from repro.core.resources import SharedResources
 from repro.dataset.ultrawiki import UltraWikiDataset
@@ -21,6 +23,8 @@ class GPT4Expander(Expander):
     """Prompt-only expansion served by the simulated GPT-4 oracle."""
 
     name = "GPT4"
+    supports_persistence = True
+    state_version = 1
 
     def __init__(self, resources: SharedResources | None = None):
         super().__init__()
@@ -30,6 +34,21 @@ class GPT4Expander(Expander):
         resources = self._resources or SharedResources(dataset)
         self._resources = resources
         resources.oracle()
+
+    # -- persistence ----------------------------------------------------------------
+    def _save_state(self, directory: Path) -> None:
+        """The oracle is derived entirely from the dataset; the artifact only
+        records that the fit happened so restores skip the fit path."""
+        from repro.store.serialization import write_json_state
+
+        write_json_state(directory / "gpt4.json", {"oracle": "dataset-derived"})
+
+    def _load_state(self, directory: Path, dataset: UltraWikiDataset) -> None:
+        from repro.store.serialization import read_json_state
+
+        read_json_state(directory / "gpt4.json")
+        self._resources = self._resources or SharedResources(dataset)
+        self._resources.oracle()
 
     def _expand(self, query: Query, top_k: int) -> ExpansionResult:
         oracle = self._resources.oracle()

@@ -14,6 +14,8 @@ variant ("+ Neg Rerank").
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from repro.config import EncoderConfig
@@ -29,6 +31,9 @@ from repro.utils.mathx import l2_normalize
 
 class ProbExpan(Expander):
     """Distribution-representation retrieval baseline."""
+
+    supports_persistence = True
+    state_version = 1
 
     def __init__(
         self,
@@ -60,6 +65,22 @@ class ProbExpan(Expander):
         self._vectors = dict(representations.distribution)
         if not self._vectors:
             raise ExpansionError("no distribution representations available")
+
+    # -- persistence ----------------------------------------------------------------
+    def _save_state(self, directory: Path) -> None:
+        from repro.store.serialization import save_vector_map
+
+        save_vector_map(directory, "distribution", self._vectors)
+
+    def _load_state(self, directory: Path, dataset: UltraWikiDataset) -> None:
+        from repro.store.serialization import load_vector_map
+
+        self._resources = self._resources or SharedResources(
+            dataset, encoder_config=self.encoder_config
+        )
+        self._vectors = load_vector_map(directory, "distribution")
+        if not self._vectors:
+            raise ExpansionError("no distribution representations in saved state")
 
     def _mean_similarity(self, entity_id: int, seed_ids: tuple[int, ...]) -> float:
         seeds = [self._vectors[s] for s in seed_ids if s in self._vectors]

@@ -13,6 +13,7 @@ for it (it simply fails to recall the fine-grained class members).
 from __future__ import annotations
 
 from collections import Counter, defaultdict
+from pathlib import Path
 
 from repro.core.base import Expander
 from repro.dataset.ultrawiki import UltraWikiDataset
@@ -25,6 +26,8 @@ class SetExpan(Expander):
     """Iterative context-feature-selection / rank-ensemble expansion."""
 
     name = "SetExpan"
+    supports_persistence = True
+    state_version = 1
 
     def __init__(
         self,
@@ -61,6 +64,28 @@ class SetExpan(Expander):
             self._entity_features[entity.entity_id] = features
             for feature in features:
                 self._feature_entities[feature].add(entity.entity_id)
+
+    # -- persistence ----------------------------------------------------------------
+    def _save_state(self, directory: Path) -> None:
+        from repro.store.serialization import save_count_table
+
+        save_count_table(
+            directory / "entity_features.json",
+            {str(entity_id): features for entity_id, features in self._entity_features.items()},
+        )
+
+    def _load_state(self, directory: Path, dataset: UltraWikiDataset) -> None:
+        from repro.store.serialization import load_count_table
+
+        table = load_count_table(directory / "entity_features.json")
+        self._entity_features = {
+            int(entity_id): Counter(features) for entity_id, features in table.items()
+        }
+        # The inverse index is derived state; rebuilding it beats storing it.
+        self._feature_entities = defaultdict(set)
+        for entity_id, features in self._entity_features.items():
+            for feature in features:
+                self._feature_entities[feature].add(entity_id)
 
     @staticmethod
     def _skipgrams(tokens: list[str]) -> list[str]:

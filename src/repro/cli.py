@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands cover the workflows a downstream user needs without
+The subcommands cover the workflows a downstream user needs without
 writing Python:
 
 * ``build-dataset`` — construct a synthetic UltraWiki-style dataset and save
@@ -9,9 +9,14 @@ writing Python:
   benchmark target;
 * ``run-experiment`` — run one experiment (table/figure) and print the rows
   the paper reports, optionally writing the raw output as JSON;
+* ``fit`` — prefit expansion methods and persist the fitted state into an
+  artifact store (:mod:`repro.store`) so later serves warm-start;
+* ``store ls`` / ``store gc`` — inspect and garbage-collect the artifact
+  store;
 * ``serve`` — start the online expansion service (:mod:`repro.serve`): a
   JSON/HTTP endpoint with a lazily-fitted expander registry, result caching,
-  and request micro-batching;
+  and request micro-batching; with ``--store`` fits restore from / persist
+  to disk;
 * ``query`` — submit one expansion request through the same service stack
   in-process and print the ranked entities.
 
@@ -20,19 +25,23 @@ Examples::
     python -m repro.cli build-dataset --profile small --output ./ultrawiki
     python -m repro.cli list-experiments
     python -m repro.cli run-experiment table2 --profile tiny --max-queries 12
-    python -m repro.cli serve --dataset ./ultrawiki --port 8080 --warm retexpan
+    python -m repro.cli fit --dataset ./ultrawiki --store ./artifacts --methods retexpan
+    python -m repro.cli store ls --store ./artifacts
+    python -m repro.cli serve --dataset ./ultrawiki --store ./artifacts --port 8080
     python -m repro.cli query --dataset ./ultrawiki --method retexpan --top-k 20
 
-Serving workflow: ``build-dataset`` once, ``serve`` against the saved
-directory, then POST ``{"method": "retexpan", "query_id": ...}`` to
-``/expand`` (see ``repro.serve.server`` for the endpoint list); repeated
-requests hit the result cache, visible under ``/stats``.
+Serving workflow: ``build-dataset`` once, ``fit`` to persist the expensive
+model fits, then ``serve --store`` against the same directories — the
+service restores every prefitted method from disk instead of re-training it,
+and POST ``{"method": "retexpan", "query_id": ...}`` to ``/expand`` answers
+immediately; restore/write-through counters appear under ``/stats``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from repro.config import DatasetConfig, ServiceConfig
@@ -41,7 +50,8 @@ from repro.dataset.builder import build_dataset
 from repro.dataset.ultrawiki import UltraWikiDataset
 from repro.experiments.registry import EXPERIMENTS, experiment_by_id
 from repro.experiments.runner import ExperimentContext
-from repro.serve import ExpandRequest, ExpansionHTTPServer, ExpansionService
+from repro.serve import ExpanderRegistry, ExpandRequest, ExpansionHTTPServer, ExpansionService
+from repro.store import ArtifactStore
 from repro.utils.iox import to_jsonable, write_json
 
 _PROFILES = {
@@ -124,14 +134,86 @@ def _service_config(args: argparse.Namespace) -> ServiceConfig:
         batch_wait_ms=args.batch_wait_ms,
         host=getattr(args, "host", ServiceConfig.host),
         port=getattr(args, "port", ServiceConfig.port),
+        store_dir=getattr(args, "store", None),
     )
     config.validate()
     return config
 
 
+def _cmd_fit(args: argparse.Namespace) -> int:
+    """Prefit methods and persist their artifacts (the warm-restart producer)."""
+    dataset = _load_or_build_dataset(args)
+    store = ArtifactStore(args.store)
+    registry = ExpanderRegistry(dataset, store=store)
+    methods = args.methods or registry.methods()
+    fingerprint = dataset.fingerprint()
+    print(f"Artifact store: {Path(args.store).resolve()} (fingerprint {fingerprint})")
+    for method in methods:
+        registry.ensure_known(method)
+        name = method.strip().lower()  # registry stats are keyed normalized
+        if args.force:
+            store.evict(name, fingerprint)
+        started = time.perf_counter()
+        registry.get(name)
+        elapsed = time.perf_counter() - started
+        restored = name in registry.stats()["restore_seconds"]
+        action = "restored" if restored else "fitted + persisted"
+        print(f"  {name:12s} {action} in {elapsed:.2f}s")
+    store_stats = store.stats()
+    print(
+        f"store now holds {store_stats['artifacts']} artifact(s), "
+        f"{store_stats['total_bytes'] / 1e6:.1f} MB"
+    )
+    return 0
+
+
+def _cmd_store_ls(args: argparse.Namespace) -> int:
+    store = ArtifactStore(args.store)
+    infos = store.ls()
+    if not infos:
+        print(f"no artifacts under {Path(args.store).resolve()}")
+        return 0
+    print(f"{'METHOD':<14}{'FINGERPRINT':<18}{'SIZE':>10}  {'AGE':>8}  CLASS")
+    for info in infos:
+        age_h = info.age_seconds / 3600.0
+        print(
+            f"{info.method:<14}{info.fingerprint:<18}"
+            f"{info.total_bytes / 1e6:>8.1f}MB  {age_h:>7.1f}h  {info.expander_class}"
+        )
+    stats = store.stats()
+    print(f"total: {stats['artifacts']} artifact(s), {stats['total_bytes'] / 1e6:.1f} MB")
+    return 0
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    store = ArtifactStore(args.store)
+    keep: set[str] | None = None
+    if args.keep_dataset:
+        dataset = UltraWikiDataset.load(args.keep_dataset)
+        keep = {dataset.fingerprint()}
+    if args.keep_fingerprint:
+        keep = (keep or set()) | set(args.keep_fingerprint)
+    max_age = args.max_age_hours * 3600.0 if args.max_age_hours is not None else None
+    if keep is None and max_age is None:
+        print("no --keep-dataset/--keep-fingerprint/--max-age-hours filter; "
+              "cleaning the staging area only")
+    removed = store.gc(keep_fingerprints=keep, max_age_seconds=max_age)
+    for info in removed:
+        print(f"  removed {info.method}/{info.fingerprint} ({info.total_bytes / 1e6:.1f} MB)")
+    stats = store.stats()
+    print(
+        f"removed {len(removed)} artifact(s); {stats['artifacts']} remain "
+        f"({stats['total_bytes'] / 1e6:.1f} MB)"
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     dataset = _load_or_build_dataset(args)
     service = ExpansionService(dataset, config=_service_config(args))
+    if args.store:
+        print(f"Artifact store: {Path(args.store).resolve()} "
+              f"(prefitted methods restore without refitting)")
     if args.warm:
         print(f"Warming up {args.warm} ...")
         service.warm_up(args.warm)
@@ -187,6 +269,13 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--max-batch-size", type=int, default=ServiceConfig.max_batch_size)
     parser.add_argument("--batch-wait-ms", type=float, default=ServiceConfig.batch_wait_ms)
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="artifact store directory: restore prefitted expanders from it "
+        "and persist fresh fits into it",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -213,6 +302,51 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--genexpan-max-queries", type=int, default=20)
     run.add_argument("--json", default=None, help="path to write the raw output as JSON")
     run.set_defaults(handler=_cmd_run_experiment)
+
+    fit = subparsers.add_parser(
+        "fit", help="prefit methods and persist their artifacts for warm serving"
+    )
+    _add_dataset_source_arguments(fit)
+    fit.add_argument("--store", required=True, metavar="DIR", help="artifact store directory")
+    fit.add_argument(
+        "--methods",
+        nargs="*",
+        default=[],
+        metavar="METHOD",
+        help="methods to prefit (default: every registered method)",
+    )
+    fit.add_argument(
+        "--force", action="store_true", help="refit even when an artifact already exists"
+    )
+    fit.set_defaults(handler=_cmd_fit)
+
+    store = subparsers.add_parser("store", help="inspect or clean the artifact store")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_ls = store_sub.add_parser("ls", help="list persisted artifacts")
+    store_ls.add_argument("--store", required=True, metavar="DIR")
+    store_ls.set_defaults(handler=_cmd_store_ls)
+    store_gc = store_sub.add_parser("gc", help="remove stale artifacts")
+    store_gc.add_argument("--store", required=True, metavar="DIR")
+    store_gc.add_argument(
+        "--keep-dataset",
+        default=None,
+        metavar="DIR",
+        help="keep only artifacts matching this saved dataset's fingerprint",
+    )
+    store_gc.add_argument(
+        "--keep-fingerprint",
+        action="append",
+        default=[],
+        metavar="FP",
+        help="additional fingerprint to keep (repeatable)",
+    )
+    store_gc.add_argument(
+        "--max-age-hours",
+        type=float,
+        default=None,
+        help="also remove artifacts older than this many hours",
+    )
+    store_gc.set_defaults(handler=_cmd_store_gc)
 
     serve = subparsers.add_parser("serve", help="start the online expansion HTTP service")
     _add_dataset_source_arguments(serve)

@@ -330,8 +330,13 @@ class ServiceConfig:
     host: str = "127.0.0.1"
     #: TCP port of the HTTP server; 0 picks an ephemeral port.
     port: int = 8080
+    #: directory of the persistent fitted-expander artifact store
+    #: (:mod:`repro.store`); ``None`` keeps fits in-process only.
+    store_dir: str | None = None
 
     def validate(self) -> None:
+        if self.store_dir is not None and not str(self.store_dir).strip():
+            raise ConfigurationError("store_dir must be a non-empty path or None")
         if self.registry_capacity < 1:
             raise ConfigurationError("registry_capacity must be >= 1")
         if self.cache_capacity < 0:

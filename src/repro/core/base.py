@@ -4,15 +4,21 @@ Every method — the paper's RetExpan and GenExpan, the prior baselines, and
 the GPT-4 oracle — implements :class:`Expander`: ``fit`` binds the method to
 a dataset (training whatever models it needs) and ``expand`` maps a query to
 a ranked list of candidate entity ids that never contains the seed entities.
+
+Fitted state is also *persistable*: methods that set
+``supports_persistence`` implement ``_save_state`` / ``_load_state`` so the
+artifact store (:mod:`repro.store`) can write a fit to disk once and restore
+it on later restarts or in sibling worker processes without re-training.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from pathlib import Path
 from typing import Sequence
 
 from repro.dataset.ultrawiki import UltraWikiDataset
-from repro.exceptions import ExpansionError
+from repro.exceptions import ExpansionError, PersistenceError
 from repro.types import ExpansionResult, Query
 
 
@@ -21,6 +27,13 @@ class Expander(ABC):
 
     #: human-readable method name used in reports and benchmarks.
     name: str = "expander"
+
+    #: True when the subclass implements ``_save_state`` / ``_load_state``.
+    supports_persistence: bool = False
+
+    #: bumped by a subclass whenever its on-disk state layout changes; the
+    #: artifact store refuses to restore state written under another version.
+    state_version: int = 1
 
     def __init__(self):
         self._dataset: UltraWikiDataset | None = None
@@ -44,6 +57,42 @@ class Expander(ABC):
     @property
     def is_fitted(self) -> bool:
         return self._dataset is not None
+
+    # -- persistence -------------------------------------------------------------
+    def save_state(self, directory: str | Path) -> None:
+        """Write this expander's fitted state under ``directory``.
+
+        The layout is owned by the subclass (``_save_state``); callers such
+        as the artifact store only require that ``load_state`` on a freshly
+        constructed, identically configured instance reproduces the fit.
+        """
+        if not self.supports_persistence:
+            raise PersistenceError(f"{type(self).__name__} does not support persistence")
+        if not self.is_fitted:
+            raise PersistenceError(f"{self.name} is not fitted; nothing to save")
+        self._save_state(Path(directory))
+
+    def load_state(self, directory: str | Path, dataset: UltraWikiDataset) -> "Expander":
+        """Restore fitted state from ``directory`` and bind to ``dataset``.
+
+        The dataset must be the one the state was fitted on (the artifact
+        store guarantees this by keying artifacts on the dataset
+        fingerprint); the expander ends up indistinguishable from one whose
+        ``fit`` ran in-process.
+        """
+        if not self.supports_persistence:
+            raise PersistenceError(f"{type(self).__name__} does not support persistence")
+        self._load_state(Path(directory), dataset)
+        self._dataset = dataset
+        return self
+
+    def _save_state(self, directory: Path) -> None:
+        """Hook for subclasses; only called when ``supports_persistence``."""
+        raise NotImplementedError
+
+    def _load_state(self, directory: Path, dataset: UltraWikiDataset) -> None:
+        """Hook for subclasses; only called when ``supports_persistence``."""
+        raise NotImplementedError
 
     # -- expansion ---------------------------------------------------------------
     def expand(self, query: Query, top_k: int = 100) -> ExpansionResult:

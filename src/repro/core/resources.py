@@ -62,6 +62,18 @@ class SharedResources:
                 ).fit(self.dataset.corpus, self.dataset.entities())
             return self._cooccurrence
 
+    def adopt_cooccurrence_embeddings(self, embeddings: CooccurrenceEmbeddings) -> None:
+        """Seed the lazy cache with already-built embeddings.
+
+        Called when an artifact restore (:mod:`repro.store`) deserialises
+        embeddings that this resource pool would otherwise refit from
+        scratch for the next consumer.  A pool that already built its own
+        keeps them — adopting must never replace state other consumers hold.
+        """
+        with self._build_lock:
+            if self._cooccurrence is None:
+                self._cooccurrence = embeddings
+
     # -- context encoder -----------------------------------------------------------
     def context_encoder(self, trained: bool = True) -> ContextEncoder:
         """The masked-entity encoder, with or without entity-prediction training."""

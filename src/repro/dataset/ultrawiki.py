@@ -48,6 +48,9 @@ class UltraWikiDataset:
         }
         self.queries: list[Query] = list(queries)
         self.metadata: dict = dict(metadata or {})
+        #: memoized content fingerprint (hashing the corpus is expensive and
+        #: the artifact store consults the fingerprint on every lookup).
+        self._fingerprint: str | None = None
 
         for query in self.queries:
             if query.class_id not in self.ultra_classes:
@@ -117,16 +120,29 @@ class UltraWikiDataset:
 
     # -- identity ------------------------------------------------------------------
     def fingerprint(self) -> str:
-        """A stable content fingerprint of the dataset.
+        """A stable content fingerprint of the dataset, memoized.
 
         Serving components key fitted expanders by ``(method, fingerprint)``
         so that two services over the same dataset share cache entries while a
         rebuilt or differently-seeded dataset never reuses stale models.  The
         fingerprint covers the vocabulary, class structure, queries, and the
-        corpus content — the inputs that determine a fitted expander.  It is
-        recomputed on every call (the container is mutable), so consumers
-        should capture it once per binding, as the registry does.
+        corpus content — the inputs that determine a fitted expander.
+
+        Hashing the whole corpus is linear in its size, and store lookups
+        consult the fingerprint on every request, so the digest is computed
+        once and cached on the instance.  The container is technically
+        mutable; a caller that mutates entities, classes, queries, or the
+        corpus in place must call :meth:`invalidate_fingerprint` afterwards.
         """
+        if self._fingerprint is None:
+            self._fingerprint = self._compute_fingerprint()
+        return self._fingerprint
+
+    def invalidate_fingerprint(self) -> None:
+        """Drop the memoized fingerprint after an in-place mutation."""
+        self._fingerprint = None
+
+    def _compute_fingerprint(self) -> str:
         digest = hashlib.sha256()
         for entity in self.entities():
             digest.update(f"{entity.entity_id}:{entity.name}:{entity.fine_class}".encode())

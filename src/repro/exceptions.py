@@ -42,3 +42,23 @@ class ServiceError(ReproError):
 
 class UnknownMethodError(ServiceError):
     """A serving request names a method the registry does not provide."""
+
+
+class PersistenceError(ReproError):
+    """An expander cannot save or load its fitted state."""
+
+
+class StoreError(ReproError):
+    """An artifact-store operation failed; consumers fall back to refitting."""
+
+
+class ArtifactNotFoundError(StoreError):
+    """No artifact exists for the requested (method, fingerprint) key."""
+
+
+class ArtifactCorruptError(StoreError):
+    """An artifact exists but its manifest, checksums, or payload are broken."""
+
+
+class ArtifactVersionError(StoreError):
+    """An artifact was written under an incompatible format or state version."""

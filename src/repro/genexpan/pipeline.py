@@ -9,19 +9,25 @@ probabilities instead of encoder cosine similarities).
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.config import GenExpanConfig
 from repro.core.base import Expander
 from repro.core.rerank import segmented_rerank
 from repro.core.resources import SharedResources
 from repro.dataset.ultrawiki import UltraWikiDataset
-from repro.exceptions import ExpansionError
+from repro.exceptions import ExpansionError, PersistenceError
 from repro.genexpan.cot import ChainOfThoughtReasoner, ConceptMatcher
 from repro.genexpan.generation import IterativeGenerator
+from repro.lm.causal_lm import CausalEntityLM
 from repro.types import ExpansionResult, Query
 
 
 class GenExpan(Expander):
     """Generation-based Ultra-ESE with negative seed entities."""
+
+    supports_persistence = True
+    state_version = 1
 
     def __init__(
         self,
@@ -33,6 +39,7 @@ class GenExpan(Expander):
         self.config = config or GenExpanConfig()
         self.config.validate()
         self._resources = resources
+        self._lm: CausalEntityLM | None = None
         self._generator: IterativeGenerator | None = None
         self._reasoner: ChainOfThoughtReasoner | None = None
         if name is not None:
@@ -47,16 +54,22 @@ class GenExpan(Expander):
         )
         self._resources = resources
         lm = resources.causal_lm(further_pretrain=self.config.use_further_pretrain)
+        self._bind(dataset, lm)
+
+    def _bind(self, dataset: UltraWikiDataset, lm: CausalEntityLM) -> None:
+        """Assemble the per-dataset machinery around an already-fitted LM."""
+        self._lm = lm
         concept_matcher = None
+        self._reasoner = None
         if self.config.cot_mode != "none":
             concept_matcher = ConceptMatcher(dataset)
             self._reasoner = ChainOfThoughtReasoner(
-                dataset, resources.oracle(), mode=self.config.cot_mode
+                dataset, self._resources.oracle(), mode=self.config.cot_mode
             )
         self._generator = IterativeGenerator(
             dataset=dataset,
             lm=lm,
-            prefix_tree=resources.prefix_tree(),
+            prefix_tree=self._resources.prefix_tree(),
             concept_matcher=concept_matcher,
             num_iterations=self.config.num_iterations,
             beam_width=self.config.beam_width,
@@ -65,17 +78,48 @@ class GenExpan(Expander):
             seed=self.config.lm.seed,
         )
 
+    # -- persistence ---------------------------------------------------------------
+    def _save_state(self, directory: Path) -> None:
+        from repro.store.serialization import write_json_state
+
+        write_json_state(
+            directory / "genexpan.json",
+            {
+                "cot_mode": self.config.cot_mode,
+                "use_further_pretrain": self.config.use_further_pretrain,
+            },
+        )
+        self._lm.save_state(directory / "lm")
+
+    def _load_state(self, directory: Path, dataset: UltraWikiDataset) -> None:
+        """Restore the expensive LM from disk; the prefix tree, concept
+        matcher, and reasoner are cheap and rebuilt from the dataset."""
+        from repro.store.serialization import read_json_state
+
+        meta = read_json_state(directory / "genexpan.json")
+        if bool(meta.get("use_further_pretrain")) != self.config.use_further_pretrain:
+            # The saved LM was trained under the other pre-training regime;
+            # serving it would silently answer for a different configuration.
+            raise PersistenceError(
+                "saved GenExpan state and this configuration disagree on "
+                "use_further_pretrain; refit instead of restoring"
+            )
+        self._resources = self._resources or SharedResources(
+            dataset, causal_lm_config=self.config.lm, oracle_config=self.config.oracle
+        )
+        lm = CausalEntityLM.load_state(directory / "lm", dataset.entities())
+        self._bind(dataset, lm)
+
     # -- expansion ------------------------------------------------------------------
     def _mean_conditional_similarity(
         self, entity_id: int, seed_ids: tuple[int, ...]
     ) -> float:
-        lm = self._resources.causal_lm(
-            further_pretrain=self.config.use_further_pretrain
-        )
+        if self._lm is None:
+            raise ExpansionError("GenExpan is not fitted")
         if not seed_ids:
             return 0.0
         return sum(
-            lm.conditional_similarity(entity_id, seed) for seed in seed_ids
+            self._lm.conditional_similarity(entity_id, seed) for seed in seed_ids
         ) / len(seed_ids)
 
     def _negative_similarity(self, entity_id: int, query: Query) -> float:

@@ -17,6 +17,7 @@ and leaves only a weak prior derived from entity surface forms.
 from __future__ import annotations
 
 from collections import Counter, defaultdict
+from pathlib import Path
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -32,6 +33,9 @@ from repro.utils.rng import RandomState
 
 _BOS = "<s>"
 _EOS = "</s>"
+
+#: joins context tokens into one JSON key; the tokenizer never emits it.
+_CTX_SEPARATOR = "\x1f"
 
 
 class NGramLanguageModel:
@@ -102,6 +106,46 @@ class NGramLanguageModel:
             history.append(token)
         return total
 
+    # -- persistence ------------------------------------------------------------
+    def to_state(self) -> dict:
+        """A JSON-serialisable snapshot of the fitted counts.
+
+        Counter insertion order is preserved (JSON objects round-trip key
+        order) because ``next_token_candidates`` breaks count ties by it.
+        """
+        return {
+            "order": self.order,
+            "smoothing": self.smoothing,
+            "total_tokens": self._total_tokens,
+            "vocab": list(self._vocab),
+            "counts": [
+                {
+                    _CTX_SEPARATOR.join(context): dict(counter)
+                    for context, counter in table.items()
+                }
+                for table in self._counts
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "NGramLanguageModel":
+        """Reconstruct a model from :meth:`to_state` output."""
+        model = cls(order=int(state["order"]), smoothing=float(state["smoothing"]))
+        model._total_tokens = int(state["total_tokens"])
+        model._vocab = set(state["vocab"])
+        counts = state["counts"]
+        if len(counts) != model.order:
+            raise ModelError(
+                f"n-gram state has {len(counts)} count tables, expected {model.order}"
+            )
+        for n, table in enumerate(counts):
+            for joined, counter in table.items():
+                context = tuple(joined.split(_CTX_SEPARATOR)) if joined else ()
+                model._counts[n][context] = Counter(
+                    {token: int(count) for token, count in counter.items()}
+                )
+        return model
+
     def next_token_candidates(self, context: Sequence[str], top_k: int = 50) -> list[tuple[str, float]]:
         """Most likely next tokens after ``context`` (highest-order match first)."""
         context = list(context)
@@ -171,6 +215,56 @@ class CausalEntityLM:
     def _require_fitted(self) -> None:
         if not self._fitted:
             raise ModelError("causal LM is not fitted")
+
+    # -- persistence ------------------------------------------------------------
+    def save_state(self, directory: str | Path) -> None:
+        """Persist the continued-pre-training products (counts + embeddings).
+
+        Entity surface-form lookups are *not* saved: they are cheap to
+        rebuild and must come from the dataset the state is restored against.
+        """
+        from repro.store.serialization import write_json_state
+
+        self._require_fitted()
+        directory = Path(directory)
+        write_json_state(
+            directory / "causal_lm.json",
+            {
+                "config": {
+                    "seed": self.config.seed,
+                    "ngram_order": self.config.ngram_order,
+                    "smoothing": self.config.smoothing,
+                    "embedding_dim": self.config.embedding_dim,
+                    "affinity_weight": self.config.affinity_weight,
+                    "further_pretrain": self.config.further_pretrain,
+                },
+                "has_embeddings": self._embeddings is not None,
+            },
+        )
+        write_json_state(directory / "ngram.json", self._ngram.to_state())
+        if self._embeddings is not None:
+            self._embeddings.save(directory / "embeddings")
+
+    @classmethod
+    def load_state(
+        cls, directory: str | Path, entities: list[Entity], mmap: bool = True
+    ) -> "CausalEntityLM":
+        """Rebuild a fitted LM from :meth:`save_state` output and ``entities``."""
+        from repro.store.serialization import read_json_state
+
+        directory = Path(directory)
+        meta = read_json_state(directory / "causal_lm.json")
+        lm = cls(CausalLMConfig(**meta["config"]))
+        lm._ngram = NGramLanguageModel.from_state(read_json_state(directory / "ngram.json"))
+        if meta.get("has_embeddings"):
+            lm._embeddings = CooccurrenceEmbeddings.load(directory / "embeddings", mmap=mmap)
+        lm._entities_by_id = {entity.entity_id: entity for entity in entities}
+        lm._name_tokens = {
+            entity.entity_id: frozenset(lm._tokenizer.tokenize_entity_name(entity.name))
+            for entity in entities
+        }
+        lm._fitted = True
+        return lm
 
     # -- entity affinity ---------------------------------------------------------
     def entity_affinity(self, entity_a: int, entity_b: int) -> float:

@@ -20,6 +20,7 @@ The numpy substitute keeps that exact contract:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -64,6 +65,26 @@ class EntityRepresentations:
     def matrix(self, entity_ids: list[int], kind: str = "hidden") -> np.ndarray:
         store = self.hidden if kind == "hidden" else self.distribution
         return np.stack([store[eid] for eid in entity_ids])
+
+    # -- persistence -------------------------------------------------------------
+    def save(self, directory: str | Path) -> None:
+        """Persist both vector maps as mmap-friendly ``.npy`` pairs."""
+        from repro.store.serialization import save_vector_map
+
+        directory = Path(directory)
+        save_vector_map(directory, "hidden", self.hidden)
+        save_vector_map(directory, "distribution", self.distribution)
+
+    @classmethod
+    def load(cls, directory: str | Path, mmap: bool = True) -> "EntityRepresentations":
+        """Load maps written by :meth:`save`; vectors stay memory-mapped."""
+        from repro.store.serialization import load_vector_map
+
+        directory = Path(directory)
+        return cls(
+            hidden=load_vector_map(directory, "hidden", mmap=mmap),
+            distribution=load_vector_map(directory, "distribution", mmap=mmap),
+        )
 
 
 class ContextEncoder:

@@ -14,6 +14,7 @@ counts over the corpus.  Two views are produced:
 from __future__ import annotations
 
 from collections import Counter, defaultdict
+from pathlib import Path
 
 import numpy as np
 from scipy.sparse import coo_matrix
@@ -22,7 +23,7 @@ from scipy.sparse.linalg import svds
 from repro.exceptions import ModelError
 from repro.kb.corpus import Corpus
 from repro.text.tokenizer import WordTokenizer
-from repro.text.vocab import Vocabulary
+from repro.text.vocab import SPECIAL_TOKENS, Vocabulary
 from repro.types import Entity
 from repro.utils.mathx import l2_normalize
 
@@ -57,7 +58,11 @@ def _truncated_svd(matrix: np.ndarray, dim: int, seed: int) -> np.ndarray:
     vectors = u * np.sqrt(s)[None, :]
     if effective_dim < dim:
         vectors = np.pad(vectors, ((0, 0), (0, dim - effective_dim)))
-    return vectors
+    # ``svds`` returns F-ordered factors; rows must be C-contiguous so that
+    # downstream dot products hit the same BLAS kernel as vectors that
+    # round-trip through the artifact store (strided vs contiguous ddot
+    # differ in the last ulps, which would break save→load ranking parity).
+    return np.ascontiguousarray(vectors)
 
 
 class CooccurrenceEmbeddings:
@@ -168,3 +173,50 @@ class CooccurrenceEmbeddings:
         return float(
             np.dot(self._entity_vectors[entity_a], self._entity_vectors[entity_b])
         )
+
+    # -- persistence ------------------------------------------------------------
+    def save(self, directory: str | Path) -> None:
+        """Persist vocabulary, token vectors, and entity vectors.
+
+        The SVD behind these embeddings is one of the most expensive steps of
+        every fit, so they are first-class artifact state.
+        """
+        from repro.store.serialization import save_array, save_vector_map, write_json_state
+
+        if self.vocabulary is None or self.token_vectors is None:
+            raise ModelError("embeddings are not fitted")
+        directory = Path(directory)
+        write_json_state(
+            directory / "embeddings.json",
+            {
+                "dim": self.dim,
+                "entity_dim": self.entity_dim,
+                "window": self.window,
+                "seed": self.seed,
+                "vocabulary": list(self.vocabulary),
+            },
+        )
+        save_array(directory / "token_vectors.npy", self.token_vectors)
+        save_vector_map(directory, "entity", self._entity_vectors)
+
+    @classmethod
+    def load(cls, directory: str | Path, mmap: bool = True) -> "CooccurrenceEmbeddings":
+        """Reconstruct embeddings written by :meth:`save` without refitting."""
+        from repro.store.serialization import load_array, load_vector_map, read_json_state
+
+        directory = Path(directory)
+        meta = read_json_state(directory / "embeddings.json")
+        instance = cls(
+            dim=int(meta["dim"]),
+            window=int(meta["window"]),
+            seed=int(meta["seed"]),
+            entity_dim=int(meta["entity_dim"]),
+        )
+        # The saved token list preserves id order (specials first), so
+        # re-adding in sequence reproduces the exact token ↔ id mapping.
+        instance.vocabulary = Vocabulary(
+            token for token in meta["vocabulary"] if token not in SPECIAL_TOKENS
+        )
+        instance.token_vectors = load_array(directory / "token_vectors.npy", mmap=mmap)
+        instance._entity_vectors = load_vector_map(directory, "entity", mmap=mmap)
+        return instance

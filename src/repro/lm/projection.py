@@ -42,6 +42,24 @@ class ProjectionHead:
             "b2": np.zeros(output_dim),
         }
 
+    # -- persistence ------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """A copy of the trained parameters, keyed like ``_params``."""
+        return {key: value.copy() for key, value in self._params.items()}
+
+    def load_state_dict(self, params: dict[str, np.ndarray]) -> None:
+        """Replace the parameters with ``params`` (shape-checked)."""
+        for key, current in self._params.items():
+            if key not in params:
+                raise ModelError(f"projection state lacks parameter {key!r}")
+            incoming = np.asarray(params[key], dtype=np.float64)
+            if incoming.shape != current.shape:
+                raise ModelError(
+                    f"projection parameter {key!r} has shape {incoming.shape}, "
+                    f"expected {current.shape}"
+                )
+            self._params[key] = incoming
+
     # -- forward --------------------------------------------------------------
     def _forward_raw(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Return (hidden activation, unnormalised output)."""

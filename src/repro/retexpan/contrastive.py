@@ -20,6 +20,8 @@ different queries without conflict.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from repro.config import ContrastiveConfig
@@ -205,6 +207,60 @@ class UltraContrastiveLearner:
             temperature=self.config.temperature,
             seed=self.config.seed,
         )
+        return self
+
+    # -- persistence ------------------------------------------------------------
+    def save_state(self, directory: str | Path) -> None:
+        """Persist the trained projection head and the mined lists.
+
+        Seed-context vectors are derived from the entity representations on
+        demand, so only the head parameters and bookkeeping are written; the
+        representations themselves are saved by the owning expander.
+        """
+        from repro.store.serialization import save_array, write_json_state
+
+        if self._head is None:
+            raise ModelError("learner is not fitted")
+        directory = Path(directory)
+        write_json_state(
+            directory / "contrastive.json",
+            {
+                "input_dim": self._input_dim,
+                "output_dim": self._head.output_dim,
+                "hidden_dim": self._head.hidden_dim,
+                "mined": {
+                    query_id: [list(pos), list(neg)]
+                    for query_id, (pos, neg) in self.mined.items()
+                },
+            },
+        )
+        for key, value in self._head.state_dict().items():
+            save_array(directory / f"head_{key}.npy", value)
+
+    def load_state(
+        self, directory: str | Path, representations: EntityRepresentations
+    ) -> "UltraContrastiveLearner":
+        """Restore a trained learner against already-restored representations."""
+        from repro.store.serialization import load_array, read_json_state
+
+        directory = Path(directory)
+        meta = read_json_state(directory / "contrastive.json")
+        self._representations = representations
+        self._seed_context_cache.clear()
+        self._input_dim = int(meta["input_dim"])
+        self._head = ProjectionHead(
+            input_dim=self._input_dim,
+            output_dim=int(meta["output_dim"]),
+            hidden_dim=int(meta["hidden_dim"]),
+            seed=self.config.seed,
+        )
+        self._head.load_state_dict(
+            {key: load_array(directory / f"head_{key}.npy") for key in ("W1", "b1", "W2", "b2")}
+        )
+        self.mined = {
+            query_id: ([int(e) for e in pos], [int(e) for e in neg])
+            for query_id, (pos, neg) in meta.get("mined", {}).items()
+        }
         return self
 
     def project(self, entity_id: int, query: Query) -> np.ndarray:

@@ -17,6 +17,8 @@ similarities are then computed in the query-conditioned projected space.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from repro.config import RetExpanConfig
@@ -24,7 +26,7 @@ from repro.core.base import Expander
 from repro.core.rerank import segmented_rerank
 from repro.core.resources import SharedResources
 from repro.dataset.ultrawiki import UltraWikiDataset
-from repro.exceptions import ExpansionError
+from repro.exceptions import ExpansionError, PersistenceError
 from repro.lm.context_encoder import EntityRepresentations
 from repro.retexpan.contrastive import UltraContrastiveLearner
 from repro.retexpan.expansion import positive_similarity_scores, top_k_expansion
@@ -34,6 +36,9 @@ from repro.utils.mathx import l2_normalize
 
 class RetExpan(Expander):
     """Retrieval-based Ultra-ESE with negative seed entities."""
+
+    supports_persistence = True
+    state_version = 1
 
     def __init__(
         self,
@@ -72,6 +77,47 @@ class RetExpan(Expander):
                 queries=self._contrastive_queries,
             )
             self._contrastive = learner
+
+    # -- persistence -------------------------------------------------------------
+    def _save_state(self, directory: Path) -> None:
+        from repro.store.serialization import write_json_state
+
+        write_json_state(
+            directory / "retexpan.json",
+            {
+                "use_contrastive": self._contrastive is not None,
+                "use_entity_prediction": self.config.use_entity_prediction,
+            },
+        )
+        self._representations.save(directory / "representations")
+        if self._contrastive is not None:
+            self._contrastive.save_state(directory / "contrastive")
+
+    def _load_state(self, directory: Path, dataset: UltraWikiDataset) -> None:
+        from repro.store.serialization import read_json_state
+
+        meta = read_json_state(directory / "retexpan.json")
+        if bool(meta.get("use_contrastive")) != self.config.use_contrastive:
+            raise PersistenceError(
+                "saved RetExpan state and this configuration disagree on "
+                "use_contrastive; refit instead of restoring"
+            )
+        if bool(meta.get("use_entity_prediction")) != self.config.use_entity_prediction:
+            # The representations were trained under the other ablation arm.
+            raise PersistenceError(
+                "saved RetExpan state and this configuration disagree on "
+                "use_entity_prediction; refit instead of restoring"
+            )
+        self._resources = self._resources or SharedResources(
+            dataset, encoder_config=self.config.encoder
+        )
+        self._representations = EntityRepresentations.load(directory / "representations")
+        if self.config.use_contrastive:
+            learner = UltraContrastiveLearner(self.config.contrastive)
+            learner.load_state(directory / "contrastive", self._representations)
+            self._contrastive = learner
+        else:
+            self._contrastive = None
 
     # -- similarity helpers ------------------------------------------------------------
     @staticmethod

@@ -12,21 +12,38 @@ Fitting is guarded by a per-key lock: when N requests race for an unfitted
 method, one fits while the other N-1 block, and nobody fits twice.  A small
 LRU bound keeps memory in check; frequently-used methods can be pinned to
 exempt them from eviction.
+
+With an :class:`~repro.store.ArtifactStore` attached, fits also become
+durable: a registry miss first tries to *restore* the fitted state from disk
+(written by an earlier process, a prefit run, or a sibling worker), and a
+fresh fit is written through to the store so the next restart skips it.
+Corrupt or version-mismatched artifacts are evicted and refitted — the store
+can only ever make a fit cheaper, never wrong.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
-from typing import Callable, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.baselines import CGExpan, CaSE, GPT4Expander, ProbExpan, SetExpan
 from repro.core.base import Expander
 from repro.core.resources import SharedResources
 from repro.dataset.ultrawiki import UltraWikiDataset
-from repro.exceptions import ServiceError, UnknownMethodError
+from repro.exceptions import (
+    ArtifactNotFoundError,
+    ArtifactVersionError,
+    ServiceError,
+    StoreError,
+    UnknownMethodError,
+)
 from repro.genexpan import GenExpan
 from repro.retexpan import RetExpan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store import ArtifactStore
 
 #: canonical method name -> factory over the shared substrates.
 ExpanderFactory = Callable[[SharedResources], Expander]
@@ -51,12 +68,14 @@ class ExpanderRegistry:
         resources: SharedResources | None = None,
         factories: Mapping[str, ExpanderFactory] | None = None,
         capacity: int = 8,
+        store: "ArtifactStore | None" = None,
     ):
         if capacity < 1:
             raise ServiceError("registry capacity must be >= 1")
         self.dataset = dataset
         self.resources = resources or SharedResources(dataset)
         self.capacity = capacity
+        self.store = store
         self._factories = dict(
             DEFAULT_FACTORIES if factories is None else factories
         )
@@ -69,6 +88,14 @@ class ExpanderRegistry:
         self._fits = 0
         self._hits = 0
         self._evictions = 0
+        #: artifact-store traffic counters (all zero when no store is attached).
+        self._restore_hits = 0
+        self._restore_misses = 0
+        self._write_throughs = 0
+        self._store_errors = 0
+        #: wall-clock seconds of the most recent fit / restore per method.
+        self._fit_seconds: dict[str, float] = {}
+        self._restore_seconds: dict[str, float] = {}
 
     # -- lookup ------------------------------------------------------------------
     def methods(self) -> list[str]:
@@ -115,12 +142,83 @@ class ExpanderRegistry:
                     self._entries.move_to_end(key)
                     self._hits += 1
                     return expander
-            expander = self._factories[name](self.resources).fit(self.dataset)
+            expander = self._materialize(name)
             with self._lock:
                 self._entries[key] = expander
-                self._fits += 1
                 self._evict_locked()
             return expander
+
+    def _materialize(self, name: str) -> Expander:
+        """Produce a fitted expander: restore from the store when possible,
+        otherwise fit and write the result through."""
+        expander = self._factories[name](self.resources)
+        if self._try_restore(name, expander):
+            return expander
+        started = time.perf_counter()
+        expander.fit(self.dataset)
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self._fits += 1
+            self._fit_seconds[name] = elapsed
+        self._write_through(name, expander)
+        return expander
+
+    def _try_restore(self, name: str, expander: Expander) -> bool:
+        """Restore ``expander`` from the artifact store; False means refit.
+
+        A corrupt or version-mismatched artifact is evicted so the
+        write-through after the fallback fit replaces it with a good one.
+        """
+        if self.store is None or not expander.supports_persistence:
+            return False
+        started = time.perf_counter()
+        try:
+            self.store.restore(name, self._fingerprint, expander, self.dataset)
+        except ArtifactNotFoundError:
+            with self._lock:
+                self._restore_misses += 1
+            return False
+        except ArtifactVersionError:
+            # Another (older or newer) build wrote this artifact.  Treat it
+            # as a miss but leave it in place: evicting would let
+            # mixed-version workers sharing one store destroy each other's
+            # artifacts back and forth.  The write-through after the refit
+            # re-publishes this build's version.
+            with self._lock:
+                self._restore_misses += 1
+                self._store_errors += 1
+            return False
+        except (StoreError, OSError):
+            # Corrupt state (or a raw filesystem race): evict so the
+            # write-through after the fallback fit publishes a good artifact.
+            try:
+                self.store.evict(name, self._fingerprint)
+            except (StoreError, OSError):
+                # A read-only store must not take down serving; refit anyway.
+                pass
+            with self._lock:
+                self._restore_misses += 1
+                self._store_errors += 1
+            return False
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self._restore_hits += 1
+            self._restore_seconds[name] = elapsed
+        return True
+
+    def _write_through(self, name: str, expander: Expander) -> None:
+        if self.store is None or not expander.supports_persistence:
+            return
+        try:
+            self.store.save(name, self._fingerprint, expander)
+        except (StoreError, OSError):
+            # Persistence is an optimisation; a failed write must never take
+            # down the serving path that just produced a good fit.
+            with self._lock:
+                self._store_errors += 1
+            return
+        with self._lock:
+            self._write_throughs += 1
 
     def _evict_locked(self) -> None:
         unpinned = [k for k in self._entries if k not in self._pinned]
@@ -169,4 +267,13 @@ class ExpanderRegistry:
                 "fits": self._fits,
                 "hits": self._hits,
                 "evictions": self._evictions,
+                "fit_seconds": dict(self._fit_seconds),
+                "restore_seconds": dict(self._restore_seconds),
+                "store": {
+                    "enabled": self.store is not None,
+                    "restore_hits": self._restore_hits,
+                    "restore_misses": self._restore_misses,
+                    "write_throughs": self._write_throughs,
+                    "errors": self._store_errors,
+                },
             }

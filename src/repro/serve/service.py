@@ -26,6 +26,7 @@ from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import ResultCache
 from repro.serve.protocol import ExpandRequest, ExpandResponse, MethodInfo
 from repro.serve.registry import ExpanderFactory, ExpanderRegistry
+from repro.store import ArtifactStore
 from repro.types import ExpansionResult, Query
 
 
@@ -39,18 +40,25 @@ class ExpansionService:
         resources: SharedResources | None = None,
         factories: Mapping[str, ExpanderFactory] | None = None,
         clock: Callable[[], float] = time.monotonic,
+        store: ArtifactStore | None = None,
     ):
         """``resources`` lets callers share already-fitted substrates (e.g.
         an :class:`ExperimentContext`); ``clock`` feeds the TTL cache and is
-        injectable for deterministic expiry tests."""
+        injectable for deterministic expiry tests.  ``store`` (or
+        ``config.store_dir``) attaches the persistent artifact store so fits
+        survive restarts and are shared across worker processes."""
         self.config = config or ServiceConfig()
         self.config.validate()
         self.dataset = dataset
+        if store is None and self.config.store_dir is not None:
+            store = ArtifactStore(self.config.store_dir)
+        self.store = store
         self.registry = ExpanderRegistry(
             dataset,
             resources=resources,
             factories=factories,
             capacity=self.config.registry_capacity,
+            store=store,
         )
         self.cache = ResultCache(
             capacity=self.config.cache_capacity,
@@ -182,12 +190,15 @@ class ExpansionService:
                 "dataset_queries": len(self._queries_by_id),
                 "entities": len(self._entity_names),
             }
-        return {
+        merged = {
             "service": service,
             "cache": self.cache.stats(),
             "registry": self.registry.stats(),
             "batcher": self.batcher.stats(),
         }
+        if self.store is not None:
+            merged["store"] = self.store.stats()
+        return merged
 
     # -- lifecycle ---------------------------------------------------------------------
     def close(self) -> None:

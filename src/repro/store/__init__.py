@@ -1,0 +1,49 @@
+"""Persistent fitted-expander artifact store.
+
+Fits are the dominant cost of every expansion method; this package makes
+them build-once artifacts shared across restarts and worker processes:
+
+* :class:`ArtifactStore` — content-addressed persistence keyed by
+  ``(method, dataset fingerprint)`` with per-artifact JSON manifests
+  (checksums, sizes, versions), atomic staged writes, and ``ls``/``gc``/
+  ``evict`` management;
+* :mod:`repro.store.serialization` — the pickle-free JSON + ``.npy``
+  serialization layer, including mmap-friendly entity→vector maps.
+
+Workflow::
+
+    store = ArtifactStore("./artifacts")
+    registry = ExpanderRegistry(dataset, store=store)   # restore-on-miss
+    registry.get("retexpan")                            # fit once, write through
+    # ... restart the process ...
+    registry = ExpanderRegistry(dataset, store=store)
+    registry.get("retexpan")                            # restored, no _fit
+"""
+
+from repro.store.artifact import FORMAT_VERSION, ArtifactInfo, ArtifactStore
+from repro.store.serialization import (
+    load_array,
+    load_count_table,
+    load_vector_map,
+    read_json_state,
+    save_array,
+    save_count_table,
+    save_vector_map,
+    sha256_file,
+    write_json_state,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "ArtifactInfo",
+    "ArtifactStore",
+    "save_array",
+    "load_array",
+    "save_vector_map",
+    "load_vector_map",
+    "save_count_table",
+    "load_count_table",
+    "read_json_state",
+    "write_json_state",
+    "sha256_file",
+]

@@ -1,0 +1,407 @@
+"""Persistent, content-addressed store of fitted expander artifacts.
+
+``Expander.fit`` dominates the cost of every method in this repo, and the
+serving registry (PR 1) only amortises it *within* one process.  The
+:class:`ArtifactStore` turns a fit into a build-once artifact on disk, keyed
+by ``(method, dataset fingerprint)`` and stamped with a format version, so
+that restarts, deploys, and sibling worker processes restore fitted state
+instead of re-training it.
+
+Layout (one directory per artifact; the format version is part of the path
+so differently-versioned builds sharing a store coexist instead of evicting
+each other's artifacts)::
+
+    <root>/
+      <method>/<fingerprint>.v<format_version>/
+        manifest.json          # key, versions, checksums, sizes, created-at
+        state/...              # whatever Expander.save_state wrote
+      .tmp/                    # staging area for in-flight writes
+
+Writes are atomic: state is staged under ``.tmp`` and moved into place with
+one ``os.replace``-style rename, so a crashed writer never leaves a
+half-written artifact where a reader could find it.  Restores verify the
+manifest's format/state versions and every file checksum before any state is
+deserialised; corrupt or version-mismatched artifacts raise a
+:class:`~repro.exceptions.StoreError` subtype that consumers treat as a miss
+(fall back to refit, then overwrite).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import shutil
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.exceptions import (
+    ArtifactCorruptError,
+    ArtifactNotFoundError,
+    ArtifactVersionError,
+    PersistenceError,
+    StoreError,
+)
+from repro.store.serialization import read_json_state, sha256_file, write_json_state
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports store)
+    from repro.core.base import Expander
+    from repro.dataset.ultrawiki import UltraWikiDataset
+
+#: bump when the store layout or manifest schema changes incompatibly.
+FORMAT_VERSION = 1
+
+_MANIFEST_NAME = "manifest.json"
+_STATE_DIR = "state"
+
+#: staging directories younger than this are treated as in-flight saves and
+#: left alone by ``gc`` — deleting them would race a concurrent writer.
+_STALE_TMP_SECONDS = 3600.0
+
+#: how long a computed ``stats()`` summary may be served from memory; the
+#: summary requires a full manifest scan, and /stats gets polled.
+_STATS_TTL_SECONDS = 5.0
+
+
+@dataclass(frozen=True)
+class ArtifactInfo:
+    """One row of ``ArtifactStore.ls()`` — the manifest, summarised."""
+
+    method: str
+    fingerprint: str
+    format_version: int
+    state_version: int
+    expander_class: str
+    created_at: float
+    total_bytes: int
+    num_files: int
+    path: str
+    library_versions: dict = field(default_factory=dict)
+
+    @property
+    def age_seconds(self) -> float:
+        return max(0.0, time.time() - self.created_at)
+
+
+class ArtifactStore:
+    """Saves and restores fitted expander state under one root directory."""
+
+    def __init__(self, root: str | Path, format_version: int = FORMAT_VERSION):
+        if format_version < 1:
+            raise StoreError("format_version must be >= 1")
+        self.root = Path(root)
+        self.format_version = format_version
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._tmp_root = self.root / ".tmp"
+        # Serialises publishes/evictions within this process; cross-process
+        # safety comes from staging + atomic rename.
+        self._lock = threading.Lock()
+        #: short-lived cache of :meth:`stats` (a full manifest scan) so that
+        #: polling a monitoring endpoint does not hammer the filesystem.
+        self._stats_cache: tuple[float, dict] | None = None
+
+    # -- paths -------------------------------------------------------------------
+    @staticmethod
+    def _normalize(method: str) -> str:
+        method = method.strip().lower()
+        if not method or any(sep in method for sep in ("/", "\\", "..")):
+            raise StoreError(f"invalid method name {method!r}")
+        return method
+
+    def artifact_dir(self, method: str, fingerprint: str) -> Path:
+        """The directory an artifact for this store's key lives in.
+
+        The format version is part of the path, not just the manifest, so
+        mixed-version fleets sharing one store simply *miss* each other's
+        artifacts (and coexist) instead of evicting and rewriting them back
+        and forth on every cold start.
+        """
+        if not fingerprint or any(sep in fingerprint for sep in ("/", "\\", "..")):
+            raise StoreError(f"invalid fingerprint {fingerprint!r}")
+        return self.root / self._normalize(method) / f"{fingerprint}.v{self.format_version}"
+
+    def contains(self, method: str, fingerprint: str) -> bool:
+        """True when an artifact directory with a manifest exists (unverified)."""
+        return (self.artifact_dir(method, fingerprint) / _MANIFEST_NAME).exists()
+
+    # -- writing -----------------------------------------------------------------
+    def save(self, method: str, fingerprint: str, expander: "Expander") -> ArtifactInfo:
+        """Persist ``expander``'s fitted state, replacing any previous artifact.
+
+        The expander writes into a staging directory; the manifest (with a
+        checksum and size per file) is written last and the whole directory
+        is renamed into place in one step.
+        """
+        method = self._normalize(method)
+        target = self.artifact_dir(method, fingerprint)
+        self._tmp_root.mkdir(parents=True, exist_ok=True)
+        staging = self._tmp_root / f"{method}-{fingerprint}-{uuid.uuid4().hex}"
+        state_dir = staging / _STATE_DIR
+        state_dir.mkdir(parents=True)
+        try:
+            expander.save_state(state_dir)
+            files = self._checksum_tree(state_dir)
+            manifest = {
+                "method": method,
+                "fingerprint": fingerprint,
+                "format_version": self.format_version,
+                "state_version": type(expander).state_version,
+                "expander_class": type(expander).__name__,
+                "created_at": time.time(),
+                "library_versions": {
+                    "python": platform.python_version(),
+                    "numpy": np.__version__,
+                },
+                "files": files,
+            }
+            write_json_state(staging / _MANIFEST_NAME, manifest)
+            with self._lock:
+                target.parent.mkdir(parents=True, exist_ok=True)
+                if target.exists():
+                    # Move the old artifact aside first so readers never see
+                    # a partially-deleted directory at the published path.
+                    graveyard = self._tmp_root / f"evicted-{uuid.uuid4().hex}"
+                    os.replace(target, graveyard)
+                    shutil.rmtree(graveyard, ignore_errors=True)
+                os.replace(staging, target)
+                self._stats_cache = None
+        except StoreError:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        except PersistenceError:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        except OSError as exc:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise StoreError(f"cannot write artifact {method}/{fingerprint}: {exc}") from exc
+        return self._info_from_manifest(manifest, target)
+
+    @staticmethod
+    def _checksum_tree(state_dir: Path) -> dict[str, dict]:
+        files: dict[str, dict] = {}
+        for path in sorted(state_dir.rglob("*")):
+            if path.is_file():
+                relative = path.relative_to(state_dir).as_posix()
+                files[relative] = {
+                    "sha256": sha256_file(path),
+                    "bytes": path.stat().st_size,
+                }
+        return files
+
+    # -- reading -----------------------------------------------------------------
+    def _read_manifest(self, method: str, fingerprint: str) -> tuple[dict, Path]:
+        target = self.artifact_dir(method, fingerprint)
+        manifest_path = target / _MANIFEST_NAME
+        if not manifest_path.exists():
+            raise ArtifactNotFoundError(
+                f"no artifact for method={method!r} fingerprint={fingerprint!r}"
+            )
+        manifest = read_json_state(manifest_path)
+        for key in ("method", "fingerprint", "format_version", "state_version", "files"):
+            if key not in manifest:
+                raise ArtifactCorruptError(f"manifest {manifest_path} lacks {key!r}")
+        return manifest, target
+
+    def verify(self, method: str, fingerprint: str) -> ArtifactInfo:
+        """Check versions and every file checksum; raise a StoreError on failure."""
+        manifest, target = self._read_manifest(method, fingerprint)
+        if int(manifest["format_version"]) != self.format_version:
+            raise ArtifactVersionError(
+                f"artifact {method}/{fingerprint} has format_version "
+                f"{manifest['format_version']}, store expects {self.format_version}"
+            )
+        state_dir = target / _STATE_DIR
+        for relative, meta in manifest["files"].items():
+            path = state_dir / relative
+            try:
+                if not path.is_file():
+                    raise ArtifactCorruptError(
+                        f"artifact {method}/{fingerprint} lost state file {relative!r}"
+                    )
+                if (
+                    path.stat().st_size != int(meta["bytes"])
+                    or sha256_file(path) != meta["sha256"]
+                ):
+                    raise ArtifactCorruptError(
+                        f"artifact {method}/{fingerprint} checksum mismatch on {relative!r}"
+                    )
+            except OSError as exc:
+                # A concurrent evict/replace can remove files mid-scan; the
+                # caller must see a StoreError, never a raw filesystem error.
+                raise ArtifactCorruptError(
+                    f"artifact {method}/{fingerprint} became unreadable: {exc}"
+                ) from exc
+        return self._info_from_manifest(manifest, target)
+
+    def restore(
+        self,
+        method: str,
+        fingerprint: str,
+        expander: "Expander",
+        dataset: "UltraWikiDataset",
+    ) -> ArtifactInfo:
+        """Verify the artifact, then load its state into ``expander``.
+
+        Any failure during deserialisation is reported as corruption so that
+        callers uniformly fall back to refitting.
+        """
+        info = self.verify(method, fingerprint)
+        if info.state_version != type(expander).state_version:
+            raise ArtifactVersionError(
+                f"artifact {method}/{fingerprint} has state_version "
+                f"{info.state_version}, expander {type(expander).__name__} "
+                f"expects {type(expander).state_version}"
+            )
+        if info.expander_class != type(expander).__name__:
+            raise ArtifactVersionError(
+                f"artifact {method}/{fingerprint} was saved by "
+                f"{info.expander_class}, not {type(expander).__name__}"
+            )
+        state_dir = self.artifact_dir(method, fingerprint) / _STATE_DIR
+        try:
+            expander.load_state(state_dir, dataset)
+        except StoreError:
+            raise
+        except PersistenceError as exc:
+            # The state is intact but was fitted under an incompatible
+            # expander configuration — a version-style mismatch, not
+            # corruption, so consumers refit without evicting the artifact.
+            raise ArtifactVersionError(
+                f"artifact {method}/{fingerprint} does not match this "
+                f"expander configuration: {exc}"
+            ) from exc
+        except Exception as exc:  # noqa: BLE001 - any load failure means corrupt state
+            raise ArtifactCorruptError(
+                f"artifact {method}/{fingerprint} failed to load: {exc}"
+            ) from exc
+        return info
+
+    # -- management --------------------------------------------------------------
+    def ls(self) -> list[ArtifactInfo]:
+        """All artifacts in the store, newest first (unreadable ones skipped)."""
+        infos: list[ArtifactInfo] = []
+        if not self.root.exists():
+            return infos
+        for method_dir in sorted(self.root.iterdir()):
+            if not method_dir.is_dir() or method_dir.name.startswith("."):
+                continue
+            for artifact_dir in sorted(method_dir.iterdir()):
+                manifest_path = artifact_dir / _MANIFEST_NAME
+                if not manifest_path.exists():
+                    continue
+                try:
+                    manifest = read_json_state(manifest_path)
+                    infos.append(self._info_from_manifest(manifest, artifact_dir))
+                except (StoreError, KeyError, TypeError, ValueError):
+                    continue
+        infos.sort(key=lambda info: -info.created_at)
+        return infos
+
+    def evict(self, method: str, fingerprint: str) -> bool:
+        """Remove this store version's artifact; returns True when it existed."""
+        return self._remove(self.artifact_dir(method, fingerprint))
+
+    def _remove(self, target: Path) -> bool:
+        with self._lock:
+            if not target.exists():
+                return False
+            self._tmp_root.mkdir(parents=True, exist_ok=True)
+            graveyard = self._tmp_root / f"evicted-{uuid.uuid4().hex}"
+            os.replace(target, graveyard)
+            shutil.rmtree(graveyard, ignore_errors=True)
+            self._prune_empty(target.parent)
+            self._stats_cache = None
+            return True
+
+    def gc(
+        self,
+        keep_fingerprints: set[str] | None = None,
+        max_age_seconds: float | None = None,
+    ) -> list[ArtifactInfo]:
+        """Remove stale artifacts and abandoned staging directories.
+
+        An artifact is collected when its fingerprint is not in
+        ``keep_fingerprints`` (if given) or it is older than
+        ``max_age_seconds`` (if given); with neither filter only the staging
+        area is cleaned.  Staging directories are only removed once they are
+        old enough to be abandoned, never while a concurrent ``save`` may
+        still be writing into them.  Returns the artifacts removed.
+        """
+        removed: list[ArtifactInfo] = []
+        now = time.time()
+        for info in self.ls():
+            stale = False
+            if keep_fingerprints is not None and info.fingerprint not in keep_fingerprints:
+                stale = True
+            if max_age_seconds is not None and now - info.created_at > max_age_seconds:
+                stale = True
+            # Remove via the listed path: ``ls`` surfaces artifacts of every
+            # format version, including ones this store would not address.
+            if stale and self._remove(Path(info.path)):
+                removed.append(info)
+        if self._tmp_root.exists():
+            for leftover in self._tmp_root.iterdir():
+                try:
+                    abandoned = now - leftover.stat().st_mtime > _STALE_TMP_SECONDS
+                except OSError:
+                    continue  # a concurrent save just renamed it away
+                if abandoned:
+                    shutil.rmtree(leftover, ignore_errors=True)
+        return removed
+
+    def stats(self) -> dict:
+        """A store summary, cached briefly (it scans every manifest).
+
+        Writes through this store invalidate the cache immediately; only
+        another process's concurrent writes can be missed, for at most
+        ``_STATS_TTL_SECONDS``.
+        """
+        now = time.time()
+        with self._lock:
+            if self._stats_cache is not None and now < self._stats_cache[0]:
+                return dict(self._stats_cache[1])
+        infos = self.ls()
+        summary = {
+            "root": str(self.root),
+            "format_version": self.format_version,
+            "artifacts": len(infos),
+            "total_bytes": sum(info.total_bytes for info in infos),
+            "methods": sorted({info.method for info in infos}),
+        }
+        with self._lock:
+            self._stats_cache = (now + _STATS_TTL_SECONDS, summary)
+        return dict(summary)
+
+    # -- helpers -----------------------------------------------------------------
+    @staticmethod
+    def _prune_empty(method_dir: Path) -> None:
+        try:
+            next(method_dir.iterdir())
+        except StopIteration:
+            shutil.rmtree(method_dir, ignore_errors=True)
+        except OSError:
+            pass
+
+    @staticmethod
+    def _info_from_manifest(manifest: dict, path: Path) -> ArtifactInfo:
+        files = manifest.get("files", {})
+        return ArtifactInfo(
+            method=str(manifest["method"]),
+            fingerprint=str(manifest["fingerprint"]),
+            format_version=int(manifest["format_version"]),
+            state_version=int(manifest["state_version"]),
+            expander_class=str(manifest.get("expander_class", "")),
+            created_at=float(manifest.get("created_at", 0.0)),
+            total_bytes=sum(int(meta["bytes"]) for meta in files.values()),
+            num_files=len(files),
+            path=str(path),
+            library_versions=dict(manifest.get("library_versions", {})),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ArtifactStore(root={str(self.root)!r}, format_version={self.format_version})"

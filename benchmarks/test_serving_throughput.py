@@ -10,10 +10,10 @@ alongside quality regressions.
 from __future__ import annotations
 
 import time
-from dataclasses import replace
 
+from repro.client import ExpansionClient
 from repro.config import ServiceConfig
-from repro.serve import ExpandRequest, ExpansionService
+from repro.serve import ExpandOptions, ExpandRequest, ExpansionHTTPServer, ExpansionService
 
 #: queries per measured pass; small enough to keep the suite fast.
 SERVING_QUERY_BUDGET = 20
@@ -29,13 +29,25 @@ def run_serving_benchmark(context, num_queries: int = SERVING_QUERY_BUDGET) -> d
         service.warm_up(["retexpan"])  # fit cost excluded from the measurement
         queries = context.dataset.queries[:num_queries]
         requests = [
-            ExpandRequest(method="retexpan", query_id=query.query_id, top_k=50)
+            ExpandRequest(
+                method="retexpan",
+                query_id=query.query_id,
+                options=ExpandOptions(top_k=50),
+            )
+            for query in queries
+        ]
+        uncached_requests = [
+            ExpandRequest(
+                method="retexpan",
+                query_id=query.query_id,
+                options=ExpandOptions(top_k=50, use_cache=False),
+            )
             for query in queries
         ]
 
         started = time.perf_counter()
-        for request in requests:
-            service.submit(replace(request, use_cache=False))
+        for request in uncached_requests:
+            service.submit(request)
         uncached_s = time.perf_counter() - started
 
         for request in requests:  # prime the cache
@@ -76,3 +88,29 @@ def test_serving_throughput(benchmark, context):
     assert stats["cache"]["misses"] == result["num_queries"]
     # The cache must not be slower than recomputing the expansion.
     assert result["cached_s"] < result["uncached_s"]
+
+
+def test_v1_http_expand_smoke(context):
+    """One ``/v1/expand`` end-to-end through the SDK's HTTP transport.
+
+    The CI benchmark smoke runs this file, so every merge exercises the full
+    production path: client -> urllib -> HTTP server -> v1 dispatcher ->
+    service -> registry -> expander, with the versioned envelope on the wire.
+    """
+    service = ExpansionService(
+        context.dataset,
+        config=ServiceConfig(batch_wait_ms=0.0, port=0),
+        resources=context.resources,
+    )
+    query = context.dataset.queries[0]
+    with ExpansionHTTPServer(service, port=0).start() as server:
+        with ExpansionClient.connect(server.url) as client:
+            started = time.perf_counter()
+            response = client.expand("retexpan", query_id=query.query_id, top_k=20)
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+    print(f"\nv1 HTTP expand round trip: {elapsed_ms:.1f} ms (cold registry)")
+    assert response.method == "retexpan"
+    assert response.query_id == query.query_id
+    assert 1 <= len(response.ranking) <= 20
+    assert client.last_request_id is not None
+    assert not set(response.entity_ids()) & set(query.seed_ids())

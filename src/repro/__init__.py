@@ -49,11 +49,13 @@ from repro.genexpan import GenExpan
 from repro.baselines import CGExpan, CaSE, GPT4Expander, ProbExpan, SetExpan
 from repro.eval import EvaluationReport, Evaluator, format_metric_report, format_table
 from repro.serve import (
+    ExpandOptions,
     ExpandRequest,
     ExpandResponse,
     ExpansionHTTPServer,
     ExpansionService,
 )
+from repro.client import ExpansionClient
 from repro.store import ArtifactInfo, ArtifactStore
 
 __version__ = "0.1.0"
@@ -101,10 +103,12 @@ __all__ = [
     "format_metric_report",
     # serving
     "ServiceConfig",
+    "ExpandOptions",
     "ExpandRequest",
     "ExpandResponse",
     "ExpansionService",
     "ExpansionHTTPServer",
+    "ExpansionClient",
     # persistence
     "ArtifactStore",
     "ArtifactInfo",

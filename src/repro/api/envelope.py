@@ -1,0 +1,38 @@
+"""Versioned response envelopes of the public expansion API.
+
+Every v1 response — success or error — is wrapped in one envelope shape::
+
+    {"api_version": "v1", "request_id": "req-...", "data": {...}}
+    {"api_version": "v1", "request_id": "req-...", "error": {...}}
+
+``api_version`` lets clients detect protocol drift without sniffing bodies,
+and the server-assigned ``request_id`` (also echoed in the ``X-Request-Id``
+header and the access log) gives every request a correlation handle across
+client retries, server logs, and bug reports.
+"""
+
+from __future__ import annotations
+
+import uuid
+from typing import Any
+
+#: protocol version served under the ``/v1/*`` routes.
+API_VERSION = "v1"
+
+#: header carrying the server-assigned request id.
+REQUEST_ID_HEADER = "X-Request-Id"
+
+
+def new_request_id() -> str:
+    """A fresh server-assigned request id (``req-`` + 16 hex chars)."""
+    return f"req-{uuid.uuid4().hex[:16]}"
+
+
+def success_envelope(request_id: str, data: Any) -> dict:
+    """Wrap a JSON-able payload in the v1 success envelope."""
+    return {"api_version": API_VERSION, "request_id": request_id, "data": data}
+
+
+def error_envelope(request_id: str, error: dict) -> dict:
+    """Wrap a taxonomy error payload in the v1 error envelope."""
+    return {"api_version": API_VERSION, "request_id": request_id, "error": error}

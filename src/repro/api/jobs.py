@@ -1,0 +1,273 @@
+"""Asynchronous fit jobs over the expander registry.
+
+A cold ``Expander.fit`` is the dominant cost of serving a method (~50x a
+warm restore in the PR 2 benchmark) and used to stall a caller's *first*
+``/expand`` synchronously.  :class:`JobManager` turns warming into a
+first-class, non-blocking operation: ``POST /v1/fits`` enqueues a
+:class:`FitJob` and returns ``202`` immediately, one background worker drains
+the queue through :meth:`ExpanderRegistry.get` (restore-from-store when an
+artifact exists, train otherwise), and ``GET /v1/fits/<id>`` reports the
+outcome — so the first query after a successful job is served without an
+in-request fit.
+
+One worker thread is deliberate: fits are heavyweight (they own the CPU and
+allocate model-sized memory), so running them serially keeps a burst of fit
+requests from starving the serving path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.api.errors import error_payload
+from repro.exceptions import (
+    JobConflictError,
+    JobNotFoundError,
+    ServiceUnavailableError,
+)
+
+#: terminal :class:`FitJob` states.
+FINISHED_STATES = frozenset({"succeeded", "failed"})
+
+
+@dataclass
+class FitJob:
+    """One asynchronous fit of a method, tracked from queue to completion."""
+
+    job_id: str
+    method: str
+    pin: bool = False
+    #: ``queued`` -> ``running`` -> ``succeeded`` | ``failed``.
+    status: str = "queued"
+    created_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: how the fit was satisfied: ``already_fitted`` | ``restored`` | ``fitted``.
+    outcome: str | None = None
+    #: taxonomy error payload when ``status == "failed"``.
+    error: dict | None = field(default=None)
+
+    @property
+    def finished(self) -> bool:
+        return self.status in FINISHED_STATES
+
+    def to_dict(self) -> dict:
+        duration_ms = None
+        if self.started_at is not None and self.finished_at is not None:
+            duration_ms = (self.finished_at - self.started_at) * 1000.0
+        return {
+            "job_id": self.job_id,
+            "method": self.method,
+            "pin": self.pin,
+            "status": self.status,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "duration_ms": duration_ms,
+            "outcome": self.outcome,
+            "error": self.error,
+        }
+
+
+class JobManager:
+    """Queues and executes fit jobs against one :class:`ExpanderRegistry`."""
+
+    def __init__(self, registry, clock: Callable[[], float] = time.time,
+                 history_limit: int = 64):
+        """``registry`` is any object with the ``ExpanderRegistry`` surface
+        (``ensure_known``/``is_fitted``/``get``/``pin``/``stats``); ``clock``
+        stamps job timestamps and is injectable for tests."""
+        self.registry = registry
+        self.clock = clock
+        self.history_limit = history_limit
+        self._cond = threading.Condition()
+        self._jobs: dict[str, FitJob] = {}
+        #: insertion-ordered job ids (history pruning drops from the left).
+        self._order: deque[str] = deque()
+        self._pending: deque[str] = deque()
+        #: method -> job_id of the queued/running job (at most one per method).
+        self._active: dict[str, str] = {}
+        self._worker: threading.Thread | None = None
+        self._closed = False
+        self._submitted = 0
+
+    # -- public API --------------------------------------------------------------
+    def submit(self, method: str, pin: bool = False) -> FitJob:
+        """Enqueue a fit for ``method`` and return the job immediately.
+
+        Raises :class:`UnknownMethodError` for unservable methods and
+        :class:`JobConflictError` when a job for the same method is already
+        queued or running (its id is carried in ``details.job_id``).
+        """
+        self.registry.ensure_known(method)
+        name = method.strip().lower()
+        with self._cond:
+            if self._closed:
+                raise ServiceUnavailableError("job manager is shut down")
+            active_id = self._active.get(name)
+            if active_id is not None:
+                active_job = self._jobs.get(active_id)
+                status = active_job.status if active_job is not None else "active"
+                conflict = JobConflictError(
+                    f"a fit job for {name!r} is already {status}"
+                )
+                conflict.details = {"job_id": active_id, "method": name}
+                raise conflict
+            self._submitted += 1
+            job = FitJob(
+                job_id=f"fit-{self._submitted}-{uuid.uuid4().hex[:6]}",
+                method=name,
+                pin=pin,
+                created_at=self.clock(),
+            )
+            self._jobs[job.job_id] = job
+            self._order.append(job.job_id)
+            self._active[name] = job.job_id
+            self._pending.append(job.job_id)
+            self._prune_locked()
+            self._ensure_worker_locked()
+            self._cond.notify_all()
+            return job
+
+    def get(self, job_id: str) -> FitJob:
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise JobNotFoundError(f"no fit job {job_id!r}")
+            return job
+
+    def list(self) -> list[FitJob]:
+        """All tracked jobs, most recently created first."""
+        with self._cond:
+            return [self._jobs[job_id] for job_id in reversed(self._order)]
+
+    def wait(self, job_id: str, timeout: float = 60.0) -> FitJob:
+        """Block until ``job_id`` finishes; mainly for tests and the CLI."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise JobNotFoundError(f"no fit job {job_id!r}")
+            while not job.finished:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                    raise TimeoutError(f"fit job {job_id!r} did not finish in time")
+            return job
+
+    def stats(self) -> dict:
+        with self._cond:
+            by_status: dict[str, int] = {}
+            for job in self._jobs.values():
+                by_status[job.status] = by_status.get(job.status, 0) + 1
+            return {
+                "submitted": self._submitted,
+                "tracked": len(self._jobs),
+                "pending": len(self._pending),
+                "by_status": by_status,
+            }
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop accepting jobs, fail everything still queued, join the worker."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            while self._pending:
+                job = self._jobs[self._pending.popleft()]
+                job.finished_at = self.clock()
+                _, job.error = error_payload(
+                    ServiceUnavailableError("service shut down before the fit ran")
+                )
+                job.status = "failed"
+                self._active.pop(job.method, None)
+            self._cond.notify_all()
+            worker = self._worker
+        if worker is not None:
+            worker.join(timeout=timeout)
+
+    # -- worker ------------------------------------------------------------------
+    def _ensure_worker_locked(self) -> None:
+        if self._worker is None or not self._worker.is_alive():
+            self._worker = threading.Thread(
+                target=self._run_loop, name="repro-fit-jobs", daemon=True
+            )
+            self._worker.start()
+
+    def _run_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._closed:
+                    self._cond.wait()
+                if self._closed and not self._pending:
+                    return
+                job = self._jobs[self._pending.popleft()]
+                job.status = "running"
+                job.started_at = self.clock()
+            self._execute(job)
+
+    def _execute(self, job: FitJob) -> None:
+        try:
+            already_fitted = self.registry.is_fitted(job.method)
+            stats_before = self.registry.stats()
+            if job.pin:
+                self.registry.pin(job.method)
+            else:
+                self.registry.get(job.method)
+            stats_after = self.registry.stats()
+            # Per-method wall-time entries change exactly when this method
+            # was fitted/restored; global counters would misattribute
+            # concurrent restores of *other* methods to this job.
+            if already_fitted:
+                outcome = "already_fitted"
+            elif self._method_stat_changed(stats_before, stats_after, job.method,
+                                           "fit_seconds"):
+                outcome = "fitted"
+            elif self._method_stat_changed(stats_before, stats_after, job.method,
+                                           "restore_seconds"):
+                outcome = "restored"
+            else:
+                # another caller raced us through the fit lock and won.
+                outcome = "already_fitted"
+        except Exception as exc:  # noqa: BLE001 - reported through the job
+            with self._cond:
+                # status is assigned last: readers snapshot job fields without
+                # the lock, and seeing a terminal status must imply the
+                # error/outcome/finished_at fields are already populated.
+                # _active is released in the same critical section, so a
+                # poller that saw a terminal status can always resubmit
+                # without racing a stale conflict.
+                job.finished_at = self.clock()
+                _, job.error = error_payload(exc)
+                job.status = "failed"
+                self._active.pop(job.method, None)
+                self._cond.notify_all()
+            return
+        with self._cond:
+            job.outcome = outcome
+            job.finished_at = self.clock()
+            job.status = "succeeded"
+            self._active.pop(job.method, None)
+            self._cond.notify_all()
+
+    @staticmethod
+    def _method_stat_changed(before: dict, after: dict, method: str, key: str) -> bool:
+        return before[key].get(method) != after[key].get(method)
+
+    def _prune_locked(self) -> None:
+        """Cap history: drop the oldest *finished* jobs beyond the limit."""
+        excess = len(self._order) - self.history_limit
+        if excess <= 0:
+            return
+        kept: deque[str] = deque()
+        for job_id in self._order:
+            if excess > 0 and self._jobs[job_id].finished:
+                del self._jobs[job_id]
+                excess -= 1
+            else:
+                kept.append(job_id)
+        self._order = kept

@@ -1,0 +1,209 @@
+"""The transport-agnostic v1 route dispatcher.
+
+:class:`ApiV1` maps ``(verb, path, payload)`` onto an
+:class:`ExpansionService` and returns an :class:`ApiResult` — status, domain
+data, and (on failure) a taxonomy error payload.  Two renderers turn a result
+into a wire body: :func:`render_v1_body` wraps it in the versioned envelope,
+:func:`render_legacy_body` produces the exact pre-v1 shapes so the deprecated
+unversioned routes can delegate here instead of keeping a second code path.
+
+Both the HTTP front-end (:mod:`repro.serve.server`) and the client SDK's
+in-process transport (:mod:`repro.client.transport`) drive this same
+dispatcher, which is what guarantees transport parity: same routes, same
+statuses, same envelopes, same errors.
+
+Routes::
+
+    GET  /v1/healthz         liveness probe
+    GET  /v1/methods         servable methods + persistence/artifact state
+    GET  /v1/stats           merged service/cache/registry/batcher/jobs counters
+    POST /v1/expand          one ExpandRequest (v1 wire shape, paginated)
+    POST /v1/expand/batch    {"requests": [...]} -> per-item response or error
+    POST /v1/fits            start an async fit job -> 202 + job id
+    GET  /v1/fits            list tracked fit jobs
+    GET  /v1/fits/<job_id>   one fit job's status/outcome
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.api.envelope import error_envelope, success_envelope
+from repro.api.errors import error_payload, route_not_found_payload
+from repro.exceptions import ServiceError
+from repro.serve.protocol import ExpandRequest
+from repro.utils.iox import to_jsonable
+
+#: hard cap on ``/v1/expand/batch`` fan-out per HTTP request.
+MAX_BATCH_REQUESTS = 64
+
+#: threads used to push a batch through the service concurrently, so the
+#: micro-batcher can coalesce the items into real ``expand_batch`` calls.
+_BATCH_CONCURRENCY = 8
+
+
+@dataclass
+class ApiResult:
+    """One dispatched call: HTTP status plus either data or a taxonomy error."""
+
+    status: int
+    data: Any | None = None
+    error: dict | None = None
+    #: result-cache outcome of an expand call, for the access log.
+    cached: bool | None = None
+
+
+class ApiV1:
+    """Routes v1 calls onto one :class:`ExpansionService`."""
+
+    def __init__(self, service):
+        self.service = service
+        #: long-lived pool for batch fan-out (created on first batch call, so
+        #: one-shot clients that never batch pay nothing).
+        self._batch_pool: ThreadPoolExecutor | None = None
+        self._batch_pool_lock = threading.Lock()
+        self._static_routes: dict[
+            tuple[str, str], Callable[[Mapping | None], ApiResult]
+        ] = {
+            ("GET", "/v1/healthz"): lambda _payload: self.healthz(),
+            ("GET", "/v1/methods"): lambda _payload: self.methods(),
+            ("GET", "/v1/stats"): lambda _payload: self.stats(),
+            ("POST", "/v1/expand"): self.expand,
+            ("POST", "/v1/expand/batch"): self.expand_batch,
+            ("POST", "/v1/fits"): self.start_fit,
+            ("GET", "/v1/fits"): lambda _payload: self.list_fits(),
+        }
+
+    # -- dispatch ----------------------------------------------------------------
+    def resolves(self, verb: str, path: str) -> bool:
+        """Whether a handler exists for ``(verb, path)`` — lets transports
+        answer 404 *before* reading a request body."""
+        return self._find(verb.upper(), path) is not None
+
+    def dispatch(self, verb: str, path: str, payload: Mapping | None = None) -> ApiResult:
+        """Serve one call; never raises — failures become taxonomy errors."""
+        handler = self._find(verb.upper(), path)
+        if handler is None:
+            return ApiResult(status=404, error=route_not_found_payload(path))
+        try:
+            return handler(payload)
+        except Exception as exc:  # noqa: BLE001 - rendered into the envelope
+            status, error = error_payload(exc)
+            return ApiResult(status=status, error=error)
+
+    def _find(
+        self, verb: str, path: str
+    ) -> "Callable[[Mapping | None], ApiResult] | None":
+        handler = self._static_routes.get((verb, path))
+        if handler is not None:
+            return handler
+        if verb == "GET" and path.startswith("/v1/fits/"):
+            job_id = path[len("/v1/fits/"):]
+            if job_id and "/" not in job_id:
+                return lambda _payload: self.fit_status(job_id)
+        return None
+
+    # -- handlers ----------------------------------------------------------------
+    def healthz(self) -> ApiResult:
+        return ApiResult(status=200, data={"status": "ok"})
+
+    def methods(self) -> ApiResult:
+        return ApiResult(status=200, data={"methods": self.service.methods()})
+
+    def stats(self) -> ApiResult:
+        return ApiResult(status=200, data=self.service.stats())
+
+    def expand(self, payload: Mapping | None) -> ApiResult:
+        request = ExpandRequest.from_dict(payload)
+        response = self.service.submit(request)
+        return ApiResult(status=200, data=response, cached=response.cached)
+
+    def expand_batch(self, payload: Mapping | None) -> ApiResult:
+        if not isinstance(payload, Mapping):
+            raise ServiceError("batch payload must be a JSON object")
+        items = payload.get("requests")
+        if not isinstance(items, (list, tuple)) or not items:
+            raise ServiceError('batch payload needs a non-empty "requests" array')
+        if len(items) > MAX_BATCH_REQUESTS:
+            raise ServiceError(
+                f"batch size {len(items)} exceeds the limit of {MAX_BATCH_REQUESTS}"
+            )
+
+        def run_one(item) -> dict:
+            try:
+                response = self.service.submit(ExpandRequest.from_dict(item))
+            except Exception as exc:  # noqa: BLE001 - reported per item
+                _, error = error_payload(exc)
+                return {"error": error}
+            return {"response": response.to_v1_dict()}
+
+        # Concurrent submission lets the micro-batcher coalesce the items.
+        results = list(self._pool().map(run_one, items))
+        return ApiResult(
+            status=200, data={"responses": results, "count": len(results)}
+        )
+
+    def _pool(self) -> ThreadPoolExecutor:
+        with self._batch_pool_lock:
+            if self._batch_pool is None:
+                self._batch_pool = ThreadPoolExecutor(
+                    max_workers=_BATCH_CONCURRENCY,
+                    thread_name_prefix="repro-api-batch",
+                )
+            return self._batch_pool
+
+    def close(self) -> None:
+        """Release the batch pool (owned by whoever owns this dispatcher —
+        the HTTP server or a client transport)."""
+        with self._batch_pool_lock:
+            pool, self._batch_pool = self._batch_pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    def start_fit(self, payload: Mapping | None) -> ApiResult:
+        if not isinstance(payload, Mapping):
+            raise ServiceError("fit payload must be a JSON object")
+        unknown = set(payload) - {"method", "pin"}
+        if unknown:
+            raise ServiceError(f"unknown fit fields: {sorted(unknown)}")
+        method = payload.get("method")
+        if not isinstance(method, str) or not method.strip():
+            raise ServiceError("fit payload must name a method")
+        pin = payload.get("pin", False)
+        if not isinstance(pin, bool):
+            raise ServiceError("pin must be a boolean")
+        job = self.service.start_fit(method, pin=pin)
+        return ApiResult(status=202, data={"job": job.to_dict()})
+
+    def list_fits(self) -> ApiResult:
+        jobs = [job.to_dict() for job in self.service.fit_jobs()]
+        return ApiResult(status=200, data={"jobs": jobs, "count": len(jobs)})
+
+    def fit_status(self, job_id: str) -> ApiResult:
+        return ApiResult(status=200, data={"job": self.service.fit_job(job_id).to_dict()})
+
+
+# -- rendering -------------------------------------------------------------------------
+def _render_data(data: Any) -> Any:
+    if hasattr(data, "to_v1_dict"):
+        return data.to_v1_dict()
+    return to_jsonable(data)
+
+
+def render_v1_body(result: ApiResult, request_id: str) -> dict:
+    """An :class:`ApiResult` as the versioned envelope body."""
+    if result.error is not None:
+        return error_envelope(request_id, result.error)
+    return success_envelope(request_id, _render_data(result.data))
+
+
+def render_legacy_body(result: ApiResult) -> dict:
+    """An :class:`ApiResult` as the pre-v1 wire shape (deprecated routes)."""
+    if result.error is not None:
+        return {"error": result.error["error"], "message": result.error["message"]}
+    if hasattr(result.data, "to_legacy_dict"):
+        return result.data.to_legacy_dict()
+    return to_jsonable(result.data)

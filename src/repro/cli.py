@@ -13,12 +13,15 @@ writing Python:
   artifact store (:mod:`repro.store`) so later serves warm-start;
 * ``store ls`` / ``store gc`` — inspect and garbage-collect the artifact
   store;
-* ``serve`` — start the online expansion service (:mod:`repro.serve`): a
-  JSON/HTTP endpoint with a lazily-fitted expander registry, result caching,
-  and request micro-batching; with ``--store`` fits restore from / persist
-  to disk;
-* ``query`` — submit one expansion request through the same service stack
-  in-process and print the ranked entities.
+* ``serve`` — start the online expansion service (:mod:`repro.serve`): the
+  versioned v1 JSON/HTTP API (``/v1/expand``, ``/v1/expand/batch``,
+  ``/v1/methods``, ``/v1/stats``, ``/v1/healthz``, async ``/v1/fits`` jobs)
+  with a lazily-fitted expander registry, result caching, and request
+  micro-batching; with ``--store`` fits restore from / persist to disk and
+  ``--access-log`` emits one structured JSON line per request;
+* ``query`` — submit one expansion request through the
+  :class:`~repro.client.ExpansionClient` SDK and print the ranked entities:
+  in-process by default, or against a running server with ``--url``.
 
 Examples::
 
@@ -29,28 +32,39 @@ Examples::
     python -m repro.cli store ls --store ./artifacts
     python -m repro.cli serve --dataset ./ultrawiki --store ./artifacts --port 8080
     python -m repro.cli query --dataset ./ultrawiki --method retexpan --top-k 20
+    python -m repro.cli query --url http://127.0.0.1:8080 --method retexpan \
+        --query-id <id> --top-k 20
 
 Serving workflow: ``build-dataset`` once, ``fit`` to persist the expensive
 model fits, then ``serve --store`` against the same directories — the
 service restores every prefitted method from disk instead of re-training it,
-and POST ``{"method": "retexpan", "query_id": ...}`` to ``/expand`` answers
-immediately; restore/write-through counters appear under ``/stats``.
+and POST ``{"method": "retexpan", "query_id": ...}`` to ``/v1/expand``
+answers immediately (or warm any method first via ``POST /v1/fits``);
+restore/write-through counters appear under ``/v1/stats``.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
 from pathlib import Path
 
+from repro.client import ExpansionClient
 from repro.config import DatasetConfig, ServiceConfig
 from repro.dataset.analysis import compute_statistics
 from repro.dataset.builder import build_dataset
 from repro.dataset.ultrawiki import UltraWikiDataset
 from repro.experiments.registry import EXPERIMENTS, experiment_by_id
 from repro.experiments.runner import ExperimentContext
-from repro.serve import ExpanderRegistry, ExpandRequest, ExpansionHTTPServer, ExpansionService
+from repro.serve import (
+    ExpanderRegistry,
+    ExpandOptions,
+    ExpansionHTTPServer,
+    ExpansionService,
+)
+from repro.serve.server import access_logger
 from repro.store import ArtifactStore
 from repro.utils.iox import to_jsonable, write_json
 
@@ -135,6 +149,7 @@ def _service_config(args: argparse.Namespace) -> ServiceConfig:
         host=getattr(args, "host", ServiceConfig.host),
         port=getattr(args, "port", ServiceConfig.port),
         store_dir=getattr(args, "store", None),
+        access_log=getattr(args, "access_log", False),
     )
     config.validate()
     return config
@@ -210,17 +225,28 @@ def _cmd_store_gc(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     dataset = _load_or_build_dataset(args)
-    service = ExpansionService(dataset, config=_service_config(args))
+    config = _service_config(args)
+    if config.access_log and not access_logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        access_logger.addHandler(handler)
+        access_logger.setLevel(logging.INFO)
+    service = ExpansionService(dataset, config=config)
     if args.store:
         print(f"Artifact store: {Path(args.store).resolve()} "
               f"(prefitted methods restore without refitting)")
     if args.warm:
         print(f"Warming up {args.warm} ...")
         service.warm_up(args.warm)
-    server = ExpansionHTTPServer(service, verbose=True)
+    server = ExpansionHTTPServer(service)
     host, port = server.address
-    print(f"Serving expansion API on http://{host}:{port}")
-    print("  endpoints: POST /expand · GET /methods · GET /stats · GET /healthz")
+    print(f"Serving expansion API v1 on http://{host}:{port}")
+    print(
+        "  endpoints: POST /v1/expand · POST /v1/expand/batch · "
+        "POST /v1/fits · GET /v1/fits[/<id>]"
+    )
+    print("             GET /v1/methods · GET /v1/stats · GET /v1/healthz")
+    print("  deprecated aliases: /expand /methods /stats /healthz (pre-v1 wire shape)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -230,26 +256,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_expand_response(response, args: argparse.Namespace) -> None:
+    print(
+        f"{response.method} on {response.query_id}: top-{response.top_k} "
+        f"(cached={response.cached}, {response.latency_ms:.1f} ms)"
+    )
+    for rank, item in enumerate(response.ranking, start=response.offset + 1):
+        print(f"  {rank:>3}. {item.name}  (id={item.entity_id}, score={item.score:.4f})")
+    if args.json:
+        write_json(args.json, to_jsonable(response))
+        print(f"wrote JSON response to {Path(args.json).resolve()}")
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
+    """One expansion through the client SDK: HTTP with --url, else in-process."""
+    options = ExpandOptions(top_k=args.top_k, offset=args.offset, limit=args.limit)
+    if args.url:
+        if not args.query_id:
+            raise SystemExit("--url mode needs an explicit --query-id")
+        with ExpansionClient.connect(args.url) as client:
+            response = client.expand(
+                args.method, query_id=args.query_id, options=options
+            )
+            _print_expand_response(response, args)
+        return 0
     dataset = _load_or_build_dataset(args)
     config = _service_config(args)
     config.batch_wait_ms = 0.0  # one-shot CLI query: no batching window
     with ExpansionService(dataset, config=config) as service:
-        request = ExpandRequest(
-            method=args.method,
+        client = ExpansionClient.in_process(service)
+        response = client.expand(
+            args.method,
             query_id=args.query_id or dataset.queries[0].query_id,
-            top_k=args.top_k,
+            options=options,
         )
-        response = service.submit(request)
-        print(
-            f"{response.method} on {response.query_id}: top-{response.top_k} "
-            f"(cached={response.cached}, {response.latency_ms:.1f} ms)"
-        )
-        for rank, item in enumerate(response.ranking[: args.top_k], start=1):
-            print(f"  {rank:>3}. {item.name}  (id={item.entity_id}, score={item.score:.4f})")
-        if args.json:
-            write_json(args.json, to_jsonable(response))
-            print(f"wrote JSON response to {Path(args.json).resolve()}")
+        _print_expand_response(response, args)
     return 0
 
 
@@ -360,14 +401,30 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="METHOD",
         help="methods to fit and pin before accepting traffic (e.g. retexpan)",
     )
+    serve.add_argument(
+        "--access-log",
+        action="store_true",
+        help="emit one structured JSON access-log line per request",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
-    query = subparsers.add_parser("query", help="run one expansion request in-process")
+    query = subparsers.add_parser(
+        "query", help="run one expansion request through the client SDK"
+    )
     _add_dataset_source_arguments(query)
     _add_service_arguments(query)
+    query.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="query a running server over HTTP instead of serving in-process "
+        "(requires --query-id; dataset/service flags are ignored)",
+    )
     query.add_argument("--method", default="retexpan", help="e.g. retexpan, genexpan, setexpan")
     query.add_argument("--query-id", default=None, help="dataset query id (default: first)")
     query.add_argument("--top-k", type=int, default=20)
+    query.add_argument("--offset", type=int, default=0, help="pagination offset into the ranking")
+    query.add_argument("--limit", type=int, default=None, help="page size (default: the rest)")
     query.add_argument("--json", default=None, help="path to write the response as JSON")
     query.set_defaults(handler=_cmd_query)
     return parser

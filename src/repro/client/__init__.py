@@ -1,0 +1,25 @@
+"""Python client SDK for the v1 expansion API.
+
+Two interchangeable transports behind one :class:`ExpansionClient`:
+
+* HTTP, against a running ``repro serve`` endpoint::
+
+      client = ExpansionClient.connect("http://127.0.0.1:8080")
+
+* in-process, against an :class:`~repro.serve.service.ExpansionService` in
+  the same interpreter (tests, notebooks, embedded serving)::
+
+      client = ExpansionClient.in_process(service)
+
+The wire protocol, error taxonomy, and returned types are identical across
+transports — both drive the shared v1 dispatcher (:mod:`repro.api.v1`).
+"""
+
+from repro.client.client import ExpansionClient
+from repro.client.transport import HttpTransport, InProcessTransport
+
+__all__ = [
+    "ExpansionClient",
+    "HttpTransport",
+    "InProcessTransport",
+]

@@ -1,0 +1,144 @@
+"""Client transports: how :class:`ExpansionClient` reaches a service.
+
+Both transports expose one method — ``request(verb, path, payload) ->
+(status, body)`` where ``body`` is the parsed v1 envelope — so the client is
+transport-agnostic:
+
+* :class:`InProcessTransport` drives the same :class:`~repro.api.v1.ApiV1`
+  dispatcher the HTTP server mounts, directly against an
+  :class:`ExpansionService` in this process (no sockets, no serialization of
+  intermediate objects beyond the v1 rendering itself);
+* :class:`HttpTransport` speaks JSON over stdlib :mod:`urllib` with a
+  per-request timeout and bounded retries: connection-level failures and
+  responses whose taxonomy error is marked ``retryable`` are retried with
+  exponential backoff, everything else is returned to the client once.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Callable, Mapping
+
+import repro.api.v1 as apiv1
+from repro.api.envelope import new_request_id
+from repro.api.errors import CODE_INTERNAL, is_retryable
+from repro.exceptions import TransportError
+
+
+class InProcessTransport:
+    """Serves client calls from an :class:`ExpansionService` in this process."""
+
+    def __init__(self, service):
+        self.service = service
+        self._api = apiv1.ApiV1(service)
+
+    def request(
+        self, verb: str, path: str, payload: Mapping | None = None
+    ) -> tuple[int, dict]:
+        result = self._api.dispatch(verb, path, payload)
+        return result.status, apiv1.render_v1_body(result, new_request_id())
+
+    def close(self) -> None:
+        """Release the dispatcher's batch pool (the service itself is not
+        owned by the transport and stays open)."""
+        self._api.close()
+
+
+class HttpTransport:
+    """Speaks the v1 protocol over HTTP with timeouts and bounded retries."""
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 10.0,
+        max_retries: int = 2,
+        backoff_seconds: float = 0.1,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        """``max_retries`` counts *additional* attempts after the first;
+        ``sleep`` is injectable so tests can skip the real backoff."""
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff_seconds = backoff_seconds
+        self._sleep = sleep
+        #: attempts actually made, for tests and debugging.
+        self.attempts = 0
+
+    def request(
+        self, verb: str, path: str, payload: Mapping | None = None
+    ) -> tuple[int, dict]:
+        attempt = 0
+        while True:
+            if attempt:
+                self._sleep(self.backoff_seconds * (2 ** (attempt - 1)))
+            self.attempts += 1
+            try:
+                status, body = self._request_once(verb, path, payload)
+            except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
+                # Connection-level failure: the request may or may not have
+                # reached the server.  Only GETs are safe to replay blindly —
+                # re-POSTing e.g. /v1/fits could duplicate the server-side
+                # effect (and then surface a spurious 409 to the caller).
+                if verb.upper() == "GET" and attempt < self.max_retries:
+                    attempt += 1
+                    continue
+                raise TransportError(
+                    f"{verb} {self.base_url}{path} failed after "
+                    f"{attempt + 1} attempt(s): {exc}"
+                ) from exc
+            if (
+                status >= 400
+                and is_retryable(body.get("error") or {})
+                and attempt < self.max_retries
+            ):
+                # The server answered and declined (e.g. 503 shutting down):
+                # nothing was duplicated, so any verb may retry.
+                attempt += 1
+                continue
+            return status, body
+
+    def _request_once(
+        self, verb: str, path: str, payload: Mapping | None
+    ) -> tuple[int, dict]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=verb
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.status, self._parse_body(response.read(), response.status)
+        except urllib.error.HTTPError as error:
+            return error.code, self._parse_body(error.read(), error.code)
+
+    @staticmethod
+    def _parse_body(raw: bytes, status: int) -> dict:
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            body = None
+        if isinstance(body, dict):
+            return body
+        # A non-JSON body (proxy error page, truncated response): surface it
+        # through the taxonomy so the client's error mapping stays uniform.
+        return {
+            "error": {
+                "error": "TransportError",
+                "code": CODE_INTERNAL,
+                "message": f"non-JSON response body (HTTP {status})",
+                "details": {},
+                "retryable": status >= 500,
+            }
+        }
+
+    def close(self) -> None:
+        """urllib opens one connection per request; nothing to release."""

@@ -333,6 +333,10 @@ class ServiceConfig:
     #: directory of the persistent fitted-expander artifact store
     #: (:mod:`repro.store`); ``None`` keeps fits in-process only.
     store_dir: str | None = None
+    #: emit one structured JSON access-log line per HTTP request (request_id,
+    #: verb, route, status, latency_ms, cache hit) on the
+    #: ``repro.serve.access`` logger instead of http.server's stderr chatter.
+    access_log: bool = False
 
     def validate(self) -> None:
         if self.store_dir is not None and not str(self.store_dir).strip():

@@ -39,9 +39,33 @@ class EvaluationError(ReproError):
 class ServiceError(ReproError):
     """An online serving request is invalid or cannot be fulfilled."""
 
+    #: structured context merged into the API error envelope's ``details``;
+    #: set per instance (``None`` here so instances never share a dict).
+    details: dict | None = None
+
 
 class UnknownMethodError(ServiceError):
     """A serving request names a method the registry does not provide."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service is shutting down (or not yet ready); safe to retry elsewhere."""
+
+
+class JobError(ServiceError):
+    """A background fit job cannot be submitted, queried, or completed."""
+
+
+class JobNotFoundError(JobError):
+    """No fit job exists under the requested job id."""
+
+
+class JobConflictError(JobError):
+    """A fit job for the same method is already queued or running."""
+
+
+class TransportError(ReproError):
+    """An API client transport failed to reach the server (after retries)."""
 
 
 class PersistenceError(ReproError):

@@ -21,6 +21,8 @@ Quickstart::
         print("serving on", server.url)
 """
 
+from repro.api.jobs import FitJob, JobManager
+from repro.api.options import ExpandOptions
 from repro.config import ServiceConfig
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import ResultCache
@@ -38,6 +40,7 @@ __all__ = [
     "ServiceConfig",
     "MicroBatcher",
     "ResultCache",
+    "ExpandOptions",
     "ExpandRequest",
     "ExpandResponse",
     "MethodInfo",
@@ -46,4 +49,6 @@ __all__ = [
     "DEFAULT_FACTORIES",
     "ExpansionHTTPServer",
     "ExpansionService",
+    "FitJob",
+    "JobManager",
 ]

@@ -96,6 +96,8 @@ class ExpanderRegistry:
         #: wall-clock seconds of the most recent fit / restore per method.
         self._fit_seconds: dict[str, float] = {}
         self._restore_seconds: dict[str, float] = {}
+        #: cached persistence metadata per method (from a throwaway instance).
+        self._descriptions: dict[str, dict] = {}
 
     # -- lookup ------------------------------------------------------------------
     def methods(self) -> list[str]:
@@ -120,6 +122,39 @@ class ExpanderRegistry:
             raise UnknownMethodError(
                 f"unknown method {method!r}; available: {self.methods()}"
             )
+
+    def describe(self, method: str) -> dict:
+        """Static persistence metadata of a method, without fitting it.
+
+        Built once per method from a throwaway (unfitted) factory instance —
+        construction is cheap for every registered expander; only ``fit``
+        trains models — and cached for subsequent ``/v1/methods`` calls.
+        """
+        self.ensure_known(method)
+        name = self._key(method)[0]
+        with self._lock:
+            cached = self._descriptions.get(name)
+            if cached is not None:
+                return dict(cached)
+        prototype = self._factories[name](self.resources)
+        description = {
+            "supports_persistence": bool(prototype.supports_persistence),
+            "state_version": int(prototype.state_version),
+        }
+        with self._lock:
+            self._descriptions[name] = description
+            return dict(description)
+
+    def artifact_available(self, method: str) -> bool | None:
+        """Whether the store holds an artifact for ``method`` on the current
+        dataset fingerprint; ``None`` when no store is attached."""
+        if self.store is None:
+            return None
+        name = self._key(method)[0]
+        try:
+            return self.store.contains(name, self._fingerprint)
+        except (StoreError, OSError):
+            return False
 
     def get(self, method: str) -> Expander:
         """The fitted expander for ``method``, fitting it on first use."""

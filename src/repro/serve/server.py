@@ -1,79 +1,115 @@
 """A dependency-free JSON/HTTP front-end for the expansion service.
 
 Built on the stdlib :mod:`http.server` (``ThreadingHTTPServer``) so the repo
-stays installable without a web framework.  Endpoints:
+stays installable without a web framework.  All routes are served by the
+shared v1 dispatcher (:class:`repro.api.v1.ApiV1`):
 
-* ``GET /healthz`` — liveness probe;
-* ``GET /methods`` — the methods the registry can serve and their fit state;
-* ``GET /stats``   — merged service/cache/registry/batcher counters;
-* ``POST /expand`` — a JSON :class:`~repro.serve.protocol.ExpandRequest`.
+* ``/v1/healthz`` ``/v1/methods`` ``/v1/stats`` ``/v1/expand``
+  ``/v1/expand/batch`` ``/v1/fits[...]`` — versioned envelope responses
+  (``api_version`` + server-assigned ``request_id``, also echoed in the
+  ``X-Request-Id`` header) with the structured error taxonomy;
+* ``/healthz`` ``/methods`` ``/stats`` ``/expand`` — **deprecated** aliases
+  that delegate to the same v1 handlers but keep the exact pre-v1 wire
+  shapes (no envelope, ``{"error", "message"}`` failures) and answer with a
+  ``Deprecation: true`` header.
 
-Error mapping: malformed payloads and invalid parameters are ``400``,
-unknown methods / classes / query ids are ``404``, anything unexpected is
-``500`` — always with a JSON body ``{"error": ..., "message": ...}``.
+With ``ServiceConfig.access_log`` enabled, every request emits one
+structured JSON line (request_id, verb, route, status, latency_ms, cache
+hit) on the ``repro.serve.access`` logger instead of
+``BaseHTTPRequestHandler``'s default stderr chatter.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.exceptions import DatasetError, ReproError, UnknownMethodError
-from repro.serve.protocol import ExpandRequest
+import repro.api.v1 as apiv1
+from repro.api.envelope import REQUEST_ID_HEADER, new_request_id
+from repro.api.errors import error_payload, route_not_found_payload
+from repro.exceptions import ReproError
 from repro.serve.service import ExpansionService
-from repro.utils.iox import to_jsonable
 
 #: request body size guard (1 MiB) against accidental or hostile payloads.
 MAX_BODY_BYTES = 1 << 20
 
+#: structured access-log destination (one JSON document per line).
+access_logger = logging.getLogger("repro.serve.access")
 
-def _status_of(exc: BaseException) -> int:
-    if isinstance(exc, (UnknownMethodError, DatasetError)):
-        return 404
-    if isinstance(exc, ReproError):
-        return 400
-    return 500
+#: deprecated unversioned route -> the v1 route it delegates to.
+LEGACY_ROUTES = {
+    ("GET", "/healthz"): "/v1/healthz",
+    ("GET", "/methods"): "/v1/methods",
+    ("GET", "/stats"): "/v1/stats",
+    ("POST", "/expand"): "/v1/expand",
+}
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Routes requests to the :class:`ExpansionService` set on the server."""
+    """Routes requests to the :class:`ApiV1` dispatcher set on the server."""
 
-    server_version = "repro-serve/0.1"
+    server_version = "repro-serve/1.0"
     protocol_version = "HTTP/1.1"
 
     @property
     def service(self) -> ExpansionService:
         return self.server.service  # type: ignore[attr-defined]
 
+    @property
+    def api(self) -> "apiv1.ApiV1":
+        return self.server.api  # type: ignore[attr-defined]
+
     # -- routing -----------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
-        if path == "/healthz":
-            self._send(200, {"status": "ok"})
-        elif path == "/methods":
-            self._send(200, {"methods": self.service.methods()})
-        elif path == "/stats":
-            self._send(200, self.service.stats())
-        else:
-            self._send(404, {"error": "not_found", "message": f"no route {path!r}"})
+        self._handle("GET")
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        path = self.path.split("?", 1)[0].rstrip("/")
-        if path != "/expand":
-            self._send(404, {"error": "not_found", "message": f"no route {path!r}"})
-            return
-        try:
-            payload = self._read_json()
-            request = ExpandRequest.from_dict(payload)
-            response = self.service.submit(request)
-        except Exception as exc:  # noqa: BLE001 - mapped to a status code
-            self._send(
-                _status_of(exc),
-                {"error": type(exc).__name__, "message": str(exc)},
-            )
-            return
-        self._send(200, response)
+        self._handle("POST")
+
+    def _handle(self, verb: str) -> None:
+        started = time.perf_counter()
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        request_id = new_request_id()
+        legacy_target = LEGACY_ROUTES.get((verb, path))
+        is_v1 = path.startswith("/v1")
+
+        result = self._dispatch(verb, legacy_target or path, is_v1 or bool(legacy_target))
+        if legacy_target is not None:
+            body = apiv1.render_legacy_body(result)
+        elif is_v1:
+            body = apiv1.render_v1_body(result, request_id)
+        else:
+            # exact pre-v1 unrouted-404 body (lower-case error value).
+            body = {"error": "not_found", "message": f"no route {path!r}"}
+        self._send(result.status, body, request_id, deprecated=legacy_target is not None)
+        self._access_log(
+            request_id=request_id,
+            verb=verb,
+            route=path,
+            status=result.status,
+            latency_ms=(time.perf_counter() - started) * 1000.0,
+            cached=result.cached,
+            deprecated=legacy_target is not None,
+        )
+
+    def _dispatch(self, verb: str, path: str, routed: bool) -> "apiv1.ApiResult":
+        """Resolve the route, then read the body (POST), then dispatch.
+
+        Routing comes first so an unknown path is a deterministic 404
+        regardless of what (or whether) a body was sent."""
+        if not routed or not self.api.resolves(verb, path):
+            return apiv1.ApiResult(status=404, error=route_not_found_payload(path))
+        payload = None
+        if verb == "POST":
+            try:
+                payload = self._read_json()
+            except ReproError as exc:
+                status, error = error_payload(exc)
+                return apiv1.ApiResult(status=status, error=error)
+        return self.api.dispatch(verb, path, payload)
 
     # -- plumbing ----------------------------------------------------------------
     def _read_json(self) -> dict:
@@ -91,11 +127,16 @@ class _Handler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ReproError(f"request body is not valid JSON: {exc}") from exc
 
-    def _send(self, status: int, body) -> None:
-        encoded = json.dumps(to_jsonable(body)).encode("utf-8")
+    def _send(
+        self, status: int, body, request_id: str, deprecated: bool = False
+    ) -> None:
+        encoded = json.dumps(body).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(encoded)))
+        self.send_header(REQUEST_ID_HEADER, request_id)
+        if deprecated:
+            self.send_header("Deprecation", "true")
         if status >= 400:
             # An error response may leave an unread request body on the
             # socket; closing keeps keep-alive clients from desynchronizing.
@@ -104,8 +145,38 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(encoded)
 
+    def _access_log(
+        self,
+        request_id: str,
+        verb: str,
+        route: str,
+        status: int,
+        latency_ms: float,
+        cached: bool | None,
+        deprecated: bool,
+    ) -> None:
+        if not self.service.config.access_log:
+            return
+        access_logger.info(
+            "%s",
+            json.dumps(
+                {
+                    "request_id": request_id,
+                    "method": verb,
+                    "route": route,
+                    "status": status,
+                    "latency_ms": round(latency_ms, 3),
+                    "cached": cached,
+                    "deprecated": deprecated,
+                },
+                sort_keys=True,
+            ),
+        )
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        if getattr(self.server, "verbose", False):  # quiet by default (tests)
+        # The structured access log (or silence) replaces the default
+        # per-request stderr chatter; opt back in with verbose=True.
+        if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
 
@@ -125,6 +196,7 @@ class ExpansionHTTPServer:
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.service = service  # type: ignore[attr-defined]
+        self._httpd.api = apiv1.ApiV1(service)  # type: ignore[attr-defined]
         self._httpd.verbose = verbose  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
 
@@ -157,6 +229,7 @@ class ExpansionHTTPServer:
             self._thread.join(timeout=5.0)
             self._thread = None
         self._httpd.server_close()
+        self._httpd.api.close()  # type: ignore[attr-defined]
         self.service.close()
 
     def __enter__(self) -> "ExpansionHTTPServer":

@@ -1,15 +1,20 @@
 """The expansion service: registry + cache + micro-batcher behind one API.
 
-:class:`ExpansionService` is the in-process facade the HTTP server, the CLI
-``query`` command, and tests all talk to.  One ``submit`` call is one
-request; the hot path is::
+:class:`ExpansionService` is the in-process facade the v1 API, the client
+SDK's in-process transport, and tests all talk to.  One ``submit`` call is
+one request; the hot path is::
 
     request -> validate -> resolve query -> result cache? -> micro-batcher
             -> ExpanderRegistry (lazy one-time fit) -> expand_batch -> cache
+            -> paginate / resolve names (ExpandOptions)
+
+Cold fits can also be warmed explicitly instead of stalling a first request:
+:meth:`start_fit` hands the method to a background :class:`JobManager`
+(``POST /v1/fits`` on the wire) and :meth:`fit_job` reports progress.
 
 Every layer keeps its own counters and :meth:`stats` merges them, so the
-``/stats`` endpoint shows cache hit rates, fit counts, and batch shapes for
-a running service.
+``/v1/stats`` endpoint shows cache hit rates, fit counts, job states, and
+batch shapes for a running service.
 """
 
 from __future__ import annotations
@@ -18,10 +23,12 @@ import threading
 import time
 from typing import Callable, Mapping, Sequence
 
+from repro.api.jobs import FitJob, JobManager
+from repro.api.options import ExpandOptions
 from repro.config import ServiceConfig
 from repro.core.resources import SharedResources
 from repro.dataset.ultrawiki import UltraWikiDataset
-from repro.exceptions import DatasetError, ServiceError
+from repro.exceptions import DatasetError, ServiceUnavailableError
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import ResultCache
 from repro.serve.protocol import ExpandRequest, ExpandResponse, MethodInfo
@@ -71,6 +78,7 @@ class ExpansionService:
             max_wait_ms=self.config.batch_wait_ms,
             num_workers=self.config.batch_workers,
         )
+        self.jobs = JobManager(self.registry)
         self._queries_by_id: dict[str, Query] = {
             q.query_id: q for q in dataset.queries
         }
@@ -100,28 +108,30 @@ class ExpansionService:
 
     def _submit(self, request: ExpandRequest, started: float) -> ExpandResponse:
         if self._closed:
-            raise ServiceError("service is shut down")
+            raise ServiceUnavailableError("service is shut down")
         request.validate()
         method = request.method.strip().lower()
         self.registry.ensure_known(request.method)
         query = self._resolve_query(request)
-        top_k = request.top_k or self.config.default_top_k
+        options = request.options
+        top_k = options.resolved_top_k(self.config.default_top_k)
 
         key = request.cache_key(top_k)
-        if request.use_cache:
+        if options.use_cache:
             cached = self.cache.get(key)
             if cached is not None:
-                return self._respond(method, cached, top_k, True, started)
+                return self._respond(method, cached, options, top_k, True, started)
 
         result = self.batcher.submit(method, query, top_k).result()
-        if request.use_cache:
+        if options.use_cache:
             self.cache.put(key, result)
-        return self._respond(method, result, top_k, False, started)
+        return self._respond(method, result, options, top_k, False, started)
 
     def _respond(
         self,
         method: str,
         result: ExpansionResult,
+        options: ExpandOptions,
         top_k: int,
         cached: bool,
         started: float,
@@ -129,10 +139,11 @@ class ExpansionService:
         return ExpandResponse.from_result(
             method,
             result,
-            self._entity_names,
+            self._entity_names if options.return_names else None,
             top_k=top_k,
             cached=cached,
             latency_ms=(time.perf_counter() - started) * 1000.0,
+            options=options,
         )
 
     def _resolve_query(self, request: ExpandRequest) -> Query:
@@ -162,21 +173,40 @@ class ExpansionService:
         expander = self.registry.get(method)
         return expander.expand_batch(list(queries), top_k=top_k)
 
-    # -- warm-up / introspection ------------------------------------------------------
+    # -- warm-up / fit jobs ------------------------------------------------------------
     def warm_up(self, methods: Sequence[str] = ("retexpan",)) -> None:
         """Fit and pin the given methods up front (e.g. at server start)."""
         for method in methods:
             self.registry.pin(method)
 
+    def start_fit(self, method: str, pin: bool = False) -> FitJob:
+        """Enqueue an async fit (restore-or-train) and return immediately."""
+        if self._closed:
+            raise ServiceUnavailableError("service is shut down")
+        return self.jobs.submit(method, pin=pin)
+
+    def fit_job(self, job_id: str) -> FitJob:
+        """The tracked job for ``job_id``; raises :class:`JobNotFoundError`."""
+        return self.jobs.get(job_id)
+
+    def fit_jobs(self) -> list[FitJob]:
+        """All tracked fit jobs, most recent first."""
+        return self.jobs.list()
+
+    # -- introspection -----------------------------------------------------------------
     def methods(self) -> list[MethodInfo]:
         infos = []
         for name in self.registry.methods():
             fitted = self.registry.peek(name)
+            description = self.registry.describe(name)
             infos.append(
                 MethodInfo(
                     method=name,
                     fitted=fitted is not None,
                     expander_name=fitted.name if fitted is not None else None,
+                    supports_persistence=description["supports_persistence"],
+                    state_version=description["state_version"],
+                    store_artifact=self.registry.artifact_available(name),
                 )
             )
         return infos
@@ -195,6 +225,7 @@ class ExpansionService:
             "cache": self.cache.stats(),
             "registry": self.registry.stats(),
             "batcher": self.batcher.stats(),
+            "jobs": self.jobs.stats(),
         }
         if self.store is not None:
             merged["store"] = self.store.stats()
@@ -206,6 +237,7 @@ class ExpansionService:
             if self._closed:
                 return
             self._closed = True
+        self.jobs.shutdown()
         self.batcher.shutdown()
 
     def __enter__(self) -> "ExpansionService":

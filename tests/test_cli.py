@@ -47,6 +47,14 @@ class TestParser:
         assert args.method == "setexpan"
         assert args.top_k == 7
         assert args.query_id is None
+        assert args.url is None
+        assert args.offset == 0
+        assert args.limit is None
+
+    def test_serve_access_log_flag(self):
+        args = build_parser().parse_args(["serve", "--profile", "tiny", "--access-log"])
+        assert args.access_log is True
+        assert build_parser().parse_args(["serve"]).access_log is False
 
 
 class TestCommands:
@@ -123,3 +131,47 @@ class TestCommands:
         assert payload["method"] == "setexpan"
         assert payload["cached"] is False
         assert 1 <= len(payload["ranking"]) <= 5
+
+    def test_query_command_over_http(self, tiny_dataset, capsys):
+        """``repro query --url`` round-trips through the HTTP transport."""
+        from repro.config import ServiceConfig
+        from repro.core.base import Expander
+        from repro.serve import ExpansionHTTPServer, ExpansionService
+        from repro.types import ExpansionResult
+
+        class StubExpander(Expander):
+            name = "stub"
+
+            def _expand(self, query, top_k):
+                scored = [
+                    (eid, 1.0 / (1.0 + eid)) for eid in self.candidate_ids(query)
+                ]
+                return ExpansionResult.from_scores(query.query_id, scored)
+
+        service = ExpansionService(
+            tiny_dataset,
+            config=ServiceConfig(batch_wait_ms=0.0, port=0),
+            factories={"stub": lambda _resources: StubExpander()},
+        )
+        query_id = tiny_dataset.queries[0].query_id
+        with ExpansionHTTPServer(service, port=0).start() as server:
+            code = main(
+                [
+                    "query",
+                    "--url",
+                    server.url,
+                    "--method",
+                    "stub",
+                    "--query-id",
+                    query_id,
+                    "--top-k",
+                    "5",
+                ]
+            )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert f"stub on {query_id}" in output
+
+    def test_query_over_http_requires_query_id(self):
+        with pytest.raises(SystemExit):
+            main(["query", "--url", "http://127.0.0.1:1", "--method", "stub"])

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import logging
 import urllib.error
 import urllib.request
 
@@ -86,7 +87,7 @@ class TestEndpoints:
     def test_stats_shape(self, server):
         status, payload = get(server, "/stats")
         assert status == 200
-        assert set(payload) == {"service", "cache", "registry", "batcher"}
+        assert set(payload) == {"service", "cache", "registry", "batcher", "jobs"}
         assert payload["service"]["requests"] >= 1
 
     def test_concurrent_http_clients(self, server, tiny_dataset):
@@ -192,6 +193,148 @@ class TestErrorMapping:
         except urllib.error.HTTPError as error:
             status = error.code
         assert status == 404
+
+
+class TestV1Endpoints:
+    def test_v1_routes_serve_envelopes_with_request_ids(self, server, tiny_dataset):
+        status, payload = get(server, "/v1/healthz")
+        assert status == 200
+        assert payload["api_version"] == "v1"
+        assert payload["request_id"].startswith("req-")
+        assert payload["data"] == {"status": "ok"}
+
+        query = tiny_dataset.queries[0]
+        status, payload = post(
+            server,
+            "/v1/expand",
+            {"method": "stub", "query_id": query.query_id, "options": {"top_k": 5}},
+        )
+        assert status == 200
+        assert payload["api_version"] == "v1"
+        data = payload["data"]
+        assert data["count"] == len(data["ranking"]) == 5
+        assert data["total"] == 5
+        assert data["offset"] == 0
+
+    def test_v1_request_id_header_is_echoed(self, server):
+        with urllib.request.urlopen(server.url + "/v1/healthz", timeout=10) as response:
+            header = response.headers.get("X-Request-Id")
+            payload = json.loads(response.read())
+        assert header == payload["request_id"]
+
+    def test_v1_errors_carry_the_taxonomy(self, server):
+        status, payload = post(server, "/v1/expand", {"method": "nope", "query_id": "q"})
+        assert status == 404
+        error = payload["error"]
+        assert set(error) == {"error", "code", "message", "details", "retryable"}
+        assert error["code"] == "unknown_method"
+        assert error["retryable"] is False
+
+    def test_v1_methods_report_persistence_metadata(self, server):
+        status, payload = get(server, "/v1/methods")
+        assert status == 200
+        (row,) = payload["data"]["methods"]
+        assert row["method"] == "stub"
+        assert row["supports_persistence"] is False
+        assert row["state_version"] == 1
+        assert row["store_artifact"] is None  # no store attached
+
+    def test_v1_stats_include_job_counters(self, server):
+        status, payload = get(server, "/v1/stats")
+        assert status == 200
+        assert {"service", "cache", "registry", "batcher", "jobs"} <= set(payload["data"])
+        assert payload["data"]["jobs"]["submitted"] >= 0
+
+    def test_post_to_unknown_or_get_only_v1_route_is_404_even_without_a_body(
+        self, server
+    ):
+        """Routing must win over body validation: a 400 for an empty body on a
+        route that does not exist would mislead clients probing paths."""
+        import http.client
+
+        host, port = server.address
+        for path in ("/v1/nothing", "/v1/healthz"):
+            connection = http.client.HTTPConnection(host, port, timeout=10)
+            try:
+                connection.request("POST", path)  # no body at all
+                response = connection.getresponse()
+                assert response.status == 404
+                assert json.loads(response.read())["error"]["code"] == "not_found"
+            finally:
+                connection.close()
+
+    def test_legacy_expand_accepts_truthy_use_cache(self, server, tiny_dataset):
+        """The pre-v1 parser coerced use_cache with bool(); keep that exact
+        behaviour on the deprecated route (v1 options stay strictly typed)."""
+        status, payload = post(
+            server,
+            "/expand",
+            {
+                "method": "stub",
+                "query_id": tiny_dataset.queries[0].query_id,
+                "top_k": 5,
+                "use_cache": 0,
+            },
+        )
+        assert status == 200
+        assert payload["cached"] is False
+
+    def test_unknown_v1_route_is_an_enveloped_404(self, server):
+        try:
+            urllib.request.urlopen(server.url + "/v1/nothing", timeout=10)
+            raise AssertionError("expected a 404")
+        except urllib.error.HTTPError as error:
+            assert error.code == 404
+            payload = json.loads(error.read())
+        assert payload["api_version"] == "v1"
+        assert payload["error"]["code"] == "not_found"
+
+
+def test_access_log_emits_structured_lines(tiny_dataset, caplog):
+    """Satellite: per-request JSON access logging behind ServiceConfig.access_log."""
+    service = ExpansionService(
+        tiny_dataset,
+        config=ServiceConfig(batch_wait_ms=0.0, port=0, access_log=True),
+        factories={"stub": lambda _resources: StubExpander()},
+    )
+    query = tiny_dataset.queries[0]
+    with caplog.at_level(logging.INFO, logger="repro.serve.access"):
+        with ExpansionHTTPServer(service, port=0).start() as server:
+            get(server, "/healthz")
+            post(
+                server,
+                "/v1/expand",
+                {"method": "stub", "query_id": query.query_id, "top_k": 5},
+            )
+    lines = [json.loads(record.getMessage()) for record in caplog.records
+             if record.name == "repro.serve.access"]
+    assert len(lines) == 2
+    legacy, expand = lines
+    for line in lines:
+        assert set(line) == {
+            "request_id", "method", "route", "status", "latency_ms",
+            "cached", "deprecated",
+        }
+        assert line["request_id"].startswith("req-")
+        assert line["status"] == 200
+        assert line["latency_ms"] >= 0.0
+    assert legacy["route"] == "/healthz"
+    assert legacy["deprecated"] is True
+    assert expand["route"] == "/v1/expand"
+    assert expand["method"] == "POST"
+    assert expand["cached"] is False
+
+
+def test_access_log_is_off_by_default(tiny_dataset, caplog):
+    service = ExpansionService(
+        tiny_dataset,
+        config=ServiceConfig(batch_wait_ms=0.0, port=0),
+        factories={"stub": lambda _resources: StubExpander()},
+    )
+    with caplog.at_level(logging.INFO, logger="repro.serve.access"):
+        with ExpansionHTTPServer(service, port=0).start() as server:
+            get(server, "/healthz")
+    assert not [r for r in caplog.records if r.name == "repro.serve.access"]
 
 
 def test_server_shutdown_closes_the_service(tiny_dataset):

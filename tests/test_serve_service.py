@@ -11,7 +11,7 @@ import pytest
 from repro.config import ServiceConfig
 from repro.core.base import Expander
 from repro.exceptions import DatasetError, ServiceError, UnknownMethodError
-from repro.serve import ExpandRequest, ExpansionService, ResultCache
+from repro.serve import ExpandOptions, ExpandRequest, ExpansionService, ResultCache
 from repro.types import ExpansionResult
 from repro.utils.iox import to_jsonable
 
@@ -76,7 +76,7 @@ class TestRegistryReuse:
                 responses = list(
                     pool.map(
                         lambda q: service.submit(
-                            ExpandRequest(method="stub", query_id=q.query_id, top_k=10)
+                            ExpandRequest(method="stub", query_id=q.query_id, options=ExpandOptions(top_k=10))
                         ),
                         queries,
                     )
@@ -98,9 +98,9 @@ class TestRegistryReuse:
         service, created = make_service(tiny_dataset, config=config)
         query_id = tiny_dataset.queries[0].query_id
         with service:
-            service.submit(ExpandRequest(method="stub", query_id=query_id, use_cache=False))
-            service.submit(ExpandRequest(method="stub2", query_id=query_id, use_cache=False))
-            service.submit(ExpandRequest(method="stub", query_id=query_id, use_cache=False))
+            service.submit(ExpandRequest(method="stub", query_id=query_id, options=ExpandOptions(use_cache=False)))
+            service.submit(ExpandRequest(method="stub2", query_id=query_id, options=ExpandOptions(use_cache=False)))
+            service.submit(ExpandRequest(method="stub", query_id=query_id, options=ExpandOptions(use_cache=False)))
         stats = service.stats()["registry"]
         assert stats["evictions"] >= 1
         assert len(created["stub"]) == 2  # evicted, then lazily refitted
@@ -111,8 +111,8 @@ class TestRegistryReuse:
         query_id = tiny_dataset.queries[0].query_id
         with service:
             service.warm_up(["stub"])
-            service.submit(ExpandRequest(method="stub2", query_id=query_id, use_cache=False))
-            service.submit(ExpandRequest(method="stub", query_id=query_id, use_cache=False))
+            service.submit(ExpandRequest(method="stub2", query_id=query_id, options=ExpandOptions(use_cache=False)))
+            service.submit(ExpandRequest(method="stub", query_id=query_id, options=ExpandOptions(use_cache=False)))
         assert len(created["stub"]) == 1
         assert "stub" in service.stats()["registry"]["pinned"]
 
@@ -121,7 +121,9 @@ class TestResultCache:
     def test_second_identical_request_is_served_from_cache(self, tiny_dataset):
         service, created = make_service(tiny_dataset)
         request = ExpandRequest(
-            method="stub", query_id=tiny_dataset.queries[0].query_id, top_k=10
+            method="stub",
+            query_id=tiny_dataset.queries[0].query_id,
+            options=ExpandOptions(top_k=10),
         )
         with service:
             first = service.submit(request)
@@ -139,9 +141,9 @@ class TestResultCache:
         service, _ = make_service(tiny_dataset)
         query_id = tiny_dataset.queries[0].query_id
         with service:
-            service.submit(ExpandRequest(method="stub", query_id=query_id, top_k=10))
+            service.submit(ExpandRequest(method="stub", query_id=query_id, options=ExpandOptions(top_k=10)))
             response = service.submit(
-                ExpandRequest(method="stub", query_id=query_id, top_k=20)
+                ExpandRequest(method="stub", query_id=query_id, options=ExpandOptions(top_k=20))
             )
         assert response.cached is False
         assert len(response.ranking) == 20
@@ -151,7 +153,7 @@ class TestResultCache:
         request = ExpandRequest(
             method="stub",
             query_id=tiny_dataset.queries[0].query_id,
-            use_cache=False,
+            options=ExpandOptions(use_cache=False),
         )
         with service:
             assert service.submit(request).cached is False
@@ -195,7 +197,7 @@ class TestBatching:
                     pool.map(
                         lambda q: service.submit(
                             ExpandRequest(
-                                method="stub", query_id=q.query_id, use_cache=False
+                                method="stub", query_id=q.query_id, options=ExpandOptions(use_cache=False)
                             )
                         ),
                         queries,
@@ -219,7 +221,7 @@ class TestBatching:
                     pool.map(
                         lambda q: service.submit(
                             ExpandRequest(
-                                method="stub", query_id=q.query_id, use_cache=False
+                                method="stub", query_id=q.query_id, options=ExpandOptions(use_cache=False)
                             )
                         ),
                         queries,
@@ -239,7 +241,7 @@ class TestBatching:
                     pool.map(
                         lambda q: service.submit(
                             ExpandRequest(
-                                method="stub", query_id=q.query_id, use_cache=False
+                                method="stub", query_id=q.query_id, options=ExpandOptions(use_cache=False)
                             )
                         ),
                         queries,
@@ -255,7 +257,7 @@ class TestServicePath:
         query = tiny_dataset.queries[0]
         with service:
             response = service.submit(
-                ExpandRequest(method="stub", query_id=query.query_id, top_k=50)
+                ExpandRequest(method="stub", query_id=query.query_id, options=ExpandOptions(top_k=50))
             )
         returned = set(response.entity_ids())
         assert returned  # the stub scored every entity, seeds included
@@ -269,7 +271,7 @@ class TestServicePath:
             class_id=query.class_id,
             positive_seed_ids=query.positive_seed_ids,
             negative_seed_ids=query.negative_seed_ids,
-            top_k=10,
+            options=ExpandOptions(top_k=10),
         )
         service, _ = make_service(tiny_dataset)
         with service:
@@ -333,7 +335,9 @@ class TestErrors:
         with pytest.raises(ServiceError):
             ExpandRequest(method="stub", query_id="q", class_id="c").validate()
         with pytest.raises(ServiceError):
-            ExpandRequest(method="stub", query_id="q", top_k=0).validate()
+            ExpandRequest(
+                method="stub", query_id="q", options=ExpandOptions(top_k=0)
+            ).validate()
         with pytest.raises(ServiceError):
             ExpandRequest.from_dict({"method": "stub", "bogus": 1})
         with pytest.raises(ServiceError):
@@ -375,7 +379,7 @@ class TestDefaultRegistry:
         query = tiny_dataset.queries[0]
         with service:
             response = service.submit(
-                ExpandRequest(method="SetExpan", query_id=query.query_id, top_k=10)
+                ExpandRequest(method="SetExpan", query_id=query.query_id, options=ExpandOptions(top_k=10))
             )
         assert len(response.ranking) <= 10
         assert not set(response.entity_ids()) & set(query.seed_ids())

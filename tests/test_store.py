@@ -31,7 +31,7 @@ from repro.lm.causal_lm import CausalEntityLM
 from repro.lm.context_encoder import ContextEncoder
 from repro.lm.embeddings import CooccurrenceEmbeddings
 from repro.retexpan import RetExpan
-from repro.serve import ExpanderRegistry, ExpandRequest, ExpansionService
+from repro.serve import ExpanderRegistry, ExpandOptions, ExpandRequest, ExpansionService
 from repro.serve.registry import DEFAULT_FACTORIES
 from repro.store import ArtifactStore
 from repro.store.serialization import (
@@ -444,8 +444,7 @@ class TestWarmServeAcceptance:
             request = ExpandRequest(
                 method="retexpan",
                 query_id=tiny_dataset.queries[0].query_id,
-                top_k=10,
-                use_cache=False,
+                options=ExpandOptions(top_k=10, use_cache=False),
             )
             response = service.submit(request)
             assert response.ranking

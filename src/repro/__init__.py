@@ -18,6 +18,7 @@ protocol (:class:`Evaluator`).
 
 from repro.config import (
     CausalLMConfig,
+    ClusterConfig,
     ContrastiveConfig,
     DatasetConfig,
     EncoderConfig,
@@ -56,7 +57,8 @@ from repro.serve import (
     ExpansionService,
 )
 from repro.client import ExpansionClient
-from repro.store import ArtifactInfo, ArtifactStore
+from repro.store import ArtifactInfo, ArtifactStore, FitLock
+from repro.cluster import ClusterGateway, WorkerPool, WorkerSpec
 
 __version__ = "0.1.0"
 
@@ -112,4 +114,10 @@ __all__ = [
     # persistence
     "ArtifactStore",
     "ArtifactInfo",
+    "FitLock",
+    # cluster
+    "ClusterConfig",
+    "ClusterGateway",
+    "WorkerPool",
+    "WorkerSpec",
 ]

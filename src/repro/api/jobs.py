@@ -32,7 +32,7 @@ from repro.exceptions import (
 )
 
 #: terminal :class:`FitJob` states.
-FINISHED_STATES = frozenset({"succeeded", "failed"})
+FINISHED_STATES = frozenset({"succeeded", "failed", "cancelled"})
 
 
 @dataclass
@@ -42,7 +42,8 @@ class FitJob:
     job_id: str
     method: str
     pin: bool = False
-    #: ``queued`` -> ``running`` -> ``succeeded`` | ``failed``.
+    #: ``queued`` -> ``running`` -> ``succeeded`` | ``failed``; a queued job
+    #: may instead be ``cancelled`` before the worker picks it up.
     status: str = "queued"
     created_at: float = 0.0
     started_at: float | None = None
@@ -139,6 +140,35 @@ class JobManager:
             job = self._jobs.get(job_id)
             if job is None:
                 raise JobNotFoundError(f"no fit job {job_id!r}")
+            return job
+
+    def cancel(self, job_id: str) -> FitJob:
+        """Cancel a *queued* job; running or finished jobs conflict (409).
+
+        Cancellation is only offered while the job sits in the queue — a
+        running fit owns the worker thread and model-sized allocations, and
+        tearing that down mid-train would leave the registry in an undefined
+        state, so callers get a deterministic conflict instead.
+        """
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise JobNotFoundError(f"no fit job {job_id!r}")
+            if job.status != "queued":
+                conflict = JobConflictError(
+                    f"fit job {job_id!r} is {job.status}; only queued jobs "
+                    "can be cancelled"
+                )
+                conflict.details = {"job_id": job_id, "status": job.status}
+                raise conflict
+            self._pending.remove(job_id)
+            # Terminal status is assigned last (same contract as _execute):
+            # a reader that sees "cancelled" also sees finished_at, and the
+            # method slot is free for resubmission in the same instant.
+            job.finished_at = self.clock()
+            job.status = "cancelled"
+            self._active.pop(job.method, None)
+            self._cond.notify_all()
             return job
 
     def list(self) -> list[FitJob]:

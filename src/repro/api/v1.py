@@ -19,9 +19,10 @@ Routes::
     GET  /v1/stats           merged service/cache/registry/batcher/jobs counters
     POST /v1/expand          one ExpandRequest (v1 wire shape, paginated)
     POST /v1/expand/batch    {"requests": [...]} -> per-item response or error
-    POST /v1/fits            start an async fit job -> 202 + job id
-    GET  /v1/fits            list tracked fit jobs
-    GET  /v1/fits/<job_id>   one fit job's status/outcome
+    POST   /v1/fits            start an async fit job -> 202 + job id
+    GET    /v1/fits            list tracked fit jobs
+    GET    /v1/fits/<job_id>   one fit job's status/outcome
+    DELETE /v1/fits/<job_id>   cancel a queued job (409 if running/finished)
 """
 
 from __future__ import annotations
@@ -100,10 +101,12 @@ class ApiV1:
         handler = self._static_routes.get((verb, path))
         if handler is not None:
             return handler
-        if verb == "GET" and path.startswith("/v1/fits/"):
+        if verb in ("GET", "DELETE") and path.startswith("/v1/fits/"):
             job_id = path[len("/v1/fits/"):]
             if job_id and "/" not in job_id:
-                return lambda _payload: self.fit_status(job_id)
+                if verb == "GET":
+                    return lambda _payload: self.fit_status(job_id)
+                return lambda _payload: self.cancel_fit(job_id)
         return None
 
     # -- handlers ----------------------------------------------------------------
@@ -184,6 +187,11 @@ class ApiV1:
 
     def fit_status(self, job_id: str) -> ApiResult:
         return ApiResult(status=200, data={"job": self.service.fit_job(job_id).to_dict()})
+
+    def cancel_fit(self, job_id: str) -> ApiResult:
+        return ApiResult(
+            status=200, data={"job": self.service.cancel_fit(job_id).to_dict()}
+        )
 
 
 # -- rendering -------------------------------------------------------------------------

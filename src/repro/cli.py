@@ -19,6 +19,13 @@ writing Python:
   with a lazily-fitted expander registry, result caching, and request
   micro-batching; with ``--store`` fits restore from / persist to disk and
   ``--access-log`` emits one structured JSON line per request;
+* ``cluster serve`` — the horizontally scaled deployment
+  (:mod:`repro.cluster`): N ``serve`` worker subprocesses (health-checked,
+  restarted with backoff) behind a routing gateway that consistent-hashes
+  method-affine traffic across them, scatter-gathers batches, aggregates
+  ``/v1/stats``/``/v1/healthz``, and fails over when a worker dies; with a
+  shared ``--store`` the cross-process fit lock makes every cold fit
+  single-payer across the fleet;
 * ``query`` — submit one expansion request through the
   :class:`~repro.client.ExpansionClient` SDK and print the ranked entities:
   in-process by default, or against a running server with ``--url``.
@@ -31,6 +38,8 @@ Examples::
     python -m repro.cli fit --dataset ./ultrawiki --store ./artifacts --methods retexpan
     python -m repro.cli store ls --store ./artifacts
     python -m repro.cli serve --dataset ./ultrawiki --store ./artifacts --port 8080
+    python -m repro.cli cluster serve --dataset ./ultrawiki --store ./artifacts \
+        --workers 4 --port 8080 --worker-base-port 8100
     python -m repro.cli query --dataset ./ultrawiki --method retexpan --top-k 20
     python -m repro.cli query --url http://127.0.0.1:8080 --method retexpan \
         --query-id <id> --top-k 20
@@ -47,12 +56,16 @@ from __future__ import annotations
 
 import argparse
 import logging
+import shutil
+import signal
 import sys
+import tempfile
 import time
 from pathlib import Path
 
 from repro.client import ExpansionClient
-from repro.config import DatasetConfig, ServiceConfig
+from repro.cluster import ClusterGateway, WorkerPool, WorkerSpec
+from repro.config import ClusterConfig, DatasetConfig, ServiceConfig
 from repro.dataset.analysis import compute_statistics
 from repro.dataset.builder import build_dataset
 from repro.dataset.ultrawiki import UltraWikiDataset
@@ -223,6 +236,21 @@ def _cmd_store_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_sigterm_handler() -> None:
+    """Turn SIGTERM into KeyboardInterrupt so ``finally:`` shutdown blocks
+    run and the process exits 0 — the clean-stop contract the cluster
+    worker pool relies on when it terminates workers."""
+
+    def _on_sigterm(_signum, _frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        # not the main thread (embedded use); graceful stop is best-effort.
+        pass
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     dataset = _load_or_build_dataset(args)
     config = _service_config(args)
@@ -247,12 +275,125 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     print("             GET /v1/methods · GET /v1/stats · GET /v1/healthz")
     print("  deprecated aliases: /expand /methods /stats /healthz (pre-v1 wire shape)")
+    _install_sigterm_handler()
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
         server.shutdown()
+    return 0
+
+
+def worker_command(
+    dataset_dir: str, host: str, port: int, args: argparse.Namespace
+) -> tuple[str, ...]:
+    """The argv one cluster worker is spawned with: this same CLI's ``serve``
+    verb against the shared saved dataset and (optionally) shared store."""
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        "--dataset",
+        dataset_dir,
+        "--host",
+        host,
+        "--port",
+        str(port),
+        "--cache-capacity",
+        str(args.cache_capacity),
+        "--cache-ttl",
+        str(args.cache_ttl),
+        "--max-batch-size",
+        str(args.max_batch_size),
+        "--batch-wait-ms",
+        str(args.batch_wait_ms),
+    ]
+    if args.store:
+        command += ["--store", args.store]
+    if getattr(args, "warm", None):
+        command += ["--warm", *args.warm]
+    if getattr(args, "access_log", False):
+        command.append("--access-log")
+    return tuple(command)
+
+
+def _cmd_cluster_serve(args: argparse.Namespace) -> int:
+    """Gateway + N worker subprocesses over one saved dataset and store."""
+    scratch_dir = None
+    if args.dataset:
+        dataset_dir = str(Path(args.dataset).resolve())
+        dataset = UltraWikiDataset.load(dataset_dir)
+        print(f"Loaded dataset from {dataset_dir}")
+    else:
+        # Workers load the dataset from disk, so a profile-built dataset is
+        # saved once to a scratch directory every worker shares (removed
+        # again at shutdown).
+        print(f"Building dataset (profile={args.profile}, seed={args.seed}) ...")
+        dataset = build_dataset(_dataset_config(args.profile, args.seed))
+        scratch_dir = dataset_dir = tempfile.mkdtemp(prefix="repro-cluster-dataset-")
+        dataset.save(dataset_dir)
+        print(f"  saved shared dataset to {dataset_dir}")
+    fingerprint = dataset.fingerprint()
+
+    config = ClusterConfig(
+        num_workers=args.workers,
+        worker_host=args.worker_host,
+        worker_base_port=args.worker_base_port,
+        gateway_host=args.host,
+        gateway_port=args.port,
+        service=_service_config(args),
+    )
+    config.validate()
+
+    specs = [
+        WorkerSpec(
+            worker_id=f"worker-{index}",
+            url=config.worker_url(index),
+            command=worker_command(
+                dataset_dir, config.worker_host, config.worker_port(index), args
+            ),
+        )
+        for index in range(config.num_workers)
+    ]
+    pool = WorkerPool(
+        specs,
+        health_interval=config.health_interval_seconds,
+        health_timeout=config.health_timeout_seconds,
+        unhealthy_threshold=config.unhealthy_threshold,
+        restart_backoff=config.restart_backoff_seconds,
+        restart_backoff_max=config.restart_backoff_max_seconds,
+        restart_stagger=config.restart_stagger_seconds,
+    )
+    print(f"Starting {config.num_workers} worker(s) ...")
+    _install_sigterm_handler()
+    try:
+        pool.start(wait_healthy=True, timeout=args.startup_timeout)
+        for endpoint in pool.endpoints():
+            print(f"  {endpoint.worker_id}: {endpoint.url}")
+        gateway = ClusterGateway(
+            [(spec.worker_id, spec.url) for spec in specs],
+            config=config,
+            fingerprint=fingerprint,
+        )
+        host, port = gateway.address
+        print(f"Gateway serving expansion API v1 on http://{host}:{port}")
+        print(
+            f"  routing: consistent hash of (method, {fingerprint}) over "
+            f"{config.num_workers} shard(s); batches scatter-gather"
+        )
+        print("  /v1/stats and /v1/healthz aggregate the whole fleet")
+        try:
+            gateway.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down cluster")
+        finally:
+            gateway.shutdown()
+    finally:
+        pool.stop()
+        if scratch_dir is not None:
+            shutil.rmtree(scratch_dir, ignore_errors=True)
     return 0
 
 
@@ -407,6 +548,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit one structured JSON access-log line per request",
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    cluster = subparsers.add_parser(
+        "cluster", help="multi-worker sharded serving behind a routing gateway"
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+    cluster_serve = cluster_sub.add_parser(
+        "serve",
+        help="spawn N serving workers and route v1 traffic through a gateway",
+    )
+    _add_dataset_source_arguments(cluster_serve)
+    _add_service_arguments(cluster_serve)
+    cluster_serve.add_argument(
+        "--workers", type=int, default=ClusterConfig.num_workers,
+        help="number of serving worker processes",
+    )
+    cluster_serve.add_argument("--worker-host", default=ClusterConfig.worker_host)
+    cluster_serve.add_argument(
+        "--worker-base-port", type=int, default=ClusterConfig.worker_base_port,
+        help="workers listen on consecutive ports starting here",
+    )
+    cluster_serve.add_argument(
+        "--host", default=ClusterConfig.gateway_host, help="gateway bind address"
+    )
+    cluster_serve.add_argument(
+        "--port", type=int, default=ClusterConfig.gateway_port,
+        help="gateway port (0 picks an ephemeral port)",
+    )
+    cluster_serve.add_argument(
+        "--warm", nargs="*", default=[], metavar="METHOD",
+        help="methods each worker fits and pins before accepting traffic",
+    )
+    cluster_serve.add_argument(
+        "--access-log", action="store_true",
+        help="workers emit structured JSON access-log lines",
+    )
+    cluster_serve.add_argument(
+        "--startup-timeout", type=float, default=120.0,
+        help="seconds to wait for every worker's first healthy probe",
+    )
+    cluster_serve.set_defaults(handler=_cmd_cluster_serve)
 
     query = subparsers.add_parser(
         "query", help="run one expansion request through the client SDK"

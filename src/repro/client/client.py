@@ -129,6 +129,15 @@ class ExpansionClient:
         data = self._call("GET", f"/v1/fits/{job_id}")
         return data["job"]
 
+    def cancel_fit(self, job_id: str) -> dict:
+        """Cancel a queued fit job (``DELETE /v1/fits/<id>``).
+
+        Raises :class:`JobNotFoundError` for unknown ids and
+        :class:`JobConflictError` when the job is already running or
+        finished (the server answers 409).
+        """
+        return self._call("DELETE", f"/v1/fits/{job_id}")["job"]
+
     def fit_jobs(self) -> list[dict]:
         return self._call("GET", "/v1/fits")["jobs"]
 
@@ -151,6 +160,8 @@ class ExpansionClient:
                     f"fit job {job_id} failed: "
                     f"{error.get('message', 'unknown error')}"
                 )
+            if job["status"] == "cancelled":
+                raise JobError(f"fit job {job_id} was cancelled")
             if time.monotonic() >= deadline:
                 raise TimeoutError(f"fit job {job_id} did not finish in {timeout}s")
             sleep(poll_interval)

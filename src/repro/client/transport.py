@@ -8,24 +8,44 @@ transport-agnostic:
   dispatcher the HTTP server mounts, directly against an
   :class:`ExpansionService` in this process (no sockets, no serialization of
   intermediate objects beyond the v1 rendering itself);
-* :class:`HttpTransport` speaks JSON over stdlib :mod:`urllib` with a
-  per-request timeout and bounded retries: connection-level failures and
+* :class:`HttpTransport` speaks JSON over a pool of keep-alive stdlib
+  :class:`http.client.HTTPConnection` sockets.  Connections are reused
+  across requests (one TCP+HTTP handshake amortised over a chatty caller's
+  whole session) and returned to a bounded idle pool; a reused socket the
+  server closed while it sat idle is detected (``RemoteDisconnected`` /
+  ``BadStatusLine`` / reset before any response byte) and the request is
+  replayed once on a fresh connection — the server never saw it, so the
+  replay is safe for every verb.  On top of that sit the same per-request
+  timeout and bounded retries as before: fresh-connection failures and
   responses whose taxonomy error is marked ``retryable`` are retried with
-  exponential backoff, everything else is returned to the client once.
+  exponential backoff (connection-level failures only for GETs — a POST
+  that may have reached the server is never replayed blindly), everything
+  else is returned to the caller once.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import threading
 import time
-import urllib.error
-import urllib.request
 from typing import Callable, Mapping
+from urllib.parse import urlsplit
 
 import repro.api.v1 as apiv1
 from repro.api.envelope import new_request_id
 from repro.api.errors import CODE_INTERNAL, is_retryable
 from repro.exceptions import TransportError
+
+#: failures that mean "the server closed this socket before answering" —
+#: on a *reused* keep-alive connection these signal a stale socket whose
+#: request never reached the application, so a one-shot replay is safe.
+_STALE_CONNECTION_ERRORS = (
+    http.client.RemoteDisconnected,
+    http.client.BadStatusLine,
+    ConnectionResetError,
+    BrokenPipeError,
+)
 
 
 class InProcessTransport:
@@ -48,7 +68,7 @@ class InProcessTransport:
 
 
 class HttpTransport:
-    """Speaks the v1 protocol over HTTP with timeouts and bounded retries."""
+    """Speaks the v1 protocol over pooled keep-alive HTTP connections."""
 
     def __init__(
         self,
@@ -57,18 +77,37 @@ class HttpTransport:
         max_retries: int = 2,
         backoff_seconds: float = 0.1,
         sleep: Callable[[float], None] = time.sleep,
+        keep_alive: bool = True,
+        max_idle_connections: int = 4,
     ):
         """``max_retries`` counts *additional* attempts after the first;
-        ``sleep`` is injectable so tests can skip the real backoff."""
+        ``sleep`` is injectable so tests can skip the real backoff.
+        ``keep_alive=False`` opens one connection per request (the pre-pool
+        behaviour); ``max_idle_connections`` bounds the idle pool so a burst
+        of concurrent callers cannot accumulate sockets forever."""
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
         self.base_url = base_url.rstrip("/")
+        parts = urlsplit(self.base_url if "://" in self.base_url else f"http://{self.base_url}")
+        if parts.scheme not in ("http", "https") or parts.hostname is None:
+            raise ValueError(f"unsupported base url {base_url!r}")
+        self._scheme = parts.scheme
+        self._host = parts.hostname
+        self._port = parts.port or (443 if parts.scheme == "https" else 80)
+        self._prefix = parts.path.rstrip("/")
         self.timeout = timeout
         self.max_retries = max_retries
         self.backoff_seconds = backoff_seconds
+        self.keep_alive = keep_alive
+        self.max_idle_connections = max(0, max_idle_connections)
         self._sleep = sleep
+        self._pool_lock = threading.Lock()
+        self._idle: list[http.client.HTTPConnection] = []
         #: attempts actually made, for tests and debugging.
         self.attempts = 0
+        #: sockets opened / stale keep-alive sockets replaced, for tests.
+        self.connections_opened = 0
+        self.stale_reconnects = 0
 
     def request(
         self, verb: str, path: str, payload: Mapping | None = None
@@ -80,8 +119,8 @@ class HttpTransport:
             self.attempts += 1
             try:
                 status, body = self._request_once(verb, path, payload)
-            except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
-                # Connection-level failure: the request may or may not have
+            except (OSError, http.client.HTTPException) as exc:
+                # Fresh-connection failure: the request may or may not have
                 # reached the server.  Only GETs are safe to replay blindly —
                 # re-POSTing e.g. /v1/fits could duplicate the server-side
                 # effect (and then surface a spurious 409 to the caller).
@@ -106,19 +145,73 @@ class HttpTransport:
     def _request_once(
         self, verb: str, path: str, payload: Mapping | None
     ) -> tuple[int, dict]:
-        data = None
+        body = None
         headers = {"Accept": "application/json"}
         if payload is not None:
-            data = json.dumps(payload).encode("utf-8")
+            body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            self.base_url + path, data=data, headers=headers, method=verb
+        for replayed in (False, True):
+            if replayed:
+                # the replay leg must not pick *another* possibly-stale
+                # pooled socket (e.g. after a server restart with several
+                # idle connections): force a genuinely fresh one.
+                connection, reused = self._fresh_connection(), False
+            else:
+                connection, reused = self._checkout()
+            try:
+                connection.request(verb, self._prefix + path, body=body, headers=headers)
+                response = connection.getresponse()
+            except _STALE_CONNECTION_ERRORS:
+                connection.close()
+                if reused and not replayed:
+                    # The server closed this idle keep-alive socket before
+                    # our request reached it; replay once on a fresh one.
+                    self.stale_reconnects += 1
+                    continue
+                raise
+            except (OSError, http.client.HTTPException):
+                connection.close()
+                raise
+            # The status line arrived, so the server definitively received
+            # (and processed) the request: a failure from here on must NOT
+            # be replayed — it surfaces to the caller's retry policy.
+            try:
+                raw = response.read()
+            except (OSError, http.client.HTTPException):
+                connection.close()
+                raise
+            status = response.status
+            if not response.will_close and self.keep_alive:
+                self._checkin(connection)
+            else:
+                connection.close()
+            return status, self._parse_body(raw, status)
+        raise TransportError(f"{verb} {self.base_url}{path}: unreachable")  # pragma: no cover
+
+    # -- connection pool ---------------------------------------------------------
+    def _checkout(self) -> tuple[http.client.HTTPConnection, bool]:
+        """An idle pooled connection (reused=True) or a fresh one."""
+        if self.keep_alive:
+            with self._pool_lock:
+                if self._idle:
+                    return self._idle.pop(), True
+        return self._fresh_connection(), False
+
+    def _fresh_connection(self) -> http.client.HTTPConnection:
+        factory = (
+            http.client.HTTPSConnection
+            if self._scheme == "https"
+            else http.client.HTTPConnection
         )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return response.status, self._parse_body(response.read(), response.status)
-        except urllib.error.HTTPError as error:
-            return error.code, self._parse_body(error.read(), error.code)
+        self.connections_opened += 1
+        return factory(self._host, self._port, timeout=self.timeout)
+
+    def _checkin(self, connection: http.client.HTTPConnection) -> None:
+        with self._pool_lock:
+            if len(self._idle) < self.max_idle_connections:
+                self._idle.append(connection)
+                return
+        connection.close()
 
     @staticmethod
     def _parse_body(raw: bytes, status: int) -> dict:
@@ -141,4 +234,8 @@ class HttpTransport:
         }
 
     def close(self) -> None:
-        """urllib opens one connection per request; nothing to release."""
+        """Close every idle pooled connection."""
+        with self._pool_lock:
+            idle, self._idle = self._idle, []
+        for connection in idle:
+            connection.close()

@@ -1,0 +1,751 @@
+"""The cluster routing gateway: one v1 endpoint in front of N workers.
+
+The gateway speaks the exact same v1 wire protocol as a single ``repro
+serve`` process, so :class:`~repro.client.ExpansionClient` (and any raw HTTP
+caller) points at it unchanged.  Behind that surface it does four jobs:
+
+* **shard routing** — method-affine calls (``POST /v1/expand``, ``POST
+  /v1/fits``) are consistent-hashed by ``(method, dataset fingerprint)`` to
+  one worker, so each worker's expander registry, result cache, and
+  micro-batcher stay hot for its shard instead of every worker paying every
+  fit; responses are proxied byte-for-byte (the worker's envelope,
+  ``request_id`` and all), which is what makes gateway answers identical to
+  single-process answers;
+* **scatter-gather** — ``POST /v1/expand/batch`` splits the items by shard,
+  fans the sub-batches out to their owners concurrently, and reassembles the
+  per-item responses in request order with per-item error isolation (a dead
+  shard fails only its own items); ``GET /v1/stats`` and ``GET /v1/healthz``
+  aggregate every worker plus the gateway's own counters;
+* **failover** — a worker that fails at the transport level is sidelined
+  for ``failover_cooldown_seconds`` and the request is retried on the next
+  node of the consistent-hash ring, so killing a worker mid-traffic costs a
+  shard move, not an outage (expansions are idempotent; a replayed fit is at
+  worst a 409 conflict);
+* **job affinity** — fit jobs live on the worker that owns the method, so
+  ``GET``/``DELETE /v1/fits/<id>`` asks the owner first and then the other
+  workers (the ring may have shifted since the job was created).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Mapping, Sequence
+from urllib.parse import urlsplit
+
+from repro.api.envelope import (
+    REQUEST_ID_HEADER,
+    error_envelope,
+    new_request_id,
+    success_envelope,
+)
+from repro.api.errors import (
+    CODE_INVALID_REQUEST,
+    CODE_JOB_NOT_FOUND,
+    CODE_UNAVAILABLE,
+    route_not_found_payload,
+)
+from repro.api.v1 import MAX_BATCH_REQUESTS
+from repro.cluster.hashring import HashRing, shard_key
+from repro.config import ClusterConfig
+from repro.exceptions import ServiceError
+
+#: header naming the worker that actually served a proxied response.
+WORKER_HEADER = "X-Repro-Worker"
+
+#: request body size guard, mirroring the worker front-end.
+MAX_BODY_BYTES = 1 << 20
+
+
+@dataclass
+class _Reply:
+    """One gateway response: status, encoded body, extra headers."""
+
+    status: int
+    body: bytes
+    headers: dict[str, str]
+
+    @classmethod
+    def envelope(cls, status: int, envelope: dict, **headers: str) -> "_Reply":
+        return cls(
+            status=status,
+            body=json.dumps(envelope).encode("utf-8"),
+            headers=dict(headers),
+        )
+
+
+def _unavailable_payload(message: str) -> dict:
+    return {
+        "error": "ServiceUnavailableError",
+        "code": CODE_UNAVAILABLE,
+        "message": message,
+        "details": {},
+        "retryable": True,
+    }
+
+
+def _invalid_payload(message: str) -> dict:
+    return {
+        "error": "ServiceError",
+        "code": CODE_INVALID_REQUEST,
+        "message": message,
+        "details": {},
+        "retryable": False,
+    }
+
+
+class _BackendError(Exception):
+    """The request never reached the worker (connect failure, refused,
+    stale socket on a fresh connection).  Safe to fail over for any verb."""
+
+
+class _BackendUnsafe(_BackendError):
+    """The worker *received* the request but no usable response arrived
+    (timeout mid-serve, connection lost after the status line).  Failing
+    over would replay work the worker may already be doing — only
+    idempotent, cheap GETs are retried on another node."""
+
+
+class ClusterGateway:
+    """Routes the v1 protocol across a fleet of serving workers."""
+
+    def __init__(
+        self,
+        backends: Sequence[tuple[str, str]],
+        config: ClusterConfig | None = None,
+        fingerprint: str = "",
+        host: str | None = None,
+        port: int | None = None,
+    ):
+        """``backends`` is a sequence of ``(worker_id, url)`` pairs; they are
+        the complete, stable fleet (a restarted worker keeps its id and URL).
+        ``fingerprint`` pins the dataset half of the routing key; when empty
+        it is learned from the first reachable worker at :meth:`start`."""
+        self.config = config or ClusterConfig()
+        self.config.validate()
+        if not backends:
+            raise ServiceError("the gateway needs at least one backend worker")
+        self._urls: dict[str, tuple[str, int]] = {}
+        for worker_id, url in backends:
+            parts = urlsplit(url)
+            if parts.hostname is None or parts.port is None:
+                raise ServiceError(f"backend {worker_id!r} needs host:port, got {url!r}")
+            self._urls[worker_id] = (parts.hostname, parts.port)
+        self._backend_urls = {worker_id: url for worker_id, url in backends}
+        self.fingerprint = fingerprint
+        self._ring = HashRing(list(self._urls), virtual_nodes=self.config.virtual_nodes)
+        self._lock = threading.Lock()
+        #: worker_id -> monotonic time until which it is sidelined.
+        self._down_until: dict[str, float] = {}
+        self._requests = 0
+        self._proxied = 0
+        self._failovers = 0
+        self._backend_errors = 0
+        self._no_backend = 0
+        self._routed: dict[str, int] = {worker_id: 0 for worker_id in self._urls}
+        #: keep-alive connections to each worker (the gateway->worker hop
+        #: carries all traffic; re-handshaking per proxy call would dominate).
+        self._conn_pool: dict[str, list[http.client.HTTPConnection]] = {
+            worker_id: [] for worker_id in self._urls
+        }
+        self._conn_pool_size = 8
+        self._scatter_pool = ThreadPoolExecutor(
+            max_workers=max(4, 2 * len(self._urls)),
+            thread_name_prefix="repro-gateway",
+        )
+        self._httpd = ThreadingHTTPServer(
+            (
+                host if host is not None else self.config.gateway_host,
+                port if port is not None else self.config.gateway_port,
+            ),
+            _GatewayHandler,
+        )
+        self._httpd.daemon_threads = True
+        self._httpd.gateway = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return (str(host), int(port))
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ClusterGateway":
+        """Serve on a daemon thread (tests / embedded use)."""
+        if not self.fingerprint:
+            self._resolve_fingerprint()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-gateway", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (CLI use)."""
+        if not self.fingerprint:
+            self._resolve_fingerprint()
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+        self._scatter_pool.shutdown(wait=False)
+        for worker_id in list(self._conn_pool):
+            self._flush_connections(worker_id)
+
+    def __enter__(self) -> "ClusterGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def _resolve_fingerprint(self) -> None:
+        """Learn the dataset fingerprint from the first reachable worker so
+        the routing key matches what the fleet is actually serving.  The key
+        must never change once traffic flows, so this runs exactly once,
+        before the listening thread starts."""
+        for worker_id in self._ring.nodes:
+            try:
+                status, raw, _headers = self._forward(worker_id, "GET", "/v1/stats", None)
+            except _BackendError:
+                continue
+            if status != 200:
+                continue
+            try:
+                data = json.loads(raw.decode("utf-8")).get("data") or {}
+                fingerprint = data.get("registry", {}).get("dataset_fingerprint", "")
+            except (ValueError, AttributeError):
+                continue
+            if fingerprint:
+                self.fingerprint = str(fingerprint)
+                return
+
+    # -- dispatch ----------------------------------------------------------------
+    def handle(self, verb: str, path: str, body: bytes | None) -> _Reply:
+        """Serve one gateway request; never raises."""
+        with self._lock:
+            self._requests += 1
+        try:
+            return self._route(verb, path, body)
+        except Exception as exc:  # noqa: BLE001 - rendered as a 500 envelope
+            return self._error_reply(
+                500,
+                {
+                    "error": type(exc).__name__,
+                    "code": "internal",
+                    "message": f"gateway failure: {exc}",
+                    "details": {},
+                    "retryable": True,
+                },
+            )
+
+    def _route(self, verb: str, path: str, body: bytes | None) -> _Reply:
+        if (verb, path) == ("GET", "/v1/healthz"):
+            return self._aggregate_health()
+        if (verb, path) == ("GET", "/v1/stats"):
+            return self._aggregate_stats()
+        if (verb, path) == ("GET", "/v1/methods"):
+            return self._forward_any(verb, path)
+        if (verb, path) == ("POST", "/v1/expand"):
+            return self._route_by_method(verb, path, body)
+        if (verb, path) == ("POST", "/v1/fits"):
+            return self._route_by_method(verb, path, body)
+        if (verb, path) == ("POST", "/v1/expand/batch"):
+            return self._scatter_batch(body)
+        if (verb, path) == ("GET", "/v1/fits"):
+            return self._merged_fit_jobs()
+        if verb in ("GET", "DELETE") and path.startswith("/v1/fits/"):
+            job_id = path[len("/v1/fits/"):]
+            if job_id and "/" not in job_id:
+                return self._find_fit_job(verb, path)
+        return self._error_reply(404, route_not_found_payload(path))
+
+    # -- proxying ----------------------------------------------------------------
+    def _forward(
+        self, worker_id: str, verb: str, path: str, body: bytes | None
+    ) -> tuple[int, bytes, dict[str, str]]:
+        """One proxy attempt to one worker over a pooled keep-alive
+        connection; raises :class:`_BackendError` when the worker never got
+        the request (sidelining it) or :class:`_BackendUnsafe` when it did
+        but no usable response arrived."""
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        for replay in (False, True):
+            if replay:
+                connection, reused = self._fresh_worker_connection(worker_id), False
+            else:
+                connection, reused = self._conn_checkout(worker_id)
+            try:
+                connection.request(verb, path, body=body, headers=headers)
+                response = connection.getresponse()
+            except TimeoutError as exc:
+                # Alive but slow (e.g. an in-request cold fit): not evidence
+                # the worker is down, and the request may be mid-serve.
+                connection.close()
+                raise _BackendUnsafe(
+                    f"worker {worker_id!r} timed out serving {verb} {path}: {exc}"
+                ) from exc
+            except (OSError, http.client.HTTPException) as exc:
+                connection.close()
+                if reused:
+                    # a pooled socket the worker closed while idle; the
+                    # request never reached it — retry on a fresh connection
+                    # to the *same* worker before declaring it down.
+                    continue
+                self._mark_down(worker_id)
+                raise _BackendError(
+                    f"worker {worker_id!r} unreachable: {exc}"
+                ) from exc
+            # Status line received: the worker processed the request.  A
+            # failure from here on must not look failover-safe.
+            try:
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                connection.close()
+                self._mark_down(worker_id)
+                raise _BackendUnsafe(
+                    f"worker {worker_id!r} dropped mid-response: {exc}"
+                ) from exc
+            passthrough: dict[str, str] = {}
+            request_id = response.getheader(REQUEST_ID_HEADER)
+            if request_id:
+                passthrough[REQUEST_ID_HEADER] = request_id
+            if response.will_close:
+                connection.close()
+            else:
+                self._conn_checkin(worker_id, connection)
+            return response.status, raw, passthrough
+        raise _BackendError(f"worker {worker_id!r} unreachable")  # pragma: no cover
+
+    # -- gateway->worker connection pool -----------------------------------------
+    def _fresh_worker_connection(self, worker_id: str) -> http.client.HTTPConnection:
+        host, port = self._urls[worker_id]
+        return http.client.HTTPConnection(
+            host, port, timeout=self.config.proxy_timeout_seconds
+        )
+
+    def _conn_checkout(
+        self, worker_id: str
+    ) -> tuple[http.client.HTTPConnection, bool]:
+        with self._lock:
+            idle = self._conn_pool[worker_id]
+            if idle:
+                return idle.pop(), True
+        return self._fresh_worker_connection(worker_id), False
+
+    def _conn_checkin(
+        self, worker_id: str, connection: http.client.HTTPConnection
+    ) -> None:
+        with self._lock:
+            idle = self._conn_pool[worker_id]
+            if len(idle) < self._conn_pool_size:
+                idle.append(connection)
+                return
+        connection.close()
+
+    def _flush_connections(self, worker_id: str) -> None:
+        with self._lock:
+            idle, self._conn_pool[worker_id] = self._conn_pool[worker_id], []
+        for connection in idle:
+            connection.close()
+
+    def _mark_down(self, worker_id: str) -> None:
+        # pooled sockets to a worker that just failed are almost certainly
+        # dead too; drop them so recovery probes start clean.
+        self._flush_connections(worker_id)
+        with self._lock:
+            self._backend_errors += 1
+            self._down_until[worker_id] = (
+                time.monotonic() + self.config.failover_cooldown_seconds
+            )
+
+    def _mark_up(self, worker_id: str) -> None:
+        with self._lock:
+            self._down_until.pop(worker_id, None)
+
+    def _is_down(self, worker_id: str) -> bool:
+        with self._lock:
+            until = self._down_until.get(worker_id)
+            return until is not None and time.monotonic() < until
+
+    def _attempt_order(self, key: str) -> list[str]:
+        """Failover order for ``key``: ring preference with sidelined workers
+        moved to the back (not dropped — if the whole fleet looks down, the
+        request should still try everyone once rather than fail blind)."""
+        preference = self._ring.preference(key)
+        up = [worker_id for worker_id in preference if not self._is_down(worker_id)]
+        down = [worker_id for worker_id in preference if self._is_down(worker_id)]
+        return up + down
+
+    def owner(self, method: str) -> str:
+        """The worker that owns ``method`` while the fleet is healthy (the
+        routing invariant tests pin)."""
+        return self._ring.route(shard_key(method, self.fingerprint))
+
+    def _proxy_with_failover(
+        self, key: str, verb: str, path: str, body: bytes | None
+    ) -> _Reply:
+        last_error: _BackendError | None = None
+        for worker_id in self._attempt_order(key):
+            try:
+                status, raw, headers = self._forward(worker_id, verb, path, body)
+            except _BackendUnsafe as exc:
+                if verb != "GET":
+                    # The worker may be serving this very request (e.g. a
+                    # slow in-request fit): replaying it on another node
+                    # would duplicate the work, so surface a retryable
+                    # error and let the *client's* policy decide.
+                    return self._error_reply(503, _unavailable_payload(str(exc)))
+                last_error = exc
+                with self._lock:
+                    self._failovers += 1
+                continue
+            except _BackendError as exc:
+                last_error = exc
+                with self._lock:
+                    self._failovers += 1
+                continue
+            self._mark_up(worker_id)
+            with self._lock:
+                self._proxied += 1
+                self._routed[worker_id] += 1
+            headers[WORKER_HEADER] = worker_id
+            return _Reply(status=status, body=raw, headers=headers)
+        with self._lock:
+            self._no_backend += 1
+        return self._error_reply(
+            503,
+            _unavailable_payload(
+                f"no worker available for this request ({last_error})"
+            ),
+        )
+
+    def _route_by_method(self, verb: str, path: str, body: bytes | None) -> _Reply:
+        payload = self._parse_json(body)
+        if not isinstance(payload, Mapping):
+            return self._error_reply(
+                400, _invalid_payload("request body must be a JSON object")
+            )
+        method = payload.get("method")
+        if not isinstance(method, str) or not method.strip():
+            return self._error_reply(
+                400, _invalid_payload("request must name a method")
+            )
+        key = shard_key(method, self.fingerprint)
+        return self._proxy_with_failover(key, verb, path, body)
+
+    def _forward_any(self, verb: str, path: str) -> _Reply:
+        """Forward to any worker (healthy first) — used for fleet-uniform
+        answers like ``/v1/methods``."""
+        return self._proxy_with_failover(shard_key("__any__", self.fingerprint), verb, path, None)
+
+    # -- scatter-gather ----------------------------------------------------------
+    def _scatter_batch(self, body: bytes | None) -> _Reply:
+        payload = self._parse_json(body)
+        if not isinstance(payload, Mapping):
+            return self._error_reply(
+                400, _invalid_payload("batch payload must be a JSON object")
+            )
+        items = payload.get("requests")
+        if not isinstance(items, list) or not items:
+            return self._error_reply(
+                400, _invalid_payload('batch payload needs a non-empty "requests" array')
+            )
+        if len(items) > MAX_BATCH_REQUESTS:
+            return self._error_reply(
+                400,
+                _invalid_payload(
+                    f"batch size {len(items)} exceeds the limit of {MAX_BATCH_REQUESTS}"
+                ),
+            )
+
+        # Partition the items by owning shard; malformed items fail in place
+        # without consuming a proxy call.
+        slots: list[dict | None] = [None] * len(items)
+        groups: dict[str, list[int]] = {}
+        for index, item in enumerate(items):
+            if not isinstance(item, Mapping) or not isinstance(item.get("method"), str):
+                slots[index] = {
+                    "error": _invalid_payload(
+                        f"requests[{index}] must be an object naming a method"
+                    )
+                }
+                continue
+            key = shard_key(item["method"], self.fingerprint)
+            groups.setdefault(key, []).append(index)
+
+        def run_group(key: str, indices: list[int]) -> None:
+            sub_batch = json.dumps(
+                {"requests": [items[i] for i in indices]}
+            ).encode("utf-8")
+            reply = self._proxy_with_failover(key, "POST", "/v1/expand/batch", sub_batch)
+            sub_slots = self._batch_slots(reply, len(indices))
+            for slot_index, item_index in enumerate(indices):
+                slots[item_index] = sub_slots[slot_index]
+
+        futures = [
+            self._scatter_pool.submit(run_group, key, indices)
+            for key, indices in groups.items()
+        ]
+        for future in futures:
+            future.result()
+        data = {"responses": slots, "count": len(slots)}
+        return _Reply.envelope(200, success_envelope(new_request_id(), data))
+
+    @staticmethod
+    def _batch_slots(reply: _Reply, expected: int) -> list[dict]:
+        """Unwrap one worker's batch envelope into per-item slots, degrading
+        a shard-level failure into per-item errors (isolation)."""
+        try:
+            envelope = json.loads(reply.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            envelope = None
+        if isinstance(envelope, dict) and reply.status == 200:
+            responses = (envelope.get("data") or {}).get("responses")
+            if isinstance(responses, list) and len(responses) == expected:
+                return responses
+        error = None
+        if isinstance(envelope, dict):
+            error = envelope.get("error")
+        if not isinstance(error, dict):
+            error = _unavailable_payload("shard failed while serving this batch")
+        return [{"error": error} for _ in range(expected)]
+
+    # -- aggregation -------------------------------------------------------------
+    def _worker_scatter(
+        self, verb: str, path: str
+    ) -> dict[str, tuple[int, bytes] | None]:
+        """Call every worker concurrently; ``None`` marks an unreachable one."""
+
+        def run_one(worker_id: str) -> "tuple[int, bytes] | None":
+            try:
+                status, raw, _headers = self._forward(worker_id, verb, path, None)
+            except _BackendError:
+                return None
+            self._mark_up(worker_id)
+            return status, raw
+
+        futures = {
+            worker_id: self._scatter_pool.submit(run_one, worker_id)
+            for worker_id in self._ring.nodes
+        }
+        return {worker_id: future.result() for worker_id, future in futures.items()}
+
+    def _aggregate_health(self) -> _Reply:
+        results = self._worker_scatter("GET", "/v1/healthz")
+        workers = []
+        healthy = 0
+        for worker_id in self._ring.nodes:
+            result = results[worker_id]
+            ok = result is not None and result[0] == 200
+            healthy += int(ok)
+            workers.append(
+                {
+                    "worker_id": worker_id,
+                    "url": self._backend_urls[worker_id],
+                    "healthy": ok,
+                }
+            )
+        if healthy == len(workers):
+            status, label = 200, "ok"
+        elif healthy:
+            status, label = 200, "degraded"
+        else:
+            status, label = 503, "down"
+        data = {
+            "status": label,
+            "workers": workers,
+            "healthy_workers": healthy,
+            "total_workers": len(workers),
+        }
+        request_id = new_request_id()
+        if status >= 400:
+            payload = _unavailable_payload("no healthy workers")
+            payload["details"] = data
+            return _Reply.envelope(status, error_envelope(request_id, payload))
+        return _Reply.envelope(status, success_envelope(request_id, data))
+
+    def _aggregate_stats(self) -> _Reply:
+        results = self._worker_scatter("GET", "/v1/stats")
+        workers: dict[str, dict] = {}
+        totals = {"requests": 0, "errors": 0, "cache_hits": 0, "cache_misses": 0}
+        for worker_id, result in results.items():
+            if result is None:
+                workers[worker_id] = {"unreachable": True}
+                continue
+            try:
+                data = json.loads(result[1].decode("utf-8")).get("data") or {}
+            except (UnicodeDecodeError, ValueError):
+                workers[worker_id] = {"unreachable": True}
+                continue
+            workers[worker_id] = data
+            service = data.get("service") or {}
+            cache = data.get("cache") or {}
+            totals["requests"] += int(service.get("requests", 0))
+            totals["errors"] += int(service.get("errors", 0))
+            totals["cache_hits"] += int(cache.get("hits", 0))
+            totals["cache_misses"] += int(cache.get("misses", 0))
+        data = {
+            "gateway": self.stats(),
+            "cluster": totals,
+            "workers": workers,
+        }
+        return _Reply.envelope(200, success_envelope(new_request_id(), data))
+
+    def _merged_fit_jobs(self) -> _Reply:
+        results = self._worker_scatter("GET", "/v1/fits")
+        jobs: list[dict] = []
+        for worker_id, result in results.items():
+            if result is None or result[0] != 200:
+                continue
+            try:
+                data = json.loads(result[1].decode("utf-8")).get("data") or {}
+            except (UnicodeDecodeError, ValueError):
+                continue
+            for job in data.get("jobs") or []:
+                if isinstance(job, dict):
+                    jobs.append({**job, "worker_id": worker_id})
+        jobs.sort(key=lambda job: -float(job.get("created_at") or 0.0))
+        data = {"jobs": jobs, "count": len(jobs)}
+        return _Reply.envelope(200, success_envelope(new_request_id(), data))
+
+    def _find_fit_job(self, verb: str, path: str) -> _Reply:
+        """Ask the fleet for one job id, owner-agnostic: jobs were routed by
+        method, but the ring may have moved since, so every worker is a
+        candidate; the first non-404 answer wins."""
+        reachable = 0
+        for worker_id in self._attempt_order(shard_key("__fits__", self.fingerprint)):
+            try:
+                status, raw, headers = self._forward(worker_id, verb, path, None)
+            except _BackendUnsafe as exc:
+                if verb == "DELETE":
+                    # the cancel may have landed; asking another worker would
+                    # just 404 and mask it — report retryable instead.
+                    return self._error_reply(503, _unavailable_payload(str(exc)))
+                continue
+            except _BackendError:
+                continue
+            self._mark_up(worker_id)
+            reachable += 1
+            if status != 404:
+                with self._lock:
+                    self._proxied += 1
+                    self._routed[worker_id] += 1
+                headers[WORKER_HEADER] = worker_id
+                return _Reply(status=status, body=raw, headers=headers)
+        if not reachable:
+            return self._error_reply(
+                503, _unavailable_payload("no worker available to resolve the job")
+            )
+        job_id = path[len("/v1/fits/"):]
+        return self._error_reply(
+            404,
+            {
+                "error": "JobNotFoundError",
+                "code": CODE_JOB_NOT_FOUND,
+                "message": f"no fit job {job_id!r} on any worker",
+                "details": {"job_id": job_id},
+                "retryable": False,
+            },
+        )
+
+    # -- introspection -----------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "workers": list(self._ring.nodes),
+                "fingerprint": self.fingerprint,
+                "virtual_nodes": self._ring.virtual_nodes,
+                "requests": self._requests,
+                "proxied": self._proxied,
+                "failovers": self._failovers,
+                "backend_errors": self._backend_errors,
+                "no_backend_available": self._no_backend,
+                "routed": dict(self._routed),
+                "sidelined": sorted(
+                    worker_id
+                    for worker_id, until in self._down_until.items()
+                    if time.monotonic() < until
+                ),
+            }
+
+    # -- helpers -----------------------------------------------------------------
+    @staticmethod
+    def _parse_json(body: bytes | None):
+        if not body:
+            return None
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return None
+
+    @staticmethod
+    def _error_reply(status: int, payload: dict) -> _Reply:
+        return _Reply.envelope(status, error_envelope(new_request_id(), payload))
+
+
+class _GatewayHandler(BaseHTTPRequestHandler):
+    """Thin HTTP shim over :meth:`ClusterGateway.handle`."""
+
+    server_version = "repro-gateway/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def gateway(self) -> ClusterGateway:
+        return self.server.gateway  # type: ignore[attr-defined]
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._handle("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._handle("DELETE")
+
+    def _handle(self, verb: str) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        body: bytes | None = None
+        if verb == "POST":
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+            except ValueError:
+                length = -1
+            if length < 0 or length > MAX_BODY_BYTES:
+                reply = ClusterGateway._error_reply(
+                    400, _invalid_payload("invalid or oversized request body")
+                )
+                self._send(reply)
+                return
+            body = self.rfile.read(length) if length else None
+        reply = self.gateway.handle(verb, path, body)
+        self._send(reply)
+
+    def _send(self, reply: _Reply) -> None:
+        self.send_response(reply.status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(reply.body)))
+        for name, value in reply.headers.items():
+            self.send_header(name, value)
+        if reply.status >= 400:
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(reply.body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass

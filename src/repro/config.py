@@ -337,10 +337,35 @@ class ServiceConfig:
     #: verb, route, status, latency_ms, cache hit) on the
     #: ``repro.serve.access`` logger instead of http.server's stderr chatter.
     access_log: bool = False
+    #: guard cold fits with a cross-process lock file in the store directory
+    #: so N workers sharing one store pay each fit exactly once (no-op when
+    #: no store is attached).
+    fit_lock: bool = True
+    #: ceiling on how long a request waits for another worker's in-flight
+    #: fit before fitting locally anyway (liveness over single-payer).
+    fit_lock_wait_seconds: float = 600.0
+    #: run periodic store GC inside the serving process every this many
+    #: seconds; ``None`` disables the background janitor.
+    store_gc_interval_seconds: float | None = None
+    #: artifact-store size budget enforced by the janitor: when the store
+    #: grows past this many bytes, least-recently-restored artifacts are
+    #: evicted first; ``None`` cleans only the staging area.
+    store_max_bytes: int | None = None
 
     def validate(self) -> None:
         if self.store_dir is not None and not str(self.store_dir).strip():
             raise ConfigurationError("store_dir must be a non-empty path or None")
+        if self.fit_lock_wait_seconds <= 0:
+            raise ConfigurationError("fit_lock_wait_seconds must be positive")
+        if (
+            self.store_gc_interval_seconds is not None
+            and self.store_gc_interval_seconds <= 0
+        ):
+            raise ConfigurationError(
+                "store_gc_interval_seconds must be positive or None"
+            )
+        if self.store_max_bytes is not None and self.store_max_bytes < 0:
+            raise ConfigurationError("store_max_bytes must be non-negative or None")
         if self.registry_capacity < 1:
             raise ConfigurationError("registry_capacity must be >= 1")
         if self.cache_capacity < 0:
@@ -357,3 +382,83 @@ class ServiceConfig:
             raise ConfigurationError("default_top_k must be >= 1")
         if not 0 <= self.port <= 65535:
             raise ConfigurationError("port must be in [0, 65535]")
+
+
+@dataclass
+class ClusterConfig:
+    """Parameters of the multi-worker deployment (:mod:`repro.cluster`).
+
+    A cluster is a routing gateway in front of ``num_workers`` ``repro
+    serve`` processes: workers listen on consecutive ports starting at
+    ``worker_base_port``, the gateway consistent-hashes method-affine
+    traffic across them, and the pool restarts crashed workers with
+    exponential backoff.  Per-worker serving behaviour (cache, batching,
+    store) lives on the embedded :class:`ServiceConfig`.
+    """
+
+    #: number of serving worker processes behind the gateway.
+    num_workers: int = 2
+    #: bind address of the worker processes.
+    worker_host: str = "127.0.0.1"
+    #: workers listen on ``worker_base_port + i`` (must be explicit ports:
+    #: the gateway needs to know every worker URL up front).
+    worker_base_port: int = 8100
+    #: bind address / port of the routing gateway; port 0 picks ephemeral.
+    gateway_host: str = "127.0.0.1"
+    gateway_port: int = 8080
+    #: virtual nodes per worker on the consistent-hash ring.
+    virtual_nodes: int = 64
+    #: seconds between worker health probes.
+    health_interval_seconds: float = 0.5
+    #: per-probe (and per-proxy-connect) health timeout.
+    health_timeout_seconds: float = 2.0
+    #: consecutive failed probes before a live worker is recycled.
+    unhealthy_threshold: int = 3
+    #: base / ceiling of the exponential restart backoff.
+    restart_backoff_seconds: float = 0.5
+    restart_backoff_max_seconds: float = 30.0
+    #: extra per-worker delay so simultaneous crashes restart staggered.
+    restart_stagger_seconds: float = 0.25
+    #: how long the gateway sidelines a worker after a failed proxy attempt
+    #: before routing traffic at it again.
+    failover_cooldown_seconds: float = 1.0
+    #: socket timeout for gateway -> worker proxy calls (covers in-request
+    #: cold fits, hence much larger than the health timeout).
+    proxy_timeout_seconds: float = 120.0
+    #: per-worker serving parameters.
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+
+    def validate(self) -> None:
+        if self.num_workers < 1:
+            raise ConfigurationError("num_workers must be >= 1")
+        if not 1 <= self.worker_base_port <= 65535:
+            raise ConfigurationError("worker_base_port must be in [1, 65535]")
+        if self.worker_base_port + self.num_workers - 1 > 65535:
+            raise ConfigurationError("worker ports exceed 65535")
+        if not 0 <= self.gateway_port <= 65535:
+            raise ConfigurationError("gateway_port must be in [0, 65535]")
+        if self.virtual_nodes < 1:
+            raise ConfigurationError("virtual_nodes must be >= 1")
+        if self.health_interval_seconds <= 0 or self.health_timeout_seconds <= 0:
+            raise ConfigurationError("health intervals must be positive")
+        if self.unhealthy_threshold < 1:
+            raise ConfigurationError("unhealthy_threshold must be >= 1")
+        if self.restart_backoff_seconds <= 0:
+            raise ConfigurationError("restart_backoff_seconds must be positive")
+        if self.restart_backoff_max_seconds < self.restart_backoff_seconds:
+            raise ConfigurationError(
+                "restart_backoff_max_seconds must be >= restart_backoff_seconds"
+            )
+        if self.restart_stagger_seconds < 0:
+            raise ConfigurationError("restart_stagger_seconds must be non-negative")
+        if self.failover_cooldown_seconds < 0:
+            raise ConfigurationError("failover_cooldown_seconds must be non-negative")
+        if self.proxy_timeout_seconds <= 0:
+            raise ConfigurationError("proxy_timeout_seconds must be positive")
+        self.service.validate()
+
+    def worker_port(self, index: int) -> int:
+        return self.worker_base_port + index
+
+    def worker_url(self, index: int) -> str:
+        return f"http://{self.worker_host}:{self.worker_port(index)}"

@@ -19,6 +19,13 @@ durable: a registry miss first tries to *restore* the fitted state from disk
 fresh fit is written through to the store so the next restart skips it.
 Corrupt or version-mismatched artifacts are evicted and refitted — the store
 can only ever make a fit cheaper, never wrong.
+
+Across *processes*, the store also carries a :class:`~repro.store.FitLock`:
+before paying a cold fit, the registry elects a leader via an atomic lock
+file in the store directory, so N workers sharing a store pay each fit
+exactly once — the leader trains and publishes, the waiters restore the
+published artifact.  A stuck or dead leader goes stale and waiters fall back
+to fitting locally; the lock can delay a fit, never block serving.
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ from repro.exceptions import (
 )
 from repro.genexpan import GenExpan
 from repro.retexpan import RetExpan
+from repro.store.fitlock import DEFAULT_STALE_SECONDS, FitLock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.store import ArtifactStore
@@ -69,13 +77,22 @@ class ExpanderRegistry:
         factories: Mapping[str, ExpanderFactory] | None = None,
         capacity: int = 8,
         store: "ArtifactStore | None" = None,
+        fit_lock: bool = True,
+        fit_lock_wait_seconds: float = 600.0,
+        fit_lock_stale_seconds: float = DEFAULT_STALE_SECONDS,
     ):
+        """``fit_lock`` elects a cross-process leader (via a lock file in the
+        store directory) before any cold fit, so sibling workers sharing the
+        store pay each fit once; it is a no-op without a ``store``."""
         if capacity < 1:
             raise ServiceError("registry capacity must be >= 1")
         self.dataset = dataset
         self.resources = resources or SharedResources(dataset)
         self.capacity = capacity
         self.store = store
+        self.fit_lock_enabled = bool(fit_lock) and store is not None
+        self.fit_lock_wait_seconds = fit_lock_wait_seconds
+        self.fit_lock_stale_seconds = fit_lock_stale_seconds
         self._factories = dict(
             DEFAULT_FACTORIES if factories is None else factories
         )
@@ -93,6 +110,11 @@ class ExpanderRegistry:
         self._restore_misses = 0
         self._write_throughs = 0
         self._store_errors = 0
+        #: cross-process fit-lock traffic counters.
+        self._fit_lock_acquires = 0
+        self._fit_lock_waits = 0
+        self._fit_lock_restores = 0
+        self._fit_lock_timeouts = 0
         #: wall-clock seconds of the most recent fit / restore per method.
         self._fit_seconds: dict[str, float] = {}
         self._restore_seconds: dict[str, float] = {}
@@ -185,10 +207,59 @@ class ExpanderRegistry:
 
     def _materialize(self, name: str) -> Expander:
         """Produce a fitted expander: restore from the store when possible,
-        otherwise fit and write the result through."""
+        otherwise fit — with a cross-process fit lock electing one leader per
+        ``(method, fingerprint)`` so a fleet sharing the store trains once."""
         expander = self._factories[name](self.resources)
         if self._try_restore(name, expander):
             return expander
+        if not (self.fit_lock_enabled and expander.supports_persistence):
+            return self._fit_and_publish(name, expander)
+        lock = FitLock(
+            self.store.root,
+            name,
+            self._fingerprint,
+            stale_after=self.fit_lock_stale_seconds,
+        )
+        deadline = time.monotonic() + self.fit_lock_wait_seconds
+        contended = False
+        while True:
+            if lock.try_acquire():
+                try:
+                    with self._lock:
+                        self._fit_lock_acquires += 1
+                    # Another leader may have published between our restore
+                    # miss and winning the lock (it can finish entirely
+                    # inside that window, so even an uncontended acquire is
+                    # not proof of absence).  A cheap manifest-existence
+                    # probe gates the full checksum-verified restore so the
+                    # plain cold-fit path stays a single restore miss.
+                    if (contended or self.artifact_available(name)) and (
+                        self._try_restore(name, expander)
+                    ):
+                        with self._lock:
+                            self._fit_lock_restores += 1
+                        return expander
+                    return self._fit_and_publish(name, expander)
+                finally:
+                    lock.release()
+            contended = True
+            with self._lock:
+                self._fit_lock_waits += 1
+            freed = lock.wait(timeout=max(0.0, deadline - time.monotonic()))
+            if self._try_restore(name, expander):
+                with self._lock:
+                    self._fit_lock_restores += 1
+                return expander
+            if not freed or time.monotonic() >= deadline:
+                # The leader is stuck past our wait budget (or failed without
+                # publishing): fit locally — liveness beats single-payer.
+                with self._lock:
+                    self._fit_lock_timeouts += 1
+                return self._fit_and_publish(name, expander)
+            # The lock was freed but nothing was published (the leader
+            # crashed or its method cannot persist): stand for election.
+
+    def _fit_and_publish(self, name: str, expander: Expander) -> Expander:
         started = time.perf_counter()
         expander.fit(self.dataset)
         elapsed = time.perf_counter() - started
@@ -310,5 +381,12 @@ class ExpanderRegistry:
                     "restore_misses": self._restore_misses,
                     "write_throughs": self._write_throughs,
                     "errors": self._store_errors,
+                },
+                "fit_lock": {
+                    "enabled": self.fit_lock_enabled,
+                    "acquires": self._fit_lock_acquires,
+                    "waits": self._fit_lock_waits,
+                    "restores_after_wait": self._fit_lock_restores,
+                    "timeouts": self._fit_lock_timeouts,
                 },
             }

@@ -5,7 +5,8 @@ stays installable without a web framework.  All routes are served by the
 shared v1 dispatcher (:class:`repro.api.v1.ApiV1`):
 
 * ``/v1/healthz`` ``/v1/methods`` ``/v1/stats`` ``/v1/expand``
-  ``/v1/expand/batch`` ``/v1/fits[...]`` — versioned envelope responses
+  ``/v1/expand/batch`` ``/v1/fits[...]`` (``POST``/``GET``/``DELETE``) —
+  versioned envelope responses
   (``api_version`` + server-assigned ``request_id``, also echoed in the
   ``X-Request-Id`` header) with the structured error taxonomy;
 * ``/healthz`` ``/methods`` ``/stats`` ``/expand`` — **deprecated** aliases
@@ -68,6 +69,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         self._handle("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802 (http.server API)
+        self._handle("DELETE")
 
     def _handle(self, verb: str) -> None:
         started = time.perf_counter()

@@ -66,6 +66,8 @@ class ExpansionService:
             factories=factories,
             capacity=self.config.registry_capacity,
             store=store,
+            fit_lock=self.config.fit_lock,
+            fit_lock_wait_seconds=self.config.fit_lock_wait_seconds,
         )
         self.cache = ResultCache(
             capacity=self.config.cache_capacity,
@@ -90,6 +92,14 @@ class ExpansionService:
         self._errors = 0
         self._adhoc = 0
         self._closed = False
+        self._janitor: _StoreJanitor | None = None
+        if store is not None and self.config.store_gc_interval_seconds is not None:
+            self._janitor = _StoreJanitor(
+                store,
+                interval_seconds=self.config.store_gc_interval_seconds,
+                max_bytes=self.config.store_max_bytes,
+            )
+            self._janitor.start()
 
     # -- request path ----------------------------------------------------------------
     def submit(self, request: ExpandRequest) -> ExpandResponse:
@@ -189,6 +199,14 @@ class ExpansionService:
         """The tracked job for ``job_id``; raises :class:`JobNotFoundError`."""
         return self.jobs.get(job_id)
 
+    def cancel_fit(self, job_id: str) -> FitJob:
+        """Cancel a *queued* fit job (``DELETE /v1/fits/<id>`` on the wire).
+
+        Raises :class:`JobNotFoundError` for unknown ids and
+        :class:`JobConflictError` (409) for jobs already running or finished.
+        """
+        return self.jobs.cancel(job_id)
+
     def fit_jobs(self) -> list[FitJob]:
         """All tracked fit jobs, most recent first."""
         return self.jobs.list()
@@ -229,6 +247,8 @@ class ExpansionService:
         }
         if self.store is not None:
             merged["store"] = self.store.stats()
+        if self._janitor is not None:
+            merged["store_gc"] = self._janitor.stats()
         return merged
 
     # -- lifecycle ---------------------------------------------------------------------
@@ -237,6 +257,8 @@ class ExpansionService:
             if self._closed:
                 return
             self._closed = True
+        if self._janitor is not None:
+            self._janitor.stop()
         self.jobs.shutdown()
         self.batcher.shutdown()
 
@@ -245,3 +267,76 @@ class ExpansionService:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class _StoreJanitor:
+    """Periodic artifact-store GC inside a long-running serving process.
+
+    Every ``interval_seconds`` it cleans abandoned staging directories and —
+    when ``max_bytes`` is set — evicts least-recently-restored artifacts
+    until the store fits the size budget (``ArtifactStore.gc_to_budget``).
+    GC failures are counted, never raised: a broken filesystem must not take
+    down the serving path.
+    """
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        interval_seconds: float,
+        max_bytes: int | None = None,
+    ):
+        self.store = store
+        self.interval_seconds = interval_seconds
+        self.max_bytes = max_bytes
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._ticks = 0
+        self._removed = 0
+        self._removed_bytes = 0
+        self._errors = 0
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-store-gc", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+
+    def run_once(self) -> None:
+        """One GC pass (also called directly by tests)."""
+        try:
+            if self.max_bytes is not None:
+                removed = self.store.gc_to_budget(self.max_bytes)
+            else:
+                removed = []
+            self.store.gc()  # always clean abandoned staging directories
+        except Exception:  # noqa: BLE001 - GC must never take down serving
+            with self._lock:
+                self._errors += 1
+            return
+        with self._lock:
+            self._ticks += 1
+            self._removed += len(removed)
+            self._removed_bytes += sum(info.total_bytes for info in removed)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "interval_seconds": self.interval_seconds,
+                "max_bytes": self.max_bytes,
+                "ticks": self._ticks,
+                "artifacts_removed": self._removed,
+                "bytes_removed": self._removed_bytes,
+                "errors": self._errors,
+            }
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            self.run_once()

@@ -7,6 +7,9 @@ them build-once artifacts shared across restarts and worker processes:
   ``(method, dataset fingerprint)`` with per-artifact JSON manifests
   (checksums, sizes, versions), atomic staged writes, and ``ls``/``gc``/
   ``evict`` management;
+* :class:`FitLock` — cross-process fit leader election via an atomic lock
+  file in the store directory, so N workers sharing the store pay each
+  cold fit exactly once (waiters restore the leader's published artifact);
 * :mod:`repro.store.serialization` — the pickle-free JSON + ``.npy``
   serialization layer, including mmap-friendly entity→vector maps.
 
@@ -21,6 +24,7 @@ Workflow::
 """
 
 from repro.store.artifact import FORMAT_VERSION, ArtifactInfo, ArtifactStore
+from repro.store.fitlock import DEFAULT_STALE_SECONDS, FitLock
 from repro.store.serialization import (
     load_array,
     load_count_table,
@@ -34,9 +38,11 @@ from repro.store.serialization import (
 )
 
 __all__ = [
+    "DEFAULT_STALE_SECONDS",
     "FORMAT_VERSION",
     "ArtifactInfo",
     "ArtifactStore",
+    "FitLock",
     "save_array",
     "load_array",
     "save_vector_map",

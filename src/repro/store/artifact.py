@@ -59,6 +59,11 @@ FORMAT_VERSION = 1
 _MANIFEST_NAME = "manifest.json"
 _STATE_DIR = "state"
 
+#: marker file (next to the manifest, outside the checksummed state tree)
+#: whose mtime records the most recent restore — the signal the size-budget
+#: GC uses to evict least-recently-restored artifacts first.
+_RESTORED_MARKER = "restored_at"
+
 #: staging directories younger than this are treated as in-flight saves and
 #: left alone by ``gc`` — deleting them would race a concurrent writer.
 _STALE_TMP_SECONDS = 3600.0
@@ -279,7 +284,29 @@ class ArtifactStore:
             raise ArtifactCorruptError(
                 f"artifact {method}/{fingerprint} failed to load: {exc}"
             ) from exc
+        self._touch_restored(self.artifact_dir(method, fingerprint))
         return info
+
+    @staticmethod
+    def _touch_restored(artifact_dir: Path) -> None:
+        """Record a restore by (re)stamping the marker's mtime.  Best-effort:
+        a read-only store must not turn a successful restore into a failure."""
+        marker = artifact_dir / _RESTORED_MARKER
+        try:
+            marker.touch(exist_ok=True)
+            os.utime(marker)
+        except OSError:
+            pass
+
+    @staticmethod
+    def last_used_at(info: ArtifactInfo) -> float:
+        """When the artifact was last restored (marker mtime), falling back
+        to its creation time — the recency signal for budget eviction."""
+        marker = Path(info.path) / _RESTORED_MARKER
+        try:
+            return max(info.created_at, marker.stat().st_mtime)
+        except OSError:
+            return info.created_at
 
     # -- management --------------------------------------------------------------
     def ls(self) -> list[ArtifactInfo]:
@@ -352,6 +379,31 @@ class ArtifactStore:
                     continue  # a concurrent save just renamed it away
                 if abandoned:
                     shutil.rmtree(leftover, ignore_errors=True)
+        return removed
+
+    def gc_to_budget(self, max_bytes: int) -> list[ArtifactInfo]:
+        """Evict artifacts, least-recently-restored first, until the store's
+        total size fits under ``max_bytes``.
+
+        This is the policy a long-running serving process applies
+        periodically (see ``ServiceConfig.store_max_bytes``): artifacts that
+        keep getting restored by workers stay, cold ones age out.  Returns
+        the artifacts removed, coldest first.
+        """
+        if max_bytes < 0:
+            raise StoreError("max_bytes must be non-negative")
+        infos = self.ls()
+        total = sum(info.total_bytes for info in infos)
+        if total <= max_bytes:
+            return []
+        by_recency = sorted(infos, key=self.last_used_at)
+        removed: list[ArtifactInfo] = []
+        for info in by_recency:
+            if total <= max_bytes:
+                break
+            if self._remove(Path(info.path)):
+                total -= info.total_bytes
+                removed.append(info)
         return removed
 
     def stats(self) -> dict:

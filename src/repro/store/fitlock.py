@@ -1,0 +1,180 @@
+"""Cross-process fit leader election via atomic lock files.
+
+When N serving workers share one artifact store and none of them holds the
+artifact for a ``(method, dataset fingerprint)`` key yet, each would pay the
+cold fit independently — the most expensive operation in the system,
+multiplied by the fleet size.  :class:`FitLock` makes the fit single-payer:
+
+* the lock is one file under ``<store root>/.fitlocks/``, created with
+  ``O_CREAT | O_EXCL`` so exactly one process (the **leader**) wins the
+  race, atomically, on any POSIX filesystem — including a directory shared
+  between worker processes on one host;
+* the leader records its pid/host and keeps the file's mtime fresh from a
+  heartbeat thread while the fit runs; everyone else **waits** for the file
+  to disappear and then restores the leader's published artifact from the
+  store instead of fitting;
+* a leader that dies mid-fit stops heartbeating, so its lock goes **stale**
+  (mtime older than ``stale_after``) and the next waiter breaks it and takes
+  over — a crash delays the fit, it never wedges the key forever.
+
+The lock protects an optimisation, not correctness: every consumer treats
+"could not acquire / wait timed out" as permission to fit locally, so a
+misbehaving filesystem degrades to the pre-lock behaviour (duplicate fits),
+never to an outage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+
+from repro.exceptions import StoreError
+
+#: subdirectory of the store root holding the lock files.
+LOCK_DIR_NAME = ".fitlocks"
+
+#: a lock whose mtime is older than this is considered abandoned by a dead
+#: leader and may be broken by a waiter.
+DEFAULT_STALE_SECONDS = 600.0
+
+
+class FitLock:
+    """An advisory single-payer lock for one ``(method, fingerprint)`` fit."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        method: str,
+        fingerprint: str,
+        stale_after: float = DEFAULT_STALE_SECONDS,
+        heartbeat_interval: float | None = None,
+    ):
+        method = method.strip().lower()
+        if not method or any(sep in method for sep in ("/", "\\", "..")):
+            raise StoreError(f"invalid method name {method!r}")
+        if not fingerprint or any(sep in fingerprint for sep in ("/", "\\", "..")):
+            raise StoreError(f"invalid fingerprint {fingerprint!r}")
+        if stale_after <= 0:
+            raise StoreError("stale_after must be positive")
+        self.path = Path(root) / LOCK_DIR_NAME / f"{method}--{fingerprint}.lock"
+        self.stale_after = stale_after
+        #: heartbeats must land well inside the staleness window.
+        self.heartbeat_interval = (
+            heartbeat_interval
+            if heartbeat_interval is not None
+            else max(0.05, min(stale_after / 4.0, 15.0))
+        )
+        self._held = False
+        self._stop_heartbeat = threading.Event()
+        self._heartbeat_thread: threading.Thread | None = None
+
+    # -- acquisition -------------------------------------------------------------
+    def try_acquire(self) -> bool:
+        """One non-blocking attempt to become the fit leader."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._break_if_stale()
+        try:
+            fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError as exc:
+            raise StoreError(f"cannot create fit lock {self.path}: {exc}") from exc
+        try:
+            os.write(
+                fd,
+                json.dumps(
+                    {
+                        "pid": os.getpid(),
+                        "host": socket.gethostname(),
+                        "acquired_at": time.time(),
+                    }
+                ).encode("utf-8"),
+            )
+        finally:
+            os.close(fd)
+        self._held = True
+        self._start_heartbeat()
+        return True
+
+    def release(self) -> None:
+        """Drop leadership (idempotent; safe if the lock was stolen)."""
+        self._stop_heartbeat.set()
+        thread = self._heartbeat_thread
+        if thread is not None:
+            thread.join(timeout=2.0)
+            self._heartbeat_thread = None
+        if self._held:
+            self._held = False
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+
+    @property
+    def held(self) -> bool:
+        return self._held
+
+    def __enter__(self) -> "FitLock":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    # -- waiting -----------------------------------------------------------------
+    def wait(self, timeout: float, poll_interval: float = 0.05) -> bool:
+        """Block until the lock is free (absent or gone stale).
+
+        Returns True when the lock was observed free, False on timeout —
+        callers treat False as "the leader is stuck; fit locally anyway".
+        """
+        deadline = time.monotonic() + max(0.0, timeout)
+        while True:
+            self._break_if_stale()
+            if not self.path.exists():
+                return True
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            time.sleep(min(poll_interval, remaining))
+
+    def holder(self) -> dict | None:
+        """Best-effort contents of the lock file (pid/host/acquired_at)."""
+        try:
+            return json.loads(self.path.read_text("utf-8"))
+        except (OSError, ValueError):
+            return None
+
+    # -- internals ---------------------------------------------------------------
+    def _break_if_stale(self) -> None:
+        """Remove an abandoned lock.  Several waiters may race here: unlink
+        is idempotent and the follow-up ``O_EXCL`` create elects exactly one
+        new leader, so the race is harmless."""
+        try:
+            age = time.time() - self.path.stat().st_mtime
+        except OSError:
+            return
+        if age > self.stale_after:
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+
+    def _start_heartbeat(self) -> None:
+        self._stop_heartbeat.clear()
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop, name="repro-fitlock-heartbeat", daemon=True
+        )
+        self._heartbeat_thread.start()
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop_heartbeat.wait(self.heartbeat_interval):
+            try:
+                os.utime(self.path)
+            except OSError:
+                # The lock was stolen (stale break) or the filesystem went
+                # away; the fit continues — the lock is only an optimisation.
+                return

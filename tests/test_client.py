@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -24,6 +25,7 @@ from repro.core.base import Expander
 from repro.exceptions import (
     DatasetError,
     JobConflictError,
+    JobError,
     ServiceError,
     TransportError,
     UnknownMethodError,
@@ -336,6 +338,151 @@ class TestHttpRetries:
         with pytest.raises(TransportError):
             transport.request("POST", "/v1/fits", {"method": "stub"})
         assert transport.attempts == 1
+
+
+class TestKeepAlive:
+    """Satellite: connection pooling on the HTTP transport."""
+
+    def test_connections_are_reused_across_requests(self, server):
+        transport = HttpTransport(server.url, timeout=10.0)
+        try:
+            for _ in range(3):
+                status, _body = transport.request("GET", "/v1/healthz")
+                assert status == 200
+            assert transport.connections_opened == 1
+            assert transport.stale_reconnects == 0
+        finally:
+            transport.close()
+
+    def test_stale_pooled_connection_is_replayed_on_a_fresh_one(self, server):
+        """A keep-alive socket the server closed while idle must not surface
+        an error: the request replays once on a fresh connection."""
+        import socket as socket_module
+
+        transport = HttpTransport(server.url, timeout=10.0)
+        try:
+            assert transport.request("GET", "/v1/healthz")[0] == 200
+            assert len(transport._idle) == 1
+            # simulate the server dropping the idle keep-alive socket
+            transport._idle[0].sock.shutdown(socket_module.SHUT_RDWR)
+            status, body = transport.request("GET", "/v1/healthz")
+            assert status == 200
+            assert body["data"] == {"status": "ok"}
+            assert transport.stale_reconnects == 1
+            assert transport.attempts == 2  # two requests, no outer retries
+        finally:
+            transport.close()
+
+    def test_replay_bypasses_a_pool_full_of_stale_sockets(self, server):
+        """After e.g. a server restart every idle pooled socket is dead; the
+        one-shot replay must use a genuinely fresh connection, not pop the
+        next stale socket from the pool and give up."""
+        import socket as socket_module
+
+        transport = HttpTransport(server.url, timeout=10.0)
+        try:
+            assert transport.request("GET", "/v1/healthz")[0] == 200
+            # hand-craft a second pooled connection, then kill both sockets
+            extra = transport._fresh_connection()
+            extra.request("GET", "/v1/healthz")
+            extra.getresponse().read()
+            transport._checkin(extra)
+            assert len(transport._idle) == 2
+            for connection in transport._idle:
+                connection.sock.shutdown(socket_module.SHUT_RDWR)
+            status, body = transport.request("GET", "/v1/healthz")
+            assert status == 200
+            assert body["data"] == {"status": "ok"}
+            assert transport.stale_reconnects == 1
+        finally:
+            transport.close()
+
+    def test_keep_alive_can_be_disabled(self, server):
+        transport = HttpTransport(server.url, timeout=10.0, keep_alive=False)
+        try:
+            for _ in range(2):
+                assert transport.request("GET", "/v1/healthz")[0] == 200
+            assert transport.connections_opened == 2
+            assert transport._idle == []
+        finally:
+            transport.close()
+
+    def test_error_responses_do_not_poison_the_pool(self, server):
+        """The server closes the connection on errors; the transport must not
+        pool the dead socket (and the next call just opens a fresh one)."""
+        transport = HttpTransport(server.url, timeout=10.0)
+        try:
+            status, _body = transport.request(
+                "POST", "/v1/expand", {"method": "nope", "query_id": "q"}
+            )
+            assert status == 404
+            assert transport._idle == []  # Connection: close honoured
+            assert transport.request("GET", "/v1/healthz")[0] == 200
+        finally:
+            transport.close()
+
+
+class TestFitCancellation:
+    """Satellite: DELETE /v1/fits/<id> for queued jobs, 409 otherwise."""
+
+    @pytest.fixture()
+    def cancel_client(self, tiny_dataset):
+        service = ExpansionService(
+            tiny_dataset,
+            config=ServiceConfig(batch_wait_ms=0.0, port=0),
+            factories={
+                "slowx": lambda _resources: SlowFitExpander(),
+                "slowy": lambda _resources: SlowFitExpander(),
+            },
+        )
+        client = ExpansionClient.in_process(service)
+        yield client
+        service.close()
+
+    def test_cancel_queued_job(self, cancel_client):
+        running = cancel_client.start_fit("slowx")  # occupies the single worker
+        queued = cancel_client.start_fit("slowy")
+        cancelled = cancel_client.cancel_fit(queued["job_id"])
+        assert cancelled["status"] == "cancelled"
+        assert cancelled["finished_at"] is not None
+        assert cancel_client.fit_status(queued["job_id"])["status"] == "cancelled"
+        with pytest.raises(JobError):
+            cancel_client.wait_for_fit(queued["job_id"], timeout=5.0)
+        # the method slot is free again immediately after cancellation
+        resubmitted = cancel_client.start_fit("slowy")
+        assert resubmitted["job_id"] != queued["job_id"]
+        cancel_client.wait_for_fit(running["job_id"], timeout=30.0)
+        cancel_client.wait_for_fit(resubmitted["job_id"], timeout=30.0)
+
+    def test_cancel_running_or_finished_job_conflicts(self, cancel_client):
+        job = cancel_client.start_fit("slowx")
+        # the job leaves "queued" almost immediately (single worker, empty
+        # queue); poll until it does, then cancellation must conflict.
+        deadline = time.monotonic() + 10.0
+        while (
+            cancel_client.fit_status(job["job_id"])["status"] == "queued"
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        with pytest.raises(JobConflictError) as exc:
+            cancel_client.cancel_fit(job["job_id"])
+        assert exc.value.details["job_id"] == job["job_id"]
+        final = cancel_client.wait_for_fit(job["job_id"], timeout=30.0)
+        assert final["status"] == "succeeded"
+        with pytest.raises(JobConflictError):
+            cancel_client.cancel_fit(job["job_id"])
+
+    def test_cancel_unknown_job_is_not_found(self, cancel_client):
+        from repro.exceptions import JobNotFoundError
+
+        with pytest.raises(JobNotFoundError):
+            cancel_client.cancel_fit("fit-nope")
+
+    def test_cancel_over_http_maps_the_same_errors(self, http_client):
+        from repro.exceptions import JobNotFoundError
+
+        with pytest.raises(JobNotFoundError):
+            http_client.cancel_fit("fit-nope")
 
 
 class TestLegacyBackCompat:

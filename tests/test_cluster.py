@@ -1,0 +1,830 @@
+"""Cluster subsystem tests: ring, fit lock, gateway, worker pool.
+
+The gateway tests run against *thread-backed* workers (real
+:class:`ExpansionHTTPServer` instances on ephemeral ports) so routing,
+failover, and scatter-gather are exercised over real sockets without
+subprocess startup cost; the subprocess path is covered by
+``tests/test_cluster_smoke.py``.  The fit-lock tests simulate two worker
+processes with two independent registries sharing one store directory —
+the lock file is the only coordination channel either has, exactly as in
+a real fleet.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.client import ExpansionClient
+from repro.cluster import (
+    WORKER_HEADER,
+    ClusterConfig,
+    ClusterGateway,
+    HashRing,
+    WorkerPool,
+    WorkerSpec,
+    shard_key,
+)
+from repro.config import ServiceConfig
+from repro.core.base import Expander
+from repro.exceptions import JobConflictError, ServiceError
+from repro.serve import ExpansionHTTPServer, ExpansionService
+from repro.serve.registry import ExpanderRegistry
+from repro.store import ArtifactStore, FitLock
+from repro.store.serialization import read_json_state, write_json_state
+from repro.types import ExpansionResult
+
+# ---------------------------------------------------------------------------
+# shared stubs
+# ---------------------------------------------------------------------------
+
+#: enough method names that a 2-worker ring deterministically owns some on
+#: each shard (the assignment is a pure function of ids + fingerprint).
+STUB_METHODS = tuple(f"stub{letter}" for letter in "abcdef")
+SLOW_METHODS = tuple(f"slow{letter}" for letter in "abcdef")
+
+
+class ShardStubExpander(Expander):
+    """Deterministic ranking: same dataset + query => same scores anywhere."""
+
+    def __init__(self, salt: str):
+        super().__init__()
+        self.name = salt
+        self.salt = sum(ord(ch) for ch in salt)
+
+    def _expand(self, query, top_k):
+        scored = [
+            (eid, 1.0 / (1.0 + ((eid * 2654435761 + self.salt) % 4093)))
+            for eid in self.candidate_ids(query)
+        ]
+        return ExpansionResult.from_scores(query.query_id, scored)
+
+
+class SlowFitStub(ShardStubExpander):
+    def _fit(self, dataset):
+        time.sleep(0.4)
+
+
+def stub_factories():
+    factories = {
+        method: (lambda _res, m=method: ShardStubExpander(m))
+        for method in STUB_METHODS
+    }
+    factories.update(
+        {
+            method: (lambda _res, m=method: SlowFitStub(m))
+            for method in SLOW_METHODS
+        }
+    )
+    return factories
+
+
+def make_worker(dataset, **config_kwargs) -> ExpansionHTTPServer:
+    service = ExpansionService(
+        dataset,
+        config=ServiceConfig(batch_wait_ms=0.0, port=0, **config_kwargs),
+        factories=stub_factories(),
+    )
+    return ExpansionHTTPServer(service, port=0).start()
+
+
+def make_gateway(dataset, servers, **config_kwargs) -> ClusterGateway:
+    config = ClusterConfig(
+        failover_cooldown_seconds=config_kwargs.pop("failover_cooldown_seconds", 0.2),
+        proxy_timeout_seconds=30.0,
+        **config_kwargs,
+    )
+    return ClusterGateway(
+        [(f"worker-{i}", server.url) for i, server in enumerate(servers)],
+        config=config,
+        fingerprint=dataset.fingerprint(),
+        port=0,
+    ).start()
+
+
+def gateway_post(gateway, path, payload):
+    request = urllib.request.Request(
+        gateway.url + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read()), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), dict(error.headers)
+
+
+# ---------------------------------------------------------------------------
+# hash ring
+# ---------------------------------------------------------------------------
+
+
+class TestHashRing:
+    def test_routing_is_deterministic_across_instances(self):
+        keys = [shard_key(m, "fp") for m in STUB_METHODS]
+        ring_a = HashRing(["w0", "w1", "w2"])
+        ring_b = HashRing(["w2", "w0", "w1"])  # construction order is irrelevant
+        assert [ring_a.route(k) for k in keys] == [ring_b.route(k) for k in keys]
+
+    def test_every_node_owns_some_keys(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        owners = {ring.route(f"method-{i}|fp") for i in range(200)}
+        assert owners == {"w0", "w1", "w2"}
+
+    def test_preference_is_a_permutation_starting_at_the_owner(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        for i in range(20):
+            preference = ring.preference(f"key-{i}")
+            assert preference[0] == ring.route(f"key-{i}")
+            assert sorted(preference) == ["w0", "w1", "w2"]
+
+    def test_removing_a_node_only_moves_its_own_keys(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        keys = [f"method-{i}|fp" for i in range(300)]
+        before = {key: ring.route(key) for key in keys}
+        smaller = ring.without("w1")
+        for key in keys:
+            if before[key] != "w1":
+                assert smaller.route(key) == before[key]
+
+    def test_empty_ring_is_rejected(self):
+        with pytest.raises(ServiceError):
+            HashRing([])
+
+
+# ---------------------------------------------------------------------------
+# fit lock
+# ---------------------------------------------------------------------------
+
+
+class TestFitLock:
+    def test_exclusive_acquire_and_release(self, tmp_path):
+        first = FitLock(tmp_path, "m", "fp")
+        second = FitLock(tmp_path, "m", "fp")
+        assert first.try_acquire() is True
+        assert second.try_acquire() is False
+        holder = second.holder()
+        assert holder is not None and holder["pid"] == os.getpid()
+        first.release()
+        assert second.try_acquire() is True
+        second.release()
+
+    def test_different_keys_do_not_contend(self, tmp_path):
+        first = FitLock(tmp_path, "m1", "fp")
+        second = FitLock(tmp_path, "m2", "fp")
+        assert first.try_acquire() and second.try_acquire()
+        first.release()
+        second.release()
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        abandoned = FitLock(tmp_path, "m", "fp", stale_after=5.0)
+        assert abandoned.try_acquire()
+        abandoned._stop_heartbeat.set()  # simulate a dead leader: no heartbeat
+        abandoned._heartbeat_thread.join(timeout=2.0)
+        old = time.time() - 60.0
+        os.utime(abandoned.path, (old, old))
+        taker = FitLock(tmp_path, "m", "fp", stale_after=5.0)
+        assert taker.try_acquire() is True
+        taker.release()
+
+    def test_wait_returns_when_released(self, tmp_path):
+        lock = FitLock(tmp_path, "m", "fp")
+        assert lock.try_acquire()
+        waiter = FitLock(tmp_path, "m", "fp")
+        released = threading.Event()
+
+        def hold_briefly():
+            time.sleep(0.2)
+            lock.release()
+            released.set()
+
+        threading.Thread(target=hold_briefly).start()
+        assert waiter.wait(timeout=5.0) is True
+        assert released.is_set()
+
+    def test_wait_times_out_under_a_live_leader(self, tmp_path):
+        lock = FitLock(tmp_path, "m", "fp", heartbeat_interval=0.05)
+        assert lock.try_acquire()
+        try:
+            assert FitLock(tmp_path, "m", "fp").wait(timeout=0.3) is False
+        finally:
+            lock.release()
+
+
+class CountingPersistentExpander(Expander):
+    """A persistable expander whose fits are counted across 'processes'."""
+
+    name = "counting"
+    supports_persistence = True
+    state_version = 1
+
+    def __init__(self, fit_log: list):
+        super().__init__()
+        self.fit_log = fit_log
+        self.payload: int | None = None
+
+    def _fit(self, dataset):
+        time.sleep(0.3)  # wide window so concurrent fitters genuinely race
+        self.fit_log.append(id(self))
+        self.payload = 42
+
+    def _expand(self, query, top_k):
+        scored = [(eid, 1.0 / (1.0 + eid)) for eid in self.candidate_ids(query)]
+        return ExpansionResult.from_scores(query.query_id, scored)
+
+    def _save_state(self, directory: Path) -> None:
+        write_json_state(directory / "state.json", {"payload": self.payload})
+
+    def _load_state(self, directory: Path, dataset) -> None:
+        self.payload = read_json_state(directory / "state.json")["payload"]
+
+
+class TestFitLockSinglePayer:
+    def _registry(self, dataset, resources, store, fit_log) -> ExpanderRegistry:
+        return ExpanderRegistry(
+            dataset,
+            resources=resources,
+            factories={"counting": lambda _res: CountingPersistentExpander(fit_log)},
+            store=store,
+            fit_lock=True,
+        )
+
+    def test_concurrent_cold_fits_are_paid_exactly_once(
+        self, tiny_dataset, resources, tmp_path
+    ):
+        """Two registries sharing a store (= two worker processes) race one
+        cold fit: exactly one trains, the other restores the artifact."""
+        fit_log: list = []
+        registries = [
+            self._registry(tiny_dataset, resources, ArtifactStore(tmp_path), fit_log)
+            for _ in range(2)
+        ]
+        barrier = threading.Barrier(2)
+        expanders: dict[int, object] = {}
+
+        def race(index: int):
+            barrier.wait()
+            expanders[index] = registries[index].get("counting")
+
+        threads = [threading.Thread(target=race, args=(i,)) for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+
+        assert len(fit_log) == 1, "both workers paid the cold fit"
+        assert all(expanders[i].payload == 42 for i in range(2))
+        merged = [registry.stats() for registry in registries]
+        assert sum(stats["fits"] for stats in merged) == 1
+        assert sum(stats["fit_lock"]["acquires"] for stats in merged) == 1
+        assert sum(stats["fit_lock"]["restores_after_wait"] for stats in merged) == 1
+        assert sum(stats["store"]["restore_hits"] for stats in merged) == 1
+
+    def test_lock_disabled_pays_twice(self, tiny_dataset, resources, tmp_path):
+        """Control for the test above: without the lock, the same race costs
+        two fits (each worker misses, then trains)."""
+        fit_log: list = []
+        store = ArtifactStore(tmp_path)
+        registries = [
+            ExpanderRegistry(
+                tiny_dataset,
+                resources=resources,
+                factories={
+                    "counting": lambda _res: CountingPersistentExpander(fit_log)
+                },
+                store=store,
+                fit_lock=False,
+            )
+            for _ in range(2)
+        ]
+        barrier = threading.Barrier(2)
+
+        def race(registry):
+            barrier.wait()
+            registry.get("counting")
+
+        threads = [threading.Thread(target=race, args=(r,)) for r in registries]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert len(fit_log) == 2
+
+    def test_waiter_fits_locally_when_leader_never_publishes(
+        self, tiny_dataset, resources, tmp_path
+    ):
+        """A leader that dies without publishing must not wedge the waiter:
+        past the wait budget (or a stale lock) the waiter fits itself."""
+        fit_log: list = []
+        store = ArtifactStore(tmp_path)
+        registry = ExpanderRegistry(
+            tiny_dataset,
+            resources=resources,
+            factories={"counting": lambda _res: CountingPersistentExpander(fit_log)},
+            store=store,
+            fit_lock=True,
+            fit_lock_wait_seconds=0.5,
+            fit_lock_stale_seconds=600.0,
+        )
+        # a foreign (dead) leader holds the lock and never heartbeats again
+        foreign = FitLock(tmp_path, "counting", tiny_dataset.fingerprint())
+        assert foreign.try_acquire()
+        foreign._stop_heartbeat.set()
+        foreign._heartbeat_thread.join(timeout=2.0)
+
+        expander = registry.get("counting")
+        assert expander.payload == 42
+        assert len(fit_log) == 1
+        assert registry.stats()["fit_lock"]["timeouts"] == 1
+
+
+# ---------------------------------------------------------------------------
+# store GC (janitor policy)
+# ---------------------------------------------------------------------------
+
+
+class TestStoreBudgetGc:
+    def _populate(self, store, dataset, methods):
+        for method in methods:
+            expander = CountingPersistentExpander([])
+            expander.fit(dataset)
+            store.save(method, dataset.fingerprint(), expander)
+
+    def test_gc_to_budget_evicts_least_recently_restored_first(
+        self, tiny_dataset, tmp_path
+    ):
+        store = ArtifactStore(tmp_path)
+        self._populate(store, tiny_dataset, ["m1", "m2", "m3"])
+        # restore m2 so it is the hottest artifact
+        hot = CountingPersistentExpander([])
+        store.restore("m2", tiny_dataset.fingerprint(), hot, tiny_dataset)
+        sizes = {info.method: info.total_bytes for info in store.ls()}
+        budget = sizes["m2"]  # room for exactly one artifact
+        removed = store.gc_to_budget(budget)
+        assert {info.method for info in removed} == {"m1", "m3"}
+        assert [info.method for info in store.ls()] == ["m2"]
+
+    def test_gc_to_budget_is_a_no_op_under_budget(self, tiny_dataset, tmp_path):
+        store = ArtifactStore(tmp_path)
+        self._populate(store, tiny_dataset, ["m1"])
+        assert store.gc_to_budget(10**9) == []
+        assert len(store.ls()) == 1
+
+    def test_service_janitor_enforces_the_budget(self, tiny_dataset, tmp_path):
+        store = ArtifactStore(tmp_path)
+        self._populate(store, tiny_dataset, ["m1", "m2"])
+        service = ExpansionService(
+            tiny_dataset,
+            config=ServiceConfig(
+                batch_wait_ms=0.0,
+                port=0,
+                store_dir=str(tmp_path),
+                store_gc_interval_seconds=3600.0,  # tick manually below
+                store_max_bytes=0,
+            ),
+        )
+        try:
+            service._janitor.run_once()
+            stats = service.stats()["store_gc"]
+            assert stats["ticks"] == 1
+            assert stats["artifacts_removed"] == 2
+            assert store.ls() == []
+        finally:
+            service.close()
+
+
+# ---------------------------------------------------------------------------
+# gateway over thread-backed workers
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def cluster(tiny_dataset):
+    servers = [make_worker(tiny_dataset) for _ in range(2)]
+    gateway = make_gateway(tiny_dataset, servers)
+    yield gateway, servers
+    gateway.shutdown()
+    for server in servers:
+        server.shutdown()
+
+
+def _strip_volatile(envelope: dict) -> dict:
+    """Drop the per-request fields the acceptance criteria exempt."""
+    cleaned = dict(envelope)
+    cleaned.pop("request_id", None)
+    data = dict(cleaned.get("data") or {})
+    data.pop("latency_ms", None)
+    data.pop("cached", None)
+    cleaned["data"] = data
+    return cleaned
+
+
+class TestGatewayRouting:
+    def test_method_routing_is_deterministic(self, cluster, tiny_dataset):
+        gateway, _servers = cluster
+        query_id = tiny_dataset.queries[0].query_id
+        for method in STUB_METHODS[:3]:
+            owners = set()
+            for _ in range(3):
+                status, _payload, headers = gateway_post(
+                    gateway,
+                    "/v1/expand",
+                    {"method": method, "query_id": query_id, "options": {"top_k": 5}},
+                )
+                assert status == 200
+                owners.add(headers.get(WORKER_HEADER))
+            assert owners == {gateway.owner(method)}
+
+    def test_both_shards_receive_traffic(self, cluster):
+        gateway, _servers = cluster
+        assert {gateway.owner(method) for method in STUB_METHODS} == {
+            "worker-0",
+            "worker-1",
+        }
+
+    def test_expand_parity_with_single_process(self, cluster, tiny_dataset):
+        """A gateway answer is the owning worker's answer verbatim — equal,
+        modulo request_id/latency, to a single-process server's envelope."""
+        gateway, servers = cluster
+        single = make_worker(tiny_dataset)  # fresh single-process reference
+        try:
+            for method in STUB_METHODS[:3]:
+                body = {
+                    "method": method,
+                    "query_id": tiny_dataset.queries[1].query_id,
+                    "options": {"top_k": 20, "use_cache": False},
+                }
+                status_g, via_gateway, _ = gateway_post(gateway, "/v1/expand", body)
+                request = urllib.request.Request(
+                    single.url + "/v1/expand",
+                    data=json.dumps(body).encode("utf-8"),
+                    headers={"Content-Type": "application/json"},
+                )
+                with urllib.request.urlopen(request, timeout=30) as response:
+                    via_single = json.loads(response.read())
+                assert status_g == 200
+                assert _strip_volatile(via_gateway) == _strip_volatile(via_single)
+        finally:
+            single.shutdown()
+
+    def test_client_sdk_works_against_the_gateway_unchanged(
+        self, cluster, tiny_dataset
+    ):
+        gateway, _servers = cluster
+        with ExpansionClient.connect(gateway.url) as client:
+            assert client.healthz()["status"] in ("ok", "degraded")
+            response = client.expand(
+                STUB_METHODS[0], query_id=tiny_dataset.queries[0].query_id, top_k=7
+            )
+            assert len(response.ranking) == 7
+            methods = {info.method for info in client.methods()}
+            assert set(STUB_METHODS) <= methods
+
+    def test_batch_scatter_gather_parity_and_error_isolation(
+        self, cluster, tiny_dataset
+    ):
+        gateway, _servers = cluster
+        queries = tiny_dataset.queries[:4]
+        items = [
+            {
+                "method": STUB_METHODS[i % 3],
+                "query_id": query.query_id,
+                "options": {"top_k": 10, "use_cache": False},
+            }
+            for i, query in enumerate(queries)
+        ]
+        items.insert(2, {"method": "nope", "query_id": queries[0].query_id})
+        status, payload, _ = gateway_post(
+            gateway, "/v1/expand/batch", {"requests": items}
+        )
+        assert status == 200
+        slots = payload["data"]["responses"]
+        assert payload["data"]["count"] == len(items) == len(slots)
+        assert slots[2]["error"]["code"] == "unknown_method"
+
+        # per-item parity with a single-process service
+        single = ExpansionService(
+            tiny_dataset,
+            config=ServiceConfig(batch_wait_ms=0.0, port=0),
+            factories=stub_factories(),
+        )
+        try:
+            client = ExpansionClient.in_process(single)
+            for slot, item in zip(slots, items):
+                if "error" in slot:
+                    continue
+                reference = client.expand(
+                    item["method"],
+                    query_id=item["query_id"],
+                    top_k=10,
+                    use_cache=False,
+                )
+                assert slot["response"]["ranking"] == [
+                    {"entity_id": v.entity_id, "name": v.name, "score": v.score}
+                    for v in reference.ranking
+                ]
+        finally:
+            single.close()
+
+    def test_malformed_batch_items_fail_in_place(self, cluster, tiny_dataset):
+        gateway, _servers = cluster
+        status, payload, _ = gateway_post(
+            gateway,
+            "/v1/expand/batch",
+            {
+                "requests": [
+                    "not-an-object",
+                    {
+                        "method": STUB_METHODS[0],
+                        "query_id": tiny_dataset.queries[0].query_id,
+                    },
+                ]
+            },
+        )
+        assert status == 200
+        slots = payload["data"]["responses"]
+        assert slots[0]["error"]["code"] == "invalid_request"
+        assert "response" in slots[1]
+
+    def test_aggregated_healthz_and_stats(self, cluster):
+        gateway, _servers = cluster
+        with urllib.request.urlopen(gateway.url + "/v1/healthz", timeout=10) as response:
+            health = json.loads(response.read())
+        assert health["data"]["status"] == "ok"
+        assert health["data"]["healthy_workers"] == 2
+        assert {w["worker_id"] for w in health["data"]["workers"]} == {
+            "worker-0",
+            "worker-1",
+        }
+        with urllib.request.urlopen(gateway.url + "/v1/stats", timeout=10) as response:
+            stats = json.loads(response.read())["data"]
+        assert set(stats) == {"gateway", "cluster", "workers"}
+        assert stats["cluster"]["requests"] >= 1
+        assert set(stats["workers"]) == {"worker-0", "worker-1"}
+        assert stats["gateway"]["proxied"] >= 1
+
+    def test_fit_jobs_route_and_resolve_across_the_fleet(self, cluster):
+        gateway, _servers = cluster
+        with ExpansionClient.connect(gateway.url) as client:
+            job = client.start_fit(SLOW_METHODS[0])
+            final = client.wait_for_fit(job["job_id"], timeout=30.0)
+            assert final["status"] == "succeeded"
+            merged = client.fit_jobs()
+            mine = [j for j in merged if j["job_id"] == job["job_id"]]
+            assert mine and mine[0]["worker_id"] == gateway.owner(SLOW_METHODS[0])
+
+    def test_cancel_through_the_gateway(self, cluster):
+        """DELETE /v1/fits/<id> routes like GET: cancel a queued job on the
+        owning worker; cancelling it again (now terminal) conflicts."""
+        gateway, _servers = cluster
+        by_owner: dict[str, list[str]] = {}
+        for method in SLOW_METHODS[1:]:  # [0] was fitted by an earlier test
+            by_owner.setdefault(gateway.owner(method), []).append(method)
+        same_shard = max(by_owner.values(), key=len)  # pigeonhole: >= 2 of 5
+        assert len(same_shard) >= 2, "need two methods on one shard"
+        running_method, queued_method = same_shard[:2]
+        with ExpansionClient.connect(gateway.url) as client:
+            running = client.start_fit(running_method)
+            queued = client.start_fit(queued_method)
+            cancelled = client.cancel_fit(queued["job_id"])
+            assert cancelled["status"] == "cancelled"
+            with pytest.raises(JobConflictError):
+                client.cancel_fit(queued["job_id"])
+            client.wait_for_fit(running["job_id"], timeout=30.0)
+
+
+class TestGatewayFailover:
+    def test_worker_kill_mid_traffic_yields_no_nonretryable_failures(
+        self, tiny_dataset
+    ):
+        """Hammer one method through the gateway while its owning worker is
+        killed: every request must succeed (clients may retry retryables)."""
+        servers = [make_worker(tiny_dataset) for _ in range(2)]
+        gateway = make_gateway(tiny_dataset, servers, failover_cooldown_seconds=0.1)
+        try:
+            method = STUB_METHODS[0]
+            owner = gateway.owner(method)
+            victim = servers[int(owner.split("-")[1])]
+            query_ids = [q.query_id for q in tiny_dataset.queries[:6]]
+            stop = threading.Event()
+            failures: list[Exception] = []
+            successes = [0]
+
+            def hammer(worker_index: int):
+                with ExpansionClient.connect(
+                    gateway.url, timeout=15.0, max_retries=4, backoff_seconds=0.05
+                ) as client:
+                    i = 0
+                    while not stop.is_set():
+                        try:
+                            response = client.expand(
+                                method,
+                                query_id=query_ids[(i + worker_index) % len(query_ids)],
+                                top_k=5,
+                            )
+                            assert response.ranking
+                            successes[0] += 1
+                        except Exception as exc:  # noqa: BLE001 - collected
+                            failures.append(exc)
+                        i += 1
+
+            threads = [
+                threading.Thread(target=hammer, args=(index,)) for index in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.4)  # traffic flowing against the owner
+            victim.shutdown()  # kill the owning worker mid-traffic
+            time.sleep(1.0)  # traffic must fail over to the survivor
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30.0)
+
+            assert not failures, f"client-visible failures after failover: {failures[:3]}"
+            assert successes[0] > 0
+            stats = gateway.stats()
+            assert stats["failovers"] >= 1
+            # post-failover, the survivor serves the victim's shard
+            _status, _payload, headers = gateway_post(
+                gateway,
+                "/v1/expand",
+                {
+                    "method": method,
+                    "query_id": query_ids[0],
+                    "options": {"top_k": 5},
+                },
+            )
+            survivor = {"worker-0", "worker-1"} - {owner}
+            assert headers.get(WORKER_HEADER) in survivor
+        finally:
+            gateway.shutdown()
+            for server in servers:
+                try:
+                    server.shutdown()
+                except Exception:  # noqa: BLE001 - victim is already down
+                    pass
+
+    def test_all_workers_down_is_a_retryable_503(self, tiny_dataset):
+        servers = [make_worker(tiny_dataset)]
+        gateway = make_gateway(tiny_dataset, servers, failover_cooldown_seconds=0.1)
+        try:
+            servers[0].shutdown()
+            status, payload, _ = gateway_post(
+                gateway,
+                "/v1/expand",
+                {"method": STUB_METHODS[0], "query_id": "whatever"},
+            )
+            assert status == 503
+            assert payload["error"]["code"] == "unavailable"
+            assert payload["error"]["retryable"] is True
+        finally:
+            gateway.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# worker pool (cheap subprocess workers)
+# ---------------------------------------------------------------------------
+
+#: a minimal /v1/healthz server, cheap enough to spawn repeatedly in tests.
+TOY_WORKER_SCRIPT = """
+import json, sys
+from http.server import BaseHTTPRequestHandler, HTTPServer
+
+class Handler(BaseHTTPRequestHandler):
+    def do_GET(self):
+        body = json.dumps({"api_version": "v1", "data": {"status": "ok"}}).encode()
+        self.send_response(200 if self.path.startswith("/v1/healthz") else 404)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args):
+        pass
+
+HTTPServer(("127.0.0.1", int(sys.argv[1])), Handler).serve_forever()
+"""
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def toy_specs(count: int) -> list[WorkerSpec]:
+    specs = []
+    for index in range(count):
+        port = free_port()
+        specs.append(
+            WorkerSpec(
+                worker_id=f"toy-{index}",
+                url=f"http://127.0.0.1:{port}",
+                command=(sys.executable, "-c", TOY_WORKER_SCRIPT, str(port)),
+            )
+        )
+    return specs
+
+
+class TestWorkerPool:
+    def test_start_health_and_clean_stop(self):
+        pool = WorkerPool(toy_specs(2), health_interval=0.1, restart_backoff=0.1)
+        with pool:
+            pool.start(wait_healthy=True, timeout=20.0)
+            assert pool.healthy_count() == 2
+            endpoints = pool.endpoints()
+            assert all(endpoint.healthy for endpoint in endpoints)
+            assert {endpoint.worker_id for endpoint in endpoints} == {"toy-0", "toy-1"}
+        stats = pool.stats()
+        assert all(w["state"] == "stopped" for w in stats["workers"].values())
+
+    def test_crashed_worker_is_restarted_with_backoff(self):
+        pool = WorkerPool(
+            toy_specs(2),
+            health_interval=0.1,
+            restart_backoff=0.1,
+            restart_stagger=0.05,
+        )
+        with pool:
+            pool.start(wait_healthy=True, timeout=20.0)
+            victim_pid = pool.stats()["workers"]["toy-0"]["pid"]
+            os.kill(victim_pid, signal.SIGKILL)
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                stats = pool.stats()["workers"]["toy-0"]
+                if (
+                    stats["restarts"] >= 1
+                    and stats["state"] == "healthy"
+                    and stats["pid"] != victim_pid
+                ):
+                    break
+                time.sleep(0.1)
+            stats = pool.stats()
+            assert stats["restarts_total"] >= 1
+            assert stats["workers"]["toy-0"]["state"] == "healthy"
+            assert stats["workers"]["toy-0"]["pid"] != victim_pid
+            # the other worker was never touched
+            assert stats["workers"]["toy-1"]["restarts"] == 0
+
+    def test_duplicate_worker_ids_are_rejected(self):
+        spec = toy_specs(1)[0]
+        with pytest.raises(ServiceError):
+            WorkerPool([spec, spec])
+
+
+# ---------------------------------------------------------------------------
+# concurrent load parity (acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+def test_concurrent_gateway_load_matches_single_process(tiny_dataset):
+    """Under concurrent load on 2 workers, every routed answer equals the
+    single-process answer for the same request (modulo request_id/latency)."""
+    servers = [make_worker(tiny_dataset) for _ in range(2)]
+    gateway = make_gateway(tiny_dataset, servers)
+    single = ExpansionService(
+        tiny_dataset,
+        config=ServiceConfig(batch_wait_ms=0.0, port=0),
+        factories=stub_factories(),
+    )
+    try:
+        reference_client = ExpansionClient.in_process(single)
+        jobs = [
+            (method, query.query_id)
+            for method in STUB_METHODS[:4]
+            for query in tiny_dataset.queries[:5]
+        ]
+        references = {
+            (method, query_id): reference_client.expand(
+                method, query_id=query_id, top_k=10, use_cache=False
+            ).entity_ids()
+            for method, query_id in jobs
+        }
+
+        def via_gateway(job):
+            method, query_id = job
+            with ExpansionClient.connect(gateway.url, max_retries=3) as client:
+                response = client.expand(
+                    method, query_id=query_id, top_k=10, use_cache=False
+                )
+                return job, response.entity_ids()
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            for job, ranking in pool.map(via_gateway, jobs):
+                assert ranking == references[job], f"divergent ranking for {job}"
+    finally:
+        single.close()
+        gateway.shutdown()
+        for server in servers:
+            server.shutdown()

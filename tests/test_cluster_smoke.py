@@ -1,0 +1,142 @@
+"""End-to-end cluster smoke: real ``repro serve`` subprocesses.
+
+This is the deployment shape ``repro cluster serve`` assembles — a gateway
+in front of N worker *processes* loading one saved dataset — boiled down to
+the cheapest real configuration: 2 workers, the tiny dataset, the fast
+``setexpan`` method.  It proves the pieces compose across process
+boundaries: workers boot and pass health checks, the gateway routes and
+scatter-gathers through real sockets, answers match a single-process
+service, and SIGTERM shuts every worker down cleanly (exit code 0).
+
+CI runs this file as its cluster smoke job.
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+
+import pytest
+
+from repro.cli import build_parser, worker_command
+from repro.client import ExpansionClient
+from repro.cluster import ClusterGateway, WorkerPool, WorkerSpec
+from repro.config import ClusterConfig, ServiceConfig
+from repro.serve import ExpansionService
+
+#: the method driven through the gateway: fits in milliseconds, so each
+#: worker subprocess stays cheap even on a cold start.
+METHOD = "setexpan"
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+@pytest.fixture(scope="module")
+def dataset_dir(tiny_dataset, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cluster-dataset")
+    tiny_dataset.save(path)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def cluster(dataset_dir, tiny_dataset):
+    """2 real ``repro serve`` subprocesses behind a gateway."""
+    parser = build_parser()
+    specs = []
+    for index in range(2):
+        port = _free_port()
+        args = parser.parse_args(
+            ["serve", "--dataset", dataset_dir, "--port", str(port)]
+        )
+        specs.append(
+            WorkerSpec(
+                worker_id=f"worker-{index}",
+                url=f"http://127.0.0.1:{port}",
+                command=worker_command(dataset_dir, "127.0.0.1", port, args),
+            )
+        )
+    pool = WorkerPool(specs, health_interval=0.2, health_timeout=2.0)
+    pool.start(wait_healthy=True, timeout=90.0)
+    gateway = ClusterGateway(
+        [(spec.worker_id, spec.url) for spec in specs],
+        config=ClusterConfig(proxy_timeout_seconds=60.0),
+        fingerprint=tiny_dataset.fingerprint(),
+        port=0,
+    ).start()
+    yield gateway, pool
+    gateway.shutdown()
+    pool.stop()
+
+
+def test_expand_and_batch_through_the_gateway(cluster, tiny_dataset):
+    gateway, pool = cluster
+    assert pool.healthy_count() == 2
+    queries = tiny_dataset.queries[:3]
+
+    # single-process reference for the same requests
+    with ExpansionService(
+        tiny_dataset, config=ServiceConfig(batch_wait_ms=0.0, port=0)
+    ) as single:
+        reference_client = ExpansionClient.in_process(single)
+        references = {
+            query.query_id: reference_client.expand(
+                METHOD, query_id=query.query_id, top_k=10, use_cache=False
+            ).entity_ids()
+            for query in queries
+        }
+
+    with ExpansionClient.connect(gateway.url, timeout=60.0) as client:
+        assert client.healthz()["status"] == "ok"
+
+        response = client.expand(
+            METHOD, query_id=queries[0].query_id, top_k=10, use_cache=False
+        )
+        assert response.entity_ids() == references[queries[0].query_id]
+
+        results = client.expand_batch(
+            [
+                {
+                    "method": METHOD,
+                    "query_id": query.query_id,
+                    "options": {"top_k": 10, "use_cache": False},
+                }
+                for query in queries
+            ]
+        )
+        for query, result in zip(queries, results):
+            assert result.entity_ids() == references[query.query_id]
+
+        stats = client.stats()
+        assert stats["cluster"]["requests"] >= len(queries) + 1
+        assert stats["gateway"]["proxied"] >= 1
+
+
+def test_sigterm_shutdown_is_clean(dataset_dir):
+    """Workers terminated by the pool exit 0 (the serve CLI handles SIGTERM)."""
+    port = _free_port()
+    parser = build_parser()
+    args = parser.parse_args(["serve", "--dataset", dataset_dir, "--port", str(port)])
+    spec = WorkerSpec(
+        worker_id="solo",
+        url=f"http://127.0.0.1:{port}",
+        command=worker_command(dataset_dir, "127.0.0.1", port, args),
+    )
+    pool = WorkerPool([spec], health_interval=0.2)
+    pool.start(wait_healthy=True, timeout=90.0)
+    pool.stop()
+    stats = pool.stats()["workers"]["solo"]
+    assert stats["state"] == "stopped"
+    assert stats["exit_codes"][-1] == 0, f"unclean worker exit: {stats}"
+
+
+def test_worker_command_points_at_this_interpreter(dataset_dir):
+    parser = build_parser()
+    args = parser.parse_args(["serve", "--dataset", dataset_dir, "--port", "0"])
+    command = worker_command(dataset_dir, "127.0.0.1", 8123, args)
+    assert command[0] == sys.executable
+    assert command[1:4] == ("-m", "repro.cli", "serve")
+    assert "--port" in command and "8123" in command

@@ -50,6 +50,11 @@ class FitJob:
     finished_at: float | None = None
     #: how the fit was satisfied: ``already_fitted`` | ``restored`` | ``fitted``.
     outcome: str | None = None
+    #: where a running fit currently is: ``restoring`` (store lookup),
+    #: ``fitting_substrates`` (shared substrate fits), ``training`` (the
+    #: method's own fit), or ``publishing`` (write-through).  ``None`` while
+    #: queued; a finished job keeps the last phase it reached.
+    phase: str | None = None
     #: taxonomy error payload when ``status == "failed"``.
     error: dict | None = field(default=None)
 
@@ -71,6 +76,7 @@ class FitJob:
             "finished_at": self.finished_at,
             "duration_ms": duration_ms,
             "outcome": self.outcome,
+            "phase": self.phase,
             "error": self.error,
         }
 
@@ -81,7 +87,8 @@ class JobManager:
     def __init__(self, registry, clock: Callable[[], float] = time.time,
                  history_limit: int = 64):
         """``registry`` is any object with the ``ExpanderRegistry`` surface
-        (``ensure_known``/``is_fitted``/``get``/``pin``/``stats``); ``clock``
+        (``ensure_known``/``is_fitted``/``get``/``pin``/``stats``, with
+        ``get``/``pin`` accepting a ``progress`` phase callback); ``clock``
         stamps job timestamps and is injectable for tests."""
         self.registry = registry
         self.clock = clock
@@ -241,13 +248,20 @@ class JobManager:
             self._execute(job)
 
     def _execute(self, job: FitJob) -> None:
+        def progress(phase: str) -> None:
+            # Phase transitions are monotonic and only written by this
+            # worker; readers snapshot the field without the lock, so a
+            # plain assignment under the condition keeps them coherent.
+            with self._cond:
+                job.phase = phase
+
         try:
             already_fitted = self.registry.is_fitted(job.method)
             stats_before = self.registry.stats()
             if job.pin:
-                self.registry.pin(job.method)
+                self.registry.pin(job.method, progress=progress)
             else:
-                self.registry.get(job.method)
+                self.registry.get(job.method, progress=progress)
             stats_after = self.registry.stats()
             # Per-method wall-time entries change exactly when this method
             # was fitted/restored; global counters would misattribute

@@ -21,7 +21,9 @@ Routes::
     POST /v1/expand/batch    {"requests": [...]} -> per-item response or error
     POST   /v1/fits            start an async fit job -> 202 + job id
     GET    /v1/fits            list tracked fit jobs
-    GET    /v1/fits/<job_id>   one fit job's status/outcome
+    GET    /v1/fits/<job_id>   one fit job's status/outcome/phase (a running
+                               job reports restoring / fitting_substrates /
+                               training / publishing)
     DELETE /v1/fits/<job_id>   cancel a queued job (409 if running/finished)
 """
 

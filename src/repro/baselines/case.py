@@ -18,6 +18,7 @@ from repro.core.base import Expander
 from repro.core.resources import SharedResources
 from repro.dataset.ultrawiki import UltraWikiDataset
 from repro.lm.embeddings import CooccurrenceEmbeddings
+from repro.substrate import COOCCURRENCE_EMBEDDINGS
 from repro.text.bm25 import BM25Index
 from repro.text.tokenizer import WordTokenizer
 from repro.types import ExpansionResult, Query
@@ -29,7 +30,9 @@ class CaSE(Expander):
 
     name = "CaSE"
     supports_persistence = True
-    state_version = 1
+    #: v2: the co-occurrence embeddings moved out of the method artifact
+    #: into a referenced, content-addressed substrate artifact.
+    state_version = 2
 
     def __init__(
         self,
@@ -72,10 +75,18 @@ class CaSE(Expander):
             self._bm25.add_document(entity.entity_id, tokens)
 
     # -- persistence ----------------------------------------------------------------
+    def substrate_dependencies(self) -> list[tuple[str, dict]]:
+        """The PPMI-SVD co-occurrence embeddings this fit stands on."""
+        if self._resources is None:
+            return []
+        return [(COOCCURRENCE_EMBEDDINGS, self._resources.cooccurrence_params())]
+
     def _save_state(self, directory: Path) -> None:
+        # The embeddings substrate is *referenced* via the manifest (see
+        # substrate_dependencies); only the method-private BM25 term
+        # profiles are embedded.
         from repro.store.serialization import write_json_state
 
-        self._embeddings.save(directory / "embeddings")
         write_json_state(
             directory / "entity_terms.json",
             {str(entity_id): terms for entity_id, terms in self._entity_terms.items()},
@@ -84,11 +95,10 @@ class CaSE(Expander):
     def _load_state(self, directory: Path, dataset: UltraWikiDataset) -> None:
         from repro.store.serialization import read_json_state
 
-        self._embeddings = CooccurrenceEmbeddings.load(directory / "embeddings")
-        if self._resources is not None:
-            # Other methods sharing this resource pool can reuse the restored
-            # embeddings instead of refitting the PPMI-SVD.
-            self._resources.adopt_cooccurrence_embeddings(self._embeddings)
+        self._resources = self._resources or SharedResources(dataset)
+        self._embeddings = self._resolve_substrate(
+            COOCCURRENCE_EMBEDDINGS, self._resources.cooccurrence_params()
+        )
         terms = read_json_state(directory / "entity_terms.json")
         self._entity_terms = {
             int(entity_id): [str(t) for t in tokens] for entity_id, tokens in terms.items()

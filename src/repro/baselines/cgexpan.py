@@ -24,6 +24,7 @@ from repro.core.resources import SharedResources
 from repro.dataset.ultrawiki import UltraWikiDataset
 from repro.genexpan.cot import ConceptMatcher
 from repro.lm.embeddings import CooccurrenceEmbeddings
+from repro.substrate import COOCCURRENCE_EMBEDDINGS
 from repro.types import ExpansionResult, Query
 from repro.utils.mathx import l2_normalize
 
@@ -33,7 +34,9 @@ class CGExpan(Expander):
 
     name = "CGExpan"
     supports_persistence = True
-    state_version = 1
+    #: v2: the co-occurrence embeddings moved out of the method artifact
+    #: into a referenced, content-addressed substrate artifact.
+    state_version = 2
 
     def __init__(
         self,
@@ -63,17 +66,29 @@ class CGExpan(Expander):
         self._concept_matcher = ConceptMatcher(dataset)
 
     # -- persistence ----------------------------------------------------------------
+    def substrate_dependencies(self) -> list[tuple[str, dict]]:
+        """The PPMI-SVD co-occurrence embeddings this fit stands on."""
+        if self._resources is None:
+            return []
+        return [(COOCCURRENCE_EMBEDDINGS, self._resources.cooccurrence_params())]
+
     def _save_state(self, directory: Path) -> None:
-        self._embeddings.save(directory / "embeddings")
+        # The embeddings substrate is *referenced* via the manifest (see
+        # substrate_dependencies), not embedded; the method artifact carries
+        # only a marker so an empty state tree is still a valid artifact.
+        from repro.store.serialization import write_json_state
+
+        write_json_state(directory / "cgexpan.json", {"distributed_dim": self.distributed_dim})
 
     def _load_state(self, directory: Path, dataset: UltraWikiDataset) -> None:
-        """Restore the PPMI-SVD embeddings; the concept matcher and oracle
-        are cheap, dataset-derived pieces and are rebuilt."""
+        """Restore the PPMI-SVD embeddings from their shared substrate; the
+        concept matcher and oracle are cheap, dataset-derived pieces and are
+        rebuilt.  The provider caches the restored substrate, so every other
+        embeddings-backed method reuses it instead of refitting."""
         self._resources = self._resources or SharedResources(dataset)
-        self._embeddings = CooccurrenceEmbeddings.load(directory / "embeddings")
-        # Other methods sharing this resource pool can reuse the restored
-        # embeddings instead of refitting the PPMI-SVD.
-        self._resources.adopt_cooccurrence_embeddings(self._embeddings)
+        self._embeddings = self._resolve_substrate(
+            COOCCURRENCE_EMBEDDINGS, self._resources.cooccurrence_params()
+        )
         self._concept_matcher = ConceptMatcher(dataset)
 
     def _probe_class_name(self, query: Query) -> str:

@@ -25,6 +25,7 @@ from repro.core.resources import SharedResources
 from repro.dataset.ultrawiki import UltraWikiDataset
 from repro.exceptions import ExpansionError
 from repro.retexpan.expansion import positive_similarity_scores, top_k_expansion
+from repro.substrate import ENTITY_REPRESENTATIONS
 from repro.types import ExpansionResult, Query
 from repro.utils.mathx import l2_normalize
 
@@ -33,7 +34,9 @@ class ProbExpan(Expander):
     """Distribution-representation retrieval baseline."""
 
     supports_persistence = True
-    state_version = 1
+    #: v2: the distribution vectors now come from the shared (referenced)
+    #: entity-representations substrate instead of a private embedded copy.
+    state_version = 2
 
     def __init__(
         self,
@@ -67,18 +70,37 @@ class ProbExpan(Expander):
             raise ExpansionError("no distribution representations available")
 
     # -- persistence ----------------------------------------------------------------
-    def _save_state(self, directory: Path) -> None:
-        from repro.store.serialization import save_vector_map
+    def substrate_dependencies(self) -> list[tuple[str, dict]]:
+        """The trained entity representations whose distributions this uses."""
+        if self._resources is None:
+            return []
+        return [
+            (
+                ENTITY_REPRESENTATIONS,
+                self._resources.entity_representation_params(trained=True),
+            )
+        ]
 
-        save_vector_map(directory, "distribution", self._vectors)
+    def _save_state(self, directory: Path) -> None:
+        # The distribution vectors live in the shared entity-representations
+        # substrate (referenced via the manifest); the method artifact only
+        # carries a marker so an empty state tree is still a valid artifact.
+        from repro.store.serialization import write_json_state
+
+        write_json_state(
+            directory / "probexpan.json",
+            {"use_negative_rerank": self.use_negative_rerank},
+        )
 
     def _load_state(self, directory: Path, dataset: UltraWikiDataset) -> None:
-        from repro.store.serialization import load_vector_map
-
         self._resources = self._resources or SharedResources(
             dataset, encoder_config=self.encoder_config
         )
-        self._vectors = load_vector_map(directory, "distribution")
+        representations = self._resolve_substrate(
+            ENTITY_REPRESENTATIONS,
+            self._resources.entity_representation_params(trained=True),
+        )
+        self._vectors = dict(representations.distribution)
         if not self._vectors:
             raise ExpansionError("no distribution representations in saved state")
 

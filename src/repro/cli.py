@@ -10,9 +10,14 @@ writing Python:
 * ``run-experiment`` — run one experiment (table/figure) and print the rows
   the paper reports, optionally writing the raw output as JSON;
 * ``fit`` — prefit expansion methods and persist the fitted state into an
-  artifact store (:mod:`repro.store`) so later serves warm-start;
+  artifact store (:mod:`repro.store`) so later serves warm-start; with
+  ``--substrates-only`` only the shared substrates (:mod:`repro.substrate`)
+  are fitted and persisted, so every later method fit skips them;
 * ``store ls`` / ``store gc`` — inspect and garbage-collect the artifact
-  store;
+  store: ``ls`` lists method artifacts *and* content-addressed substrate
+  entries with their back-references (``--human`` for readable sizes), and
+  ``gc`` is reference-aware (a substrate is never collected while a method
+  manifest references it, orphans are);
 * ``serve`` — start the online expansion service (:mod:`repro.serve`): the
   versioned v1 JSON/HTTP API (``/v1/expand``, ``/v1/expand/batch``,
   ``/v1/methods``, ``/v1/stats``, ``/v1/healthz``, async ``/v1/fits`` jobs)
@@ -168,48 +173,116 @@ def _service_config(args: argparse.Namespace) -> ServiceConfig:
     return config
 
 
+def _fit_substrates(registry: "ExpanderRegistry", store: ArtifactStore, force: bool) -> int:
+    """Prefit and persist only the shared substrates (no method artifacts)."""
+    resources = registry.resources
+    provider = resources.provider
+    for kind, params in resources.default_substrate_specs():
+        if force:
+            # Honour --force for substrates too: drop the stored artifact so
+            # the get below pays (and republishes) a fresh fit.
+            store.evict_substrate(
+                kind, provider.key(kind, params).content_hash, force=True
+            )
+        before = provider.stats()
+        started = time.perf_counter()
+        provider.get(kind, params)
+        elapsed = time.perf_counter() - started
+        after = provider.stats()
+        if after["fits"] > before["fits"]:
+            action = "fitted + persisted"
+        elif after["restores"] > before["restores"]:
+            action = "restored"
+        else:
+            action = "already resident"
+        content_hash = provider.key(kind, params).content_hash
+        print(f"  {kind:26s} {content_hash}  {action} in {elapsed:.2f}s")
+    return 0
+
+
 def _cmd_fit(args: argparse.Namespace) -> int:
     """Prefit methods and persist their artifacts (the warm-restart producer)."""
     dataset = _load_or_build_dataset(args)
     store = ArtifactStore(args.store)
     registry = ExpanderRegistry(dataset, store=store)
-    methods = args.methods or registry.methods()
     fingerprint = dataset.fingerprint()
     print(f"Artifact store: {Path(args.store).resolve()} (fingerprint {fingerprint})")
-    for method in methods:
-        registry.ensure_known(method)
-        name = method.strip().lower()  # registry stats are keyed normalized
-        if args.force:
-            store.evict(name, fingerprint)
-        started = time.perf_counter()
-        registry.get(name)
-        elapsed = time.perf_counter() - started
-        restored = name in registry.stats()["restore_seconds"]
-        action = "restored" if restored else "fitted + persisted"
-        print(f"  {name:12s} {action} in {elapsed:.2f}s")
+    if args.substrates_only:
+        _fit_substrates(registry, store, args.force)
+    else:
+        methods = args.methods or registry.methods()
+        for method in methods:
+            registry.ensure_known(method)
+            name = method.strip().lower()  # registry stats are keyed normalized
+            if args.force:
+                store.evict(name, fingerprint)
+            started = time.perf_counter()
+            registry.get(name)
+            elapsed = time.perf_counter() - started
+            restored = name in registry.stats()["restore_seconds"]
+            action = "restored" if restored else "fitted + persisted"
+            print(f"  {name:12s} {action} in {elapsed:.2f}s")
     store_stats = store.stats()
     print(
-        f"store now holds {store_stats['artifacts']} artifact(s), "
-        f"{store_stats['total_bytes'] / 1e6:.1f} MB"
+        f"store now holds {store_stats['artifacts']} artifact(s) "
+        f"({store_stats['total_bytes'] / 1e6:.1f} MB) + "
+        f"{store_stats['substrates']} substrate(s) "
+        f"({store_stats['substrate_bytes'] / 1e6:.1f} MB)"
     )
     return 0
+
+
+def _format_bytes(num_bytes: int, human: bool) -> str:
+    """``1234567`` -> ``'1.2MB'`` either way; --human scales the unit."""
+    if not human:
+        return f"{num_bytes / 1e6:.1f}MB"
+    value = float(num_bytes)
+    for unit in ("B", "kB", "MB", "GB", "TB"):
+        if value < 1000.0 or unit == "TB":
+            if unit == "B":
+                return f"{int(value)}{unit}"
+            return f"{value:.1f}{unit}"
+        value /= 1000.0
+    return f"{value:.1f}TB"  # pragma: no cover - unreachable
 
 
 def _cmd_store_ls(args: argparse.Namespace) -> int:
     store = ArtifactStore(args.store)
     infos = store.ls()
-    if not infos:
+    substrates = store.ls_substrates()
+    if not infos and not substrates:
         print(f"no artifacts under {Path(args.store).resolve()}")
         return 0
-    print(f"{'METHOD':<14}{'FINGERPRINT':<18}{'SIZE':>10}  {'AGE':>8}  CLASS")
-    for info in infos:
-        age_h = info.age_seconds / 3600.0
-        print(
-            f"{info.method:<14}{info.fingerprint:<18}"
-            f"{info.total_bytes / 1e6:>8.1f}MB  {age_h:>7.1f}h  {info.expander_class}"
-        )
+    human = getattr(args, "human", False)
+    if infos:
+        print(f"{'METHOD':<14}{'FINGERPRINT':<18}{'SIZE':>10}  {'AGE':>8}  CLASS")
+        for info in infos:
+            age_h = info.age_seconds / 3600.0
+            print(
+                f"{info.method:<14}{info.fingerprint:<18}"
+                f"{_format_bytes(info.total_bytes, human):>10}  "
+                f"{age_h:>7.1f}h  {info.expander_class}"
+            )
+    if substrates:
+        references = store.substrate_references()
+        print(f"{'SUBSTRATE':<26}{'HASH':<18}{'SIZE':>10}  {'AGE':>8}  REFS")
+        for info in substrates:
+            age_h = info.age_seconds / 3600.0
+            referencing = references.get((info.kind, info.content_hash), [])
+            methods = sorted({label.split("/", 1)[0] for label in referencing})
+            refs = ",".join(methods) if methods else "-"
+            print(
+                f"{info.kind:<26}{info.content_hash:<18}"
+                f"{_format_bytes(info.total_bytes, human):>10}  "
+                f"{age_h:>7.1f}h  {refs}"
+            )
     stats = store.stats()
-    print(f"total: {stats['artifacts']} artifact(s), {stats['total_bytes'] / 1e6:.1f} MB")
+    print(
+        f"total: {stats['artifacts']} artifact(s) "
+        f"({_format_bytes(stats['total_bytes'], human)}) + "
+        f"{stats['substrates']} substrate(s) "
+        f"({_format_bytes(stats['substrate_bytes'], human)})"
+    )
     return 0
 
 
@@ -227,11 +300,17 @@ def _cmd_store_gc(args: argparse.Namespace) -> int:
               "cleaning the staging area only")
     removed = store.gc(keep_fingerprints=keep, max_age_seconds=max_age)
     for info in removed:
-        print(f"  removed {info.method}/{info.fingerprint} ({info.total_bytes / 1e6:.1f} MB)")
+        # gc returns method artifacts and (orphaned) substrate artifacts.
+        if hasattr(info, "method"):
+            label, key = info.method, info.fingerprint
+        else:
+            label, key = f"substrate:{info.kind}", info.content_hash
+        print(f"  removed {label}/{key} ({info.total_bytes / 1e6:.1f} MB)")
     stats = store.stats()
     print(
-        f"removed {len(removed)} artifact(s); {stats['artifacts']} remain "
-        f"({stats['total_bytes'] / 1e6:.1f} MB)"
+        f"removed {len(removed)} artifact(s); {stats['artifacts']} artifact(s) + "
+        f"{stats['substrates']} substrate(s) remain "
+        f"({(stats['total_bytes'] + stats['substrate_bytes']) / 1e6:.1f} MB)"
     )
     return 0
 
@@ -500,12 +579,26 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument(
         "--force", action="store_true", help="refit even when an artifact already exists"
     )
+    fit.add_argument(
+        "--substrates-only",
+        action="store_true",
+        help="prefit and persist only the shared substrates (co-occurrence "
+        "embeddings, entity representations, causal LM) so later method "
+        "fits — on this host or any worker sharing the store — skip them",
+    )
     fit.set_defaults(handler=_cmd_fit)
 
     store = subparsers.add_parser("store", help="inspect or clean the artifact store")
     store_sub = store.add_subparsers(dest="store_command", required=True)
-    store_ls = store_sub.add_parser("ls", help="list persisted artifacts")
+    store_ls = store_sub.add_parser(
+        "ls", help="list persisted artifacts and shared substrates"
+    )
     store_ls.add_argument("--store", required=True, metavar="DIR")
+    store_ls.add_argument(
+        "--human",
+        action="store_true",
+        help="human-readable sizes and per-substrate back-references",
+    )
     store_ls.set_defaults(handler=_cmd_store_ls)
     store_gc = store_sub.add_parser("gc", help="remove stale artifacts")
     store_gc.add_argument("--store", required=True, metavar="DIR")

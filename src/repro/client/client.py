@@ -126,6 +126,9 @@ class ExpansionClient:
         return data["job"]
 
     def fit_status(self, job_id: str) -> dict:
+        """One job's descriptor: status, outcome, and — while it runs — the
+        ``phase`` it is in (``restoring`` / ``fitting_substrates`` /
+        ``training`` / ``publishing``)."""
         data = self._call("GET", f"/v1/fits/{job_id}")
         return data["job"]
 

@@ -9,6 +9,13 @@ Fitted state is also *persistable*: methods that set
 ``supports_persistence`` implement ``_save_state`` / ``_load_state`` so the
 artifact store (:mod:`repro.store`) can write a fit to disk once and restore
 it on later restarts or in sibling worker processes without re-training.
+
+Methods built on shared substrates (:mod:`repro.substrate`) additionally
+declare them via :meth:`Expander.substrate_dependencies`; their artifacts
+then *reference* the content-addressed substrate artifacts instead of
+embedding a private copy, and ``_load_state`` resolves the substrates
+through the shared provider (store-restored, never refitted, when the
+artifact being restored references them).
 """
 
 from __future__ import annotations
@@ -37,6 +44,9 @@ class Expander(ABC):
 
     def __init__(self):
         self._dataset: UltraWikiDataset | None = None
+        #: substrate resolver of the artifact currently being restored (set
+        #: by ``load_state`` for the duration of ``_load_state`` only).
+        self._inline_substrates = None
 
     # -- lifecycle --------------------------------------------------------------
     def fit(self, dataset: UltraWikiDataset) -> "Expander":
@@ -72,17 +82,29 @@ class Expander(ABC):
             raise PersistenceError(f"{self.name} is not fitted; nothing to save")
         self._save_state(Path(directory))
 
-    def load_state(self, directory: str | Path, dataset: UltraWikiDataset) -> "Expander":
+    def load_state(
+        self,
+        directory: str | Path,
+        dataset: UltraWikiDataset,
+        substrates=None,
+    ) -> "Expander":
         """Restore fitted state from ``directory`` and bind to ``dataset``.
 
         The dataset must be the one the state was fitted on (the artifact
         store guarantees this by keying artifacts on the dataset
         fingerprint); the expander ends up indistinguishable from one whose
-        ``fit`` ran in-process.
+        ``fit`` ran in-process.  ``substrates`` (passed by the artifact
+        store) resolves the substrate references of the artifact being
+        restored; ``_load_state`` reaches it through
+        :meth:`_resolve_substrate`.
         """
         if not self.supports_persistence:
             raise PersistenceError(f"{type(self).__name__} does not support persistence")
-        self._load_state(Path(directory), dataset)
+        self._inline_substrates = substrates
+        try:
+            self._load_state(Path(directory), dataset)
+        finally:
+            self._inline_substrates = None
         self._dataset = dataset
         return self
 
@@ -93,6 +115,63 @@ class Expander(ABC):
     def _load_state(self, directory: Path, dataset: UltraWikiDataset) -> None:
         """Hook for subclasses; only called when ``supports_persistence``."""
         raise NotImplementedError
+
+    # -- substrates --------------------------------------------------------------
+    def substrate_dependencies(self) -> list[tuple[str, dict]]:
+        """The shared substrates this method's fit stands on.
+
+        Returns ``(kind, params)`` pairs the
+        :class:`~repro.substrate.SubstrateProvider` resolves; the default is
+        none.  Methods overriding this get substrate-aware persistence (the
+        artifact references the substrate instead of embedding it) and
+        phase-accurate fit progress (``fitting_substrates`` vs ``training``).
+        """
+        return []
+
+    def _substrate_provider(self):
+        """The shared provider behind this expander's resource pool, if any."""
+        resources = getattr(self, "_resources", None)
+        return None if resources is None else resources.provider
+
+    def _resolve_substrate(self, kind: str, params: dict):
+        """Fetch one substrate during ``_load_state`` / serving.
+
+        Prefers the content-addressed state shipped with the artifact being
+        restored (never refits), then the provider's memory cache, store,
+        or — as a last resort — a fresh fit.  While restoring, the key this
+        configuration computes **must** match a manifest reference: the
+        method-private state was trained against exactly that substrate, so
+        a mismatch (e.g. the server restarted under a different encoder
+        config) is a version-style refusal, never a silent refit that would
+        bind old method state to a different substrate.
+        """
+        provider = self._substrate_provider()
+        if provider is None:
+            raise PersistenceError(
+                f"{type(self).__name__} has no resource pool to resolve "
+                f"substrate {kind!r} from"
+            )
+        resolver = self._inline_substrates
+        if resolver is not None:
+            key = provider.key(kind, params)
+            if not resolver.has(kind, key.content_hash):
+                raise PersistenceError(
+                    f"saved {type(self).__name__} state references a "
+                    f"{kind} substrate fitted under different parameters "
+                    "than this configuration; refit instead of restoring"
+                )
+        return provider.get(kind, params, resolver=resolver)
+
+    def publish_substrates(self, store) -> list[dict]:
+        """Publish this fit's substrate artifacts into ``store`` (idempotent)
+        and return the manifest references; called by ``ArtifactStore.save``."""
+        provider = self._substrate_provider()
+        if provider is None:
+            return []
+        return [
+            provider.publish(store, kind, params)
+            for kind, params in self.substrate_dependencies()
+        ]
 
     # -- expansion ---------------------------------------------------------------
     def expand(self, query: Query, top_k: int = 100) -> ExpansionResult:

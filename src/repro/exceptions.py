@@ -72,6 +72,10 @@ class PersistenceError(ReproError):
     """An expander cannot save or load its fitted state."""
 
 
+class SubstrateError(ReproError):
+    """A shared-substrate request is invalid (unknown kind, bad parameters)."""
+
+
 class StoreError(ReproError):
     """An artifact-store operation failed; consumers fall back to refitting."""
 

@@ -20,6 +20,7 @@ from repro.exceptions import ExpansionError, PersistenceError
 from repro.genexpan.cot import ChainOfThoughtReasoner, ConceptMatcher
 from repro.genexpan.generation import IterativeGenerator
 from repro.lm.causal_lm import CausalEntityLM
+from repro.substrate import CAUSAL_LM
 from repro.types import ExpansionResult, Query
 
 
@@ -27,7 +28,9 @@ class GenExpan(Expander):
     """Generation-based Ultra-ESE with negative seed entities."""
 
     supports_persistence = True
-    state_version = 1
+    #: v2: the causal LM moved out of the method artifact into a referenced,
+    #: content-addressed substrate artifact.
+    state_version = 2
 
     def __init__(
         self,
@@ -79,7 +82,23 @@ class GenExpan(Expander):
         )
 
     # -- persistence ---------------------------------------------------------------
+    def substrate_dependencies(self) -> list[tuple[str, dict]]:
+        """The (continually pre-trained) causal LM this fit stands on."""
+        if self._resources is None:
+            return []
+        return [
+            (
+                CAUSAL_LM,
+                self._resources.causal_lm_params(
+                    further_pretrain=self.config.use_further_pretrain
+                ),
+            )
+        ]
+
     def _save_state(self, directory: Path) -> None:
+        # The LM substrate is *referenced* via the manifest (see
+        # substrate_dependencies), not embedded; only the ablation arms the
+        # restore must agree on are method-private state.
         from repro.store.serialization import write_json_state
 
         write_json_state(
@@ -89,11 +108,11 @@ class GenExpan(Expander):
                 "use_further_pretrain": self.config.use_further_pretrain,
             },
         )
-        self._lm.save_state(directory / "lm")
 
     def _load_state(self, directory: Path, dataset: UltraWikiDataset) -> None:
-        """Restore the expensive LM from disk; the prefix tree, concept
-        matcher, and reasoner are cheap and rebuilt from the dataset."""
+        """Restore the expensive LM from its substrate artifact; the prefix
+        tree, concept matcher, and reasoner are cheap and rebuilt from the
+        dataset."""
         from repro.store.serialization import read_json_state
 
         meta = read_json_state(directory / "genexpan.json")
@@ -107,7 +126,12 @@ class GenExpan(Expander):
         self._resources = self._resources or SharedResources(
             dataset, causal_lm_config=self.config.lm, oracle_config=self.config.oracle
         )
-        lm = CausalEntityLM.load_state(directory / "lm", dataset.entities())
+        lm = self._resolve_substrate(
+            CAUSAL_LM,
+            self._resources.causal_lm_params(
+                further_pretrain=self.config.use_further_pretrain
+            ),
+        )
         self._bind(dataset, lm)
 
     # -- expansion ------------------------------------------------------------------

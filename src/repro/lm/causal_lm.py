@@ -220,8 +220,12 @@ class CausalEntityLM:
     def save_state(self, directory: str | Path) -> None:
         """Persist the continued-pre-training products (counts + embeddings).
 
-        Entity surface-form lookups are *not* saved: they are cheap to
-        rebuild and must come from the dataset the state is restored against.
+        ``save_state``/``load_state`` implement the substrate persistence
+        protocol (:mod:`repro.substrate`); the fitted LM is stored once as a
+        content-addressed substrate artifact that GenExpan's method manifest
+        references.  Entity surface-form lookups are *not* saved: they are
+        cheap to rebuild and must come from the dataset the state is
+        restored against.
         """
         from repro.store.serialization import write_json_state
 

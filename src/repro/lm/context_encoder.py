@@ -68,7 +68,14 @@ class EntityRepresentations:
 
     # -- persistence -------------------------------------------------------------
     def save(self, directory: str | Path) -> None:
-        """Persist both vector maps as mmap-friendly ``.npy`` pairs."""
+        """Persist both vector maps as mmap-friendly ``.npy`` pairs.
+
+        ``save``/``load`` implement the substrate persistence protocol
+        (:mod:`repro.substrate`): the representations are the persisted
+        product of the (memory-only) :class:`ContextEncoder`, stored once
+        per ``(encoder params, trained)`` arm and shared by RetExpan and
+        ProbExpan instead of being embedded in each method artifact.
+        """
         from repro.store.serialization import save_vector_map
 
         directory = Path(directory)

@@ -179,7 +179,10 @@ class CooccurrenceEmbeddings:
         """Persist vocabulary, token vectors, and entity vectors.
 
         The SVD behind these embeddings is one of the most expensive steps of
-        every fit, so they are first-class artifact state.
+        every fit, so they are first-class artifact state: ``save``/``load``
+        implement the substrate persistence protocol (:mod:`repro.substrate`)
+        and the provider stores them once, content-addressed, for every
+        method that consumes them.
         """
         from repro.store.serialization import save_array, save_vector_map, write_json_state
 

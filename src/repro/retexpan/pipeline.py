@@ -29,6 +29,7 @@ from repro.dataset.ultrawiki import UltraWikiDataset
 from repro.exceptions import ExpansionError, PersistenceError
 from repro.lm.context_encoder import EntityRepresentations
 from repro.retexpan.contrastive import UltraContrastiveLearner
+from repro.substrate import ENTITY_REPRESENTATIONS
 from repro.retexpan.expansion import positive_similarity_scores, top_k_expansion
 from repro.types import ExpansionResult, Query
 from repro.utils.mathx import l2_normalize
@@ -38,7 +39,9 @@ class RetExpan(Expander):
     """Retrieval-based Ultra-ESE with negative seed entities."""
 
     supports_persistence = True
-    state_version = 1
+    #: v2: entity representations moved out of the method artifact into a
+    #: referenced, content-addressed substrate artifact.
+    state_version = 2
 
     def __init__(
         self,
@@ -79,7 +82,23 @@ class RetExpan(Expander):
             self._contrastive = learner
 
     # -- persistence -------------------------------------------------------------
+    def substrate_dependencies(self) -> list[tuple[str, dict]]:
+        """The trained (or ablated) entity representations this fit stands on."""
+        if self._resources is None:
+            return []
+        return [
+            (
+                ENTITY_REPRESENTATIONS,
+                self._resources.entity_representation_params(
+                    trained=self.config.use_entity_prediction
+                ),
+            )
+        ]
+
     def _save_state(self, directory: Path) -> None:
+        # The representations substrate is *referenced* via the manifest
+        # (see substrate_dependencies), not embedded; only the method-private
+        # state (the ablation arms and the contrastive head) is written.
         from repro.store.serialization import write_json_state
 
         write_json_state(
@@ -89,7 +108,6 @@ class RetExpan(Expander):
                 "use_entity_prediction": self.config.use_entity_prediction,
             },
         )
-        self._representations.save(directory / "representations")
         if self._contrastive is not None:
             self._contrastive.save_state(directory / "contrastive")
 
@@ -111,7 +129,12 @@ class RetExpan(Expander):
         self._resources = self._resources or SharedResources(
             dataset, encoder_config=self.config.encoder
         )
-        self._representations = EntityRepresentations.load(directory / "representations")
+        self._representations = self._resolve_substrate(
+            ENTITY_REPRESENTATIONS,
+            self._resources.entity_representation_params(
+                trained=self.config.use_entity_prediction
+            ),
+        )
         if self.config.use_contrastive:
             learner = UltraContrastiveLearner(self.config.contrastive)
             learner.load_state(directory / "contrastive", self._representations)

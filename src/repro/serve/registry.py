@@ -20,6 +20,14 @@ fresh fit is written through to the store so the next restart skips it.
 Corrupt or version-mismatched artifacts are evicted and refitted — the store
 can only ever make a fit cheaper, never wrong.
 
+Resident expanders also share one :class:`~repro.substrate.SubstrateProvider`
+(through the registry's :class:`SharedResources` pool): the co-occurrence
+embeddings, entity representations, and causal LM behind the methods exist
+**once** in memory per dataset regardless of how many methods are resident,
+and substrate fits restore from (and write through to) the registry's store
+as content-addressed artifacts.  Substrate hit/miss/fit counters surface
+under ``stats()["substrates"]`` (and ``/v1/stats``).
+
 Across *processes*, the store also carries a :class:`~repro.store.FitLock`:
 before paying a cold fit, the registry elects a leader via an atomic lock
 file in the store directory, so N workers sharing a store pay each fit
@@ -87,7 +95,15 @@ class ExpanderRegistry:
         if capacity < 1:
             raise ServiceError("registry capacity must be >= 1")
         self.dataset = dataset
-        self.resources = resources or SharedResources(dataset)
+        # The pool's substrate provider shares the registry's store, so
+        # substrate fits restore from (and write through to) the same
+        # content-addressed artifacts the method manifests reference.  An
+        # injected pool that already has its own store keeps it.
+        if resources is None:
+            resources = SharedResources(dataset, store=store, fit_lock=fit_lock)
+        elif store is not None:
+            resources.provider.attach_store(store)
+        self.resources = resources
         self.capacity = capacity
         self.store = store
         self.fit_lock_enabled = bool(fit_lock) and store is not None
@@ -178,8 +194,13 @@ class ExpanderRegistry:
         except (StoreError, OSError):
             return False
 
-    def get(self, method: str) -> Expander:
-        """The fitted expander for ``method``, fitting it on first use."""
+    def get(self, method: str, progress: Callable[[str], None] | None = None) -> Expander:
+        """The fitted expander for ``method``, fitting it on first use.
+
+        ``progress`` (used by async fit jobs) receives the phase the
+        materialisation is in: ``restoring``, ``fitting_substrates``,
+        ``training``, or ``publishing``.  A cache hit reports nothing.
+        """
         self.ensure_known(method)
         key = self._key(method)
         name = key[0]
@@ -199,21 +220,22 @@ class ExpanderRegistry:
                     self._entries.move_to_end(key)
                     self._hits += 1
                     return expander
-            expander = self._materialize(name)
+            expander = self._materialize(name, progress or (lambda _phase: None))
             with self._lock:
                 self._entries[key] = expander
                 self._evict_locked()
             return expander
 
-    def _materialize(self, name: str) -> Expander:
+    def _materialize(self, name: str, progress: Callable[[str], None]) -> Expander:
         """Produce a fitted expander: restore from the store when possible,
         otherwise fit — with a cross-process fit lock electing one leader per
         ``(method, fingerprint)`` so a fleet sharing the store trains once."""
         expander = self._factories[name](self.resources)
+        progress("restoring")
         if self._try_restore(name, expander):
             return expander
         if not (self.fit_lock_enabled and expander.supports_persistence):
-            return self._fit_and_publish(name, expander)
+            return self._fit_and_publish(name, expander, progress)
         lock = FitLock(
             self.store.root,
             name,
@@ -239,7 +261,7 @@ class ExpanderRegistry:
                         with self._lock:
                             self._fit_lock_restores += 1
                         return expander
-                    return self._fit_and_publish(name, expander)
+                    return self._fit_and_publish(name, expander, progress)
                 finally:
                     lock.release()
             contended = True
@@ -255,17 +277,34 @@ class ExpanderRegistry:
                 # publishing): fit locally — liveness beats single-payer.
                 with self._lock:
                     self._fit_lock_timeouts += 1
-                return self._fit_and_publish(name, expander)
+                return self._fit_and_publish(name, expander, progress)
             # The lock was freed but nothing was published (the leader
             # crashed or its method cannot persist): stand for election.
 
-    def _fit_and_publish(self, name: str, expander: Expander) -> Expander:
+    def _fit_and_publish(
+        self,
+        name: str,
+        expander: Expander,
+        progress: Callable[[str], None] = lambda _phase: None,
+    ) -> Expander:
+        # Resolve the declared substrates first: a warm provider (another
+        # resident method, or a persisted substrate artifact) makes the
+        # training phase below method-only work, and fit jobs can report
+        # the two phases separately.
+        dependencies = expander.substrate_dependencies()
+        if dependencies:
+            progress("fitting_substrates")
+            provider = self.resources.provider
+            for kind, params in dependencies:
+                provider.get(kind, params)
+        progress("training")
         started = time.perf_counter()
         expander.fit(self.dataset)
         elapsed = time.perf_counter() - started
         with self._lock:
             self._fits += 1
             self._fit_seconds[name] = elapsed
+        progress("publishing")
         self._write_through(name, expander)
         return expander
 
@@ -334,9 +373,9 @@ class ExpanderRegistry:
             self._evictions += 1
 
     # -- pinning -----------------------------------------------------------------
-    def pin(self, method: str) -> Expander:
+    def pin(self, method: str, progress: Callable[[str], None] | None = None) -> Expander:
         """Fit (if needed) and exempt ``method`` from LRU eviction."""
-        expander = self.get(method)
+        expander = self.get(method, progress=progress)
         with self._lock:
             self._pinned.add(self._key(method))
         return expander
@@ -389,4 +428,5 @@ class ExpanderRegistry:
                     "restores_after_wait": self._fit_lock_restores,
                     "timeouts": self._fit_lock_timeouts,
                 },
+                "substrates": self.resources.provider.stats(),
             }

@@ -6,7 +6,9 @@ them build-once artifacts shared across restarts and worker processes:
 * :class:`ArtifactStore` — content-addressed persistence keyed by
   ``(method, dataset fingerprint)`` with per-artifact JSON manifests
   (checksums, sizes, versions), atomic staged writes, and ``ls``/``gc``/
-  ``evict`` management;
+  ``evict`` management; shared substrates (:mod:`repro.substrate`) are
+  stored once under ``.substrates/<kind>/<content hash>`` and referenced
+  by method manifests, with reference-aware GC;
 * :class:`FitLock` — cross-process fit leader election via an atomic lock
   file in the store directory, so N workers sharing the store pay each
   cold fit exactly once (waiters restore the leader's published artifact);
@@ -23,7 +25,12 @@ Workflow::
     registry.get("retexpan")                            # restored, no _fit
 """
 
-from repro.store.artifact import FORMAT_VERSION, ArtifactInfo, ArtifactStore
+from repro.store.artifact import (
+    FORMAT_VERSION,
+    ArtifactInfo,
+    ArtifactStore,
+    SubstrateArtifactInfo,
+)
 from repro.store.fitlock import DEFAULT_STALE_SECONDS, FitLock
 from repro.store.serialization import (
     load_array,
@@ -43,6 +50,7 @@ __all__ = [
     "ArtifactInfo",
     "ArtifactStore",
     "FitLock",
+    "SubstrateArtifactInfo",
     "save_array",
     "load_array",
     "save_vector_map",

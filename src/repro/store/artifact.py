@@ -13,9 +13,21 @@ each other's artifacts)::
 
     <root>/
       <method>/<fingerprint>.v<format_version>/
-        manifest.json          # key, versions, checksums, sizes, created-at
+        manifest.json          # key, versions, checksums, sizes, created-at,
+                               # and the substrate references (content hashes)
         state/...              # whatever Expander.save_state wrote
+      .substrates/<kind>/<content_hash>.v<format_version>/
+        manifest.json          # kind, key, checksums, sizes, created-at
+        state/...              # the substrate's serialised state
       .tmp/                    # staging area for in-flight writes
+
+Shared substrates (co-occurrence embeddings, entity representations, the
+causal entity LM) are stored **once**, content-addressed under
+``.substrates``, and method manifests *reference* them by content hash
+instead of embedding a private copy per method.  GC is reference-aware: a
+substrate is never collected while a surviving method manifest points at
+it, and a substrate orphaned by method evictions is collected instead of
+stranding its bytes.
 
 Writes are atomic: state is staged under ``.tmp`` and moved into place with
 one ``os.replace``-style rename, so a crashed writer never leaves a
@@ -59,6 +71,9 @@ FORMAT_VERSION = 1
 _MANIFEST_NAME = "manifest.json"
 _STATE_DIR = "state"
 
+#: dot-directory (skipped by ``ls``) holding content-addressed substrates.
+_SUBSTRATES_DIRNAME = ".substrates"
+
 #: marker file (next to the manifest, outside the checksummed state tree)
 #: whose mtime records the most recent restore — the signal the size-budget
 #: GC uses to evict least-recently-restored artifacts first.
@@ -67,6 +82,12 @@ _RESTORED_MARKER = "restored_at"
 #: staging directories younger than this are treated as in-flight saves and
 #: left alone by ``gc`` — deleting them would race a concurrent writer.
 _STALE_TMP_SECONDS = 3600.0
+
+#: unreferenced substrate artifacts younger than this are never collected:
+#: a substrate is published *before* the method manifest that references it
+#: renames into place, so a fresh orphan may simply be mid-publication (or a
+#: deliberate ``repro fit --substrates-only`` prefit awaiting its consumers).
+_ORPHAN_GRACE_SECONDS = 600.0
 
 #: how long a computed ``stats()`` summary may be served from memory; the
 #: summary requires a full manifest scan, and /stats gets polled.
@@ -87,10 +108,48 @@ class ArtifactInfo:
     num_files: int
     path: str
     library_versions: dict = field(default_factory=dict)
+    #: substrate references from the manifest: tuples of
+    #: ``{"kind", "content_hash", "params_hash"}`` dicts.
+    substrates: tuple = ()
 
     @property
     def age_seconds(self) -> float:
         return max(0.0, time.time() - self.created_at)
+
+
+@dataclass(frozen=True)
+class SubstrateArtifactInfo:
+    """One row of ``ArtifactStore.ls_substrates()`` — a substrate, summarised."""
+
+    kind: str
+    content_hash: str
+    fingerprint: str
+    params_hash: str
+    format_version: int
+    created_at: float
+    total_bytes: int
+    num_files: int
+    path: str
+
+    @property
+    def age_seconds(self) -> float:
+        return max(0.0, time.time() - self.created_at)
+
+
+class _ManifestSubstrates:
+    """Resolver handed to ``Expander.load_state`` during a restore: it loads
+    exactly the substrates the method manifest references, checksum-verified,
+    from this store's content-addressed artifacts."""
+
+    def __init__(self, store: "ArtifactStore", refs: list[dict]):
+        self._store = store
+        self._refs = {(ref["kind"], ref["content_hash"]) for ref in refs}
+
+    def has(self, kind: str, content_hash: str) -> bool:
+        return (kind, content_hash) in self._refs
+
+    def load(self, kind: str, content_hash: str, loader):
+        return self._store.restore_substrate(kind, content_hash, loader)
 
 
 class ArtifactStore:
@@ -115,6 +174,10 @@ class ArtifactStore:
     def _normalize(method: str) -> str:
         method = method.strip().lower()
         if not method or any(sep in method for sep in ("/", "\\", "..")):
+            raise StoreError(f"invalid method name {method!r}")
+        if method.startswith("."):
+            # Dot-names would collide with store-internal directories
+            # (``.tmp``, ``.fitlocks``, ``.substrates``).
             raise StoreError(f"invalid method name {method!r}")
         return method
 
@@ -141,9 +204,15 @@ class ArtifactStore:
         The expander writes into a staging directory; the manifest (with a
         checksum and size per file) is written last and the whole directory
         is renamed into place in one step.
+
+        Substrates the fit depends on are published (idempotently) into this
+        store's content-addressed ``.substrates`` area *before* the method
+        manifest referencing them appears, so a reader can never observe a
+        manifest with dangling substrate references.
         """
         method = self._normalize(method)
         target = self.artifact_dir(method, fingerprint)
+        substrates = expander.publish_substrates(self)
         self._tmp_root.mkdir(parents=True, exist_ok=True)
         staging = self._tmp_root / f"{method}-{fingerprint}-{uuid.uuid4().hex}"
         state_dir = staging / _STATE_DIR
@@ -162,6 +231,7 @@ class ArtifactStore:
                     "python": platform.python_version(),
                     "numpy": np.__version__,
                 },
+                "substrates": substrates,
                 "files": files,
             }
             write_json_state(staging / _MANIFEST_NAME, manifest)
@@ -267,9 +337,20 @@ class ArtifactStore:
                 f"artifact {method}/{fingerprint} was saved by "
                 f"{info.expander_class}, not {type(expander).__name__}"
             )
+        refs = list(info.substrates)
+        for ref in refs:
+            # Reference-aware GC keeps this invariant; enforce it defensively
+            # so an externally-mutilated store degrades to a refit, not a
+            # half-restored expander.
+            if not self.contains_substrate(ref["kind"], ref["content_hash"]):
+                raise ArtifactCorruptError(
+                    f"artifact {method}/{fingerprint} references missing "
+                    f"substrate {ref['kind']}/{ref['content_hash']}"
+                )
         state_dir = self.artifact_dir(method, fingerprint) / _STATE_DIR
+        resolver = _ManifestSubstrates(self, refs) if refs else None
         try:
-            expander.load_state(state_dir, dataset)
+            expander.load_state(state_dir, dataset, substrates=resolver)
         except StoreError:
             raise
         except PersistenceError as exc:
@@ -299,14 +380,211 @@ class ArtifactStore:
             pass
 
     @staticmethod
-    def last_used_at(info: ArtifactInfo) -> float:
-        """When the artifact was last restored (marker mtime), falling back
-        to its creation time — the recency signal for budget eviction."""
+    def last_used_at(info) -> float:
+        """When the artifact (method or substrate — both carry ``path`` and
+        ``created_at``) was last restored (marker mtime), falling back to
+        its creation time — the recency signal for budget eviction."""
         marker = Path(info.path) / _RESTORED_MARKER
         try:
             return max(info.created_at, marker.stat().st_mtime)
         except OSError:
             return info.created_at
+
+    # -- substrates --------------------------------------------------------------
+    @staticmethod
+    def _normalize_substrate(kind: str, content_hash: str) -> tuple[str, str]:
+        for value, label in ((kind, "substrate kind"), (content_hash, "content hash")):
+            if (
+                not value
+                or value.startswith(".")
+                or any(sep in value for sep in ("/", "\\", ".."))
+            ):
+                raise StoreError(f"invalid {label} {value!r}")
+        return kind, content_hash
+
+    def substrate_dir(self, kind: str, content_hash: str) -> Path:
+        """Where the content-addressed substrate artifact lives."""
+        kind, content_hash = self._normalize_substrate(kind, content_hash)
+        return (
+            self.root
+            / _SUBSTRATES_DIRNAME
+            / kind
+            / f"{content_hash}.v{self.format_version}"
+        )
+
+    def contains_substrate(self, kind: str, content_hash: str) -> bool:
+        """True when a substrate artifact with a manifest exists (unverified)."""
+        return (self.substrate_dir(kind, content_hash) / _MANIFEST_NAME).exists()
+
+    def save_substrate(
+        self,
+        kind: str,
+        content_hash: str,
+        fingerprint: str,
+        params_hash: str,
+        writer,
+    ) -> SubstrateArtifactInfo:
+        """Persist one substrate under its content address (idempotent).
+
+        ``writer`` serialises the substrate's fitted state into the staging
+        state directory; the write is staged and atomically renamed exactly
+        like a method artifact.  Content addressing makes the operation
+        idempotent: an existing artifact is returned untouched, so several
+        methods publishing the same substrate never rewrite it.
+        """
+        target = self.substrate_dir(kind, content_hash)
+        if (target / _MANIFEST_NAME).exists():
+            return self._substrate_info_from_manifest(
+                read_json_state(target / _MANIFEST_NAME), target
+            )
+        self._tmp_root.mkdir(parents=True, exist_ok=True)
+        staging = self._tmp_root / f"substrate-{kind}-{content_hash}-{uuid.uuid4().hex}"
+        state_dir = staging / _STATE_DIR
+        state_dir.mkdir(parents=True)
+        try:
+            writer(state_dir)
+            manifest = {
+                "kind": kind,
+                "content_hash": content_hash,
+                "fingerprint": fingerprint,
+                "params_hash": params_hash,
+                "format_version": self.format_version,
+                "created_at": time.time(),
+                "library_versions": {
+                    "python": platform.python_version(),
+                    "numpy": np.__version__,
+                },
+                "files": self._checksum_tree(state_dir),
+            }
+            write_json_state(staging / _MANIFEST_NAME, manifest)
+            with self._lock:
+                target.parent.mkdir(parents=True, exist_ok=True)
+                if target.exists():
+                    # Another publisher won the race; the content address
+                    # guarantees equivalence, so keep theirs.
+                    shutil.rmtree(staging, ignore_errors=True)
+                else:
+                    os.replace(staging, target)
+                self._stats_cache = None
+        except (StoreError, PersistenceError):
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        except OSError as exc:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise StoreError(
+                f"cannot write substrate {kind}/{content_hash}: {exc}"
+            ) from exc
+        return self._substrate_info_from_manifest(manifest, target)
+
+    def _read_substrate_manifest(
+        self, kind: str, content_hash: str
+    ) -> tuple[dict, Path]:
+        target = self.substrate_dir(kind, content_hash)
+        manifest_path = target / _MANIFEST_NAME
+        if not manifest_path.exists():
+            raise ArtifactNotFoundError(
+                f"no substrate artifact {kind}/{content_hash}"
+            )
+        manifest = read_json_state(manifest_path)
+        for key in ("kind", "content_hash", "format_version", "files"):
+            if key not in manifest:
+                raise ArtifactCorruptError(f"manifest {manifest_path} lacks {key!r}")
+        return manifest, target
+
+    def verify_substrate(self, kind: str, content_hash: str) -> SubstrateArtifactInfo:
+        """Check every file checksum of a substrate artifact."""
+        manifest, target = self._read_substrate_manifest(kind, content_hash)
+        state_dir = target / _STATE_DIR
+        for relative, meta in manifest["files"].items():
+            path = state_dir / relative
+            try:
+                if (
+                    not path.is_file()
+                    or path.stat().st_size != int(meta["bytes"])
+                    or sha256_file(path) != meta["sha256"]
+                ):
+                    raise ArtifactCorruptError(
+                        f"substrate {kind}/{content_hash} checksum mismatch "
+                        f"on {relative!r}"
+                    )
+            except OSError as exc:
+                raise ArtifactCorruptError(
+                    f"substrate {kind}/{content_hash} became unreadable: {exc}"
+                ) from exc
+        return self._substrate_info_from_manifest(manifest, target)
+
+    def restore_substrate(self, kind: str, content_hash: str, loader):
+        """Verify the substrate artifact, then run ``loader`` on its state dir.
+
+        Any loader failure is reported as corruption so callers uniformly
+        fall back to refitting (and republishing) the substrate.
+        """
+        self.verify_substrate(kind, content_hash)
+        state_dir = self.substrate_dir(kind, content_hash) / _STATE_DIR
+        try:
+            instance = loader(state_dir)
+        except StoreError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - any load failure means corrupt state
+            raise ArtifactCorruptError(
+                f"substrate {kind}/{content_hash} failed to load: {exc}"
+            ) from exc
+        self._touch_restored(self.substrate_dir(kind, content_hash))
+        return instance
+
+    def ls_substrates(self) -> list[SubstrateArtifactInfo]:
+        """All substrate artifacts, newest first (unreadable ones skipped)."""
+        infos: list[SubstrateArtifactInfo] = []
+        substrates_root = self.root / _SUBSTRATES_DIRNAME
+        if not substrates_root.exists():
+            return infos
+        for kind_dir in sorted(substrates_root.iterdir()):
+            if not kind_dir.is_dir():
+                continue
+            for artifact_dir in sorted(kind_dir.iterdir()):
+                manifest_path = artifact_dir / _MANIFEST_NAME
+                if not manifest_path.exists():
+                    continue
+                try:
+                    manifest = read_json_state(manifest_path)
+                    infos.append(
+                        self._substrate_info_from_manifest(manifest, artifact_dir)
+                    )
+                except (StoreError, KeyError, TypeError, ValueError):
+                    continue
+        infos.sort(key=lambda info: -info.created_at)
+        return infos
+
+    def substrate_references(self) -> dict[tuple[str, str], list[str]]:
+        """Back-references: ``(kind, content_hash)`` -> referencing methods.
+
+        Scans every method manifest; the values are ``method/fingerprint``
+        labels, the truth GC consults before touching any substrate.
+        """
+        references: dict[tuple[str, str], list[str]] = {}
+        for info in self.ls():
+            for ref in info.substrates:
+                key = (str(ref.get("kind")), str(ref.get("content_hash")))
+                references.setdefault(key, []).append(
+                    f"{info.method}/{info.fingerprint}"
+                )
+        return references
+
+    def evict_substrate(
+        self, kind: str, content_hash: str, force: bool = False
+    ) -> bool:
+        """Remove a substrate artifact; refuses while method manifests still
+        reference it unless ``force`` (used when the artifact is corrupt and
+        useless to its referrers anyway)."""
+        kind, content_hash = self._normalize_substrate(kind, content_hash)
+        if not force:
+            referencing = self.substrate_references().get((kind, content_hash))
+            if referencing:
+                raise StoreError(
+                    f"substrate {kind}/{content_hash} is referenced by "
+                    f"{sorted(referencing)}; evict those artifacts first"
+                )
+        return self._remove(self.substrate_dir(kind, content_hash))
 
     # -- management --------------------------------------------------------------
     def ls(self) -> list[ArtifactInfo]:
@@ -349,28 +627,46 @@ class ArtifactStore:
         self,
         keep_fingerprints: set[str] | None = None,
         max_age_seconds: float | None = None,
-    ) -> list[ArtifactInfo]:
+    ) -> list:
         """Remove stale artifacts and abandoned staging directories.
 
         An artifact is collected when its fingerprint is not in
         ``keep_fingerprints`` (if given) or it is older than
         ``max_age_seconds`` (if given); with neither filter only the staging
-        area is cleaned.  Staging directories are only removed once they are
-        old enough to be abandoned, never while a concurrent ``save`` may
-        still be writing into them.  Returns the artifacts removed.
+        area is cleaned.  Substrate artifacts matching the same filters are
+        collected too, but **never** while a surviving method manifest still
+        references them — the reference graph outranks every filter — and
+        never within their publication grace period (a fresh orphan may be a
+        save in flight whose referencing manifest has not landed yet).
+        Staging directories are only removed once they are old enough to be
+        abandoned, never while a concurrent ``save`` may still be writing
+        into them.  Returns the artifacts removed (methods and substrates).
         """
-        removed: list[ArtifactInfo] = []
+        removed: list = []
         now = time.time()
+
+        def stale(info, fingerprint: str) -> bool:
+            if keep_fingerprints is not None and fingerprint not in keep_fingerprints:
+                return True
+            return (
+                max_age_seconds is not None
+                and now - info.created_at > max_age_seconds
+            )
+
         for info in self.ls():
-            stale = False
-            if keep_fingerprints is not None and info.fingerprint not in keep_fingerprints:
-                stale = True
-            if max_age_seconds is not None and now - info.created_at > max_age_seconds:
-                stale = True
             # Remove via the listed path: ``ls`` surfaces artifacts of every
             # format version, including ones this store would not address.
-            if stale and self._remove(Path(info.path)):
+            if stale(info, info.fingerprint) and self._remove(Path(info.path)):
                 removed.append(info)
+        if keep_fingerprints is not None or max_age_seconds is not None:
+            references = self.substrate_references()
+            for info in self.ls_substrates():
+                if (info.kind, info.content_hash) in references:
+                    continue  # still referenced: never collected by filters
+                if now - info.created_at <= _ORPHAN_GRACE_SECONDS:
+                    continue  # possibly mid-publication: a manifest may land
+                if stale(info, info.fingerprint) and self._remove(Path(info.path)):
+                    removed.append(info)
         if self._tmp_root.exists():
             for leftover in self._tmp_root.iterdir():
                 try:
@@ -381,29 +677,74 @@ class ArtifactStore:
                     shutil.rmtree(leftover, ignore_errors=True)
         return removed
 
-    def gc_to_budget(self, max_bytes: int) -> list[ArtifactInfo]:
+    def gc_to_budget(self, max_bytes: int) -> list:
         """Evict artifacts, least-recently-restored first, until the store's
-        total size fits under ``max_bytes``.
+        total size (method artifacts plus substrates) fits under ``max_bytes``.
 
         This is the policy a long-running serving process applies
         periodically (see ``ServiceConfig.store_max_bytes``): artifacts that
-        keep getting restored by workers stay, cold ones age out.  Returns
-        the artifacts removed, coldest first.
+        keep getting restored by workers stay, cold ones age out.  The pass
+        is reference-aware: a substrate is only an eviction candidate while
+        **no** surviving method manifest references it (and it is past its
+        publication grace period), and evicting a method artifact
+        immediately makes its now-orphaned substrates eligible, so budget
+        pressure never strands substrate bytes behind deleted methods.
+        Returns the artifacts removed, coldest first.
         """
         if max_bytes < 0:
             raise StoreError("max_bytes must be non-negative")
-        infos = self.ls()
-        total = sum(info.total_bytes for info in infos)
+        methods = self.ls()
+        substrates = self.ls_substrates()
+        total = sum(info.total_bytes for info in methods) + sum(
+            info.total_bytes for info in substrates
+        )
         if total <= max_bytes:
             return []
-        by_recency = sorted(infos, key=self.last_used_at)
-        removed: list[ArtifactInfo] = []
-        for info in by_recency:
-            if total <= max_bytes:
-                break
-            if self._remove(Path(info.path)):
-                total -= info.total_bytes
-                removed.append(info)
+        now = time.time()
+        # One scan up front; the reference map and recency are maintained
+        # incrementally as victims fall (evicting a method only ever drops
+        # its own references), so the pass never re-reads manifests.
+        reference_counts: dict[tuple[str, str], int] = {}
+        for info in methods:
+            for ref in info.substrates:
+                key = (str(ref.get("kind")), str(ref.get("content_hash")))
+                reference_counts[key] = reference_counts.get(key, 0) + 1
+        recency = {info.path: self.last_used_at(info) for info in (*methods, *substrates)}
+        methods_left = sorted(methods, key=lambda info: recency[info.path])
+        substrates_left = {
+            (info.kind, info.content_hash): info for info in substrates
+        }
+        removed: list = []
+
+        def evictable_substrates() -> list[SubstrateArtifactInfo]:
+            return [
+                info
+                for key, info in substrates_left.items()
+                if reference_counts.get(key, 0) == 0
+                and now - info.created_at > _ORPHAN_GRACE_SECONDS
+            ]
+
+        while total > max_bytes:
+            candidates = sorted(
+                [*methods_left, *evictable_substrates()],
+                key=lambda info: recency[info.path],
+            )
+            victim = next(iter(candidates), None)
+            if victim is None:
+                return removed  # everything left is referenced or in grace
+            if isinstance(victim, ArtifactInfo):
+                methods_left.remove(victim)
+                for ref in victim.substrates:
+                    key = (str(ref.get("kind")), str(ref.get("content_hash")))
+                    if reference_counts.get(key, 0) > 0:
+                        reference_counts[key] -= 1
+            else:
+                substrates_left.pop((victim.kind, victim.content_hash), None)
+            # A concurrently-removed victim still leaves the structures
+            # consistent: its bytes are gone from disk either way.
+            total -= victim.total_bytes
+            if self._remove(Path(victim.path)):
+                removed.append(victim)
         return removed
 
     def stats(self) -> dict:
@@ -418,12 +759,16 @@ class ArtifactStore:
             if self._stats_cache is not None and now < self._stats_cache[0]:
                 return dict(self._stats_cache[1])
         infos = self.ls()
+        substrates = self.ls_substrates()
         summary = {
             "root": str(self.root),
             "format_version": self.format_version,
             "artifacts": len(infos),
             "total_bytes": sum(info.total_bytes for info in infos),
             "methods": sorted({info.method for info in infos}),
+            "substrates": len(substrates),
+            "substrate_bytes": sum(info.total_bytes for info in substrates),
+            "substrate_kinds": sorted({info.kind for info in substrates}),
         }
         with self._lock:
             self._stats_cache = (now + _STATS_TTL_SECONDS, summary)
@@ -453,6 +798,22 @@ class ArtifactStore:
             num_files=len(files),
             path=str(path),
             library_versions=dict(manifest.get("library_versions", {})),
+            substrates=tuple(manifest.get("substrates", []) or ()),
+        )
+
+    @staticmethod
+    def _substrate_info_from_manifest(manifest: dict, path: Path) -> SubstrateArtifactInfo:
+        files = manifest.get("files", {})
+        return SubstrateArtifactInfo(
+            kind=str(manifest["kind"]),
+            content_hash=str(manifest["content_hash"]),
+            fingerprint=str(manifest.get("fingerprint", "")),
+            params_hash=str(manifest.get("params_hash", "")),
+            format_version=int(manifest["format_version"]),
+            created_at=float(manifest.get("created_at", 0.0)),
+            total_bytes=sum(int(meta["bytes"]) for meta in files.values()),
+            num_files=len(files),
+            path=str(path),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

@@ -1,0 +1,504 @@
+"""Fit-once model substrates shared across every expansion method.
+
+The paper's methods all stand on a small set of expensive shared substrates:
+
+* the PPMI-SVD **co-occurrence embeddings** (CGExpan, CaSE, and the context
+  encoder's pre-trained token vectors);
+* the context-encoder **entity representations** (RetExpan's hidden-state
+  vectors and ProbExpan's mask distributions);
+* the continually pre-trained **causal entity LM** (GenExpan's backbone).
+
+Before this layer each expander fitted its own private copy and persisted it
+whole inside its method artifact, so a fleet serving all seven methods paid
+the same substrate cost up to 7x in fit time, memory, and store bytes.  The
+:class:`SubstrateProvider` fits each substrate **at most once per dataset**,
+keyed by ``(kind, dataset fingerprint, params hash)``:
+
+* an in-memory cache hands the same instance to every resident expander;
+* with an :class:`~repro.store.ArtifactStore` attached, a miss first tries
+  to *restore* the substrate from its content-addressed artifact
+  (``<store>/.substrates/<kind>/<content hash>.v<N>``) and a fresh fit is
+  written through so sibling processes and restarts skip it;
+* cold fits are guarded by the same :class:`~repro.store.FitLock`
+  single-payer election the method registry uses, so a cluster sharing one
+  store trains each substrate exactly once.
+
+The *substrate persistence protocol* is intentionally tiny: a substrate is
+any object that can write its fitted state into a directory and be
+reconstructed from it bitwise-identically —
+:class:`~repro.lm.embeddings.CooccurrenceEmbeddings` (``save``/``load``),
+:class:`~repro.lm.context_encoder.EntityRepresentations` (``save``/``load``),
+and :class:`~repro.lm.causal_lm.CausalEntityLM`
+(``save_state``/``load_state``) implement it; the per-kind adapters below
+bind the three shapes to one provider interface.  The raw
+:class:`~repro.lm.context_encoder.ContextEncoder` is a *memory-only*
+substrate: it is only needed to produce an entity-representations substrate,
+so it is cached per provider but never persisted on its own.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol
+
+from repro.config import CausalLMConfig, EncoderConfig
+from repro.dataset.ultrawiki import UltraWikiDataset
+from repro.exceptions import StoreError, SubstrateError
+from repro.lm.causal_lm import CausalEntityLM
+from repro.lm.context_encoder import ContextEncoder, EntityRepresentations
+from repro.lm.embeddings import CooccurrenceEmbeddings
+from repro.store.fitlock import DEFAULT_STALE_SECONDS, FitLock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from pathlib import Path
+
+    from repro.store import ArtifactStore
+
+#: PPMI-SVD token + entity embeddings over the dataset corpus.
+COOCCURRENCE_EMBEDDINGS = "cooccurrence_embeddings"
+#: context-encoder hidden-state / distribution representations per entity.
+ENTITY_REPRESENTATIONS = "entity_representations"
+#: the (continually pre-trained) causal entity LM.
+CAUSAL_LM = "causal_lm"
+
+#: every persistable substrate kind, in dependency order (embeddings feed
+#: the encoder that produces the representations).
+SUBSTRATE_KINDS = (COOCCURRENCE_EMBEDDINGS, ENTITY_REPRESENTATIONS, CAUSAL_LM)
+
+#: hex digits kept from the sha256 digests used in keys and content hashes.
+_HASH_CHARS = 16
+
+
+class Substrate(Protocol):  # pragma: no cover - structural typing only
+    """The persistence contract a substrate object must satisfy.
+
+    Concretely: it can serialise its fitted state into a directory and a
+    module-level loader can rebuild a bitwise-identical instance from that
+    directory (plus the dataset).  The provider's per-kind adapters map the
+    three real substrate classes onto this shape.
+    """
+
+    def save(self, directory: "str | Path") -> None: ...
+
+
+def hash_params(params: dict) -> str:
+    """Deterministic short hash of a JSON-native substrate parameter dict."""
+    try:
+        canonical = json.dumps(params, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise SubstrateError(f"substrate params are not JSON-serialisable: {exc}") from exc
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:_HASH_CHARS]
+
+
+def cooccurrence_params_from_encoder(config: EncoderConfig) -> dict:
+    """The co-occurrence substrate parameters an encoder config implies.
+
+    Mirrors exactly how the shared resource pool has always constructed
+    :class:`CooccurrenceEmbeddings` (constructor defaults resolved so the
+    hash is stable even if those defaults later grow new spellings).
+    """
+    return {
+        "dim": config.embedding_dim,
+        "window": 6,
+        "seed": config.seed,
+        "entity_dim": 3 * config.embedding_dim,
+    }
+
+
+def entity_representation_params(config: EncoderConfig, trained: bool) -> dict:
+    """Parameters of an entity-representations substrate (encoder + arm)."""
+    return {"encoder": _encoder_dict(config), "trained": bool(trained)}
+
+
+def causal_lm_params(config: CausalLMConfig, further_pretrain: bool) -> dict:
+    """Parameters of a causal-LM substrate (config with the ablation arm applied)."""
+    return {**config.__dict__, "further_pretrain": bool(further_pretrain)}
+
+
+def _encoder_dict(config: EncoderConfig) -> dict:
+    return dict(config.__dict__)
+
+
+@dataclass(frozen=True)
+class SubstrateKey:
+    """Identity of one fitted substrate: what it is, on what data, and how."""
+
+    kind: str
+    fingerprint: str
+    params_hash: str
+
+    @property
+    def content_hash(self) -> str:
+        """The content address of this substrate's artifact.
+
+        Derived from the full key, so two substrates fitted with identical
+        code paths share one artifact and anything differing in kind,
+        dataset, or parameters can never collide.
+        """
+        digest = hashlib.sha256(
+            f"{self.kind}\n{self.fingerprint}\n{self.params_hash}".encode("utf-8")
+        )
+        return digest.hexdigest()[:_HASH_CHARS]
+
+    def to_ref(self) -> dict:
+        """The manifest reference a method artifact stores for this substrate."""
+        return {
+            "kind": self.kind,
+            "content_hash": self.content_hash,
+            "params_hash": self.params_hash,
+        }
+
+
+class SubstrateProvider:
+    """Fits, caches, persists, and shares substrates for one dataset."""
+
+    def __init__(
+        self,
+        dataset: UltraWikiDataset,
+        store: "ArtifactStore | None" = None,
+        fit_lock: bool = True,
+        fit_lock_wait_seconds: float = 600.0,
+        fit_lock_stale_seconds: float = DEFAULT_STALE_SECONDS,
+    ):
+        self.dataset = dataset
+        self.store = store
+        self.fit_lock_wait_seconds = fit_lock_wait_seconds
+        self.fit_lock_stale_seconds = fit_lock_stale_seconds
+        self._fit_lock_wanted = bool(fit_lock)
+        self._fingerprint: str | None = None
+        self._lock = threading.Lock()
+        #: SubstrateKey -> fitted substrate instance (the shared copies).
+        self._cache: dict[SubstrateKey, object] = {}
+        #: per-key fit locks so concurrent requests fit each substrate once.
+        self._key_locks: dict[SubstrateKey, threading.Lock] = {}
+        #: memory-only context encoders keyed by (encoder params hash, trained).
+        self._encoders: dict[tuple[str, bool], ContextEncoder] = {}
+        self._hits = 0
+        self._misses = 0
+        self._fits = 0
+        self._restores = 0
+        self._publishes = 0
+        self._store_errors = 0
+        self._fit_lock_acquires = 0
+        self._fit_lock_waits = 0
+        self._fit_lock_restores = 0
+        self._fit_lock_timeouts = 0
+        #: wall-clock seconds of the most recent fit / restore per kind.
+        self._fit_seconds: dict[str, float] = {}
+        self._restore_seconds: dict[str, float] = {}
+
+    # -- identity ----------------------------------------------------------------
+    @property
+    def fit_lock_enabled(self) -> bool:
+        return self._fit_lock_wanted and self.store is not None
+
+    @property
+    def fingerprint(self) -> str:
+        if self._fingerprint is None:
+            self._fingerprint = self.dataset.fingerprint()
+        return self._fingerprint
+
+    def key(self, kind: str, params: dict) -> SubstrateKey:
+        if kind not in SUBSTRATE_KINDS:
+            raise SubstrateError(
+                f"unknown substrate kind {kind!r}; available: {list(SUBSTRATE_KINDS)}"
+            )
+        return SubstrateKey(kind, self.fingerprint, hash_params(params))
+
+    def attach_store(self, store: "ArtifactStore") -> None:
+        """Back this provider with an artifact store (no-op when it has one).
+
+        Called by the serving registry so the substrates behind its methods
+        share the registry's store without re-plumbing every constructor.
+        """
+        if self.store is None:
+            self.store = store
+
+    # -- cache -------------------------------------------------------------------
+    def peek(self, kind: str, params: dict) -> object | None:
+        """The resident substrate if already built, without fitting."""
+        with self._lock:
+            return self._cache.get(self.key(kind, params))
+
+    def adopt(self, kind: str, params: dict, instance: object) -> None:
+        """Seed the cache with an already-built substrate.
+
+        A provider that already holds an instance keeps it — adopting must
+        never replace state other consumers hold.
+        """
+        key = self.key(kind, params)
+        with self._lock:
+            self._cache.setdefault(key, instance)
+
+    def resident_count(self) -> int:
+        """How many distinct substrate instances this provider holds."""
+        with self._lock:
+            return len(self._cache)
+
+    # -- the one entry point -----------------------------------------------------
+    def get(self, kind: str, params: dict, resolver=None) -> object:
+        """The fitted substrate for ``(kind, params)``, built at most once.
+
+        Resolution order: in-memory cache, then ``resolver`` (the
+        content-addressed state dirs of a method artifact currently being
+        restored), then this provider's own store, then a fresh fit (under
+        cross-process leader election when a store is attached).  Every path
+        ends with the instance cached so all resident expanders share it.
+        """
+        key = self.key(kind, params)
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._hits += 1
+                return cached
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            with self._lock:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._hits += 1
+                    return cached
+            instance = self._materialize(key, kind, params, resolver)
+            with self._lock:
+                self._cache[key] = instance
+            return instance
+
+    # -- materialisation ---------------------------------------------------------
+    def _materialize(self, key: SubstrateKey, kind: str, params: dict, resolver) -> object:
+        if resolver is not None and resolver.has(kind, key.content_hash):
+            # The substrate referenced by the artifact being restored; a
+            # failure here is the artifact's corruption and must propagate
+            # so the caller falls back to a refit of the whole method.
+            started = time.perf_counter()
+            instance = resolver.load(
+                kind, key.content_hash, lambda d: self._load_substrate(kind, d)
+            )
+            with self._lock:
+                self._restores += 1
+                self._restore_seconds[kind] = time.perf_counter() - started
+            return instance
+        instance = self._try_restore_from_store(key, kind)
+        if instance is not None:
+            return instance
+        with self._lock:
+            self._misses += 1
+        if not self.fit_lock_enabled:
+            return self._fit_and_publish(key, kind, params)
+        return self._fit_single_payer(key, kind, params)
+
+    def _try_restore_from_store(self, key: SubstrateKey, kind: str) -> object | None:
+        if self.store is None:
+            return None
+        try:
+            if not self.store.contains_substrate(kind, key.content_hash):
+                return None
+            started = time.perf_counter()
+            instance = self.store.restore_substrate(
+                kind, key.content_hash, lambda d: self._load_substrate(kind, d)
+            )
+        except (StoreError, OSError):
+            # Corrupt substrate artifact: evict it (even though method
+            # manifests may reference it — it is unusable either way) so the
+            # write-through after the fallback fit publishes a good copy.
+            try:
+                self.store.evict_substrate(kind, key.content_hash, force=True)
+            except (StoreError, OSError):
+                pass
+            with self._lock:
+                self._store_errors += 1
+            return None
+        with self._lock:
+            self._restores += 1
+            self._restore_seconds[kind] = time.perf_counter() - started
+        return instance
+
+    def _fit_and_publish(self, key: SubstrateKey, kind: str, params: dict) -> object:
+        started = time.perf_counter()
+        instance = self._fit_substrate(kind, params)
+        with self._lock:
+            self._fits += 1
+            self._fit_seconds[kind] = time.perf_counter() - started
+        if self.store is not None:
+            self._publish_instance(key, kind, instance, self.store)
+        return instance
+
+    def _fit_single_payer(self, key: SubstrateKey, kind: str, params: dict) -> object:
+        """Cold-fit under cross-process leader election (same contract as the
+        method registry: the lock can delay a fit, never block progress)."""
+        lock = FitLock(
+            self.store.root,
+            f"substrate-{kind}",
+            key.content_hash,
+            stale_after=self.fit_lock_stale_seconds,
+        )
+        deadline = time.monotonic() + self.fit_lock_wait_seconds
+        contended = False
+        while True:
+            if lock.try_acquire():
+                try:
+                    with self._lock:
+                        self._fit_lock_acquires += 1
+                    if contended:
+                        # A leader may have published while we stood in line.
+                        instance = self._try_restore_from_store(key, kind)
+                        if instance is not None:
+                            with self._lock:
+                                self._fit_lock_restores += 1
+                            return instance
+                    return self._fit_and_publish(key, kind, params)
+                finally:
+                    lock.release()
+            contended = True
+            with self._lock:
+                self._fit_lock_waits += 1
+            freed = lock.wait(timeout=max(0.0, deadline - time.monotonic()))
+            instance = self._try_restore_from_store(key, kind)
+            if instance is not None:
+                with self._lock:
+                    self._fit_lock_restores += 1
+                return instance
+            if not freed or time.monotonic() >= deadline:
+                with self._lock:
+                    self._fit_lock_timeouts += 1
+                return self._fit_and_publish(key, kind, params)
+            # Lock freed but nothing published (the leader crashed): run again.
+
+    # -- publication -------------------------------------------------------------
+    def publish(self, store: "ArtifactStore", kind: str, params: dict) -> dict:
+        """Ensure the substrate's artifact exists in ``store``; return its ref.
+
+        Called by :meth:`ArtifactStore.save` while persisting a method
+        artifact, so every manifest reference resolves even when the
+        provider itself was built without a store.  Idempotent: an existing
+        artifact is referenced, never rewritten.  Raises
+        :class:`~repro.exceptions.StoreError` when the substrate could not
+        be made durable — a manifest must never be written with a dangling
+        reference, and the caller's write-through already treats a failed
+        save as "skip persistence", never as a serving failure.
+        """
+        key = self.key(kind, params)
+        if not store.contains_substrate(kind, key.content_hash):
+            self._publish_instance(key, kind, self.get(kind, params), store)
+            if not store.contains_substrate(kind, key.content_hash):
+                raise StoreError(
+                    f"substrate {kind}/{key.content_hash} could not be "
+                    "published; refusing to write a dangling manifest reference"
+                )
+        return key.to_ref()
+
+    def _publish_instance(
+        self, key: SubstrateKey, kind: str, instance: object, store: "ArtifactStore"
+    ) -> None:
+        try:
+            store.save_substrate(
+                kind,
+                key.content_hash,
+                key.fingerprint,
+                key.params_hash,
+                lambda d: self._save_substrate(kind, instance, d),
+            )
+        except (StoreError, OSError):
+            # Persistence is an optimisation; a failed write must never take
+            # down the fit that just produced a good substrate.
+            with self._lock:
+                self._store_errors += 1
+            return
+        with self._lock:
+            self._publishes += 1
+
+    # -- per-kind adapters -------------------------------------------------------
+    def _fit_substrate(self, kind: str, params: dict) -> object:
+        corpus = self.dataset.corpus
+        entities = self.dataset.entities()
+        if kind == COOCCURRENCE_EMBEDDINGS:
+            return CooccurrenceEmbeddings(
+                dim=int(params["dim"]),
+                window=int(params["window"]),
+                seed=int(params["seed"]),
+                entity_dim=int(params["entity_dim"]),
+            ).fit(corpus, entities)
+        if kind == ENTITY_REPRESENTATIONS:
+            encoder = self.context_encoder(
+                EncoderConfig(**params["encoder"]), trained=bool(params["trained"])
+            )
+            if params["trained"]:
+                return encoder.entity_representations(corpus, entities)
+            return encoder.entity_representations(
+                corpus, entities, with_distributions=False
+            )
+        if kind == CAUSAL_LM:
+            return CausalEntityLM(CausalLMConfig(**params)).fit(corpus, entities)
+        raise SubstrateError(f"unknown substrate kind {kind!r}")
+
+    @staticmethod
+    def _save_substrate(kind: str, instance: object, directory: "Path") -> None:
+        if kind == CAUSAL_LM:
+            instance.save_state(directory)
+        else:
+            instance.save(directory)
+
+    def _load_substrate(self, kind: str, directory: "Path") -> object:
+        if kind == COOCCURRENCE_EMBEDDINGS:
+            return CooccurrenceEmbeddings.load(directory)
+        if kind == ENTITY_REPRESENTATIONS:
+            return EntityRepresentations.load(directory)
+        if kind == CAUSAL_LM:
+            return CausalEntityLM.load_state(directory, self.dataset.entities())
+        raise SubstrateError(f"unknown substrate kind {kind!r}")
+
+    def context_encoder(self, config: EncoderConfig, trained: bool = True) -> ContextEncoder:
+        """The (memory-only) masked-entity encoder for ``config``.
+
+        Built at most once per ``(config, trained)`` and never persisted: it
+        exists to *produce* an entity-representations substrate, which is
+        what serving actually consumes.
+        """
+        cache_key = (hash_params(_encoder_dict(config)), bool(trained))
+        with self._lock:
+            encoder = self._encoders.get(cache_key)
+            if encoder is not None:
+                return encoder
+        pretrained = self.get(
+            COOCCURRENCE_EMBEDDINGS, cooccurrence_params_from_encoder(config)
+        )
+        encoder = ContextEncoder(config).fit(
+            self.dataset.corpus,
+            self.dataset.entities(),
+            pretrained=pretrained,
+            train=trained,
+        )
+        with self._lock:
+            return self._encoders.setdefault(cache_key, encoder)
+
+    # -- introspection -----------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "resident": len(self._cache),
+                "resident_kinds": sorted({key.kind for key in self._cache}),
+                "hits": self._hits,
+                "misses": self._misses,
+                "fits": self._fits,
+                "restores": self._restores,
+                "publishes": self._publishes,
+                "store_errors": self._store_errors,
+                "fit_seconds": dict(self._fit_seconds),
+                "restore_seconds": dict(self._restore_seconds),
+                "fit_lock": {
+                    "enabled": self.fit_lock_enabled,
+                    "acquires": self._fit_lock_acquires,
+                    "waits": self._fit_lock_waits,
+                    "restores_after_wait": self._fit_lock_restores,
+                    "timeouts": self._fit_lock_timeouts,
+                },
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"SubstrateProvider(resident={self.resident_count()}, "
+            f"store={'attached' if self.store is not None else 'none'})"
+        )

@@ -6,26 +6,50 @@ Every v1 response — success or error — is wrapped in one envelope shape::
     {"api_version": "v1", "request_id": "req-...", "error": {...}}
 
 ``api_version`` lets clients detect protocol drift without sniffing bodies,
-and the server-assigned ``request_id`` (also echoed in the ``X-Request-Id``
-header and the access log) gives every request a correlation handle across
-client retries, server logs, and bug reports.
+and the ``request_id`` (also echoed in the ``X-Request-Id`` header and the
+access log) gives every request a correlation handle across client retries,
+server logs, and bug reports.  A client may supply its own id in the
+``X-Request-Id`` request header: a syntactically valid one is honored
+end-to-end (gateway -> worker -> envelope), a malformed one is replaced with
+a fresh server-assigned id.
 """
 
 from __future__ import annotations
 
+import string
 import uuid
 from typing import Any
 
 #: protocol version served under the ``/v1/*`` routes.
 API_VERSION = "v1"
 
-#: header carrying the server-assigned request id.
+#: header carrying the request id (client-supplied or server-assigned).
 REQUEST_ID_HEADER = "X-Request-Id"
+
+#: characters allowed in a client-supplied request id.
+_REQUEST_ID_CHARS = frozenset(string.ascii_letters + string.digits + "._-")
+
+#: length ceiling for client-supplied request ids.
+MAX_REQUEST_ID_LENGTH = 128
 
 
 def new_request_id() -> str:
     """A fresh server-assigned request id (``req-`` + 16 hex chars)."""
     return f"req-{uuid.uuid4().hex[:16]}"
+
+
+def is_valid_request_id(value: object) -> bool:
+    """Whether a client-supplied ``X-Request-Id`` may be honored verbatim.
+
+    Purely syntactic: non-empty, bounded length, and restricted to
+    URL/log-safe characters so a hostile header cannot inject into JSON
+    access logs or response headers.
+    """
+    return (
+        isinstance(value, str)
+        and 0 < len(value) <= MAX_REQUEST_ID_LENGTH
+        and all(ch in _REQUEST_ID_CHARS for ch in value)
+    )
 
 
 def success_envelope(request_id: str, data: Any) -> dict:

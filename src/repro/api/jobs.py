@@ -55,6 +55,10 @@ class FitJob:
     #: method's own fit), or ``publishing`` (write-through).  ``None`` while
     #: queued; a finished job keeps the last phase it reached.
     phase: str | None = None
+    #: wall-clock seconds spent in each phase the job passed through (a
+    #: phase re-entered accumulates); populated as phases complete, so a
+    #: poller watching a running job sees durations for finished phases.
+    phase_seconds: dict = field(default_factory=dict)
     #: taxonomy error payload when ``status == "failed"``.
     error: dict | None = field(default=None)
 
@@ -77,6 +81,7 @@ class FitJob:
             "duration_ms": duration_ms,
             "outcome": self.outcome,
             "phase": self.phase,
+            "phase_seconds": dict(self.phase_seconds),
             "error": self.error,
         }
 
@@ -248,11 +253,25 @@ class JobManager:
             self._execute(job)
 
     def _execute(self, job: FitJob) -> None:
+        phase_started: list[tuple[str, float] | None] = [None]
+
+        def close_phase_locked() -> None:
+            open_phase = phase_started[0]
+            if open_phase is None:
+                return
+            name, started = open_phase
+            job.phase_seconds[name] = (
+                job.phase_seconds.get(name, 0.0) + time.perf_counter() - started
+            )
+            phase_started[0] = None
+
         def progress(phase: str) -> None:
             # Phase transitions are monotonic and only written by this
             # worker; readers snapshot the field without the lock, so a
             # plain assignment under the condition keeps them coherent.
             with self._cond:
+                close_phase_locked()
+                phase_started[0] = (phase, time.perf_counter())
                 job.phase = phase
 
         try:
@@ -285,6 +304,7 @@ class JobManager:
                 # _active is released in the same critical section, so a
                 # poller that saw a terminal status can always resubmit
                 # without racing a stale conflict.
+                close_phase_locked()
                 job.finished_at = self.clock()
                 _, job.error = error_payload(exc)
                 job.status = "failed"
@@ -292,6 +312,7 @@ class JobManager:
                 self._cond.notify_all()
             return
         with self._cond:
+            close_phase_locked()
             job.outcome = outcome
             job.finished_at = self.clock()
             job.status = "succeeded"

@@ -62,6 +62,9 @@ class ExpandOptions:
     limit: int | None = None
     #: resolve entity ids to surface forms; ``False`` halves the wire size.
     return_names: bool = True
+    #: return per-stage trace timings in a ``debug.timings`` block of the
+    #: response (cache lookup, batch queue wait, execution, ...).
+    include_timings: bool = False
 
     def validate(self) -> None:
         if isinstance(self.top_k, bool) or (
@@ -93,6 +96,9 @@ class ExpandOptions:
             return_names=coerce_bool(
                 payload.get("return_names", True), "return_names"
             ),
+            include_timings=coerce_bool(
+                payload.get("include_timings", False), "include_timings"
+            ),
         )
         options.validate()
         return options
@@ -104,4 +110,5 @@ class ExpandOptions:
             "offset": self.offset,
             "limit": self.limit,
             "return_names": self.return_names,
+            "include_timings": self.include_timings,
         }

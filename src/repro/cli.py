@@ -31,6 +31,10 @@ writing Python:
   ``/v1/stats``/``/v1/healthz``, and fails over when a worker dies; with a
   shared ``--store`` the cross-process fit lock makes every cold fit
   single-payer across the fleet;
+* ``cluster top`` — a ``top(1)``-style refreshing terminal dashboard over a
+  running gateway's ``GET /v1/dashboard``: fleet health, per-shard traffic,
+  error and latency rollups, cache hit rates, substrate residency, and live
+  fit-job phases;
 * ``query`` — submit one expansion request through the
   :class:`~repro.client.ExpansionClient` SDK and print the ranked entities:
   in-process by default, or against a running server with ``--url``.
@@ -45,6 +49,7 @@ Examples::
     python -m repro.cli serve --dataset ./ultrawiki --store ./artifacts --port 8080
     python -m repro.cli cluster serve --dataset ./ultrawiki --store ./artifacts \
         --workers 4 --port 8080 --worker-base-port 8100
+    python -m repro.cli cluster top --url http://127.0.0.1:8080
     python -m repro.cli query --dataset ./ultrawiki --method retexpan --top-k 20
     python -m repro.cli query --url http://127.0.0.1:8080 --method retexpan \
         --query-id <id> --top-k 20
@@ -82,6 +87,9 @@ from repro.serve import (
     ExpansionHTTPServer,
     ExpansionService,
 )
+from repro.cluster.gateway import gateway_access_logger
+from repro.obs import slow_query_logger
+from repro.obs.top import render_dashboard
 from repro.serve.server import access_logger
 from repro.store import ArtifactStore
 from repro.utils.iox import to_jsonable, write_json
@@ -168,9 +176,20 @@ def _service_config(args: argparse.Namespace) -> ServiceConfig:
         port=getattr(args, "port", ServiceConfig.port),
         store_dir=getattr(args, "store", None),
         access_log=getattr(args, "access_log", False),
+        slow_query_ms=getattr(args, "slow_query_ms", None),
     )
     config.validate()
     return config
+
+
+def _attach_json_log_handler(logger: logging.Logger) -> None:
+    """Send a structured JSON-lines logger to stderr (once)."""
+    if logger.handlers:
+        return
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(handler)
+    logger.setLevel(logging.INFO)
 
 
 def _fit_substrates(registry: "ExpanderRegistry", store: ArtifactStore, force: bool) -> int:
@@ -333,11 +352,10 @@ def _install_sigterm_handler() -> None:
 def _cmd_serve(args: argparse.Namespace) -> int:
     dataset = _load_or_build_dataset(args)
     config = _service_config(args)
-    if config.access_log and not access_logger.handlers:
-        handler = logging.StreamHandler()
-        handler.setFormatter(logging.Formatter("%(message)s"))
-        access_logger.addHandler(handler)
-        access_logger.setLevel(logging.INFO)
+    if config.access_log:
+        _attach_json_log_handler(access_logger)
+    if config.slow_query_ms is not None:
+        _attach_json_log_handler(slow_query_logger)
     service = ExpansionService(dataset, config=config)
     if args.store:
         print(f"Artifact store: {Path(args.store).resolve()} "
@@ -352,7 +370,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "  endpoints: POST /v1/expand · POST /v1/expand/batch · "
         "POST /v1/fits · GET /v1/fits[/<id>]"
     )
-    print("             GET /v1/methods · GET /v1/stats · GET /v1/healthz")
+    print(
+        "             GET /v1/methods · GET /v1/stats · GET /v1/metrics · "
+        "GET /v1/healthz"
+    )
     print("  deprecated aliases: /expand /methods /stats /healthz (pre-v1 wire shape)")
     _install_sigterm_handler()
     try:
@@ -395,6 +416,8 @@ def worker_command(
         command += ["--warm", *args.warm]
     if getattr(args, "access_log", False):
         command.append("--access-log")
+    if getattr(args, "slow_query_ms", None) is not None:
+        command += ["--slow-query-ms", str(args.slow_query_ms)]
     return tuple(command)
 
 
@@ -422,9 +445,12 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
         worker_base_port=args.worker_base_port,
         gateway_host=args.host,
         gateway_port=args.port,
+        gateway_access_log=getattr(args, "gateway_access_log", False),
         service=_service_config(args),
     )
     config.validate()
+    if config.gateway_access_log:
+        _attach_json_log_handler(gateway_access_logger)
 
     specs = [
         WorkerSpec(
@@ -462,7 +488,10 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
             f"  routing: consistent hash of (method, {fingerprint}) over "
             f"{config.num_workers} shard(s); batches scatter-gather"
         )
-        print("  /v1/stats and /v1/healthz aggregate the whole fleet")
+        print(
+            "  /v1/stats and /v1/healthz aggregate the whole fleet; "
+            "/v1/dashboard joins it for `repro cluster top`"
+        )
         try:
             gateway.serve_forever()
         except KeyboardInterrupt:
@@ -473,6 +502,25 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
         pool.stop()
         if scratch_dir is not None:
             shutil.rmtree(scratch_dir, ignore_errors=True)
+    return 0
+
+
+def _cmd_cluster_top(args: argparse.Namespace) -> int:
+    """A refreshing terminal view of ``GET /v1/dashboard`` (fleet health,
+    per-shard traffic and latency, cache hit rates, live fit phases)."""
+    with ExpansionClient.connect(args.url) as client:
+        try:
+            while True:
+                frame = render_dashboard(client.dashboard())
+                if not args.once:
+                    # clear screen + home, like watch(1)/top(1).
+                    print("\x1b[2J\x1b[H", end="")
+                print(frame)
+                if args.once:
+                    return 0
+                time.sleep(args.interval)
+        except KeyboardInterrupt:
+            print()
     return 0
 
 
@@ -536,6 +584,14 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="DIR",
         help="artifact store directory: restore prefitted expanders from it "
         "and persist fresh fits into it",
+    )
+    parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log one structured JSON line (with per-stage timings) for "
+        "every expansion slower than this many milliseconds",
     )
 
 
@@ -677,10 +733,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="workers emit structured JSON access-log lines",
     )
     cluster_serve.add_argument(
+        "--gateway-access-log", action="store_true",
+        help="the gateway emits one structured JSON access-log line per "
+        "request (workers keep their own --access-log)",
+    )
+    cluster_serve.add_argument(
         "--startup-timeout", type=float, default=120.0,
         help="seconds to wait for every worker's first healthy probe",
     )
     cluster_serve.set_defaults(handler=_cmd_cluster_serve)
+
+    cluster_top = cluster_sub.add_parser(
+        "top",
+        help="live terminal dashboard over a running gateway's /v1/dashboard",
+    )
+    cluster_top.add_argument(
+        "--url", required=True, metavar="URL", help="gateway base URL"
+    )
+    cluster_top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between refreshes",
+    )
+    cluster_top.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (no screen clearing)",
+    )
+    cluster_top.set_defaults(handler=_cmd_cluster_top)
 
     query = subparsers.add_parser(
         "query", help="run one expansion request through the client SDK"

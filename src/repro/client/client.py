@@ -177,6 +177,13 @@ class ExpansionClient:
     def stats(self) -> dict:
         return self._call("GET", "/v1/stats")
 
+    def dashboard(self) -> dict:
+        """The gateway's fleet dashboard (``GET /v1/dashboard``): per-worker
+        health, request/error/latency rollups, cache hit rates, substrate
+        residency, and live fit-job phases.  Gateway-only — a single worker
+        answers 404."""
+        return self._call("GET", "/v1/dashboard")
+
     def healthz(self) -> dict:
         return self._call("GET", "/v1/healthz")
 

@@ -36,6 +36,7 @@ import repro.api.v1 as apiv1
 from repro.api.envelope import new_request_id
 from repro.api.errors import CODE_INTERNAL, is_retryable
 from repro.exceptions import TransportError
+from repro.obs import request_scope
 
 #: failures that mean "the server closed this socket before answering" —
 #: on a *reused* keep-alive connection these signal a stale socket whose
@@ -58,8 +59,13 @@ class InProcessTransport:
     def request(
         self, verb: str, path: str, payload: Mapping | None = None
     ) -> tuple[int, dict]:
-        result = self._api.dispatch(verb, path, payload)
-        return result.status, apiv1.render_v1_body(result, new_request_id())
+        # Mint the id before dispatch and bind it for the duration, so the
+        # id in the rendered envelope matches what traces and the slow-query
+        # log recorded — the same contract the HTTP handler provides.
+        request_id = new_request_id()
+        with request_scope(request_id):
+            result = self._api.dispatch(verb, path, payload)
+        return result.status, apiv1.render_v1_body(result, request_id)
 
     def close(self) -> None:
         """Release the dispatcher's batch pool (the service itself is not

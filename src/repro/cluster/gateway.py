@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import logging
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -41,6 +42,7 @@ from urllib.parse import urlsplit
 from repro.api.envelope import (
     REQUEST_ID_HEADER,
     error_envelope,
+    is_valid_request_id,
     new_request_id,
     success_envelope,
 )
@@ -54,12 +56,23 @@ from repro.api.v1 import MAX_BATCH_REQUESTS
 from repro.cluster.hashring import HashRing, shard_key
 from repro.config import ClusterConfig
 from repro.exceptions import ServiceError
+from repro.obs import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsRegistry,
+    current_request_id,
+    merge_bucket_lists,
+    request_scope,
+)
 
 #: header naming the worker that actually served a proxied response.
 WORKER_HEADER = "X-Repro-Worker"
 
 #: request body size guard, mirroring the worker front-end.
 MAX_BODY_BYTES = 1 << 20
+
+#: structured gateway access-log destination (one JSON document per line),
+#: enabled with ``ClusterConfig.gateway_access_log``.
+gateway_access_logger = logging.getLogger("repro.cluster.access")
 
 
 @dataclass
@@ -69,6 +82,7 @@ class _Reply:
     status: int
     body: bytes
     headers: dict[str, str]
+    content_type: str = "application/json"
 
     @classmethod
     def envelope(cls, status: int, envelope: dict, **headers: str) -> "_Reply":
@@ -142,12 +156,37 @@ class ClusterGateway:
         self._lock = threading.Lock()
         #: worker_id -> monotonic time until which it is sidelined.
         self._down_until: dict[str, float] = {}
-        self._requests = 0
-        self._proxied = 0
-        self._failovers = 0
-        self._backend_errors = 0
-        self._no_backend = 0
-        self._routed: dict[str, int] = {worker_id: 0 for worker_id in self._urls}
+        #: gateway-owned telemetry; the fingerprint const label is stamped
+        #: once it is learned (render_prometheus reads const_labels live).
+        self.metrics = MetricsRegistry()
+        if fingerprint:
+            self.metrics.const_labels["fingerprint"] = fingerprint
+        self._requests = self.metrics.counter(
+            "repro_gateway_requests_total", "Requests accepted by the gateway."
+        )
+        self._proxied = self.metrics.counter(
+            "repro_gateway_proxied_total", "Requests proxied to a worker."
+        )
+        self._failovers = self.metrics.counter(
+            "repro_gateway_failovers_total", "Failover hops to another worker."
+        )
+        self._backend_errors = self.metrics.counter(
+            "repro_gateway_backend_errors_total", "Worker transport failures."
+        )
+        self._no_backend = self.metrics.counter(
+            "repro_gateway_no_backend_total",
+            "Requests that exhausted every worker.",
+        )
+        self._routed = self.metrics.counter(
+            "repro_gateway_routed_total", "Proxied requests per worker."
+        )
+        self._sidelined = self.metrics.gauge(
+            "repro_gateway_sidelined_workers", "Workers currently sidelined."
+        )
+        for worker_id in self._urls:
+            # materialize one series per worker so stats()/scrapes list the
+            # whole fleet from the first render, not just workers hit so far.
+            self._routed.inc(0, worker=worker_id)
         #: keep-alive connections to each worker (the gateway->worker hop
         #: carries all traffic; re-handshaking per proxy call would dominate).
         self._conn_pool: dict[str, list[http.client.HTTPConnection]] = {
@@ -231,13 +270,13 @@ class ClusterGateway:
                 continue
             if fingerprint:
                 self.fingerprint = str(fingerprint)
+                self.metrics.const_labels["fingerprint"] = self.fingerprint
                 return
 
     # -- dispatch ----------------------------------------------------------------
     def handle(self, verb: str, path: str, body: bytes | None) -> _Reply:
         """Serve one gateway request; never raises."""
-        with self._lock:
-            self._requests += 1
+        self._requests.inc()
         try:
             return self._route(verb, path, body)
         except Exception as exc:  # noqa: BLE001 - rendered as a 500 envelope
@@ -257,6 +296,15 @@ class ClusterGateway:
             return self._aggregate_health()
         if (verb, path) == ("GET", "/v1/stats"):
             return self._aggregate_stats()
+        if (verb, path) == ("GET", "/v1/metrics"):
+            return _Reply(
+                status=200,
+                body=self.metrics.render_prometheus().encode("utf-8"),
+                headers={},
+                content_type=PROMETHEUS_CONTENT_TYPE,
+            )
+        if (verb, path) == ("GET", "/v1/dashboard"):
+            return self._dashboard()
         if (verb, path) == ("GET", "/v1/methods"):
             return self._forward_any(verb, path)
         if (verb, path) == ("POST", "/v1/expand"):
@@ -282,6 +330,11 @@ class ClusterGateway:
         the request (sidelining it) or :class:`_BackendUnsafe` when it did
         but no usable response arrived."""
         headers = {"Accept": "application/json"}
+        # Propagate the inbound request id so the worker's access log and
+        # envelope carry the same correlation handle as the gateway's.
+        request_id = current_request_id()
+        if request_id:
+            headers[REQUEST_ID_HEADER] = request_id
         if body is not None:
             headers["Content-Type"] = "application/json"
         for replay in (False, True):
@@ -367,15 +420,31 @@ class ClusterGateway:
         # pooled sockets to a worker that just failed are almost certainly
         # dead too; drop them so recovery probes start clean.
         self._flush_connections(worker_id)
+        self._backend_errors.inc()
         with self._lock:
-            self._backend_errors += 1
             self._down_until[worker_id] = (
                 time.monotonic() + self.config.failover_cooldown_seconds
             )
+            self._refresh_sidelined_locked()
 
     def _mark_up(self, worker_id: str) -> None:
         with self._lock:
             self._down_until.pop(worker_id, None)
+            self._refresh_sidelined_locked()
+
+    def _refresh_sidelined_locked(self) -> None:
+        now = time.monotonic()
+        self._sidelined.set(
+            sum(1 for until in self._down_until.values() if now < until)
+        )
+
+    def _down_snapshot(self) -> dict[str, float]:
+        """One locked copy of the sideline table.  Callers that need several
+        workers' states read this snapshot instead of taking the lock per
+        worker — per-worker reads could interleave with a concurrent
+        ``_mark_down`` and order the same preference list inconsistently."""
+        with self._lock:
+            return dict(self._down_until)
 
     def _is_down(self, worker_id: str) -> bool:
         with self._lock:
@@ -387,8 +456,14 @@ class ClusterGateway:
         moved to the back (not dropped — if the whole fleet looks down, the
         request should still try everyone once rather than fail blind)."""
         preference = self._ring.preference(key)
-        up = [worker_id for worker_id in preference if not self._is_down(worker_id)]
-        down = [worker_id for worker_id in preference if self._is_down(worker_id)]
+        down_until = self._down_snapshot()
+        now = time.monotonic()
+
+        def sidelined(worker_id: str) -> bool:
+            return down_until.get(worker_id, 0.0) > now
+
+        up = [worker_id for worker_id in preference if not sidelined(worker_id)]
+        down = [worker_id for worker_id in preference if sidelined(worker_id)]
         return up + down
 
     def owner(self, method: str) -> str:
@@ -411,22 +486,18 @@ class ClusterGateway:
                     # error and let the *client's* policy decide.
                     return self._error_reply(503, _unavailable_payload(str(exc)))
                 last_error = exc
-                with self._lock:
-                    self._failovers += 1
+                self._failovers.inc()
                 continue
             except _BackendError as exc:
                 last_error = exc
-                with self._lock:
-                    self._failovers += 1
+                self._failovers.inc()
                 continue
             self._mark_up(worker_id)
-            with self._lock:
-                self._proxied += 1
-                self._routed[worker_id] += 1
+            self._proxied.inc()
+            self._routed.inc(worker=worker_id)
             headers[WORKER_HEADER] = worker_id
             return _Reply(status=status, body=raw, headers=headers)
-        with self._lock:
-            self._no_backend += 1
+        self._no_backend.inc()
         return self._error_reply(
             503,
             _unavailable_payload(
@@ -488,11 +559,18 @@ class ClusterGateway:
             key = shard_key(item["method"], self.fingerprint)
             groups.setdefault(key, []).append(index)
 
+        # contextvars do not follow work into pool threads: capture the
+        # request id here and re-bind it inside each scatter leg.
+        request_id = current_request_id()
+
         def run_group(key: str, indices: list[int]) -> None:
             sub_batch = json.dumps(
                 {"requests": [items[i] for i in indices]}
             ).encode("utf-8")
-            reply = self._proxy_with_failover(key, "POST", "/v1/expand/batch", sub_batch)
+            with request_scope(request_id):
+                reply = self._proxy_with_failover(
+                    key, "POST", "/v1/expand/batch", sub_batch
+                )
             sub_slots = self._batch_slots(reply, len(indices))
             for slot_index, item_index in enumerate(indices):
                 slots[item_index] = sub_slots[slot_index]
@@ -504,7 +582,9 @@ class ClusterGateway:
         for future in futures:
             future.result()
         data = {"responses": slots, "count": len(slots)}
-        return _Reply.envelope(200, success_envelope(new_request_id(), data))
+        return _Reply.envelope(
+            200, success_envelope(request_id or new_request_id(), data)
+        )
 
     @staticmethod
     def _batch_slots(reply: _Reply, expected: int) -> list[dict]:
@@ -530,10 +610,12 @@ class ClusterGateway:
         self, verb: str, path: str
     ) -> dict[str, tuple[int, bytes] | None]:
         """Call every worker concurrently; ``None`` marks an unreachable one."""
+        request_id = current_request_id()
 
         def run_one(worker_id: str) -> "tuple[int, bytes] | None":
             try:
-                status, raw, _headers = self._forward(worker_id, verb, path, None)
+                with request_scope(request_id):
+                    status, raw, _headers = self._forward(worker_id, verb, path, None)
             except _BackendError:
                 return None
             self._mark_up(worker_id)
@@ -572,7 +654,7 @@ class ClusterGateway:
             "healthy_workers": healthy,
             "total_workers": len(workers),
         }
-        request_id = new_request_id()
+        request_id = current_request_id() or new_request_id()
         if status >= 400:
             payload = _unavailable_payload("no healthy workers")
             payload["details"] = data
@@ -604,7 +686,103 @@ class ClusterGateway:
             "cluster": totals,
             "workers": workers,
         }
-        return _Reply.envelope(200, success_envelope(new_request_id(), data))
+        return _Reply.envelope(
+            200, success_envelope(current_request_id() or new_request_id(), data)
+        )
+
+    def _dashboard(self) -> _Reply:
+        """One joined fleet view for ``repro cluster top`` and dashboards:
+        per-worker health, request/error/latency rollups, cache hit rates,
+        substrate residency, and live fit-job phases — two concurrent
+        scatters (stats + fit jobs) joined gateway-side so a terminal
+        refresh costs one round trip, not 2N."""
+        stats_results = self._worker_scatter("GET", "/v1/stats")
+        jobs_results = self._worker_scatter("GET", "/v1/fits")
+        workers: dict[str, dict] = {}
+        healthy = 0
+        latencies: list[dict] = []
+        totals = {"requests": 0, "errors": 0, "cache_hits": 0, "cache_misses": 0}
+        for worker_id in self._ring.nodes:
+            url = self._backend_urls[worker_id]
+            data = self._parse_envelope_data(stats_results[worker_id])
+            if data is None:
+                workers[worker_id] = {"healthy": False, "url": url}
+                continue
+            healthy += 1
+            service = data.get("service") or {}
+            cache = data.get("cache") or {}
+            registry = data.get("registry") or {}
+            substrates = registry.get("substrates") or {}
+            latency = dict(service.get("latency_ms") or {})
+            if latency.get("buckets"):
+                # copy: ``latency`` loses its buckets below for the per-worker
+                # view, but the merge needs them.
+                latencies.append(dict(latency))
+            hits = int(cache.get("hits", 0))
+            misses = int(cache.get("misses", 0))
+            lookups = hits + misses
+            totals["requests"] += int(service.get("requests", 0))
+            totals["errors"] += int(service.get("errors", 0))
+            totals["cache_hits"] += hits
+            totals["cache_misses"] += misses
+            fit_jobs = []
+            jobs_data = self._parse_envelope_data(jobs_results.get(worker_id)) or {}
+            for job in jobs_data.get("jobs") or []:
+                if isinstance(job, dict) and job.get("status") in ("queued", "running"):
+                    fit_jobs.append(
+                        {
+                            "method": job.get("method"),
+                            "status": job.get("status"),
+                            "phase": job.get("phase"),
+                        }
+                    )
+            # the raw bucket list is scrape food, not dashboard food.
+            latency.pop("buckets", None)
+            workers[worker_id] = {
+                "healthy": True,
+                "url": url,
+                "requests": int(service.get("requests", 0)),
+                "errors": int(service.get("errors", 0)),
+                "cache_hit_rate": (hits / lookups) if lookups else 0.0,
+                "latency_ms": latency,
+                "fitted": registry.get("fitted") or [],
+                "pinned": registry.get("pinned") or [],
+                "substrates_resident": int(substrates.get("resident", 0)),
+                "fit_jobs": fit_jobs,
+            }
+        total = len(self._ring.nodes)
+        status = "ok" if healthy == total else ("degraded" if healthy else "down")
+        lookups = totals["cache_hits"] + totals["cache_misses"]
+        data = {
+            "fleet": {
+                "status": status,
+                "healthy_workers": healthy,
+                "total_workers": total,
+            },
+            "cluster": {
+                "requests": totals["requests"],
+                "errors": totals["errors"],
+                "cache_hit_rate": (totals["cache_hits"] / lookups) if lookups else 0.0,
+                "latency_ms": merge_bucket_lists(latencies),
+            },
+            "workers": workers,
+            "gateway": self.stats(),
+        }
+        return _Reply.envelope(
+            200, success_envelope(current_request_id() or new_request_id(), data)
+        )
+
+    @staticmethod
+    def _parse_envelope_data(result: "tuple[int, bytes] | None") -> dict | None:
+        """The ``data`` object of one scattered worker envelope, or ``None``
+        for an unreachable/failed worker or an unparseable body."""
+        if result is None or result[0] != 200:
+            return None
+        try:
+            data = json.loads(result[1].decode("utf-8")).get("data")
+        except (UnicodeDecodeError, ValueError, AttributeError):
+            return None
+        return data if isinstance(data, dict) else None
 
     def _merged_fit_jobs(self) -> _Reply:
         results = self._worker_scatter("GET", "/v1/fits")
@@ -621,7 +799,9 @@ class ClusterGateway:
                     jobs.append({**job, "worker_id": worker_id})
         jobs.sort(key=lambda job: -float(job.get("created_at") or 0.0))
         data = {"jobs": jobs, "count": len(jobs)}
-        return _Reply.envelope(200, success_envelope(new_request_id(), data))
+        return _Reply.envelope(
+            200, success_envelope(current_request_id() or new_request_id(), data)
+        )
 
     def _find_fit_job(self, verb: str, path: str) -> _Reply:
         """Ask the fleet for one job id, owner-agnostic: jobs were routed by
@@ -642,9 +822,8 @@ class ClusterGateway:
             self._mark_up(worker_id)
             reachable += 1
             if status != 404:
-                with self._lock:
-                    self._proxied += 1
-                    self._routed[worker_id] += 1
+                self._proxied.inc()
+                self._routed.inc(worker=worker_id)
                 headers[WORKER_HEADER] = worker_id
                 return _Reply(status=status, body=raw, headers=headers)
         if not reachable:
@@ -665,23 +844,28 @@ class ClusterGateway:
 
     # -- introspection -----------------------------------------------------------
     def stats(self) -> dict:
-        with self._lock:
-            return {
-                "workers": list(self._ring.nodes),
-                "fingerprint": self.fingerprint,
-                "virtual_nodes": self._ring.virtual_nodes,
-                "requests": self._requests,
-                "proxied": self._proxied,
-                "failovers": self._failovers,
-                "backend_errors": self._backend_errors,
-                "no_backend_available": self._no_backend,
-                "routed": dict(self._routed),
-                "sidelined": sorted(
-                    worker_id
-                    for worker_id, until in self._down_until.items()
-                    if time.monotonic() < until
-                ),
-            }
+        """The legacy stats dict (wire shape pinned), as a registry view."""
+        down_until = self._down_snapshot()
+        now = time.monotonic()
+        return {
+            "workers": list(self._ring.nodes),
+            "fingerprint": self.fingerprint,
+            "virtual_nodes": self._ring.virtual_nodes,
+            "requests": int(self._requests.total()),
+            "proxied": int(self._proxied.total()),
+            "failovers": int(self._failovers.total()),
+            "backend_errors": int(self._backend_errors.total()),
+            "no_backend_available": int(self._no_backend.total()),
+            "routed": {
+                worker_id: int(self._routed.value(worker=worker_id))
+                for worker_id in self._urls
+            },
+            "sidelined": sorted(
+                worker_id
+                for worker_id, until in down_until.items()
+                if now < until
+            ),
+        }
 
     # -- helpers -----------------------------------------------------------------
     @staticmethod
@@ -695,7 +879,8 @@ class ClusterGateway:
 
     @staticmethod
     def _error_reply(status: int, payload: dict) -> _Reply:
-        return _Reply.envelope(status, error_envelope(new_request_id(), payload))
+        request_id = current_request_id() or new_request_id()
+        return _Reply.envelope(status, error_envelope(request_id, payload))
 
 
 class _GatewayHandler(BaseHTTPRequestHandler):
@@ -718,7 +903,29 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         self._handle("DELETE")
 
     def _handle(self, verb: str) -> None:
+        started = time.perf_counter()
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        # Honor a syntactically valid client-supplied X-Request-Id so one id
+        # correlates gateway log, worker log, and envelope; replace anything
+        # malformed rather than echoing hostile bytes into logs and headers.
+        inbound = (self.headers.get(REQUEST_ID_HEADER) or "").strip()
+        request_id = inbound if is_valid_request_id(inbound) else new_request_id()
+        with request_scope(request_id):
+            reply = self._serve(verb, path)
+        # proxied replies already carry the worker's echoed id (equal to
+        # ours, since we forward it); gateway-local envelopes get it here.
+        reply.headers.setdefault(REQUEST_ID_HEADER, request_id)
+        self._send(reply)
+        self._access_log(
+            request_id=reply.headers[REQUEST_ID_HEADER],
+            verb=verb,
+            route=path,
+            status=reply.status,
+            latency_ms=(time.perf_counter() - started) * 1000.0,
+            worker=reply.headers.get(WORKER_HEADER),
+        )
+
+    def _serve(self, verb: str, path: str) -> _Reply:
         body: bytes | None = None
         if verb == "POST":
             try:
@@ -726,18 +933,15 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             except ValueError:
                 length = -1
             if length < 0 or length > MAX_BODY_BYTES:
-                reply = ClusterGateway._error_reply(
+                return ClusterGateway._error_reply(
                     400, _invalid_payload("invalid or oversized request body")
                 )
-                self._send(reply)
-                return
             body = self.rfile.read(length) if length else None
-        reply = self.gateway.handle(verb, path, body)
-        self._send(reply)
+        return self.gateway.handle(verb, path, body)
 
     def _send(self, reply: _Reply) -> None:
         self.send_response(reply.status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", reply.content_type)
         self.send_header("Content-Length", str(len(reply.body)))
         for name, value in reply.headers.items():
             self.send_header(name, value)
@@ -746,6 +950,32 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             self.close_connection = True
         self.end_headers()
         self.wfile.write(reply.body)
+
+    def _access_log(
+        self,
+        request_id: str,
+        verb: str,
+        route: str,
+        status: int,
+        latency_ms: float,
+        worker: str | None,
+    ) -> None:
+        if not self.gateway.config.gateway_access_log:
+            return
+        gateway_access_logger.info(
+            "%s",
+            json.dumps(
+                {
+                    "request_id": request_id,
+                    "method": verb,
+                    "route": route,
+                    "status": status,
+                    "latency_ms": round(latency_ms, 3),
+                    "worker": worker,
+                },
+                sort_keys=True,
+            ),
+        )
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass

@@ -351,8 +351,18 @@ class ServiceConfig:
     #: grows past this many bytes, least-recently-restored artifacts are
     #: evicted first; ``None`` cleans only the staging area.
     store_max_bytes: int | None = None
+    #: record counters/gauges/latency histograms on the service's metrics
+    #: registry (:mod:`repro.obs`); ``False`` swaps in no-op instruments —
+    #: the mode the benchmark overhead guard measures its baseline with.
+    metrics_enabled: bool = True
+    #: emit a JSON slow-query log line (logger ``repro.obs.slowlog``) for
+    #: every expand slower than this many milliseconds, with per-stage span
+    #: timings attached; ``None`` disables the slow-query log.
+    slow_query_ms: float | None = None
 
     def validate(self) -> None:
+        if self.slow_query_ms is not None and self.slow_query_ms < 0:
+            raise ConfigurationError("slow_query_ms must be non-negative or None")
         if self.store_dir is not None and not str(self.store_dir).strip():
             raise ConfigurationError("store_dir must be a non-empty path or None")
         if self.fit_lock_wait_seconds <= 0:
@@ -425,6 +435,9 @@ class ClusterConfig:
     #: socket timeout for gateway -> worker proxy calls (covers in-request
     #: cold fits, hence much larger than the health timeout).
     proxy_timeout_seconds: float = 120.0
+    #: emit one structured JSON access-log line per gateway request on the
+    #: ``repro.cluster.access`` logger (mirrors ``ServiceConfig.access_log``).
+    gateway_access_log: bool = False
     #: per-worker serving parameters.
     service: ServiceConfig = field(default_factory=ServiceConfig)
 

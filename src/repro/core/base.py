@@ -26,6 +26,7 @@ from typing import Sequence
 
 from repro.dataset.ultrawiki import UltraWikiDataset
 from repro.exceptions import ExpansionError, PersistenceError
+from repro.obs import span
 from repro.types import ExpansionResult, Query
 
 
@@ -183,7 +184,8 @@ class Expander(ABC):
             raise ExpansionError(
                 f"query {query.query_id!r} references unknown class {query.class_id!r}"
             )
-        result = self._expand(query, top_k)
+        with span("expand", method=self.name, query=query.query_id):
+            result = self._expand(query, top_k)
         seeds = query.seed_ids()
         filtered = [item for item in result.ranking if item.entity_id not in seeds]
         return ExpansionResult(query_id=result.query_id, ranking=tuple(filtered[:top_k]))

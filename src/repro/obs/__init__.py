@@ -1,0 +1,48 @@
+"""repro.obs — unified telemetry: metrics registry, tracing, slow-query log.
+
+This package is the one place serving-layer counters live.  Components
+expose :class:`~repro.obs.metrics.MetricsRegistry` instruments instead of
+hand-rolled ``self._stats = {}`` dicts (a tier-1 lint test enforces this),
+and per-request stage timings ride the :mod:`~repro.obs.trace` ContextVar.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    PROMETHEUS_CONTENT_TYPE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    merge_bucket_lists,
+    percentile_from_buckets,
+)
+from repro.obs.slowlog import log_slow_query, slow_query_logger
+from repro.obs.trace import (
+    Trace,
+    activate,
+    current_request_id,
+    current_trace,
+    request_scope,
+    span,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "PROMETHEUS_CONTENT_TYPE",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Trace",
+    "activate",
+    "current_request_id",
+    "current_trace",
+    "default_registry",
+    "log_slow_query",
+    "merge_bucket_lists",
+    "percentile_from_buckets",
+    "request_scope",
+    "slow_query_logger",
+    "span",
+]

@@ -1,0 +1,41 @@
+"""Slow-query log: JSON lines for expand requests over a latency threshold.
+
+Enabled by ``ServiceConfig.slow_query_ms``; each emitted line carries the
+request id, method, query id, end-to-end latency, cache disposition, and
+the per-stage spans of the request's trace — enough to answer "where did
+this slow expand spend its time?" from the log alone.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+slow_query_logger = logging.getLogger("repro.obs.slowlog")
+
+
+def log_slow_query(
+    *,
+    request_id: str | None,
+    method: str,
+    query_id: str | None,
+    latency_ms: float,
+    threshold_ms: float,
+    cached: bool,
+    spans: list[dict] | None = None,
+    error: str | None = None,
+) -> None:
+    payload = {
+        "event": "slow_query",
+        "request_id": request_id,
+        "method": method,
+        "query_id": query_id,
+        "latency_ms": round(latency_ms, 3),
+        "threshold_ms": threshold_ms,
+        "cached": cached,
+    }
+    if error is not None:
+        payload["error"] = error
+    if spans:
+        payload["spans"] = spans
+    slow_query_logger.warning(json.dumps(payload, sort_keys=True))

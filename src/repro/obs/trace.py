@@ -1,0 +1,174 @@
+"""Lightweight request tracing for the expand hot path and fit jobs.
+
+A :class:`Trace` collects named spans (start offset + duration in
+milliseconds, relative to the trace's birth) for one request.  The active
+trace rides a :mod:`contextvars` ContextVar, so instrumented code deep in
+the stack opens spans with the module-level :func:`span` context manager
+without threading a trace object through every signature — and when no
+trace is active, :func:`span` is a no-op costing one ContextVar read,
+which is what keeps the uninstrumented hot path fast.
+
+Threading rules (load-bearing — the micro-batcher depends on them):
+
+* ``Trace._stack`` (the open-span chain used for parent/child nesting) is
+  only touched by the thread that activated the trace; it is *not*
+  shared across threads.
+* ``add_span`` and ``graft`` take the trace's lock, so a batch-executor
+  thread may stamp spans onto a caller's trace — but only **before** it
+  resolves the caller's future, because the caller reads its trace
+  immediately after ``future.result()`` returns.
+
+The same module carries the request-id ContextVar: the HTTP handler (or
+in-process transport) enters :func:`request_scope` around dispatch so any
+layer — gateway forwarding, envelope rendering, slow-query logging — can
+recover the id via :func:`current_request_id` without plumbing.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import threading
+import time
+from dataclasses import dataclass, field
+
+_TRACE: contextvars.ContextVar["Trace | None"] = contextvars.ContextVar(
+    "repro_obs_trace", default=None
+)
+_REQUEST_ID: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_obs_request_id", default=None
+)
+
+
+@dataclass
+class Span:
+    name: str
+    start_ms: float
+    duration_ms: float
+    parent: str | None = None
+    meta: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        payload = {
+            "name": self.name,
+            "start_ms": round(self.start_ms, 3),
+            "duration_ms": round(self.duration_ms, 3),
+        }
+        if self.parent is not None:
+            payload["parent"] = self.parent
+        if self.meta:
+            payload["meta"] = self.meta
+        return payload
+
+
+class Trace:
+    """Per-request span collector.  Cheap to build, safe to share for writes."""
+
+    __slots__ = ("request_id", "t0", "_lock", "_spans", "_stack")
+
+    def __init__(self, request_id: str | None = None):
+        self.request_id = request_id
+        self.t0 = time.perf_counter()
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        # Open-span names for nesting; only the activating thread touches it.
+        self._stack: list[str] = []
+
+    def now_ms(self) -> float:
+        return (time.perf_counter() - self.t0) * 1000.0
+
+    def add_span(
+        self,
+        name: str,
+        start_ms: float,
+        duration_ms: float,
+        parent: str | None = None,
+        **meta,
+    ) -> None:
+        """Record a finished span (thread-safe; usable from worker threads)."""
+        entry = Span(name, start_ms, duration_ms, parent=parent, meta=dict(meta))
+        with self._lock:
+            self._spans.append(entry)
+
+    def graft(self, other: "Trace", parent: str | None = None) -> None:
+        """Copy another trace's spans onto this one, re-based onto this
+        trace's clock and re-parented under ``parent`` (used to surface a
+        shared batch-execution trace inside each caller's trace)."""
+        offset_ms = (other.t0 - self.t0) * 1000.0
+        with other._lock:
+            copied = list(other._spans)
+        with self._lock:
+            for entry in copied:
+                self._spans.append(
+                    Span(
+                        entry.name,
+                        entry.start_ms + offset_ms,
+                        entry.duration_ms,
+                        parent=entry.parent if entry.parent is not None else parent,
+                        meta=dict(entry.meta),
+                    )
+                )
+
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def to_list(self) -> list[dict]:
+        spans = self.spans()
+        spans.sort(key=lambda entry: entry.start_ms)
+        return [entry.to_dict() for entry in spans]
+
+
+def current_trace() -> Trace | None:
+    return _TRACE.get()
+
+
+@contextlib.contextmanager
+def activate(trace: Trace | None):
+    """Make ``trace`` the active trace for the calling context."""
+    token = _TRACE.set(trace)
+    try:
+        yield trace
+    finally:
+        _TRACE.reset(token)
+
+
+@contextlib.contextmanager
+def span(name: str, **meta):
+    """Record a span on the active trace; a no-op when tracing is off.
+
+    Nesting is inferred from the activating thread's open-span stack, so
+
+        with span("batch"):
+            with span("execute"): ...
+
+    records ``execute`` with ``parent="batch"``.
+    """
+    trace = _TRACE.get()
+    if trace is None:
+        yield None
+        return
+    parent = trace._stack[-1] if trace._stack else None
+    trace._stack.append(name)
+    start_ms = trace.now_ms()
+    started = time.perf_counter()
+    try:
+        yield trace
+    finally:
+        duration_ms = (time.perf_counter() - started) * 1000.0
+        trace._stack.pop()
+        trace.add_span(name, start_ms, duration_ms, parent=parent, **meta)
+
+
+def current_request_id() -> str | None:
+    return _REQUEST_ID.get()
+
+
+@contextlib.contextmanager
+def request_scope(request_id: str | None):
+    """Bind the request id for the calling context (handler-entry scope)."""
+    token = _REQUEST_ID.set(request_id)
+    try:
+        yield request_id
+    finally:
+        _REQUEST_ID.reset(token)

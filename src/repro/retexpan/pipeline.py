@@ -28,6 +28,7 @@ from repro.core.resources import SharedResources
 from repro.dataset.ultrawiki import UltraWikiDataset
 from repro.exceptions import ExpansionError, PersistenceError
 from repro.lm.context_encoder import EntityRepresentations
+from repro.obs import span
 from repro.retexpan.contrastive import UltraContrastiveLearner
 from repro.substrate import ENTITY_REPRESENTATIONS
 from repro.retexpan.expansion import positive_similarity_scores, top_k_expansion
@@ -193,11 +194,13 @@ class RetExpan(Expander):
         if self._representations is None:
             raise ExpansionError("RetExpan is not fitted")
         vectors = self._representations.hidden
-        candidates = self.candidate_ids(query)
+        with span("candidates"):
+            candidates = self.candidate_ids(query)
 
-        scores = positive_similarity_scores(
-            candidates, query.positive_seed_ids, vectors
-        )
+        with span("score"):
+            scores = positive_similarity_scores(
+                candidates, query.positive_seed_ids, vectors
+            )
         expansion_size = max(self.config.expansion_size, top_k)
         initial = top_k_expansion(scores, k=expansion_size)
         if self._contrastive is not None:

@@ -17,14 +17,23 @@ the classic serving pattern:
 With ``max_wait_ms=0`` the batcher degrades to synchronous per-request
 execution in the caller's thread (no window, no workers), which is the
 right mode for single-user CLI queries.
+
+Tracing: contextvars do not follow a request onto the batch worker thread,
+so ``submit`` captures each caller's active :class:`~repro.obs.Trace` into
+the bucket, and ``_run`` stamps per-caller queue-wait spans and grafts the
+shared execution trace back onto every caller — strictly **before**
+resolving the futures, because callers read their trace as soon as
+``future.result()`` returns.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Sequence
 
+from repro.obs import MetricsRegistry, Trace, activate, current_trace, span
 from repro.types import ExpansionResult, Query
 
 #: executes one coalesced batch: (method, top_k, queries) -> results.
@@ -34,12 +43,14 @@ BatchExecutor = Callable[[str, int, Sequence[Query]], Sequence[ExpansionResult]]
 class _Bucket:
     """Requests collected for one (method, top_k) batch in flight."""
 
-    __slots__ = ("generation", "queries", "futures")
+    __slots__ = ("generation", "queries", "futures", "traces")
 
     def __init__(self, generation: int):
         self.generation = generation
         self.queries: list[Query] = []
         self.futures: list[Future] = []
+        #: per caller: (its active Trace or None, perf_counter at join time).
+        self.traces: list[tuple[Trace | None, float]] = []
 
 
 class MicroBatcher:
@@ -51,6 +62,7 @@ class MicroBatcher:
         max_batch_size: int = 16,
         max_wait_ms: float = 2.0,
         num_workers: int = 2,
+        metrics: MetricsRegistry | None = None,
     ):
         self._execute = execute
         self.max_batch_size = max(1, max_batch_size)
@@ -66,10 +78,27 @@ class MicroBatcher:
             if self.max_wait_s > 0
             else None
         )
-        self._requests = 0
-        self._batches = 0
-        self._batched_requests = 0
-        self._max_batch = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._requests = self.metrics.counter(
+            "repro_batch_requests_total", "Requests submitted to the micro-batcher."
+        )
+        self._batches = self.metrics.counter(
+            "repro_batch_batches_total", "Coalesced batches executed."
+        )
+        self._batched_requests = self.metrics.counter(
+            "repro_batch_batched_requests_total",
+            "Requests executed as part of a batch (sum of batch sizes).",
+        )
+        self._max_batch = self.metrics.gauge(
+            "repro_batch_max_size_observed", "Largest batch executed so far."
+        )
+        self._queue_wait = self.metrics.histogram(
+            "repro_batch_queue_wait_ms",
+            "Time a request spent waiting in its batch collection window.",
+        )
+        self._execute_ms = self.metrics.histogram(
+            "repro_batch_execute_ms", "Wall time of one coalesced batch execution."
+        )
 
     # -- submission -----------------------------------------------------------------
     def submit(self, method: str, query: Query, top_k: int) -> Future:
@@ -77,10 +106,12 @@ class MicroBatcher:
         future: Future = Future()
         if self._pool is None:
             # Synchronous mode: execute in the caller's thread, batch of one.
+            # The caller's trace is still the active contextvar here, so the
+            # execute span nests under the caller's own spans naturally.
             with self._lock:
                 if self._closed:
                     raise RuntimeError("batcher is shut down")
-            self._record(1)
+            self._record(1, sync=True)
             self._run([query], [future], method, top_k)
             return future
         key = (method, top_k)
@@ -88,7 +119,7 @@ class MicroBatcher:
         with self._lock:
             if self._closed:
                 raise RuntimeError("batcher is shut down")
-            self._requests += 1
+            self._requests.inc()
             bucket = self._buckets.get(key)
             if bucket is None:
                 self._generation += 1
@@ -101,6 +132,7 @@ class MicroBatcher:
                 timer.start()
             bucket.queries.append(query)
             bucket.futures.append(future)
+            bucket.traces.append((current_trace(), time.perf_counter()))
             if len(bucket.queries) >= self.max_batch_size:
                 flush_now = self._buckets.pop(key)
         if flush_now is not None:
@@ -118,11 +150,18 @@ class MicroBatcher:
 
     def _submit_batch(self, bucket: _Bucket, method: str, top_k: int) -> None:
         try:
-            self._pool.submit(self._run, bucket.queries, bucket.futures, method, top_k)
+            self._pool.submit(
+                self._run,
+                bucket.queries,
+                bucket.futures,
+                method,
+                top_k,
+                bucket.traces,
+            )
         except RuntimeError:
             # The pool shut down between the closed-check and the submit;
             # execute inline so no caller is left waiting on its future.
-            self._run(bucket.queries, bucket.futures, method, top_k)
+            self._run(bucket.queries, bucket.futures, method, top_k, bucket.traces)
 
     # -- execution ------------------------------------------------------------------
     def _run(
@@ -131,30 +170,71 @@ class MicroBatcher:
         futures: list[Future],
         method: str,
         top_k: int,
+        traces: list[tuple[Trace | None, float]] | None = None,
     ) -> None:
         if self._pool is not None:
             self._record(len(queries))
-        try:
-            results = list(self._execute(method, top_k, queries))
-            if len(results) != len(queries):
-                raise RuntimeError(
-                    f"batch executor returned {len(results)} results "
-                    f"for {len(queries)} queries"
+        run_started = time.perf_counter()
+        # A batch executes on a pool thread with no contextvars from any
+        # caller; collect its stage spans on a shared trace (only when some
+        # caller is actually tracing) and graft them back afterwards.
+        batch_trace: Trace | None = None
+        if traces and any(t is not None for t, _joined in traces):
+            batch_trace = Trace()
+        error: BaseException | None = None
+        results: list[ExpansionResult] = []
+        if batch_trace is not None:
+            with activate(batch_trace):
+                error, results = self._guarded_execute(method, top_k, queries)
+        else:
+            error, results = self._guarded_execute(method, top_k, queries)
+        self._execute_ms.observe(
+            (time.perf_counter() - run_started) * 1000.0, method=method
+        )
+        # All trace mutation happens BEFORE any future resolves: callers read
+        # their trace the moment future.result() returns.
+        if traces:
+            for caller_trace, joined_at in traces:
+                wait_ms = (run_started - joined_at) * 1000.0
+                self._queue_wait.observe(wait_ms, method=method)
+                if caller_trace is None:
+                    continue
+                caller_trace.add_span(
+                    "queue_wait",
+                    (joined_at - caller_trace.t0) * 1000.0,
+                    wait_ms,
+                    parent="batch",
                 )
-        except BaseException as exc:  # propagate to every waiting caller
+                if batch_trace is not None:
+                    caller_trace.graft(batch_trace, parent="batch")
+        if error is not None:
             for future in futures:
-                future.set_exception(exc)
+                future.set_exception(error)
             return
         for future, result in zip(futures, results):
             future.set_result(result)
 
-    def _record(self, batch_size: int) -> None:
-        with self._lock:
-            if self._pool is None:
-                self._requests += 1
-            self._batches += 1
-            self._batched_requests += batch_size
-            self._max_batch = max(self._max_batch, batch_size)
+    def _guarded_execute(
+        self, method: str, top_k: int, queries: list[Query]
+    ) -> tuple[BaseException | None, list[ExpansionResult]]:
+        with span("execute", batch_size=len(queries), method=method):
+            try:
+                results = list(self._execute(method, top_k, queries))
+                if len(results) != len(queries):
+                    raise RuntimeError(
+                        f"batch executor returned {len(results)} results "
+                        f"for {len(queries)} queries"
+                    )
+                return None, results
+            except BaseException as exc:  # propagated to every waiting caller
+                return exc, []
+
+    def _record(self, batch_size: int, sync: bool = False) -> None:
+        if sync:
+            self._requests.inc()
+        self._batches.inc()
+        self._batched_requests.inc(batch_size)
+        self._max_batch.set_max(batch_size)
 
     # -- lifecycle ------------------------------------------------------------------
     def shutdown(self) -> None:
@@ -164,20 +244,20 @@ class MicroBatcher:
             pending = list(self._buckets.items())
             self._buckets.clear()
         for (method, top_k), bucket in pending:
-            self._run(bucket.queries, bucket.futures, method, top_k)
+            self._run(bucket.queries, bucket.futures, method, top_k, bucket.traces)
         if self._pool is not None:
             self._pool.shutdown(wait=True)
 
     def stats(self) -> dict:
-        with self._lock:
-            return {
-                "requests": self._requests,
-                "batches": self._batches,
-                "max_batch_size_observed": self._max_batch,
-                "avg_batch_size": (
-                    self._batched_requests / self._batches if self._batches else 0.0
-                ),
-                "max_batch_size": self.max_batch_size,
-                "max_wait_ms": self.max_wait_s * 1000.0,
-                "mode": "sync" if self._pool is None else "batched",
-            }
+        """The legacy counter dict, now a view over the metrics registry."""
+        batches = int(self._batches.total())
+        batched = int(self._batched_requests.total())
+        return {
+            "requests": int(self._requests.total()),
+            "batches": batches,
+            "max_batch_size_observed": int(self._max_batch.total()),
+            "avg_batch_size": (batched / batches) if batches else 0.0,
+            "max_batch_size": self.max_batch_size,
+            "max_wait_ms": self.max_wait_s * 1000.0,
+            "mode": "sync" if self._pool is None else "batched",
+        }

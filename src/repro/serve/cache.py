@@ -10,8 +10,9 @@ get re-issued by dashboards, retries, and pagination), so the service caches
   dropped, so long-lived services pick up refitted models eventually.
 
 All operations are O(1) under a single lock; hit/miss/eviction/expiry
-counters are exposed through :meth:`stats` and surfaced by the ``/stats``
-endpoint.
+counters live on a :class:`~repro.obs.MetricsRegistry` (a private one by
+default, the owning service's when injected) and :meth:`stats` stays a
+wire-compatible view over them for the ``/stats`` endpoint.
 """
 
 from __future__ import annotations
@@ -20,6 +21,8 @@ import threading
 import time
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
+
+from repro.obs import MetricsRegistry
 
 
 class ResultCache:
@@ -30,6 +33,7 @@ class ResultCache:
         capacity: int = 1024,
         ttl_seconds: float | None = None,
         clock: Callable[[], float] = time.monotonic,
+        metrics: MetricsRegistry | None = None,
     ):
         """``clock`` is injectable so tests can drive expiry deterministically."""
         self.capacity = capacity
@@ -38,26 +42,45 @@ class ResultCache:
         self._lock = threading.Lock()
         #: key -> (value, insertion timestamp); order is recency (newest last).
         self._entries: OrderedDict[Hashable, tuple[Any, float]] = OrderedDict()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._expirations = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._hits = self.metrics.counter(
+            "repro_cache_hits_total", "Result-cache lookups served from cache."
+        )
+        self._misses = self.metrics.counter(
+            "repro_cache_misses_total", "Result-cache lookups that missed."
+        )
+        self._evictions = self.metrics.counter(
+            "repro_cache_evictions_total", "Entries evicted by the LRU capacity bound."
+        )
+        self._expirations = self.metrics.counter(
+            "repro_cache_expirations_total", "Entries dropped past their TTL."
+        )
+        self._size = self.metrics.gauge(
+            "repro_cache_size", "Entries currently resident in the result cache."
+        )
+        # hot-path handles: every lookup touches one of these.
+        self._hits_series = self._hits.labels()
+        self._misses_series = self._misses.labels()
+        self._evictions_series = self._evictions.labels()
+        self._expirations_series = self._expirations.labels()
+        self._size_series = self._size.labels()
 
     def get(self, key: Hashable) -> Any | None:
         """The cached value, or ``None`` on a miss or an expired entry."""
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
-                self._misses += 1
+                self._misses_series.inc()
                 return None
             value, stored_at = entry
             if self._expired(stored_at):
                 del self._entries[key]
-                self._expirations += 1
-                self._misses += 1
+                self._size_series.set(len(self._entries))
+                self._expirations_series.inc()
+                self._misses_series.inc()
                 return None
             self._entries.move_to_end(key)
-            self._hits += 1
+            self._hits_series.inc()
             return value
 
     def put(self, key: Hashable, value: Any) -> None:
@@ -70,11 +93,13 @@ class ResultCache:
             self._entries[key] = (value, self._clock())
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
-                self._evictions += 1
+                self._evictions_series.inc()
+            self._size_series.set(len(self._entries))
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._size.set(0)
 
     def _expired(self, stored_at: float) -> bool:
         return self.ttl_seconds is not None and (
@@ -86,16 +111,19 @@ class ResultCache:
             return len(self._entries)
 
     def stats(self) -> dict:
-        """Counters and shape of the cache as a plain dict."""
+        """The legacy counter dict, now a view over the metrics registry."""
         with self._lock:
-            total = self._hits + self._misses
-            return {
-                "size": len(self._entries),
-                "capacity": self.capacity,
-                "ttl_seconds": self.ttl_seconds,
-                "hits": self._hits,
-                "misses": self._misses,
-                "hit_rate": (self._hits / total) if total else 0.0,
-                "evictions": self._evictions,
-                "expirations": self._expirations,
-            }
+            size = len(self._entries)
+        hits = int(self._hits.total())
+        misses = int(self._misses.total())
+        total = hits + misses
+        return {
+            "size": size,
+            "capacity": self.capacity,
+            "ttl_seconds": self.ttl_seconds,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / total) if total else 0.0,
+            "evictions": int(self._evictions.total()),
+            "expirations": int(self._expirations.total()),
+        }

@@ -193,6 +193,10 @@ class ExpandResponse:
     total: int = 0
     #: whether entity names were resolved for this response.
     names_resolved: bool = True
+    #: per-stage trace timings (span dicts), only when the request asked for
+    #: them via ``ExpandOptions.include_timings``; serialised under
+    #: ``debug.timings`` on the v1 wire and never on the legacy shape.
+    timings: tuple | None = None
 
     def entity_ids(self) -> list[int]:
         return [item.entity_id for item in self.ranking]
@@ -207,6 +211,7 @@ class ExpandResponse:
         cached: bool,
         latency_ms: float,
         options: ExpandOptions | None = None,
+        timings: tuple | None = None,
     ) -> "ExpandResponse":
         """Build a response view over an :class:`ExpansionResult`.
 
@@ -236,6 +241,7 @@ class ExpandResponse:
             offset=options.offset,
             total=total,
             names_resolved=names is not None,
+            timings=timings,
         )
 
     # -- wire shapes ---------------------------------------------------------------
@@ -247,7 +253,7 @@ class ExpandResponse:
             if self.names_resolved:
                 row["name"] = item.name
             items.append(row)
-        return {
+        payload = {
             "method": self.method,
             "query_id": self.query_id,
             "top_k": self.top_k,
@@ -259,6 +265,9 @@ class ExpandResponse:
             "cached": self.cached,
             "latency_ms": self.latency_ms,
         }
+        if self.timings is not None:
+            payload["debug"] = {"timings": [dict(entry) for entry in self.timings]}
+        return payload
 
     def to_legacy_dict(self) -> dict:
         """The exact pre-v1 ``POST /expand`` wire shape (pinned by tests)."""
@@ -296,6 +305,10 @@ class ExpandResponse:
             )
             for item in data.get("ranking", ())
         )
+        debug = data.get("debug")
+        timings = None
+        if isinstance(debug, Mapping) and isinstance(debug.get("timings"), list):
+            timings = tuple(dict(entry) for entry in debug["timings"])
         return cls(
             method=str(data.get("method", "")),
             query_id=str(data.get("query_id", "")),
@@ -306,6 +319,7 @@ class ExpandResponse:
             offset=int(data.get("offset", 0)),
             total=int(data.get("total", len(ranking))),
             names_resolved=names_resolved,
+            timings=timings,
         )
 
 

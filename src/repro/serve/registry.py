@@ -55,6 +55,7 @@ from repro.exceptions import (
     UnknownMethodError,
 )
 from repro.genexpan import GenExpan
+from repro.obs import MetricsRegistry, span
 from repro.retexpan import RetExpan
 from repro.store.fitlock import DEFAULT_STALE_SECONDS, FitLock
 
@@ -88,6 +89,7 @@ class ExpanderRegistry:
         fit_lock: bool = True,
         fit_lock_wait_seconds: float = 600.0,
         fit_lock_stale_seconds: float = DEFAULT_STALE_SECONDS,
+        metrics: MetricsRegistry | None = None,
     ):
         """``fit_lock`` elects a cross-process leader (via a lock file in the
         store directory) before any cold fit, so sibling workers sharing the
@@ -118,19 +120,47 @@ class ExpanderRegistry:
         self._entries: OrderedDict[tuple[str, str], Expander] = OrderedDict()
         self._pinned: set[tuple[str, str]] = set()
         self._fit_locks: dict[tuple[str, str], threading.Lock] = {}
-        self._fits = 0
-        self._hits = 0
-        self._evictions = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._fits = self.metrics.counter(
+            "repro_registry_fits_total", "Expander fits paid by this process."
+        )
+        self._hits = self.metrics.counter(
+            "repro_registry_hits_total", "Registry lookups served a resident expander."
+        )
+        self._evictions = self.metrics.counter(
+            "repro_registry_evictions_total", "Fitted expanders dropped from the LRU."
+        )
         #: artifact-store traffic counters (all zero when no store is attached).
-        self._restore_hits = 0
-        self._restore_misses = 0
-        self._write_throughs = 0
-        self._store_errors = 0
+        self._restore_hits = self.metrics.counter(
+            "repro_registry_restore_hits_total", "Expander restores from the store."
+        )
+        self._restore_misses = self.metrics.counter(
+            "repro_registry_restore_misses_total", "Store restores that missed."
+        )
+        self._write_throughs = self.metrics.counter(
+            "repro_registry_write_throughs_total", "Fits written through to the store."
+        )
+        self._store_errors = self.metrics.counter(
+            "repro_registry_store_errors_total", "Store failures absorbed while serving."
+        )
         #: cross-process fit-lock traffic counters.
-        self._fit_lock_acquires = 0
-        self._fit_lock_waits = 0
-        self._fit_lock_restores = 0
-        self._fit_lock_timeouts = 0
+        self._fit_lock_acquires = self.metrics.counter(
+            "repro_registry_fitlock_acquires_total", "Cross-process fit-lock wins."
+        )
+        self._fit_lock_waits = self.metrics.counter(
+            "repro_registry_fitlock_waits_total", "Waits behind another fit leader."
+        )
+        self._fit_lock_restores = self.metrics.counter(
+            "repro_registry_fitlock_restores_total",
+            "Restores of a leader-published artifact after a wait.",
+        )
+        self._fit_lock_timeouts = self.metrics.counter(
+            "repro_registry_fitlock_timeouts_total",
+            "Local fallback fits after a stuck leader exceeded the wait budget.",
+        )
+        # Substrate counters join the same registry so /v1/metrics exposes
+        # the full picture; an injected provider replays its prior values.
+        self.resources.provider.attach_metrics(self.metrics)
         #: wall-clock seconds of the most recent fit / restore per method.
         self._fit_seconds: dict[str, float] = {}
         self._restore_seconds: dict[str, float] = {}
@@ -208,7 +238,7 @@ class ExpanderRegistry:
             expander = self._entries.get(key)
             if expander is not None:
                 self._entries.move_to_end(key)
-                self._hits += 1
+                self._hits.inc()
                 return expander
             fit_lock = self._fit_locks.setdefault(key, threading.Lock())
         # Fit outside the registry lock so other methods stay servable, but
@@ -218,7 +248,7 @@ class ExpanderRegistry:
                 expander = self._entries.get(key)
                 if expander is not None:
                     self._entries.move_to_end(key)
-                    self._hits += 1
+                    self._hits.inc()
                     return expander
             expander = self._materialize(name, progress or (lambda _phase: None))
             with self._lock:
@@ -232,7 +262,9 @@ class ExpanderRegistry:
         ``(method, fingerprint)`` so a fleet sharing the store trains once."""
         expander = self._factories[name](self.resources)
         progress("restoring")
-        if self._try_restore(name, expander):
+        with span("store_restore", method=name):
+            restored = self._try_restore(name, expander)
+        if restored:
             return expander
         if not (self.fit_lock_enabled and expander.supports_persistence):
             return self._fit_and_publish(name, expander, progress)
@@ -247,8 +279,7 @@ class ExpanderRegistry:
         while True:
             if lock.try_acquire():
                 try:
-                    with self._lock:
-                        self._fit_lock_acquires += 1
+                    self._fit_lock_acquires.inc()
                     # Another leader may have published between our restore
                     # miss and winning the lock (it can finish entirely
                     # inside that window, so even an uncontended acquire is
@@ -258,25 +289,21 @@ class ExpanderRegistry:
                     if (contended or self.artifact_available(name)) and (
                         self._try_restore(name, expander)
                     ):
-                        with self._lock:
-                            self._fit_lock_restores += 1
+                        self._fit_lock_restores.inc()
                         return expander
                     return self._fit_and_publish(name, expander, progress)
                 finally:
                     lock.release()
             contended = True
-            with self._lock:
-                self._fit_lock_waits += 1
+            self._fit_lock_waits.inc()
             freed = lock.wait(timeout=max(0.0, deadline - time.monotonic()))
             if self._try_restore(name, expander):
-                with self._lock:
-                    self._fit_lock_restores += 1
+                self._fit_lock_restores.inc()
                 return expander
             if not freed or time.monotonic() >= deadline:
                 # The leader is stuck past our wait budget (or failed without
                 # publishing): fit locally — liveness beats single-payer.
-                with self._lock:
-                    self._fit_lock_timeouts += 1
+                self._fit_lock_timeouts.inc()
                 return self._fit_and_publish(name, expander, progress)
             # The lock was freed but nothing was published (the leader
             # crashed or its method cannot persist): stand for election.
@@ -295,17 +322,20 @@ class ExpanderRegistry:
         if dependencies:
             progress("fitting_substrates")
             provider = self.resources.provider
-            for kind, params in dependencies:
-                provider.get(kind, params)
+            with span("fit_substrates", method=name):
+                for kind, params in dependencies:
+                    provider.get(kind, params)
         progress("training")
         started = time.perf_counter()
-        expander.fit(self.dataset)
+        with span("train", method=name):
+            expander.fit(self.dataset)
         elapsed = time.perf_counter() - started
+        self._fits.inc()
         with self._lock:
-            self._fits += 1
             self._fit_seconds[name] = elapsed
         progress("publishing")
-        self._write_through(name, expander)
+        with span("publish", method=name):
+            self._write_through(name, expander)
         return expander
 
     def _try_restore(self, name: str, expander: Expander) -> bool:
@@ -320,8 +350,7 @@ class ExpanderRegistry:
         try:
             self.store.restore(name, self._fingerprint, expander, self.dataset)
         except ArtifactNotFoundError:
-            with self._lock:
-                self._restore_misses += 1
+            self._restore_misses.inc()
             return False
         except ArtifactVersionError:
             # Another (older or newer) build wrote this artifact.  Treat it
@@ -329,9 +358,8 @@ class ExpanderRegistry:
             # mixed-version workers sharing one store destroy each other's
             # artifacts back and forth.  The write-through after the refit
             # re-publishes this build's version.
-            with self._lock:
-                self._restore_misses += 1
-                self._store_errors += 1
+            self._restore_misses.inc()
+            self._store_errors.inc()
             return False
         except (StoreError, OSError):
             # Corrupt state (or a raw filesystem race): evict so the
@@ -341,13 +369,12 @@ class ExpanderRegistry:
             except (StoreError, OSError):
                 # A read-only store must not take down serving; refit anyway.
                 pass
-            with self._lock:
-                self._restore_misses += 1
-                self._store_errors += 1
+            self._restore_misses.inc()
+            self._store_errors.inc()
             return False
         elapsed = time.perf_counter() - started
+        self._restore_hits.inc()
         with self._lock:
-            self._restore_hits += 1
             self._restore_seconds[name] = elapsed
         return True
 
@@ -359,18 +386,16 @@ class ExpanderRegistry:
         except (StoreError, OSError):
             # Persistence is an optimisation; a failed write must never take
             # down the serving path that just produced a good fit.
-            with self._lock:
-                self._store_errors += 1
+            self._store_errors.inc()
             return
-        with self._lock:
-            self._write_throughs += 1
+        self._write_throughs.inc()
 
     def _evict_locked(self) -> None:
         unpinned = [k for k in self._entries if k not in self._pinned]
         while len(unpinned) > self.capacity:
             victim = unpinned.pop(0)
             del self._entries[victim]
-            self._evictions += 1
+            self._evictions.inc()
 
     # -- pinning -----------------------------------------------------------------
     def pin(self, method: str, progress: Callable[[str], None] | None = None) -> Expander:
@@ -398,35 +423,40 @@ class ExpanderRegistry:
             self._pinned.discard(key)
             if key in self._entries:
                 del self._entries[key]
-                self._evictions += 1
+                self._evictions.inc()
                 return True
             return False
 
     def stats(self) -> dict:
+        """The legacy stats dict (wire shape pinned), as a registry view."""
         with self._lock:
-            return {
-                "fitted": sorted(k[0] for k in self._entries),
-                "pinned": sorted(k[0] for k in self._pinned),
-                "capacity": self.capacity,
-                "dataset_fingerprint": self._fingerprint,
-                "fits": self._fits,
-                "hits": self._hits,
-                "evictions": self._evictions,
-                "fit_seconds": dict(self._fit_seconds),
-                "restore_seconds": dict(self._restore_seconds),
-                "store": {
-                    "enabled": self.store is not None,
-                    "restore_hits": self._restore_hits,
-                    "restore_misses": self._restore_misses,
-                    "write_throughs": self._write_throughs,
-                    "errors": self._store_errors,
-                },
-                "fit_lock": {
-                    "enabled": self.fit_lock_enabled,
-                    "acquires": self._fit_lock_acquires,
-                    "waits": self._fit_lock_waits,
-                    "restores_after_wait": self._fit_lock_restores,
-                    "timeouts": self._fit_lock_timeouts,
-                },
-                "substrates": self.resources.provider.stats(),
-            }
+            fitted = sorted(k[0] for k in self._entries)
+            pinned = sorted(k[0] for k in self._pinned)
+            fit_seconds = dict(self._fit_seconds)
+            restore_seconds = dict(self._restore_seconds)
+        return {
+            "fitted": fitted,
+            "pinned": pinned,
+            "capacity": self.capacity,
+            "dataset_fingerprint": self._fingerprint,
+            "fits": int(self._fits.total()),
+            "hits": int(self._hits.total()),
+            "evictions": int(self._evictions.total()),
+            "fit_seconds": fit_seconds,
+            "restore_seconds": restore_seconds,
+            "store": {
+                "enabled": self.store is not None,
+                "restore_hits": int(self._restore_hits.total()),
+                "restore_misses": int(self._restore_misses.total()),
+                "write_throughs": int(self._write_throughs.total()),
+                "errors": int(self._store_errors.total()),
+            },
+            "fit_lock": {
+                "enabled": self.fit_lock_enabled,
+                "acquires": int(self._fit_lock_acquires.total()),
+                "waits": int(self._fit_lock_waits.total()),
+                "restores_after_wait": int(self._fit_lock_restores.total()),
+                "timeouts": int(self._fit_lock_timeouts.total()),
+            },
+            "substrates": self.resources.provider.stats(),
+        }

@@ -24,14 +24,20 @@ from __future__ import annotations
 
 import json
 import logging
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import repro.api.v1 as apiv1
-from repro.api.envelope import REQUEST_ID_HEADER, new_request_id
+from repro.api.envelope import (
+    REQUEST_ID_HEADER,
+    is_valid_request_id,
+    new_request_id,
+)
 from repro.api.errors import error_payload, route_not_found_payload
 from repro.exceptions import ReproError
+from repro.obs import PROMETHEUS_CONTENT_TYPE, request_scope
 from repro.serve.service import ExpansionService
 
 #: request body size guard (1 MiB) against accidental or hostile payloads.
@@ -76,11 +82,37 @@ class _Handler(BaseHTTPRequestHandler):
     def _handle(self, verb: str) -> None:
         started = time.perf_counter()
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
-        request_id = new_request_id()
+        # Honor a syntactically valid client-supplied X-Request-Id so one id
+        # correlates gateway log, worker log, and envelope; replace anything
+        # malformed rather than echoing hostile bytes into logs and headers.
+        inbound = (self.headers.get(REQUEST_ID_HEADER) or "").strip()
+        request_id = inbound if is_valid_request_id(inbound) else new_request_id()
+        if verb == "GET" and path == "/v1/metrics":
+            self._send_raw(
+                200,
+                self.service.metrics.render_prometheus().encode("utf-8"),
+                PROMETHEUS_CONTENT_TYPE,
+                request_id,
+            )
+            self._access_log(
+                request_id=request_id,
+                verb=verb,
+                route=path,
+                status=200,
+                latency_ms=(time.perf_counter() - started) * 1000.0,
+                cached=None,
+                deprecated=False,
+            )
+            return
         legacy_target = LEGACY_ROUTES.get((verb, path))
         is_v1 = path.startswith("/v1")
 
-        result = self._dispatch(verb, legacy_target or path, is_v1 or bool(legacy_target))
+        # The request id rides a contextvar through dispatch so deeper
+        # layers (traces, the slow-query log) can recover it unplumbed.
+        with request_scope(request_id):
+            result = self._dispatch(
+                verb, legacy_target or path, is_v1 or bool(legacy_target)
+            )
         if legacy_target is not None:
             body = apiv1.render_legacy_body(result)
         elif is_v1:
@@ -134,9 +166,24 @@ class _Handler(BaseHTTPRequestHandler):
     def _send(
         self, status: int, body, request_id: str, deprecated: bool = False
     ) -> None:
-        encoded = json.dumps(body).encode("utf-8")
+        self._send_raw(
+            status,
+            json.dumps(body).encode("utf-8"),
+            "application/json",
+            request_id,
+            deprecated=deprecated,
+        )
+
+    def _send_raw(
+        self,
+        status: int,
+        encoded: bytes,
+        content_type: str,
+        request_id: str,
+        deprecated: bool = False,
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(encoded)))
         self.send_header(REQUEST_ID_HEADER, request_id)
         if deprecated:
@@ -184,6 +231,41 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
 
+class _TrackingHTTPServer(ThreadingHTTPServer):
+    """A ``ThreadingHTTPServer`` that can sever live keep-alive connections.
+
+    ``shutdown()`` only stops *new* connections; an idle keep-alive socket a
+    client still holds (e.g. a gateway's connection pool) would keep being
+    served by its handler thread, leaving a stopped worker looking healthy
+    to the rest of the fleet.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._open_connections: set = set()
+        self._connections_lock = threading.Lock()
+
+    def process_request(self, request, client_address):
+        with self._connections_lock:
+            self._open_connections.add(request)
+        super().process_request(request, client_address)
+
+    def shutdown_request(self, request):  # runs on the handler thread
+        with self._connections_lock:
+            self._open_connections.discard(request)
+        super().shutdown_request(request)
+
+    def close_all_connections(self) -> None:
+        with self._connections_lock:
+            connections = list(self._open_connections)
+            self._open_connections.clear()
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass  # the peer already hung up
+
+
 class ExpansionHTTPServer:
     """Owns the listening socket and (optionally) a background serving thread."""
 
@@ -197,7 +279,7 @@ class ExpansionHTTPServer:
         host = host if host is not None else service.config.host
         port = port if port is not None else service.config.port
         self.service = service
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd = _TrackingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.service = service  # type: ignore[attr-defined]
         self._httpd.api = apiv1.ApiV1(service)  # type: ignore[attr-defined]
@@ -229,6 +311,7 @@ class ExpansionHTTPServer:
 
     def shutdown(self) -> None:
         self._httpd.shutdown()
+        self._httpd.close_all_connections()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None

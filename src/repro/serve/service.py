@@ -12,9 +12,13 @@ Cold fits can also be warmed explicitly instead of stalling a first request:
 :meth:`start_fit` hands the method to a background :class:`JobManager`
 (``POST /v1/fits`` on the wire) and :meth:`fit_job` reports progress.
 
-Every layer keeps its own counters and :meth:`stats` merges them, so the
-``/v1/stats`` endpoint shows cache hit rates, fit counts, job states, and
-batch shapes for a running service.
+Telemetry is unified on one :class:`~repro.obs.MetricsRegistry` owned by the
+service (labelled with the dataset fingerprint) and shared with the cache,
+batcher, registry, and substrate provider; :meth:`stats` is a wire-compatible
+view over it, and the same registry renders ``GET /v1/metrics``.  Requests
+that ask for ``include_timings`` (or cross ``ServiceConfig.slow_query_ms``)
+carry a :class:`~repro.obs.Trace` through the hot path, so per-stage timings
+come back on the response and land in the slow-query log.
 """
 
 from __future__ import annotations
@@ -29,6 +33,14 @@ from repro.config import ServiceConfig
 from repro.core.resources import SharedResources
 from repro.dataset.ultrawiki import UltraWikiDataset
 from repro.exceptions import DatasetError, ServiceUnavailableError
+from repro.obs import (
+    MetricsRegistry,
+    Trace,
+    activate,
+    current_request_id,
+    log_slow_query,
+    span,
+)
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import ResultCache
 from repro.serve.protocol import ExpandRequest, ExpandResponse, MethodInfo
@@ -60,6 +72,13 @@ class ExpansionService:
         if store is None and self.config.store_dir is not None:
             store = ArtifactStore(self.config.store_dir)
         self.store = store
+        # One registry for every serving layer; stats() endpoints are views
+        # over it and /v1/metrics renders it.  metrics_enabled=False swaps in
+        # shared no-op instruments (the benchmark overhead baseline).
+        self.metrics = MetricsRegistry(
+            enabled=self.config.metrics_enabled,
+            const_labels={"dataset": dataset.fingerprint()},
+        )
         self.registry = ExpanderRegistry(
             dataset,
             resources=resources,
@@ -68,17 +87,20 @@ class ExpansionService:
             store=store,
             fit_lock=self.config.fit_lock,
             fit_lock_wait_seconds=self.config.fit_lock_wait_seconds,
+            metrics=self.metrics,
         )
         self.cache = ResultCache(
             capacity=self.config.cache_capacity,
             ttl_seconds=self.config.cache_ttl_seconds,
             clock=clock,
+            metrics=self.metrics,
         )
         self.batcher = MicroBatcher(
             self._execute_batch,
             max_batch_size=self.config.max_batch_size,
             max_wait_ms=self.config.batch_wait_ms,
             num_workers=self.config.batch_workers,
+            metrics=self.metrics,
         )
         self.jobs = JobManager(self.registry)
         self._queries_by_id: dict[str, Query] = {
@@ -88,9 +110,25 @@ class ExpansionService:
             e.entity_id: e.name for e in dataset.entities()
         }
         self._lock = threading.Lock()
-        self._requests = 0
-        self._errors = 0
-        self._adhoc = 0
+        self._requests = self.metrics.counter(
+            "repro_service_requests_total", "Expand requests submitted."
+        )
+        self._errors = self.metrics.counter(
+            "repro_service_errors_total", "Expand requests that raised."
+        )
+        self._adhoc = self.metrics.counter(
+            "repro_service_adhoc_queries_total", "Inline-seed (ad-hoc) queries."
+        )
+        self._latency = self.metrics.histogram(
+            "repro_request_latency_ms",
+            "End-to-end expand latency (cached and uncached).",
+        )
+        # hot-path handles: label resolution paid once, not per request.
+        self._requests_series = self._requests.labels()
+        self._errors_series = self._errors.labels()
+        self._latency_by_method: dict = {}
+        #: serial for adhoc query ids; must stay exact even with metrics off.
+        self._adhoc_serial = 0
         self._closed = False
         self._janitor: _StoreJanitor | None = None
         if store is not None and self.config.store_gc_interval_seconds is not None:
@@ -105,18 +143,42 @@ class ExpansionService:
     def submit(self, request: ExpandRequest) -> ExpandResponse:
         """Serve one request synchronously; raises a ReproError on bad input."""
         started = time.perf_counter()
+        # A trace is only built when someone will read it (the response's
+        # debug block or the slow-query log); the untraced hot path pays one
+        # ContextVar read per span site and nothing else.
+        trace: Trace | None = None
+        if request.options.include_timings or self.config.slow_query_ms is not None:
+            trace = Trace(request_id=current_request_id())
         try:
-            response = self._submit(request, started)
-        except BaseException:
-            with self._lock:
-                self._requests += 1
-                self._errors += 1
+            if trace is not None:
+                with activate(trace):
+                    response = self._submit(request, started, trace)
+            else:
+                response = self._submit(request, started, trace)
+        except BaseException as exc:
+            self._requests_series.inc()
+            self._errors_series.inc()
+            self._log_if_slow(
+                trace,
+                request,
+                latency_ms=(time.perf_counter() - started) * 1000.0,
+                cached=False,
+                error=type(exc).__name__,
+            )
             raise
-        with self._lock:
-            self._requests += 1
+        self._requests_series.inc()
+        self._log_if_slow(
+            trace,
+            request,
+            latency_ms=response.latency_ms,
+            cached=response.cached,
+            query_id=response.query_id,
+        )
         return response
 
-    def _submit(self, request: ExpandRequest, started: float) -> ExpandResponse:
+    def _submit(
+        self, request: ExpandRequest, started: float, trace: Trace | None = None
+    ) -> ExpandResponse:
         if self._closed:
             raise ServiceUnavailableError("service is shut down")
         request.validate()
@@ -128,14 +190,19 @@ class ExpansionService:
 
         key = request.cache_key(top_k)
         if options.use_cache:
-            cached = self.cache.get(key)
+            with span("cache_lookup"):
+                cached = self.cache.get(key)
             if cached is not None:
-                return self._respond(method, cached, options, top_k, True, started)
+                return self._respond(
+                    method, cached, options, top_k, True, started, trace
+                )
 
-        result = self.batcher.submit(method, query, top_k).result()
+        with span("batch", method=method):
+            result = self.batcher.submit(method, query, top_k).result()
         if options.use_cache:
-            self.cache.put(key, result)
-        return self._respond(method, result, options, top_k, False, started)
+            with span("cache_store"):
+                self.cache.put(key, result)
+        return self._respond(method, result, options, top_k, False, started, trace)
 
     def _respond(
         self,
@@ -145,15 +212,53 @@ class ExpansionService:
         top_k: int,
         cached: bool,
         started: float,
+        trace: Trace | None = None,
     ) -> ExpandResponse:
+        latency_ms = (time.perf_counter() - started) * 1000.0
+        observer = self._latency_by_method.get(method)
+        if observer is None:
+            # benign race: both losers bind the same series, one wins the slot.
+            observer = self._latency_by_method.setdefault(
+                method, self._latency.labels(method=method)
+            )
+        observer.observe(latency_ms)
+        timings = None
+        if trace is not None and options.include_timings:
+            timings = tuple(trace.to_list())
         return ExpandResponse.from_result(
             method,
             result,
             self._entity_names if options.return_names else None,
             top_k=top_k,
             cached=cached,
-            latency_ms=(time.perf_counter() - started) * 1000.0,
+            latency_ms=latency_ms,
             options=options,
+            timings=timings,
+        )
+
+    def _log_if_slow(
+        self,
+        trace: Trace | None,
+        request: ExpandRequest,
+        latency_ms: float,
+        cached: bool,
+        query_id: str | None = None,
+        error: str | None = None,
+    ) -> None:
+        threshold = self.config.slow_query_ms
+        if threshold is None or latency_ms < threshold:
+            return
+        log_slow_query(
+            request_id=(
+                trace.request_id if trace is not None else current_request_id()
+            ),
+            method=request.method,
+            query_id=query_id if query_id is not None else request.query_id,
+            latency_ms=latency_ms,
+            threshold_ms=threshold,
+            cached=cached,
+            spans=trace.to_list() if trace is not None else None,
+            error=error,
         )
 
     def _resolve_query(self, request: ExpandRequest) -> Query:
@@ -167,8 +272,9 @@ class ExpansionService:
         for entity_id in (*request.positive_seed_ids, *request.negative_seed_ids):
             self.dataset.entity(entity_id)  # raises DatasetError when unknown
         with self._lock:
-            self._adhoc += 1
-            serial = self._adhoc
+            self._adhoc_serial += 1
+            serial = self._adhoc_serial
+        self._adhoc.inc()
         return Query(
             query_id=f"adhoc-{serial}",
             class_id=request.class_id,
@@ -230,14 +336,19 @@ class ExpansionService:
         return infos
 
     def stats(self) -> dict:
-        with self._lock:
-            service = {
-                "requests": self._requests,
-                "errors": self._errors,
-                "adhoc_queries": self._adhoc,
-                "dataset_queries": len(self._queries_by_id),
-                "entities": len(self._entity_names),
-            }
+        latency = self._latency.merged()
+        latency.update(self._latency.percentiles())
+        service = {
+            "requests": int(self._requests.total()),
+            "errors": int(self._errors.total()),
+            "adhoc_queries": int(self._adhoc.total()),
+            "dataset_queries": len(self._queries_by_id),
+            "entities": len(self._entity_names),
+            # latency rides inside the pinned "service" sub-dict; the raw
+            # bucket list lets the gateway merge per-worker distributions
+            # into fleet-level percentiles.
+            "latency_ms": latency,
+        }
         merged = {
             "service": service,
             "cache": self.cache.stats(),

@@ -51,6 +51,7 @@ from repro.exceptions import StoreError, SubstrateError
 from repro.lm.causal_lm import CausalEntityLM
 from repro.lm.context_encoder import ContextEncoder, EntityRepresentations
 from repro.lm.embeddings import CooccurrenceEmbeddings
+from repro.obs import MetricsRegistry, span
 from repro.store.fitlock import DEFAULT_STALE_SECONDS, FitLock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -177,19 +178,85 @@ class SubstrateProvider:
         self._key_locks: dict[SubstrateKey, threading.Lock] = {}
         #: memory-only context encoders keyed by (encoder params hash, trained).
         self._encoders: dict[tuple[str, bool], ContextEncoder] = {}
-        self._hits = 0
-        self._misses = 0
-        self._fits = 0
-        self._restores = 0
-        self._publishes = 0
-        self._store_errors = 0
-        self._fit_lock_acquires = 0
-        self._fit_lock_waits = 0
-        self._fit_lock_restores = 0
-        self._fit_lock_timeouts = 0
+        self.metrics = MetricsRegistry()
+        self._bind_instruments(self.metrics)
         #: wall-clock seconds of the most recent fit / restore per kind.
         self._fit_seconds: dict[str, float] = {}
         self._restore_seconds: dict[str, float] = {}
+
+    def _bind_instruments(self, metrics: MetricsRegistry) -> None:
+        self._hits = metrics.counter(
+            "repro_substrate_hits_total", "Substrate lookups served a resident copy."
+        )
+        self._misses = metrics.counter(
+            "repro_substrate_misses_total", "Substrate lookups that required a fit."
+        )
+        self._fits = metrics.counter(
+            "repro_substrate_fits_total", "Substrate fits paid by this process."
+        )
+        self._restores = metrics.counter(
+            "repro_substrate_restores_total", "Substrates restored from artifacts."
+        )
+        self._publishes = metrics.counter(
+            "repro_substrate_publishes_total", "Substrate artifacts published."
+        )
+        self._store_errors = metrics.counter(
+            "repro_substrate_store_errors_total", "Store failures absorbed."
+        )
+        self._fit_lock_acquires = metrics.counter(
+            "repro_substrate_fitlock_acquires_total", "Cross-process fit-lock wins."
+        )
+        self._fit_lock_waits = metrics.counter(
+            "repro_substrate_fitlock_waits_total", "Waits behind another fit leader."
+        )
+        self._fit_lock_restores = metrics.counter(
+            "repro_substrate_fitlock_restores_total",
+            "Restores of a leader-published substrate after a wait.",
+        )
+        self._fit_lock_timeouts = metrics.counter(
+            "repro_substrate_fitlock_timeouts_total",
+            "Local fallback fits after a stuck leader exceeded the wait budget.",
+        )
+        self._resident = metrics.gauge(
+            "repro_substrate_resident", "Distinct substrate instances in memory."
+        )
+
+    def attach_metrics(self, metrics: MetricsRegistry) -> None:
+        """Re-home this provider's instruments onto ``metrics``.
+
+        Called by the serving registry so substrate counters render on the
+        service's ``/v1/metrics`` alongside everything else.  Values counted
+        before the attach (an injected, pre-warmed provider) are replayed
+        into the new registry so no traffic is lost; idempotent for the
+        registry already attached.
+        """
+        if metrics is self.metrics:
+            return
+        with self._lock:
+            previous = {
+                name: instrument.total()
+                for name, instrument in vars(self).items()
+                if name
+                in (
+                    "_hits",
+                    "_misses",
+                    "_fits",
+                    "_restores",
+                    "_publishes",
+                    "_store_errors",
+                    "_fit_lock_acquires",
+                    "_fit_lock_waits",
+                    "_fit_lock_restores",
+                    "_fit_lock_timeouts",
+                )
+            }
+            resident = len(self._cache)
+            self.metrics = metrics
+            self._bind_instruments(metrics)
+            for name, total in previous.items():
+                if total:
+                    getattr(self, name).inc(total)
+            self._resident.set(resident)
 
     # -- identity ----------------------------------------------------------------
     @property
@@ -253,18 +320,19 @@ class SubstrateProvider:
         with self._lock:
             cached = self._cache.get(key)
             if cached is not None:
-                self._hits += 1
+                self._hits.inc()
                 return cached
             key_lock = self._key_locks.setdefault(key, threading.Lock())
         with key_lock:
             with self._lock:
                 cached = self._cache.get(key)
                 if cached is not None:
-                    self._hits += 1
+                    self._hits.inc()
                     return cached
             instance = self._materialize(key, kind, params, resolver)
             with self._lock:
                 self._cache[key] = instance
+                self._resident.set(len(self._cache))
             return instance
 
     # -- materialisation ---------------------------------------------------------
@@ -274,18 +342,18 @@ class SubstrateProvider:
             # failure here is the artifact's corruption and must propagate
             # so the caller falls back to a refit of the whole method.
             started = time.perf_counter()
-            instance = resolver.load(
-                kind, key.content_hash, lambda d: self._load_substrate(kind, d)
-            )
+            with span("substrate_restore", kind=kind, source="resolver"):
+                instance = resolver.load(
+                    kind, key.content_hash, lambda d: self._load_substrate(kind, d)
+                )
+            self._restores.inc()
             with self._lock:
-                self._restores += 1
                 self._restore_seconds[kind] = time.perf_counter() - started
             return instance
         instance = self._try_restore_from_store(key, kind)
         if instance is not None:
             return instance
-        with self._lock:
-            self._misses += 1
+        self._misses.inc()
         if not self.fit_lock_enabled:
             return self._fit_and_publish(key, kind, params)
         return self._fit_single_payer(key, kind, params)
@@ -297,9 +365,10 @@ class SubstrateProvider:
             if not self.store.contains_substrate(kind, key.content_hash):
                 return None
             started = time.perf_counter()
-            instance = self.store.restore_substrate(
-                kind, key.content_hash, lambda d: self._load_substrate(kind, d)
-            )
+            with span("substrate_restore", kind=kind, source="store"):
+                instance = self.store.restore_substrate(
+                    kind, key.content_hash, lambda d: self._load_substrate(kind, d)
+                )
         except (StoreError, OSError):
             # Corrupt substrate artifact: evict it (even though method
             # manifests may reference it — it is unusable either way) so the
@@ -308,19 +377,19 @@ class SubstrateProvider:
                 self.store.evict_substrate(kind, key.content_hash, force=True)
             except (StoreError, OSError):
                 pass
-            with self._lock:
-                self._store_errors += 1
+            self._store_errors.inc()
             return None
+        self._restores.inc()
         with self._lock:
-            self._restores += 1
             self._restore_seconds[kind] = time.perf_counter() - started
         return instance
 
     def _fit_and_publish(self, key: SubstrateKey, kind: str, params: dict) -> object:
         started = time.perf_counter()
-        instance = self._fit_substrate(kind, params)
+        with span("substrate_fit", kind=kind):
+            instance = self._fit_substrate(kind, params)
+        self._fits.inc()
         with self._lock:
-            self._fits += 1
             self._fit_seconds[kind] = time.perf_counter() - started
         if self.store is not None:
             self._publish_instance(key, kind, instance, self.store)
@@ -340,30 +409,25 @@ class SubstrateProvider:
         while True:
             if lock.try_acquire():
                 try:
-                    with self._lock:
-                        self._fit_lock_acquires += 1
+                    self._fit_lock_acquires.inc()
                     if contended:
                         # A leader may have published while we stood in line.
                         instance = self._try_restore_from_store(key, kind)
                         if instance is not None:
-                            with self._lock:
-                                self._fit_lock_restores += 1
+                            self._fit_lock_restores.inc()
                             return instance
                     return self._fit_and_publish(key, kind, params)
                 finally:
                     lock.release()
             contended = True
-            with self._lock:
-                self._fit_lock_waits += 1
+            self._fit_lock_waits.inc()
             freed = lock.wait(timeout=max(0.0, deadline - time.monotonic()))
             instance = self._try_restore_from_store(key, kind)
             if instance is not None:
-                with self._lock:
-                    self._fit_lock_restores += 1
+                self._fit_lock_restores.inc()
                 return instance
             if not freed or time.monotonic() >= deadline:
-                with self._lock:
-                    self._fit_lock_timeouts += 1
+                self._fit_lock_timeouts.inc()
                 return self._fit_and_publish(key, kind, params)
             # Lock freed but nothing published (the leader crashed): run again.
 
@@ -404,11 +468,9 @@ class SubstrateProvider:
         except (StoreError, OSError):
             # Persistence is an optimisation; a failed write must never take
             # down the fit that just produced a good substrate.
-            with self._lock:
-                self._store_errors += 1
+            self._store_errors.inc()
             return
-        with self._lock:
-            self._publishes += 1
+        self._publishes.inc()
 
     # -- per-kind adapters -------------------------------------------------------
     def _fit_substrate(self, kind: str, params: dict) -> object:
@@ -476,26 +538,31 @@ class SubstrateProvider:
 
     # -- introspection -----------------------------------------------------------
     def stats(self) -> dict:
+        """The legacy stats dict (wire shape pinned), as a registry view."""
         with self._lock:
-            return {
-                "resident": len(self._cache),
-                "resident_kinds": sorted({key.kind for key in self._cache}),
-                "hits": self._hits,
-                "misses": self._misses,
-                "fits": self._fits,
-                "restores": self._restores,
-                "publishes": self._publishes,
-                "store_errors": self._store_errors,
-                "fit_seconds": dict(self._fit_seconds),
-                "restore_seconds": dict(self._restore_seconds),
-                "fit_lock": {
-                    "enabled": self.fit_lock_enabled,
-                    "acquires": self._fit_lock_acquires,
-                    "waits": self._fit_lock_waits,
-                    "restores_after_wait": self._fit_lock_restores,
-                    "timeouts": self._fit_lock_timeouts,
-                },
-            }
+            resident = len(self._cache)
+            resident_kinds = sorted({key.kind for key in self._cache})
+            fit_seconds = dict(self._fit_seconds)
+            restore_seconds = dict(self._restore_seconds)
+        return {
+            "resident": resident,
+            "resident_kinds": resident_kinds,
+            "hits": int(self._hits.total()),
+            "misses": int(self._misses.total()),
+            "fits": int(self._fits.total()),
+            "restores": int(self._restores.total()),
+            "publishes": int(self._publishes.total()),
+            "store_errors": int(self._store_errors.total()),
+            "fit_seconds": fit_seconds,
+            "restore_seconds": restore_seconds,
+            "fit_lock": {
+                "enabled": self.fit_lock_enabled,
+                "acquires": int(self._fit_lock_acquires.total()),
+                "waits": int(self._fit_lock_waits.total()),
+                "restores_after_wait": int(self._fit_lock_restores.total()),
+                "timeouts": int(self._fit_lock_timeouts.total()),
+            },
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

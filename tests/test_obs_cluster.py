@@ -1,0 +1,309 @@
+"""Fleet-level observability tests: /v1/dashboard, gateway /v1/metrics,
+``repro cluster top`` rendering, and end-to-end request-id correlation.
+
+Thread-backed workers (real :class:`ExpansionHTTPServer` instances on
+ephemeral ports) behind a real :class:`ClusterGateway`, as in
+``tests/test_cluster.py`` — both access logs land in this process, so one
+client-supplied ``X-Request-Id`` can be followed through the gateway log,
+the worker log, and the response envelope.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterGateway
+from repro.config import ServiceConfig
+from repro.core.base import Expander
+from repro.obs import PROMETHEUS_CONTENT_TYPE
+from repro.obs.top import render_dashboard
+from repro.serve import ExpansionHTTPServer, ExpansionService
+from repro.types import ExpansionResult
+
+#: enough methods that a 2-worker ring owns some on each shard.
+STUB_METHODS = tuple(f"stub{letter}" for letter in "abcdef")
+
+
+class DashStubExpander(Expander):
+    def __init__(self, salt: str):
+        super().__init__()
+        self.name = salt
+        self.salt = sum(ord(ch) for ch in salt)
+
+    def _expand(self, query, top_k):
+        scored = [
+            (eid, 1.0 / (1.0 + ((eid * 2654435761 + self.salt) % 4093)))
+            for eid in self.candidate_ids(query)
+        ]
+        return ExpansionResult.from_scores(query.query_id, scored)
+
+
+class SlowFitStub(DashStubExpander):
+    def _fit(self, dataset):
+        time.sleep(0.5)
+
+
+def make_worker(dataset, **config_kwargs) -> ExpansionHTTPServer:
+    factories = {
+        method: (lambda _res, m=method: DashStubExpander(m))
+        for method in STUB_METHODS
+    }
+    factories["slowfit"] = lambda _res: SlowFitStub("slowfit")
+    service = ExpansionService(
+        dataset,
+        config=ServiceConfig(batch_wait_ms=0.0, port=0, **config_kwargs),
+        factories=factories,
+    )
+    return ExpansionHTTPServer(service, port=0).start()
+
+
+def make_gateway(dataset, servers, **config_kwargs) -> ClusterGateway:
+    config = ClusterConfig(
+        failover_cooldown_seconds=0.2, proxy_timeout_seconds=30.0, **config_kwargs
+    )
+    return ClusterGateway(
+        [(f"worker-{i}", server.url) for i, server in enumerate(servers)],
+        config=config,
+        fingerprint=dataset.fingerprint(),
+        port=0,
+    ).start()
+
+
+def http_get(url: str, headers: dict | None = None):
+    request = urllib.request.Request(url, headers=headers or {})
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, response.read(), dict(response.headers)
+
+
+def http_post(url: str, payload: dict, headers: dict | None = None):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read()), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), dict(error.headers)
+
+
+@pytest.fixture()
+def fleet(tiny_dataset):
+    """Two workers + gateway (with access logs on both tiers)."""
+    servers = [
+        make_worker(tiny_dataset, access_log=True),
+        make_worker(tiny_dataset, access_log=True),
+    ]
+    gateway = make_gateway(tiny_dataset, servers, gateway_access_log=True)
+    yield gateway, servers
+    gateway.shutdown()
+    for server in servers:
+        try:
+            server.shutdown()
+        except Exception:
+            pass  # one worker is shut down mid-test by design
+
+
+class TestDashboard:
+    def test_dashboard_joins_the_fleet_and_degrades_cleanly(self, fleet, tiny_dataset):
+        gateway, servers = fleet
+        query_id = tiny_dataset.queries[0].query_id
+        for method in STUB_METHODS[:4]:
+            status, envelope, _ = http_post(
+                gateway.url + "/v1/expand", {"method": method, "query_id": query_id}
+            )
+            assert status == 200
+
+        status, body, _ = http_get(gateway.url + "/v1/dashboard")
+        assert status == 200
+        data = json.loads(body)["data"]
+        assert data["fleet"] == {
+            "status": "ok", "healthy_workers": 2, "total_workers": 2,
+        }
+        assert data["cluster"]["requests"] >= 4
+        assert data["cluster"]["latency_ms"]["count"] >= 4
+        assert set(data["workers"]) == {"worker-0", "worker-1"}
+        for shard in data["workers"].values():
+            assert shard["healthy"] is True
+            assert "cache_hit_rate" in shard
+            assert "substrates_resident" in shard
+        fitted_somewhere = [
+            method
+            for shard in data["workers"].values()
+            for method in shard["fitted"]
+        ]
+        assert set(fitted_somewhere) == set(STUB_METHODS[:4])
+        assert data["gateway"]["proxied"] >= 4
+
+        # one worker dies mid-test: the dashboard reports it degraded.
+        servers[1].shutdown()
+        status, body, _ = http_get(gateway.url + "/v1/dashboard")
+        assert status == 200
+        data = json.loads(body)["data"]
+        assert data["fleet"]["status"] == "degraded"
+        assert data["fleet"]["healthy_workers"] == 1
+        assert data["workers"]["worker-1"]["healthy"] is False
+
+        frame = render_dashboard(data)
+        assert "fleet DEGRADED (1/2 workers healthy)" in frame
+        assert "worker-1" in frame and "DOWN" in frame
+
+    def test_dashboard_surfaces_live_fit_phases(self, fleet):
+        gateway, _servers = fleet
+        status, envelope, _ = http_post(
+            gateway.url + "/v1/fits", {"method": "slowfit"}
+        )
+        assert status == 202
+        deadline = time.monotonic() + 5.0
+        seen = None
+        while time.monotonic() < deadline:
+            _, body, _ = http_get(gateway.url + "/v1/dashboard")
+            data = json.loads(body)["data"]
+            jobs = [
+                job
+                for shard in data["workers"].values()
+                if shard.get("healthy")
+                for job in shard.get("fit_jobs", [])
+            ]
+            if jobs:
+                seen = jobs
+                break
+            time.sleep(0.02)
+        assert seen, "the running fit never appeared on the dashboard"
+        assert seen[0]["method"] == "slowfit"
+        assert seen[0]["status"] in ("queued", "running")
+        frame = render_dashboard(data)
+        assert "slowfit:" in frame
+
+
+class TestGatewayMetrics:
+    def test_gateway_metrics_render_prometheus_text(self, fleet, tiny_dataset):
+        gateway, _servers = fleet
+        query_id = tiny_dataset.queries[0].query_id
+        http_post(
+            gateway.url + "/v1/expand",
+            {"method": STUB_METHODS[0], "query_id": query_id},
+        )
+        status, body, headers = http_get(gateway.url + "/v1/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        text = body.decode("utf-8")
+        assert "# TYPE repro_gateway_requests_total counter" in text
+        assert "# TYPE repro_gateway_routed_total counter" in text
+        assert f'fingerprint="{tiny_dataset.fingerprint()}"' in text
+        assert 'worker="worker-0"' in text
+        assert 'worker="worker-1"' in text
+
+    def test_gateway_stats_wire_shape_is_a_registry_view(self, fleet, tiny_dataset):
+        gateway, _servers = fleet
+        query_id = tiny_dataset.queries[0].query_id
+        http_post(
+            gateway.url + "/v1/expand",
+            {"method": STUB_METHODS[0], "query_id": query_id},
+        )
+        stats = gateway.stats()
+        assert set(stats) == {
+            "workers", "fingerprint", "virtual_nodes", "requests", "proxied",
+            "failovers", "backend_errors", "no_backend_available", "routed",
+            "sidelined",
+        }
+        assert stats["requests"] >= 1
+        assert stats["proxied"] >= 1
+        assert set(stats["routed"]) == {"worker-0", "worker-1"}
+        assert sum(stats["routed"].values()) == stats["proxied"]
+
+
+def _await_log_lines(caplog, logger_name: str, request_id: str, timeout: float = 5.0):
+    """JSON records from ``logger_name``, waiting until one carries
+    ``request_id`` (access logs land just after the response does)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        lines = [
+            json.loads(record.message)
+            for record in caplog.records
+            if record.name == logger_name
+        ]
+        if any(line.get("request_id") == request_id for line in lines):
+            return lines
+        if time.monotonic() >= deadline:
+            return lines
+        time.sleep(0.01)
+
+
+class TestRequestIdCorrelation:
+    def test_one_client_id_spans_gateway_log_worker_log_and_envelope(
+        self, fleet, tiny_dataset, caplog
+    ):
+        gateway, _servers = fleet
+        query_id = tiny_dataset.queries[0].query_id
+        client_id = "e2e-correlate-42"
+        with caplog.at_level(logging.INFO, logger="repro.serve.access"):
+            with caplog.at_level(logging.INFO, logger="repro.cluster.access"):
+                status, envelope, headers = http_post(
+                    gateway.url + "/v1/expand",
+                    {"method": STUB_METHODS[0], "query_id": query_id},
+                    headers={"X-Request-Id": client_id},
+                )
+                # access logs land just after the response bytes do, on the
+                # handler threads — wait for them inside the capture window.
+                worker_lines = _await_log_lines(
+                    caplog, "repro.serve.access", client_id
+                )
+                gateway_lines = _await_log_lines(
+                    caplog, "repro.cluster.access", client_id
+                )
+        assert status == 200
+        assert envelope["request_id"] == client_id
+        assert headers["X-Request-Id"] == client_id
+        assert any(line["request_id"] == client_id for line in worker_lines)
+        assert any(line["request_id"] == client_id for line in gateway_lines)
+        matched = [line for line in gateway_lines if line["request_id"] == client_id]
+        assert matched[0]["route"] == "/v1/expand"
+        assert matched[0]["worker"] in ("worker-0", "worker-1")
+
+    def test_malformed_client_id_is_replaced_at_the_gateway(
+        self, fleet, tiny_dataset
+    ):
+        gateway, _servers = fleet
+        query_id = tiny_dataset.queries[0].query_id
+        status, envelope, headers = http_post(
+            gateway.url + "/v1/expand",
+            {"method": STUB_METHODS[0], "query_id": query_id},
+            headers={"X-Request-Id": "not ok\x01"},
+        )
+        assert status == 200
+        assert envelope["request_id"].startswith("req-")
+        assert headers["X-Request-Id"] == envelope["request_id"]
+
+    def test_scattered_batches_carry_the_client_id_to_every_shard(
+        self, fleet, tiny_dataset, caplog
+    ):
+        gateway, _servers = fleet
+        query_id = tiny_dataset.queries[0].query_id
+        client_id = "batch-correlate-7"
+        requests = [
+            {"method": method, "query_id": query_id} for method in STUB_METHODS
+        ]
+        with caplog.at_level(logging.INFO, logger="repro.serve.access"):
+            status, envelope, _ = http_post(
+                gateway.url + "/v1/expand/batch",
+                {"requests": requests},
+                headers={"X-Request-Id": client_id},
+            )
+            worker_lines = _await_log_lines(caplog, "repro.serve.access", client_id)
+        assert status == 200
+        assert envelope["request_id"] == client_id
+        batch_lines = [
+            line
+            for line in worker_lines
+            if line.get("route") == "/v1/expand/batch"
+        ]
+        assert batch_lines, "no worker served a sub-batch?"
+        assert all(line["request_id"] == client_id for line in batch_lines)

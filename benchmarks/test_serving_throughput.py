@@ -159,6 +159,10 @@ def test_metrics_overhead_guard(context):
     """The repro.obs instrumentation tax on the cached hot path stays within
     5% of a metrics-disabled service.
 
+    The instrumented service runs its production configuration — including
+    exemplar capture on the request-latency histogram — so the budget covers
+    the per-request contextvar read the exemplars add.
+
     Both services run the same stub method.  Up to three measurement
     attempts: noise only ever inflates the instrumented/baseline ratio, so
     one attempt inside the budget is proof the code is inside the budget,
@@ -216,6 +220,10 @@ def test_metrics_overhead_guard(context):
         # only the instrumented service counted anything
         assert instrumented.stats()["cache"]["hits"] >= repeats * rounds
         assert baseline.stats()["cache"]["hits"] == 0
+        # the measured path is the one production ships: request-latency
+        # exemplar capture was on for every instrumented observation.
+        latency = instrumented.metrics.histogram("repro_request_latency_ms")
+        assert latency.exemplars is True
 
 
 def test_v1_http_expand_smoke(context):

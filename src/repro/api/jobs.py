@@ -30,6 +30,7 @@ from repro.exceptions import (
     JobNotFoundError,
     ServiceUnavailableError,
 )
+from repro.obs.progress import ProgressReporter, phase_window
 
 #: terminal :class:`FitJob` states.
 FINISHED_STATES = frozenset({"succeeded", "failed", "cancelled"})
@@ -59,6 +60,15 @@ class FitJob:
     #: phase re-entered accumulates); populated as phases complete, so a
     #: poller watching a running job sees durations for finished phases.
     phase_seconds: dict = field(default_factory=dict)
+    #: overall completion fraction in [0, 1], monotonically increasing while
+    #: the job runs (phase-local step fractions folded through
+    #: :data:`~repro.obs.progress.PHASE_WINDOWS`); ``None`` while queued,
+    #: pinned to 1.0 on success.
+    progress: float | None = None
+    #: the training loop's current epoch / configured total, when the phase
+    #: underway reports them (the encoder and LM fits do).
+    epoch: int | None = None
+    total_epochs: int | None = None
     #: taxonomy error payload when ``status == "failed"``.
     error: dict | None = field(default=None)
 
@@ -70,6 +80,13 @@ class FitJob:
         duration_ms = None
         if self.started_at is not None and self.finished_at is not None:
             duration_ms = (self.finished_at - self.started_at) * 1000.0
+        progress = None
+        if self.progress is not None:
+            progress = {
+                "fraction": self.progress,
+                "epoch": self.epoch,
+                "total_epochs": self.total_epochs,
+            }
         return {
             "job_id": self.job_id,
             "method": self.method,
@@ -82,6 +99,7 @@ class FitJob:
             "outcome": self.outcome,
             "phase": self.phase,
             "phase_seconds": dict(self.phase_seconds),
+            "progress": progress,
             "error": self.error,
         }
 
@@ -265,7 +283,7 @@ class JobManager:
             )
             phase_started[0] = None
 
-        def progress(phase: str) -> None:
+        def on_phase(phase: str) -> None:
             # Phase transitions are monotonic and only written by this
             # worker; readers snapshot the field without the lock, so a
             # plain assignment under the condition keeps them coherent.
@@ -273,14 +291,35 @@ class JobManager:
                 close_phase_locked()
                 phase_started[0] = (phase, time.perf_counter())
                 job.phase = phase
+                # Entering a phase means everything before its window is done.
+                job.progress = max(job.progress or 0.0, phase_window(phase)[0])
+
+        def on_step(
+            fraction: float, epoch: int | None, total_epochs: int | None
+        ) -> None:
+            # Fold the phase-local fraction into the overall bar.  max()
+            # keeps the fraction monotonic even when a later stage of the
+            # same phase restarts its local count (substrate cache hits
+            # jumping to 1.0, multi-substrate subranges, ...).
+            with self._cond:
+                start, end = phase_window(job.phase)
+                overall = start + (end - start) * fraction
+                if job.progress is None or overall > job.progress:
+                    job.progress = overall
+                if epoch is not None:
+                    job.epoch = epoch
+                if total_epochs is not None:
+                    job.total_epochs = total_epochs
+
+        reporter = ProgressReporter(on_phase=on_phase, on_step=on_step)
 
         try:
             already_fitted = self.registry.is_fitted(job.method)
             stats_before = self.registry.stats()
             if job.pin:
-                self.registry.pin(job.method, progress=progress)
+                self.registry.pin(job.method, progress=reporter)
             else:
-                self.registry.get(job.method, progress=progress)
+                self.registry.get(job.method, progress=reporter)
             stats_after = self.registry.stats()
             # Per-method wall-time entries change exactly when this method
             # was fitted/restored; global counters would misattribute
@@ -314,6 +353,7 @@ class JobManager:
         with self._cond:
             close_phase_locked()
             job.outcome = outcome
+            job.progress = 1.0
             job.finished_at = self.clock()
             job.status = "succeeded"
             self._active.pop(job.method, None)

@@ -79,6 +79,7 @@ from repro.config import ClusterConfig, DatasetConfig, ServiceConfig
 from repro.dataset.analysis import compute_statistics
 from repro.dataset.builder import build_dataset
 from repro.dataset.ultrawiki import UltraWikiDataset
+from repro.exceptions import TransportError
 from repro.experiments.registry import EXPERIMENTS, experiment_by_id
 from repro.experiments.runner import ExperimentContext
 from repro.serve import (
@@ -177,6 +178,18 @@ def _service_config(args: argparse.Namespace) -> ServiceConfig:
         store_dir=getattr(args, "store", None),
         access_log=getattr(args, "access_log", False),
         slow_query_ms=getattr(args, "slow_query_ms", None),
+        slow_query_log=getattr(args, "slow_query_log", None),
+        slow_query_max_bytes=getattr(
+            args, "slow_query_max_bytes", ServiceConfig.slow_query_max_bytes
+        ),
+        exporter=getattr(args, "exporter", None),
+        exporter_target=getattr(args, "exporter_target", None),
+        exporter_interval_seconds=getattr(
+            args, "exporter_interval", ServiceConfig.exporter_interval_seconds
+        ),
+        exporter_max_retries=getattr(
+            args, "exporter_max_retries", ServiceConfig.exporter_max_retries
+        ),
     )
     config.validate()
     return config
@@ -418,6 +431,26 @@ def worker_command(
         command.append("--access-log")
     if getattr(args, "slow_query_ms", None) is not None:
         command += ["--slow-query-ms", str(args.slow_query_ms)]
+    if getattr(args, "slow_query_log", None):
+        # One shared path would interleave workers; suffix with the port so
+        # each worker rotates its own file.
+        command += [
+            "--slow-query-log",
+            f"{args.slow_query_log}.{port}",
+            "--slow-query-max-bytes",
+            str(args.slow_query_max_bytes),
+        ]
+    if getattr(args, "exporter", None):
+        command += [
+            "--exporter",
+            args.exporter,
+            "--exporter-target",
+            args.exporter_target,
+            "--exporter-interval",
+            str(args.exporter_interval),
+            "--exporter-max-retries",
+            str(args.exporter_max_retries),
+        ]
     return tuple(command)
 
 
@@ -446,6 +479,13 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
         gateway_host=args.host,
         gateway_port=args.port,
         gateway_access_log=getattr(args, "gateway_access_log", False),
+        gateway_exporter=getattr(args, "gateway_exporter", None),
+        gateway_exporter_target=getattr(args, "gateway_exporter_target", None),
+        gateway_exporter_interval_seconds=getattr(
+            args,
+            "gateway_exporter_interval",
+            ClusterConfig.gateway_exporter_interval_seconds,
+        ),
         service=_service_config(args),
     )
     config.validate()
@@ -507,7 +547,7 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
 
 def _cmd_cluster_top(args: argparse.Namespace) -> int:
     """A refreshing terminal view of ``GET /v1/dashboard`` (fleet health,
-    per-shard traffic and latency, cache hit rates, live fit phases)."""
+    per-shard traffic and latency, cache hit rates, live fit progress)."""
     with ExpansionClient.connect(args.url) as client:
         try:
             while True:
@@ -521,6 +561,11 @@ def _cmd_cluster_top(args: argparse.Namespace) -> int:
                 time.sleep(args.interval)
         except KeyboardInterrupt:
             print()
+        except TransportError:
+            # A down gateway is an expected condition for a monitoring
+            # command, not a crash: one clean line, exit code 1.
+            print(f"gateway unreachable at {args.url}", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -592,6 +637,47 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="MS",
         help="log one structured JSON line (with per-stage timings) for "
         "every expansion slower than this many milliseconds",
+    )
+    parser.add_argument(
+        "--slow-query-log",
+        default=None,
+        metavar="FILE",
+        help="also append slow-query lines to this file (rotated to a "
+        "single .1 backup at --slow-query-max-bytes)",
+    )
+    parser.add_argument(
+        "--slow-query-max-bytes",
+        type=int,
+        default=ServiceConfig.slow_query_max_bytes,
+        metavar="BYTES",
+        help="rotate the slow-query log file once it crosses this size",
+    )
+    parser.add_argument(
+        "--exporter",
+        default=None,
+        choices=("statsd", "json"),
+        help="background push-exporter shipping /v1/metrics telemetry to "
+        "an external collector",
+    )
+    parser.add_argument(
+        "--exporter-target",
+        default=None,
+        metavar="TARGET",
+        help="exporter sink: host:port for statsd, an http(s) URL for json",
+    )
+    parser.add_argument(
+        "--exporter-interval",
+        type=float,
+        default=ServiceConfig.exporter_interval_seconds,
+        metavar="SECONDS",
+        help="seconds between exporter flushes",
+    )
+    parser.add_argument(
+        "--exporter-max-retries",
+        type=int,
+        default=ServiceConfig.exporter_max_retries,
+        metavar="N",
+        help="ship retries per batch before dropping it (drop-and-count)",
     )
 
 
@@ -736,6 +822,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--gateway-access-log", action="store_true",
         help="the gateway emits one structured JSON access-log line per "
         "request (workers keep their own --access-log)",
+    )
+    cluster_serve.add_argument(
+        "--gateway-exporter", default=None, choices=("statsd", "json"),
+        help="push-exporter for the gateway's own metrics registry "
+        "(workers ship theirs with --exporter)",
+    )
+    cluster_serve.add_argument(
+        "--gateway-exporter-target", default=None, metavar="TARGET",
+        help="gateway exporter sink: host:port (statsd) or URL (json)",
+    )
+    cluster_serve.add_argument(
+        "--gateway-exporter-interval", type=float,
+        default=ClusterConfig.gateway_exporter_interval_seconds,
+        metavar="SECONDS", help="seconds between gateway exporter flushes",
     )
     cluster_serve.add_argument(
         "--startup-timeout", type=float, default=120.0,

@@ -128,7 +128,10 @@ class ExpansionClient:
     def fit_status(self, job_id: str) -> dict:
         """One job's descriptor: status, outcome, and — while it runs — the
         ``phase`` it is in (``restoring`` / ``fitting_substrates`` /
-        ``training`` / ``publishing``)."""
+        ``training`` / ``publishing``) plus ``progress`` (``{"fraction":
+        0.0-1.0, "epoch": ..., "total_epochs": ...}``), which increases
+        monotonically as the training loops report and reaches 1.0 on
+        success."""
         data = self._call("GET", f"/v1/fits/{job_id}")
         return data["job"]
 
@@ -180,8 +183,9 @@ class ExpansionClient:
     def dashboard(self) -> dict:
         """The gateway's fleet dashboard (``GET /v1/dashboard``): per-worker
         health, request/error/latency rollups, cache hit rates, substrate
-        residency, and live fit-job phases.  Gateway-only — a single worker
-        answers 404."""
+        residency, and live fit-job phases with fractional progress.
+        Gateway-only — a single worker answers 404 (append ``?format=html``
+        in a browser for the self-contained HTML rendering)."""
         return self._call("GET", "/v1/dashboard")
 
     def healthz(self) -> dict:

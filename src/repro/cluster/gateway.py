@@ -36,8 +36,9 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from html import escape
 from typing import Mapping, Sequence
-from urllib.parse import urlsplit
+from urllib.parse import parse_qs, urlsplit
 
 from repro.api.envelope import (
     REQUEST_ID_HEADER,
@@ -59,6 +60,7 @@ from repro.exceptions import ServiceError
 from repro.obs import (
     PROMETHEUS_CONTENT_TYPE,
     MetricsRegistry,
+    build_exporter,
     current_request_id,
     merge_bucket_lists,
     request_scope,
@@ -197,6 +199,14 @@ class ClusterGateway:
             max_workers=max(4, 2 * len(self._urls)),
             thread_name_prefix="repro-gateway",
         )
+        self.exporter = build_exporter(
+            self.metrics,
+            self.config.gateway_exporter,
+            self.config.gateway_exporter_target,
+            interval_seconds=self.config.gateway_exporter_interval_seconds,
+        )
+        if self.exporter is not None:
+            self.exporter.start()
         self._httpd = ThreadingHTTPServer(
             (
                 host if host is not None else self.config.gateway_host,
@@ -244,6 +254,9 @@ class ClusterGateway:
         self._scatter_pool.shutdown(wait=False)
         for worker_id in list(self._conn_pool):
             self._flush_connections(worker_id)
+        if self.exporter is not None:
+            # Last: the drain flush ships the shutdown's own counter bumps.
+            self.exporter.shutdown()
 
     def __enter__(self) -> "ClusterGateway":
         return self
@@ -274,11 +287,13 @@ class ClusterGateway:
                 return
 
     # -- dispatch ----------------------------------------------------------------
-    def handle(self, verb: str, path: str, body: bytes | None) -> _Reply:
+    def handle(
+        self, verb: str, path: str, body: bytes | None, query: str = ""
+    ) -> _Reply:
         """Serve one gateway request; never raises."""
         self._requests.inc()
         try:
-            return self._route(verb, path, body)
+            return self._route(verb, path, body, query)
         except Exception as exc:  # noqa: BLE001 - rendered as a 500 envelope
             return self._error_reply(
                 500,
@@ -291,7 +306,9 @@ class ClusterGateway:
                 },
             )
 
-    def _route(self, verb: str, path: str, body: bytes | None) -> _Reply:
+    def _route(
+        self, verb: str, path: str, body: bytes | None, query: str = ""
+    ) -> _Reply:
         if (verb, path) == ("GET", "/v1/healthz"):
             return self._aggregate_health()
         if (verb, path) == ("GET", "/v1/stats"):
@@ -304,7 +321,8 @@ class ClusterGateway:
                 content_type=PROMETHEUS_CONTENT_TYPE,
             )
         if (verb, path) == ("GET", "/v1/dashboard"):
-            return self._dashboard()
+            wants_html = parse_qs(query).get("format", [""])[-1] == "html"
+            return self._dashboard(html=wants_html)
         if (verb, path) == ("GET", "/v1/methods"):
             return self._forward_any(verb, path)
         if (verb, path) == ("POST", "/v1/expand"):
@@ -690,12 +708,13 @@ class ClusterGateway:
             200, success_envelope(current_request_id() or new_request_id(), data)
         )
 
-    def _dashboard(self) -> _Reply:
+    def _dashboard(self, html: bool = False) -> _Reply:
         """One joined fleet view for ``repro cluster top`` and dashboards:
         per-worker health, request/error/latency rollups, cache hit rates,
         substrate residency, and live fit-job phases — two concurrent
         scatters (stats + fit jobs) joined gateway-side so a terminal
-        refresh costs one round trip, not 2N."""
+        refresh costs one round trip, not 2N.  ``?format=html`` renders the
+        same document as a self-contained auto-refreshing page."""
         stats_results = self._worker_scatter("GET", "/v1/stats")
         jobs_results = self._worker_scatter("GET", "/v1/fits")
         workers: dict[str, dict] = {}
@@ -734,6 +753,7 @@ class ClusterGateway:
                             "method": job.get("method"),
                             "status": job.get("status"),
                             "phase": job.get("phase"),
+                            "progress": job.get("progress"),
                         }
                     )
             # the raw bucket list is scrape food, not dashboard food.
@@ -768,6 +788,13 @@ class ClusterGateway:
             "workers": workers,
             "gateway": self.stats(),
         }
+        if html:
+            return _Reply(
+                status=200,
+                body=_render_dashboard_html(data).encode("utf-8"),
+                headers={},
+                content_type="text/html; charset=utf-8",
+            )
         return _Reply.envelope(
             200, success_envelope(current_request_id() or new_request_id(), data)
         )
@@ -883,6 +910,100 @@ class ClusterGateway:
         return _Reply.envelope(status, error_envelope(request_id, payload))
 
 
+#: seconds between HTML dashboard auto-refreshes (meta tag, no scripts).
+DASHBOARD_REFRESH_SECONDS = 5
+
+_DASHBOARD_STYLE = (
+    "body{font-family:monospace;background:#111;color:#ddd;margin:2em}"
+    "h1{font-size:1.2em}h2{font-size:1em;margin-top:1.5em}"
+    "table{border-collapse:collapse}"
+    "td,th{border:1px solid #444;padding:0.3em 0.8em;text-align:left}"
+    ".ok{color:#7c7}.degraded{color:#cc7}.down{color:#c77}"
+    ".bar{display:inline-block;width:12em;height:0.8em;background:#333;"
+    "vertical-align:middle}"
+    ".bar span{display:block;height:100%;background:#7c7}"
+)
+
+
+def _render_dashboard_html(data: dict) -> str:
+    """The ``/v1/dashboard`` document as a self-contained HTML page.
+
+    No scripts, no external assets — a ``<meta http-equiv="refresh">`` tag
+    re-polls the endpoint, so the page works from any browser that can
+    reach the gateway and nothing else.
+    """
+    fleet = data.get("fleet") or {}
+    cluster = data.get("cluster") or {}
+    gateway = data.get("gateway") or {}
+    status = str(fleet.get("status", "unknown"))
+    latency = cluster.get("latency_ms") or {}
+
+    def cell(value) -> str:
+        return escape("-" if value is None else str(value))
+
+    def bar(fraction: float) -> str:
+        percent = max(0.0, min(1.0, float(fraction))) * 100.0
+        return (
+            f'<span class="bar"><span style="width:{percent:.1f}%"></span></span>'
+            f" {percent:.0f}%"
+        )
+
+    rows = []
+    for worker_id, worker in sorted((data.get("workers") or {}).items()):
+        if not worker.get("healthy"):
+            rows.append(
+                f"<tr><td>{cell(worker_id)}</td>"
+                f'<td class="down">down</td><td colspan="5"></td></tr>'
+            )
+            continue
+        hit_rate = float(worker.get("cache_hit_rate", 0.0))
+        p99 = (worker.get("latency_ms") or {}).get("p99_ms")
+        jobs = []
+        for job in worker.get("fit_jobs") or []:
+            label = f"{job.get('method')} [{job.get('phase') or job.get('status')}]"
+            progress = job.get("progress") or {}
+            fraction = progress.get("fraction") if isinstance(progress, dict) else None
+            jobs.append(
+                escape(label) + (" " + bar(fraction) if fraction is not None else "")
+            )
+        rows.append(
+            f"<tr><td>{cell(worker_id)}</td>"
+            f'<td class="ok">up</td>'
+            f"<td>{cell(worker.get('requests'))}</td>"
+            f"<td>{bar(hit_rate)}</td>"
+            f"<td>{cell(round(p99, 1) if p99 is not None else None)}</td>"
+            f"<td>{cell(', '.join(worker.get('fitted') or []))}</td>"
+            f"<td>{'<br>'.join(jobs) if jobs else '-'}</td></tr>"
+        )
+    routed = gateway.get("routed") or {}
+    shard_rows = "".join(
+        f"<tr><td>{cell(worker_id)}</td><td>{cell(count)}</td></tr>"
+        for worker_id, count in sorted(routed.items())
+    )
+    p99 = latency.get("p99_ms")
+    return (
+        "<!doctype html><html><head>"
+        '<meta charset="utf-8">'
+        f'<meta http-equiv="refresh" content="{DASHBOARD_REFRESH_SECONDS}">'
+        "<title>repro cluster</title>"
+        f"<style>{_DASHBOARD_STYLE}</style></head><body>"
+        f'<h1>repro cluster &mdash; <span class="{escape(status)}">'
+        f"{escape(status)}</span> "
+        f"({cell(fleet.get('healthy_workers'))}/{cell(fleet.get('total_workers'))}"
+        " workers)</h1>"
+        f"<p>requests {cell(cluster.get('requests'))}"
+        f" &middot; errors {cell(cluster.get('errors'))}"
+        f" &middot; cache hit rate {bar(float(cluster.get('cache_hit_rate', 0.0)))}"
+        f" &middot; p99 {cell(round(p99, 1) if p99 is not None else None)} ms</p>"
+        "<h2>workers</h2><table><tr><th>worker</th><th>state</th><th>requests</th>"
+        "<th>cache hits</th><th>p99 ms</th><th>fitted</th><th>fit jobs</th></tr>"
+        f"{''.join(rows)}</table>"
+        "<h2>shard load (gateway routed)</h2>"
+        f"<table><tr><th>worker</th><th>proxied</th></tr>{shard_rows}</table>"
+        "</body></html>"
+    )
+
+
 class _GatewayHandler(BaseHTTPRequestHandler):
     """Thin HTTP shim over :meth:`ClusterGateway.handle`."""
 
@@ -904,14 +1025,15 @@ class _GatewayHandler(BaseHTTPRequestHandler):
 
     def _handle(self, verb: str) -> None:
         started = time.perf_counter()
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        path, _, query = self.path.partition("?")
+        path = path.rstrip("/") or "/"
         # Honor a syntactically valid client-supplied X-Request-Id so one id
         # correlates gateway log, worker log, and envelope; replace anything
         # malformed rather than echoing hostile bytes into logs and headers.
         inbound = (self.headers.get(REQUEST_ID_HEADER) or "").strip()
         request_id = inbound if is_valid_request_id(inbound) else new_request_id()
         with request_scope(request_id):
-            reply = self._serve(verb, path)
+            reply = self._serve(verb, path, query)
         # proxied replies already carry the worker's echoed id (equal to
         # ours, since we forward it); gateway-local envelopes get it here.
         reply.headers.setdefault(REQUEST_ID_HEADER, request_id)
@@ -925,7 +1047,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             worker=reply.headers.get(WORKER_HEADER),
         )
 
-    def _serve(self, verb: str, path: str) -> _Reply:
+    def _serve(self, verb: str, path: str, query: str = "") -> _Reply:
         body: bytes | None = None
         if verb == "POST":
             try:
@@ -937,7 +1059,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                     400, _invalid_payload("invalid or oversized request body")
                 )
             body = self.rfile.read(length) if length else None
-        return self.gateway.handle(verb, path, body)
+        return self.gateway.handle(verb, path, body, query)
 
     def _send(self, reply: _Reply) -> None:
         self.send_response(reply.status)

@@ -359,10 +359,40 @@ class ServiceConfig:
     #: every expand slower than this many milliseconds, with per-stage span
     #: timings attached; ``None`` disables the slow-query log.
     slow_query_ms: float | None = None
+    #: also write slow-query lines to this file (size-rotated); ``None``
+    #: keeps them on the logger only.
+    slow_query_log: str | None = None
+    #: rotate the slow-query log file to a single ``.1`` backup once it
+    #: crosses this many bytes.
+    slow_query_max_bytes: int = 10 * 1024 * 1024
+    #: push-exporter kind shipping the metrics registry to an external
+    #: collector in the background: ``"statsd"`` (UDP line protocol) or
+    #: ``"json"`` (OTLP-flavored JSON POST batches); ``None`` disables push.
+    exporter: str | None = None
+    #: exporter sink address — ``host:port`` for statsd, an ``http(s)://``
+    #: URL for the JSON exporter.
+    exporter_target: str | None = None
+    #: seconds between background exporter flushes.
+    exporter_interval_seconds: float = 10.0
+    #: ship retries per flush (exponential backoff) before the batch is
+    #: dropped and counted in ``obs_exporter_dropped_series_total``.
+    exporter_max_retries: int = 3
 
     def validate(self) -> None:
         if self.slow_query_ms is not None and self.slow_query_ms < 0:
             raise ConfigurationError("slow_query_ms must be non-negative or None")
+        if self.slow_query_log is not None and not str(self.slow_query_log).strip():
+            raise ConfigurationError("slow_query_log must be a non-empty path or None")
+        if self.slow_query_max_bytes <= 0:
+            raise ConfigurationError("slow_query_max_bytes must be positive")
+        if self.exporter is not None and self.exporter not in ("statsd", "json"):
+            raise ConfigurationError('exporter must be "statsd", "json", or None')
+        if self.exporter is not None and not self.exporter_target:
+            raise ConfigurationError("exporter_target is required with an exporter")
+        if self.exporter_interval_seconds <= 0:
+            raise ConfigurationError("exporter_interval_seconds must be positive")
+        if self.exporter_max_retries < 0:
+            raise ConfigurationError("exporter_max_retries must be non-negative")
         if self.store_dir is not None and not str(self.store_dir).strip():
             raise ConfigurationError("store_dir must be a non-empty path or None")
         if self.fit_lock_wait_seconds <= 0:
@@ -438,6 +468,14 @@ class ClusterConfig:
     #: emit one structured JSON access-log line per gateway request on the
     #: ``repro.cluster.access`` logger (mirrors ``ServiceConfig.access_log``).
     gateway_access_log: bool = False
+    #: push exporter shipping the *gateway's* metrics registry (worker
+    #: registries ship via the embedded service config): ``"statsd"``,
+    #: ``"json"``, or ``None``.
+    gateway_exporter: str | None = None
+    #: gateway exporter sink — ``host:port`` (statsd) or URL (json).
+    gateway_exporter_target: str | None = None
+    #: seconds between gateway exporter flushes.
+    gateway_exporter_interval_seconds: float = 10.0
     #: per-worker serving parameters.
     service: ServiceConfig = field(default_factory=ServiceConfig)
 
@@ -468,6 +506,20 @@ class ClusterConfig:
             raise ConfigurationError("failover_cooldown_seconds must be non-negative")
         if self.proxy_timeout_seconds <= 0:
             raise ConfigurationError("proxy_timeout_seconds must be positive")
+        if self.gateway_exporter is not None and self.gateway_exporter not in (
+            "statsd", "json",
+        ):
+            raise ConfigurationError(
+                'gateway_exporter must be "statsd", "json", or None'
+            )
+        if self.gateway_exporter is not None and not self.gateway_exporter_target:
+            raise ConfigurationError(
+                "gateway_exporter_target is required with a gateway exporter"
+            )
+        if self.gateway_exporter_interval_seconds <= 0:
+            raise ConfigurationError(
+                "gateway_exporter_interval_seconds must be positive"
+            )
         self.service.validate()
 
     def worker_port(self, index: int) -> int:

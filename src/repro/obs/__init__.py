@@ -1,11 +1,21 @@
-"""repro.obs — unified telemetry: metrics registry, tracing, slow-query log.
+"""repro.obs — unified telemetry: metrics, tracing, export, progress.
 
 This package is the one place serving-layer counters live.  Components
 expose :class:`~repro.obs.metrics.MetricsRegistry` instruments instead of
 hand-rolled ``self._stats = {}`` dicts (a tier-1 lint test enforces this),
-and per-request stage timings ride the :mod:`~repro.obs.trace` ContextVar.
+per-request stage timings ride the :mod:`~repro.obs.trace` ContextVar,
+push exporters (:mod:`~repro.obs.export`) ship the registry to external
+statsd/OTLP collectors in the background, and fit jobs report fractional
+progress through :class:`~repro.obs.progress.ProgressReporter`.
 """
 
+from repro.obs.export import (
+    EXPORTER_KINDS,
+    JsonHttpExporter,
+    PushExporter,
+    StatsdExporter,
+    build_exporter,
+)
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS_MS,
     PROMETHEUS_CONTENT_TYPE,
@@ -17,7 +27,8 @@ from repro.obs.metrics import (
     merge_bucket_lists,
     percentile_from_buckets,
 )
-from repro.obs.slowlog import log_slow_query, slow_query_logger
+from repro.obs.progress import PHASE_WINDOWS, ProgressReporter, phase_window
+from repro.obs.slowlog import SlowQueryLog, log_slow_query, slow_query_logger
 from repro.obs.trace import (
     Trace,
     activate,
@@ -29,19 +40,28 @@ from repro.obs.trace import (
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS_MS",
+    "EXPORTER_KINDS",
+    "PHASE_WINDOWS",
     "PROMETHEUS_CONTENT_TYPE",
     "Counter",
     "Gauge",
     "Histogram",
+    "JsonHttpExporter",
     "MetricsRegistry",
+    "ProgressReporter",
+    "PushExporter",
+    "SlowQueryLog",
+    "StatsdExporter",
     "Trace",
     "activate",
+    "build_exporter",
     "current_request_id",
     "current_trace",
     "default_registry",
     "log_slow_query",
     "merge_bucket_lists",
     "percentile_from_buckets",
+    "phase_window",
     "request_scope",
     "slow_query_logger",
     "span",

@@ -1,0 +1,406 @@
+"""Push-style telemetry exporters: background shipping to external sinks.
+
+``GET /v1/metrics`` covers Prometheus *pull*; this module is the *push*
+side — a :class:`PushExporter` owns a daemon flusher thread that
+periodically snapshots a :class:`~repro.obs.metrics.MetricsRegistry`,
+diffs it against the previous flush, and ships the batch to an external
+collector.  Two concrete sinks:
+
+* :class:`StatsdExporter` — the statsd UDP line protocol.  Counters and
+  histogram timings ship as **deltas since the last flush** (statsd sums
+  them server-side), gauges ship their current value; label sets ride as
+  dogstatsd-style ``|#key:value`` tags.
+* :class:`JsonHttpExporter` — OTLP-flavored JSON batches POSTed to an
+  HTTP endpoint (one ``resourceMetrics`` document per flush).
+
+Failure handling is deliberately boring: a failed ship is retried a
+bounded number of times with exponential backoff, then the batch is
+**dropped and counted** — serving traffic is never blocked or buffered
+without bound because a collector is down.  ``shutdown()`` stops the
+thread and drains one final batch so short-lived processes still report.
+
+The exporter registers its own health as ``obs_exporter_*`` self-metrics
+(flushes, series shipped, retries, dropped series) in the same registry
+it exports, so a dead sink is visible from the next successful flush and
+from ``/v1/metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import socket
+import threading
+import urllib.error
+import urllib.request
+from typing import Mapping
+
+from repro.obs.metrics import MetricsRegistry
+
+logger = logging.getLogger("repro.obs.export")
+
+#: flush-thread wake-up default (seconds).
+DEFAULT_FLUSH_INTERVAL_SECONDS = 10.0
+
+#: ship attempts per batch beyond the first (bounded retry).
+DEFAULT_MAX_RETRIES = 3
+
+#: first retry backoff; doubles per retry up to :data:`BACKOFF_CAP_SECONDS`.
+DEFAULT_BACKOFF_SECONDS = 0.25
+BACKOFF_CAP_SECONDS = 30.0
+
+#: keep statsd datagrams under the conservative MTU payload.
+MAX_DATAGRAM_BYTES = 1400
+
+#: exporter kinds accepted by :func:`build_exporter` (and the CLI flag).
+EXPORTER_KINDS = ("statsd", "json")
+
+
+def _series_key(entry: Mapping) -> tuple:
+    return (entry["name"], tuple(sorted(entry["labels"].items())))
+
+
+class PushExporter:
+    """Base class: snapshot → delta batch → ship, on a daemon thread.
+
+    Subclasses implement :meth:`_ship` (raise on failure) and get retry,
+    backoff, drop accounting, the flusher thread, and drain-on-shutdown
+    for free.
+    """
+
+    kind = "push"
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        interval_seconds: float = DEFAULT_FLUSH_INTERVAL_SECONDS,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        backoff_seconds: float = DEFAULT_BACKOFF_SECONDS,
+    ):
+        self.registry = registry
+        self.interval_seconds = float(interval_seconds)
+        self.max_retries = int(max_retries)
+        self.backoff_seconds = float(backoff_seconds)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        #: previous flush's snapshot, keyed by (name, label items).
+        self._last: dict[tuple, dict] = {}
+        self._flush_lock = threading.Lock()
+        self.last_error: str | None = None
+        # Self-metrics live in the exported registry, so sink health ships
+        # with the next flush and scrapes from /v1/metrics.
+        self._flushes = registry.counter(
+            "obs_exporter_flushes_total", "Successful exporter flushes."
+        ).labels(sink=self.kind)
+        self._shipped = registry.counter(
+            "obs_exporter_series_shipped_total", "Series shipped to the sink."
+        ).labels(sink=self.kind)
+        self._retries = registry.counter(
+            "obs_exporter_retries_total", "Ship attempts retried after a failure."
+        ).labels(sink=self.kind)
+        self._drops = registry.counter(
+            "obs_exporter_dropped_series_total",
+            "Series dropped after retries were exhausted.",
+        ).labels(sink=self.kind)
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> "PushExporter":
+        self._thread = threading.Thread(
+            target=self._run, name=f"repro-exporter-{self.kind}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            try:
+                self.run_once()
+            except Exception:  # noqa: BLE001 - the flusher must survive
+                logger.exception("exporter %s flush failed unexpectedly", self.kind)
+
+    def shutdown(self) -> None:
+        """Stop the flusher and drain one final batch (best effort)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        try:
+            self.run_once()
+        except Exception:  # noqa: BLE001 - drain is best effort
+            logger.exception("exporter %s final drain failed", self.kind)
+        self._close()
+
+    def _close(self) -> None:
+        """Release sink resources (sockets); subclass hook."""
+
+    # -- flushing ----------------------------------------------------------------
+    def run_once(self) -> int:
+        """One flush: diff against the last snapshot, ship, account.
+
+        Returns the number of series shipped (0 when nothing changed or
+        the batch was dropped).  Thread-safe: the scheduled flusher and an
+        explicit drain never interleave mid-diff.
+        """
+        with self._flush_lock:
+            snapshot = self.registry.export_snapshot()
+            batch = self._build_batch(snapshot)
+            # Whether the ship succeeds or the batch drops, the baseline
+            # advances: a dead sink loses data (drop-and-count), it does
+            # not buffer it without bound.
+            self._last = {_series_key(entry): entry for entry in snapshot}
+            if not batch:
+                return 0
+            if not self._ship_with_retries(batch):
+                self._drops.inc(len(batch))
+                return 0
+            self._flushes.inc()
+            self._shipped.inc(len(batch))
+            return len(batch)
+
+    def _ship_with_retries(self, batch: list[dict]) -> bool:
+        delay = self.backoff_seconds
+        for attempt in range(self.max_retries + 1):
+            try:
+                self._ship(batch)
+            except Exception as exc:  # noqa: BLE001 - counted, not raised
+                self.last_error = f"{type(exc).__name__}: {exc}"
+                if attempt >= self.max_retries:
+                    return False
+                self._retries.inc()
+                # during shutdown the stop event is set, so the backoff
+                # waits collapse and the remaining retries run back-to-back.
+                self._stop.wait(delay)
+                delay = min(delay * 2.0, BACKOFF_CAP_SECONDS)
+            else:
+                self.last_error = None
+                return True
+        return False
+
+    def _build_batch(self, snapshot: list[dict]) -> list[dict]:
+        """Delta entries since the previous flush (always-ship gauges)."""
+        batch: list[dict] = []
+        for entry in snapshot:
+            previous = self._last.get(_series_key(entry))
+            if entry["kind"] == "counter":
+                delta = entry["value"] - (previous["value"] if previous else 0.0)
+                if delta > 0:
+                    batch.append({**entry, "delta": delta})
+            elif entry["kind"] == "gauge":
+                batch.append(dict(entry))
+            elif entry["kind"] == "histogram":
+                delta_count = entry["count"] - (previous["count"] if previous else 0)
+                delta_sum = entry["sum"] - (previous["sum"] if previous else 0.0)
+                if delta_count > 0:
+                    batch.append(
+                        {**entry, "delta_count": delta_count, "delta_sum": delta_sum}
+                    )
+        return batch
+
+    def _ship(self, batch: list[dict]) -> None:
+        raise NotImplementedError
+
+    # -- introspection -----------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "sink": self.kind,
+            "interval_seconds": self.interval_seconds,
+            "last_error": self.last_error,
+        }
+
+
+class StatsdExporter(PushExporter):
+    """Ships the registry over the statsd UDP line protocol.
+
+    Counter deltas go out as ``name:delta|c``, gauges as ``name:value|g``,
+    and each histogram's flush window as a mean timing ``name:mean|ms``
+    plus a ``name.count:delta|c`` sample counter.  Label sets are encoded
+    as dogstatsd ``|#key:value`` tags (servers that don't speak tags
+    ignore the suffix).
+    """
+
+    kind = "statsd"
+
+    def __init__(self, registry: MetricsRegistry, host: str, port: int, **kwargs):
+        super().__init__(registry, **kwargs)
+        self.address = (host, int(port))
+        self._socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+
+    def _ship(self, batch: list[dict]) -> None:
+        lines: list[str] = []
+        for entry in batch:
+            tags = self._tags(entry["labels"])
+            if entry["kind"] == "counter":
+                lines.append(f"{entry['name']}:{_num(entry['delta'])}|c{tags}")
+            elif entry["kind"] == "gauge":
+                lines.append(f"{entry['name']}:{_num(entry['value'])}|g{tags}")
+            else:  # histogram
+                mean = entry["delta_sum"] / entry["delta_count"]
+                lines.append(f"{entry['name']}:{_num(mean)}|ms{tags}")
+                lines.append(
+                    f"{entry['name']}.count:{_num(entry['delta_count'])}|c{tags}"
+                )
+        for datagram in self._pack(lines):
+            self._socket.sendto(datagram, self.address)
+
+    @staticmethod
+    def _tags(labels: Mapping[str, str]) -> str:
+        if not labels:
+            return ""
+        inner = ",".join(f"{k}:{v}" for k, v in sorted(labels.items()))
+        return f"|#{inner}"
+
+    @staticmethod
+    def _pack(lines: list[str]) -> list[bytes]:
+        """Newline-join lines into datagrams under the MTU budget."""
+        datagrams: list[bytes] = []
+        pending: list[bytes] = []
+        size = 0
+        for line in lines:
+            encoded = line.encode("utf-8")
+            if pending and size + 1 + len(encoded) > MAX_DATAGRAM_BYTES:
+                datagrams.append(b"\n".join(pending))
+                pending, size = [], 0
+            pending.append(encoded)
+            size += len(encoded) + 1
+        if pending:
+            datagrams.append(b"\n".join(pending))
+        return datagrams
+
+    def _close(self) -> None:
+        self._socket.close()
+
+
+class JsonHttpExporter(PushExporter):
+    """POSTs OTLP-flavored JSON metric batches to an HTTP collector.
+
+    One document per flush::
+
+        {"resourceMetrics": [{"scopeMetrics": [{"scope": {"name": "repro"},
+          "metrics": [{"name": ..., "sum"|"gauge"|"histogram": {...}}]}]}]}
+
+    Counters carry the flush-window delta (``aggregationTemporality`` 1,
+    the OTLP *delta* enum), gauges their current value, histograms the
+    window's count/sum plus cumulative bucket counts.  Any non-2xx status
+    or transport error counts as a failed ship.
+    """
+
+    kind = "json"
+
+    def __init__(self, registry: MetricsRegistry, url: str, timeout: float = 5.0, **kwargs):
+        super().__init__(registry, **kwargs)
+        self.url = url
+        self.timeout = float(timeout)
+
+    def _ship(self, batch: list[dict]) -> None:
+        body = json.dumps(self._document(batch)).encode("utf-8")
+        request = urllib.request.Request(
+            self.url, data=body, headers={"Content-Type": "application/json"}
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            if not 200 <= response.status < 300:
+                raise urllib.error.HTTPError(
+                    self.url, response.status, "sink rejected batch", {}, None
+                )
+
+    @staticmethod
+    def _document(batch: list[dict]) -> dict:
+        metrics = []
+        for entry in batch:
+            attributes = [
+                {"key": k, "value": {"stringValue": v}}
+                for k, v in sorted(entry["labels"].items())
+            ]
+            if entry["kind"] == "counter":
+                metrics.append(
+                    {
+                        "name": entry["name"],
+                        "sum": {
+                            "aggregationTemporality": 1,
+                            "isMonotonic": True,
+                            "dataPoints": [
+                                {"attributes": attributes, "asDouble": entry["delta"]}
+                            ],
+                        },
+                    }
+                )
+            elif entry["kind"] == "gauge":
+                metrics.append(
+                    {
+                        "name": entry["name"],
+                        "gauge": {
+                            "dataPoints": [
+                                {"attributes": attributes, "asDouble": entry["value"]}
+                            ],
+                        },
+                    }
+                )
+            else:  # histogram
+                metrics.append(
+                    {
+                        "name": entry["name"],
+                        "histogram": {
+                            "aggregationTemporality": 1,
+                            "dataPoints": [
+                                {
+                                    "attributes": attributes,
+                                    "count": entry["delta_count"],
+                                    "sum": entry["delta_sum"],
+                                    "bucketCounts": [
+                                        count for _le, count in entry["buckets"]
+                                    ],
+                                    "explicitBounds": [
+                                        float(le)
+                                        for le, _count in entry["buckets"]
+                                        if le != "+Inf"
+                                    ],
+                                }
+                            ],
+                        },
+                    }
+                )
+        return {
+            "resourceMetrics": [
+                {
+                    "scopeMetrics": [
+                        {"scope": {"name": "repro"}, "metrics": metrics}
+                    ]
+                }
+            ]
+        }
+
+
+def build_exporter(
+    registry: MetricsRegistry,
+    kind: str | None,
+    target: str | None,
+    interval_seconds: float = DEFAULT_FLUSH_INTERVAL_SECONDS,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+) -> PushExporter | None:
+    """An exporter from config values, or ``None`` when export is off.
+
+    ``kind`` is ``"statsd"`` (target ``host:port``) or ``"json"`` (target
+    an ``http(s)://`` URL); anything falsy disables export.
+    """
+    if not kind:
+        return None
+    if kind not in EXPORTER_KINDS:
+        raise ValueError(
+            f"unknown exporter kind {kind!r} (expected one of {EXPORTER_KINDS})"
+        )
+    if not target:
+        raise ValueError(f"exporter kind {kind!r} needs a target")
+    common = {"interval_seconds": interval_seconds, "max_retries": max_retries}
+    if kind == "statsd":
+        host, _, port = target.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(f"statsd target must be host:port, got {target!r}")
+        return StatsdExporter(registry, host, int(port), **common)
+    if not target.startswith(("http://", "https://")):
+        raise ValueError(f"json exporter target must be an http(s) URL, got {target!r}")
+    return JsonHttpExporter(registry, target, **common)
+
+
+def _num(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))

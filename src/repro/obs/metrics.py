@@ -17,6 +17,13 @@ registry without bound.  The existing ``stats()`` endpoints stay wire-
 compatible as *views* over the registry, and ``GET /v1/metrics`` renders
 the whole registry in the Prometheus text exposition format (0.0.4).
 
+Histograms built with ``exemplars=True`` additionally capture the current
+request id (from :mod:`repro.obs.trace`) as a per-bucket exemplar —
+bounded (one slot per bucket), latest-wins — rendered in the OpenMetrics
+exemplar syntax (``... # {request_id="req-..."} value``) so an operator
+can jump from a fat latency bucket straight to the matching slow-query
+log entry.
+
 A registry built with ``enabled=False`` hands out shared no-op
 instruments — the mode the benchmark overhead guard measures the
 uninstrumented baseline with.
@@ -27,6 +34,8 @@ from __future__ import annotations
 import threading
 from bisect import bisect_left
 from typing import Iterable, Mapping
+
+from repro.obs.trace import current_request_id
 
 #: default latency buckets in milliseconds (upper bounds; +Inf is implicit).
 DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
@@ -170,22 +179,28 @@ class _BoundGauge:
 class _BoundHistogram:
     """One pre-resolved (histogram, label set) series for hot paths."""
 
-    __slots__ = ("_lock", "_entry", "_bounds", "name")
+    __slots__ = ("_lock", "_entry", "_bounds", "_exemplars", "name")
 
     def __init__(self, histogram: "Histogram", entry):
         self._lock = histogram._lock
         self._entry = entry
         self._bounds = histogram.bounds
+        self._exemplars = histogram.exemplars
         self.name = histogram.name
 
     def observe(self, value: float) -> None:
         value = float(value)
         index = bisect_left(self._bounds, value)
+        # the contextvar read happens outside the lock; it is the only
+        # exemplar cost a request without an active request id pays.
+        request_id = current_request_id() if self._exemplars else None
         with self._lock:
             entry = self._entry
             entry[0][index] += 1
             entry[1] += value
             entry[2] += 1
+            if request_id is not None:
+                entry[3][index] = (request_id, value)
 
 
 class Counter(_Instrument):
@@ -266,6 +281,7 @@ class Histogram(_Instrument):
         name: str,
         help_text: str = "",
         buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS_MS,
+        exemplars: bool = False,
     ):
         super().__init__(name, help_text)
         bounds = sorted(float(b) for b in buckets)
@@ -273,8 +289,17 @@ class Histogram(_Instrument):
             raise ValueError(f"histogram {self.name} needs at least one bucket")
         #: finite upper bounds; the +Inf bucket is implicit (the last slot).
         self.bounds: tuple[float, ...] = tuple(bounds)
-        #: label key -> (per-bucket counts incl. +Inf, sum, count).
+        #: capture the current request id per bucket (latest-wins).
+        self.exemplars = exemplars
+        #: label key -> [per-bucket counts incl. +Inf, sum, count] — plus a
+        #: parallel per-bucket exemplar slot list when ``exemplars`` is on.
         self._hist: dict[tuple[tuple[str, str], ...], list] = {}
+
+    def _new_entry(self) -> list:
+        entry: list = [[0] * (len(self.bounds) + 1), 0.0, 0]
+        if self.exemplars:
+            entry.append([None] * (len(self.bounds) + 1))
+        return entry
 
     def labels(self, **labels: str) -> _BoundHistogram | "_NullInstrument":
         """A bound child for this label set; over the cap, a no-op."""
@@ -291,16 +316,19 @@ class Histogram(_Instrument):
         # bisect: the first bound >= value is exactly the bucket whose
         # ``value <= le`` predicate holds; past-the-end lands in +Inf.
         index = bisect_left(self.bounds, value)
+        request_id = current_request_id() if self.exemplars else None
         with self._lock:
             entry = self._hist.get(key)
             if entry is None:
                 if len(self._hist) >= MAX_SERIES_PER_FAMILY:
                     self.dropped_series += 1
                     return
-                entry = self._hist[key] = [[0] * (len(self.bounds) + 1), 0.0, 0]
+                entry = self._hist[key] = self._new_entry()
             entry[0][index] += 1
             entry[1] += value
             entry[2] += 1
+            if request_id is not None:
+                entry[3][index] = (request_id, value)
 
     def _slot_hist(self, labels: Mapping[str, str]):
         key = _label_key(labels)
@@ -308,7 +336,7 @@ class Histogram(_Instrument):
             if len(self._hist) >= MAX_SERIES_PER_FAMILY:
                 self.dropped_series += 1
                 return None
-            self._hist[key] = [[0] * (len(self.bounds) + 1), 0.0, 0]
+            self._hist[key] = self._new_entry()
         return key
 
     # -- reads -------------------------------------------------------------------
@@ -333,11 +361,11 @@ class Histogram(_Instrument):
         with self._lock:
             counts = [0] * (len(self.bounds) + 1)
             total_sum, total_count = 0.0, 0
-            for bucket_counts, series_sum, series_count in self._hist.values():
-                for index, count in enumerate(bucket_counts):
+            for entry in self._hist.values():
+                for index, count in enumerate(entry[0]):
                     counts[index] += count
-                total_sum += series_sum
-                total_count += series_count
+                total_sum += entry[1]
+                total_count += entry[2]
         cumulative, running = [], 0
         for index, bound in enumerate((*self.bounds, float("inf"))):
             running += counts[index]
@@ -360,10 +388,10 @@ class Histogram(_Instrument):
             else:
                 counts = [0] * (len(self.bounds) + 1)
                 total = 0
-                for bucket_counts, _series_sum, series_count in self._hist.values():
-                    for index, count in enumerate(bucket_counts):
+                for entry in self._hist.values():
+                    for index, count in enumerate(entry[0]):
                         counts[index] += count
-                    total += series_count
+                    total += entry[2]
         return percentile_from_buckets(self.bounds, counts, total, q)
 
     def percentiles(self, qs: Iterable[float] = (50, 90, 99), **labels: str) -> dict:
@@ -440,6 +468,7 @@ class _NullInstrument:
     help = ""
     dropped_series = 0
     bounds: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS
+    exemplars = False
 
     def labels(self, **labels: str) -> "_NullInstrument":
         return self
@@ -544,6 +573,7 @@ class MetricsRegistry:
         name: str,
         help_text: str = "",
         buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS_MS,
+        exemplars: bool = False,
     ) -> Histogram:
         if not self.enabled:
             return _NULL_INSTRUMENT  # type: ignore[return-value]
@@ -551,7 +581,9 @@ class MetricsRegistry:
             family = self._families.get(name)
             if family is None:
                 _check_name(name)
-                family = Histogram(name, help_text, buckets=buckets)
+                family = Histogram(
+                    name, help_text, buckets=buckets, exemplars=exemplars
+                )
                 self._families[name] = family
             elif not isinstance(family, Histogram):
                 raise ValueError(
@@ -608,17 +640,73 @@ class MetricsRegistry:
         family: Histogram, const: tuple, lines: list[str]
     ) -> None:
         with family._lock:
-            entries = {key: (list(v[0]), v[1], v[2]) for key, v in family._hist.items()}
+            entries = {
+                key: (list(v[0]), v[1], v[2], list(v[3]) if len(v) > 3 else None)
+                for key, v in family._hist.items()
+            }
         for key in sorted(entries):
-            counts, series_sum, series_count = entries[key]
+            counts, series_sum, series_count, exemplars = entries[key]
             cumulative = 0
             for index, bound in enumerate((*family.bounds, float("inf"))):
                 cumulative += counts[index]
                 labels = _render_labels(const + key + (("le", _format_le(bound)),))
-                lines.append(f"{family.name}_bucket{labels} {cumulative}")
+                line = f"{family.name}_bucket{labels} {cumulative}"
+                if exemplars is not None and exemplars[index] is not None:
+                    request_id, observed = exemplars[index]
+                    line += (
+                        f' # {{request_id="{_escape_label_value(request_id)}"}}'
+                        f" {_format_value(observed)}"
+                    )
+                lines.append(line)
             labels = _render_labels(const + key)
             lines.append(f"{family.name}_sum{labels} {_format_value(series_sum)}")
             lines.append(f"{family.name}_count{labels} {series_count}")
+
+    def export_snapshot(self) -> list[dict]:
+        """Every live series as one flat list, for the push exporters.
+
+        Counters and gauges ship ``{"name", "kind", "labels", "value"}``;
+        histograms ship per-label-set ``{"name", "kind", "labels", "count",
+        "sum", "buckets"}`` with cumulative ``[le, count]`` pairs.  Labels
+        include the registry's const labels, so an exporter's output matches
+        what ``/v1/metrics`` scrapes series-for-series.
+        """
+        const = _label_key(self.const_labels)
+        series: list[dict] = []
+        for family in self.families():
+            if isinstance(family, Histogram):
+                with family._lock:
+                    entries = {
+                        key: (list(v[0]), v[1], v[2])
+                        for key, v in family._hist.items()
+                    }
+                for key in sorted(entries):
+                    counts, series_sum, series_count = entries[key]
+                    cumulative, running = [], 0
+                    for index, bound in enumerate((*family.bounds, float("inf"))):
+                        running += counts[index]
+                        cumulative.append([_format_le(bound), running])
+                    series.append(
+                        {
+                            "name": family.name,
+                            "kind": "histogram",
+                            "labels": dict(const + key),
+                            "count": series_count,
+                            "sum": series_sum,
+                            "buckets": cumulative,
+                        }
+                    )
+                continue
+            for key, value in sorted(family.series().items()):
+                series.append(
+                    {
+                        "name": family.name,
+                        "kind": family.kind,
+                        "labels": dict(const + key),
+                        "value": value,
+                    }
+                )
+        return series
 
     def snapshot(self) -> dict:
         """Debug view: family name -> {label tuple -> value} (counters/gauges)."""

@@ -1,0 +1,101 @@
+"""Fit-progress reporting: coarse phases plus fine-grained fractions.
+
+A fit job used to report only which *phase* it was in (``restoring`` /
+``fitting_substrates`` / ``training`` / ``publishing``); a multi-minute
+encoder or LM substrate fit was a single opaque ``fitting_substrates``.
+:class:`ProgressReporter` adds a second channel: the training loops in
+:mod:`repro.lm` call :meth:`ProgressReporter.step` with how far through
+their work they are (0.0–1.0, optionally with an epoch counter), and the
+job manager folds phase + fraction into one monotonically increasing
+``FitJob.progress`` fraction using the :data:`PHASE_WINDOWS` weights.
+
+The reporter is deliberately forgiving: every old call site that passed a
+plain ``Callable[[str], None]`` phase callback still works via
+:meth:`ProgressReporter.adapt`, and a ``None`` sink costs one attribute
+check per report.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+#: each phase's slice of the overall 0..1 job progress.  Substrate fits
+#: dominate a cold fit's wall time, so they own most of the bar.
+PHASE_WINDOWS: dict[str, tuple[float, float]] = {
+    "restoring": (0.0, 0.05),
+    "fitting_substrates": (0.05, 0.65),
+    "training": (0.65, 0.95),
+    "publishing": (0.95, 1.0),
+}
+
+
+def phase_window(phase: str | None) -> tuple[float, float]:
+    """The overall-progress window a phase-local fraction maps into."""
+    if phase is None:
+        return (0.0, 1.0)
+    return PHASE_WINDOWS.get(phase, (0.0, 1.0))
+
+
+class ProgressReporter:
+    """Forwards phase transitions and step fractions to optional sinks.
+
+    ``on_phase(name)`` fires on each phase transition; ``on_step(fraction,
+    epoch, total_epochs)`` fires as the current phase's work advances,
+    with ``fraction`` clamped to [0, 1].  Either sink may be ``None``.
+    """
+
+    __slots__ = ("on_phase", "on_step")
+
+    def __init__(
+        self,
+        on_phase: Callable[[str], None] | None = None,
+        on_step: "Callable[[float, int | None, int | None], None] | None" = None,
+    ):
+        self.on_phase = on_phase
+        self.on_step = on_step
+
+    def phase(self, name: str) -> None:
+        if self.on_phase is not None:
+            self.on_phase(name)
+
+    def step(
+        self,
+        fraction: float,
+        epoch: int | None = None,
+        total_epochs: int | None = None,
+    ) -> None:
+        if self.on_step is not None:
+            self.on_step(min(max(float(fraction), 0.0), 1.0), epoch, total_epochs)
+
+    def subrange(self, start: float, end: float) -> "ProgressReporter":
+        """A child whose [0, 1] steps map onto [start, end] of this reporter.
+
+        Lets a parent hand each of K substrate fits its own slice of the
+        phase, so the overall fraction keeps moving forward as the fits
+        complete in sequence.  Phase transitions still go to the parent.
+        """
+        span = end - start
+
+        def forward(fraction: float, epoch: int | None, total: int | None) -> None:
+            self.step(start + span * fraction, epoch, total)
+
+        return ProgressReporter(on_phase=self.on_phase, on_step=forward)
+
+    @staticmethod
+    def adapt(progress) -> "ProgressReporter":
+        """Normalize any accepted ``progress`` argument into a reporter.
+
+        ``None`` becomes a shared no-op, a :class:`ProgressReporter`
+        passes through, and a plain callable — the pre-progress phase
+        callback protocol — becomes a phase-only reporter, so existing
+        callers keep working unchanged.
+        """
+        if progress is None:
+            return NULL_PROGRESS
+        if isinstance(progress, ProgressReporter):
+            return progress
+        return ProgressReporter(on_phase=progress)
+
+
+#: the shared do-nothing reporter (``ProgressReporter.adapt(None)``).
+NULL_PROGRESS = ProgressReporter()

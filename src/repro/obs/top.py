@@ -25,6 +25,29 @@ def _fmt_rate(value) -> str:
         return "-"
 
 
+#: character cells in a fit-job progress bar.
+PROGRESS_BAR_WIDTH = 10
+
+
+def _fmt_job(job: dict) -> str:
+    """``method:phase`` plus a progress bar when the job reports one."""
+    text = f"{job.get('method', '?')}:{job.get('phase') or job.get('status', '?')}"
+    progress = job.get("progress")
+    if not isinstance(progress, dict):
+        return text
+    try:
+        fraction = min(max(float(progress.get("fraction")), 0.0), 1.0)
+    except (TypeError, ValueError):
+        return text
+    filled = int(round(fraction * PROGRESS_BAR_WIDTH))
+    bar = "=" * filled + "-" * (PROGRESS_BAR_WIDTH - filled)
+    text += f" [{bar}] {fraction * 100:.0f}%"
+    epoch, total = progress.get("epoch"), progress.get("total_epochs")
+    if epoch is not None and total is not None:
+        text += f" (ep {epoch}/{total})"
+    return text
+
+
 def render_dashboard(data: dict) -> str:
     """Render one refresh frame of the cluster dashboard."""
     fleet = data.get("fleet", {})
@@ -70,13 +93,7 @@ def render_dashboard(data: dict) -> str:
         shard_latency = shard.get("latency_ms", {}) or {}
         fitted = ",".join(shard.get("fitted", []) or []) or "-"
         jobs = shard.get("fit_jobs", []) or []
-        job_text = (
-            " ".join(
-                f"{job.get('method', '?')}:{job.get('phase') or job.get('status', '?')}"
-                for job in jobs
-            )
-            or "-"
-        )
+        job_text = " ".join(_fmt_job(job) for job in jobs) or "-"
         lines.append(
             f"{worker_id:<12} {state:<6} "
             f"{shard.get('requests', 0) if healthy else '-':>7} "

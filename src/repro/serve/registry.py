@@ -55,7 +55,8 @@ from repro.exceptions import (
     UnknownMethodError,
 )
 from repro.genexpan import GenExpan
-from repro.obs import MetricsRegistry, span
+from repro.obs import MetricsRegistry, ProgressReporter, span
+from repro.obs.progress import NULL_PROGRESS
 from repro.retexpan import RetExpan
 from repro.store.fitlock import DEFAULT_STALE_SECONDS, FitLock
 
@@ -224,12 +225,19 @@ class ExpanderRegistry:
         except (StoreError, OSError):
             return False
 
-    def get(self, method: str, progress: Callable[[str], None] | None = None) -> Expander:
+    def get(
+        self,
+        method: str,
+        progress: "Callable[[str], None] | ProgressReporter | None" = None,
+    ) -> Expander:
         """The fitted expander for ``method``, fitting it on first use.
 
         ``progress`` (used by async fit jobs) receives the phase the
         materialisation is in: ``restoring``, ``fitting_substrates``,
         ``training``, or ``publishing``.  A cache hit reports nothing.
+        A plain ``Callable[[str], None]`` gets phases only; a
+        :class:`~repro.obs.progress.ProgressReporter` additionally receives
+        fractional step progress from the substrate training loops.
         """
         self.ensure_known(method)
         key = self._key(method)
@@ -250,18 +258,18 @@ class ExpanderRegistry:
                     self._entries.move_to_end(key)
                     self._hits.inc()
                     return expander
-            expander = self._materialize(name, progress or (lambda _phase: None))
+            expander = self._materialize(name, ProgressReporter.adapt(progress))
             with self._lock:
                 self._entries[key] = expander
                 self._evict_locked()
             return expander
 
-    def _materialize(self, name: str, progress: Callable[[str], None]) -> Expander:
+    def _materialize(self, name: str, progress: ProgressReporter) -> Expander:
         """Produce a fitted expander: restore from the store when possible,
         otherwise fit — with a cross-process fit lock electing one leader per
         ``(method, fingerprint)`` so a fleet sharing the store trains once."""
         expander = self._factories[name](self.resources)
-        progress("restoring")
+        progress.phase("restoring")
         with span("store_restore", method=name):
             restored = self._try_restore(name, expander)
         if restored:
@@ -312,20 +320,27 @@ class ExpanderRegistry:
         self,
         name: str,
         expander: Expander,
-        progress: Callable[[str], None] = lambda _phase: None,
+        progress: ProgressReporter = NULL_PROGRESS,
     ) -> Expander:
         # Resolve the declared substrates first: a warm provider (another
         # resident method, or a persisted substrate artifact) makes the
         # training phase below method-only work, and fit jobs can report
-        # the two phases separately.
+        # the two phases separately.  Each dependency gets an equal slice of
+        # the ``fitting_substrates`` phase, so its training loop's step
+        # fractions land in the right portion of the overall bar.
         dependencies = expander.substrate_dependencies()
         if dependencies:
-            progress("fitting_substrates")
+            progress.phase("fitting_substrates")
             provider = self.resources.provider
+            total = len(dependencies)
             with span("fit_substrates", method=name):
-                for kind, params in dependencies:
-                    provider.get(kind, params)
-        progress("training")
+                for index, (kind, params) in enumerate(dependencies):
+                    provider.get(
+                        kind,
+                        params,
+                        progress=progress.subrange(index / total, (index + 1) / total),
+                    )
+        progress.phase("training")
         started = time.perf_counter()
         with span("train", method=name):
             expander.fit(self.dataset)
@@ -333,7 +348,7 @@ class ExpanderRegistry:
         self._fits.inc()
         with self._lock:
             self._fit_seconds[name] = elapsed
-        progress("publishing")
+        progress.phase("publishing")
         with span("publish", method=name):
             self._write_through(name, expander)
         return expander
@@ -398,7 +413,11 @@ class ExpanderRegistry:
             self._evictions.inc()
 
     # -- pinning -----------------------------------------------------------------
-    def pin(self, method: str, progress: Callable[[str], None] | None = None) -> Expander:
+    def pin(
+        self,
+        method: str,
+        progress: "Callable[[str], None] | ProgressReporter | None" = None,
+    ) -> Expander:
         """Fit (if needed) and exempt ``method`` from LRU eviction."""
         expander = self.get(method, progress=progress)
         with self._lock:

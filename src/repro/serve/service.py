@@ -35,8 +35,10 @@ from repro.dataset.ultrawiki import UltraWikiDataset
 from repro.exceptions import DatasetError, ServiceUnavailableError
 from repro.obs import (
     MetricsRegistry,
+    SlowQueryLog,
     Trace,
     activate,
+    build_exporter,
     current_request_id,
     log_slow_query,
     span,
@@ -119,9 +121,12 @@ class ExpansionService:
         self._adhoc = self.metrics.counter(
             "repro_service_adhoc_queries_total", "Inline-seed (ad-hoc) queries."
         )
+        # Exemplars capture the current request id per latency bucket, so a
+        # fat p99 bucket on /v1/metrics joins straight to a slow-query line.
         self._latency = self.metrics.histogram(
             "repro_request_latency_ms",
             "End-to-end expand latency (cached and uncached).",
+            exemplars=True,
         )
         # hot-path handles: label resolution paid once, not per request.
         self._requests_series = self._requests.labels()
@@ -130,6 +135,21 @@ class ExpansionService:
         #: serial for adhoc query ids; must stay exact even with metrics off.
         self._adhoc_serial = 0
         self._closed = False
+        self._slow_log: SlowQueryLog | None = None
+        if self.config.slow_query_log is not None:
+            self._slow_log = SlowQueryLog(
+                self.config.slow_query_log,
+                max_bytes=self.config.slow_query_max_bytes,
+            )
+        self.exporter = build_exporter(
+            self.metrics,
+            self.config.exporter,
+            self.config.exporter_target,
+            interval_seconds=self.config.exporter_interval_seconds,
+            max_retries=self.config.exporter_max_retries,
+        )
+        if self.exporter is not None:
+            self.exporter.start()
         self._janitor: _StoreJanitor | None = None
         if store is not None and self.config.store_gc_interval_seconds is not None:
             self._janitor = _StoreJanitor(
@@ -259,6 +279,7 @@ class ExpansionService:
             cached=cached,
             spans=trace.to_list() if trace is not None else None,
             error=error,
+            sink=self._slow_log,
         )
 
     def _resolve_query(self, request: ExpandRequest) -> Query:
@@ -360,6 +381,10 @@ class ExpansionService:
             merged["store"] = self.store.stats()
         if self._janitor is not None:
             merged["store_gc"] = self._janitor.stats()
+        if self.exporter is not None:
+            merged["exporter"] = self.exporter.stats()
+        if self._slow_log is not None:
+            merged["slow_query_log"] = self._slow_log.stats()
         return merged
 
     # -- lifecycle ---------------------------------------------------------------------
@@ -372,6 +397,9 @@ class ExpansionService:
             self._janitor.stop()
         self.jobs.shutdown()
         self.batcher.shutdown()
+        if self.exporter is not None:
+            # Last: the drain flush ships whatever the shutdown just counted.
+            self.exporter.shutdown()
 
     def __enter__(self) -> "ExpansionService":
         return self

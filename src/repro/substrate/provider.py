@@ -307,7 +307,7 @@ class SubstrateProvider:
             return len(self._cache)
 
     # -- the one entry point -----------------------------------------------------
-    def get(self, kind: str, params: dict, resolver=None) -> object:
+    def get(self, kind: str, params: dict, resolver=None, progress=None) -> object:
         """The fitted substrate for ``(kind, params)``, built at most once.
 
         Resolution order: in-memory cache, then ``resolver`` (the
@@ -315,12 +315,18 @@ class SubstrateProvider:
         restored), then this provider's own store, then a fresh fit (under
         cross-process leader election when a store is attached).  Every path
         ends with the instance cached so all resident expanders share it.
+
+        ``progress`` (a :class:`repro.obs.progress.ProgressReporter`,
+        optional) receives fractional training progress when a cold fit is
+        paid; cache hits and restores complete it immediately.
         """
         key = self.key(kind, params)
         with self._lock:
             cached = self._cache.get(key)
             if cached is not None:
                 self._hits.inc()
+                if progress is not None:
+                    progress.step(1.0)
                 return cached
             key_lock = self._key_locks.setdefault(key, threading.Lock())
         with key_lock:
@@ -328,15 +334,21 @@ class SubstrateProvider:
                 cached = self._cache.get(key)
                 if cached is not None:
                     self._hits.inc()
+                    if progress is not None:
+                        progress.step(1.0)
                     return cached
-            instance = self._materialize(key, kind, params, resolver)
+            instance = self._materialize(key, kind, params, resolver, progress)
             with self._lock:
                 self._cache[key] = instance
                 self._resident.set(len(self._cache))
+            if progress is not None:
+                progress.step(1.0)
             return instance
 
     # -- materialisation ---------------------------------------------------------
-    def _materialize(self, key: SubstrateKey, kind: str, params: dict, resolver) -> object:
+    def _materialize(
+        self, key: SubstrateKey, kind: str, params: dict, resolver, progress=None
+    ) -> object:
         if resolver is not None and resolver.has(kind, key.content_hash):
             # The substrate referenced by the artifact being restored; a
             # failure here is the artifact's corruption and must propagate
@@ -355,8 +367,8 @@ class SubstrateProvider:
             return instance
         self._misses.inc()
         if not self.fit_lock_enabled:
-            return self._fit_and_publish(key, kind, params)
-        return self._fit_single_payer(key, kind, params)
+            return self._fit_and_publish(key, kind, params, progress)
+        return self._fit_single_payer(key, kind, params, progress)
 
     def _try_restore_from_store(self, key: SubstrateKey, kind: str) -> object | None:
         if self.store is None:
@@ -384,10 +396,12 @@ class SubstrateProvider:
             self._restore_seconds[kind] = time.perf_counter() - started
         return instance
 
-    def _fit_and_publish(self, key: SubstrateKey, kind: str, params: dict) -> object:
+    def _fit_and_publish(
+        self, key: SubstrateKey, kind: str, params: dict, progress=None
+    ) -> object:
         started = time.perf_counter()
         with span("substrate_fit", kind=kind):
-            instance = self._fit_substrate(kind, params)
+            instance = self._fit_substrate(kind, params, progress)
         self._fits.inc()
         with self._lock:
             self._fit_seconds[kind] = time.perf_counter() - started
@@ -395,7 +409,9 @@ class SubstrateProvider:
             self._publish_instance(key, kind, instance, self.store)
         return instance
 
-    def _fit_single_payer(self, key: SubstrateKey, kind: str, params: dict) -> object:
+    def _fit_single_payer(
+        self, key: SubstrateKey, kind: str, params: dict, progress=None
+    ) -> object:
         """Cold-fit under cross-process leader election (same contract as the
         method registry: the lock can delay a fit, never block progress)."""
         lock = FitLock(
@@ -416,7 +432,7 @@ class SubstrateProvider:
                         if instance is not None:
                             self._fit_lock_restores.inc()
                             return instance
-                    return self._fit_and_publish(key, kind, params)
+                    return self._fit_and_publish(key, kind, params, progress)
                 finally:
                     lock.release()
             contended = True
@@ -428,7 +444,7 @@ class SubstrateProvider:
                 return instance
             if not freed or time.monotonic() >= deadline:
                 self._fit_lock_timeouts.inc()
-                return self._fit_and_publish(key, kind, params)
+                return self._fit_and_publish(key, kind, params, progress)
             # Lock freed but nothing published (the leader crashed): run again.
 
     # -- publication -------------------------------------------------------------
@@ -473,7 +489,7 @@ class SubstrateProvider:
         self._publishes.inc()
 
     # -- per-kind adapters -------------------------------------------------------
-    def _fit_substrate(self, kind: str, params: dict) -> object:
+    def _fit_substrate(self, kind: str, params: dict, progress=None) -> object:
         corpus = self.dataset.corpus
         entities = self.dataset.entities()
         if kind == COOCCURRENCE_EMBEDDINGS:
@@ -482,10 +498,14 @@ class SubstrateProvider:
                 window=int(params["window"]),
                 seed=int(params["seed"]),
                 entity_dim=int(params["entity_dim"]),
-            ).fit(corpus, entities)
+            ).fit(corpus, entities, progress=progress)
         if kind == ENTITY_REPRESENTATIONS:
+            # The encoder (training loop included) dominates this fit; the
+            # final representation pass is the small remainder.
             encoder = self.context_encoder(
-                EncoderConfig(**params["encoder"]), trained=bool(params["trained"])
+                EncoderConfig(**params["encoder"]),
+                trained=bool(params["trained"]),
+                progress=progress.subrange(0.0, 0.9) if progress is not None else None,
             )
             if params["trained"]:
                 return encoder.entity_representations(corpus, entities)
@@ -493,7 +513,9 @@ class SubstrateProvider:
                 corpus, entities, with_distributions=False
             )
         if kind == CAUSAL_LM:
-            return CausalEntityLM(CausalLMConfig(**params)).fit(corpus, entities)
+            return CausalEntityLM(CausalLMConfig(**params)).fit(
+                corpus, entities, progress=progress
+            )
         raise SubstrateError(f"unknown substrate kind {kind!r}")
 
     @staticmethod
@@ -512,7 +534,9 @@ class SubstrateProvider:
             return CausalEntityLM.load_state(directory, self.dataset.entities())
         raise SubstrateError(f"unknown substrate kind {kind!r}")
 
-    def context_encoder(self, config: EncoderConfig, trained: bool = True) -> ContextEncoder:
+    def context_encoder(
+        self, config: EncoderConfig, trained: bool = True, progress=None
+    ) -> ContextEncoder:
         """The (memory-only) masked-entity encoder for ``config``.
 
         Built at most once per ``(config, trained)`` and never persisted: it
@@ -523,15 +547,20 @@ class SubstrateProvider:
         with self._lock:
             encoder = self._encoders.get(cache_key)
             if encoder is not None:
+                if progress is not None:
+                    progress.step(1.0)
                 return encoder
         pretrained = self.get(
-            COOCCURRENCE_EMBEDDINGS, cooccurrence_params_from_encoder(config)
+            COOCCURRENCE_EMBEDDINGS,
+            cooccurrence_params_from_encoder(config),
+            progress=progress.subrange(0.0, 0.3) if progress is not None else None,
         )
         encoder = ContextEncoder(config).fit(
             self.dataset.corpus,
             self.dataset.entities(),
             pretrained=pretrained,
             train=trained,
+            progress=progress.subrange(0.3, 1.0) if progress is not None else None,
         )
         with self._lock:
             return self._encoders.setdefault(cache_key, encoder)

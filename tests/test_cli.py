@@ -56,6 +56,39 @@ class TestParser:
         assert args.access_log is True
         assert build_parser().parse_args(["serve"]).access_log is False
 
+    def test_serve_telemetry_export_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--exporter", "statsd",
+                "--exporter-target", "127.0.0.1:8125",
+                "--exporter-interval", "5",
+                "--exporter-max-retries", "1",
+                "--slow-query-log", "/tmp/slow.jsonl",
+                "--slow-query-max-bytes", "4096",
+            ]
+        )
+        assert args.exporter == "statsd"
+        assert args.exporter_target == "127.0.0.1:8125"
+        assert args.exporter_interval == 5.0
+        assert args.exporter_max_retries == 1
+        assert args.slow_query_log == "/tmp/slow.jsonl"
+        assert args.slow_query_max_bytes == 4096
+        assert build_parser().parse_args(["serve"]).exporter is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--exporter", "kafka"])
+
+    def test_cluster_serve_gateway_exporter_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "cluster", "serve",
+                "--gateway-exporter", "json",
+                "--gateway-exporter-target", "http://collector:4318/v1/metrics",
+            ]
+        )
+        assert args.gateway_exporter == "json"
+        assert args.gateway_exporter_target == "http://collector:4318/v1/metrics"
+
 
 class TestCommands:
     def test_list_experiments(self, capsys):
@@ -175,3 +208,21 @@ class TestCommands:
     def test_query_over_http_requires_query_id(self):
         with pytest.raises(SystemExit):
             main(["query", "--url", "http://127.0.0.1:1", "--method", "stub"])
+
+
+class TestClusterTopCommand:
+    def test_unreachable_gateway_exits_with_one_clean_line(self, capsys):
+        import socket
+
+        # grab a port with nothing listening on it.
+        placeholder = socket.socket()
+        placeholder.bind(("127.0.0.1", 0))
+        port = placeholder.getsockname()[1]
+        placeholder.close()
+
+        url = f"http://127.0.0.1:{port}"
+        code = main(["cluster", "top", "--url", url, "--once"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert captured.err.strip() == f"gateway unreachable at {url}"
+        assert captured.out == ""  # no traceback, no partial frame

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import logging
+import socket
 import time
 import urllib.error
 import urllib.request
@@ -179,8 +180,33 @@ class TestDashboard:
         assert seen, "the running fit never appeared on the dashboard"
         assert seen[0]["method"] == "slowfit"
         assert seen[0]["status"] in ("queued", "running")
+        assert "progress" in seen[0]
         frame = render_dashboard(data)
         assert "slowfit:" in frame
+
+    def test_dashboard_html_rendering_is_self_contained(self, fleet, tiny_dataset):
+        gateway, _servers = fleet
+        query_id = tiny_dataset.queries[0].query_id
+        http_post(
+            gateway.url + "/v1/expand",
+            {"method": STUB_METHODS[0], "query_id": query_id},
+        )
+        status, body, headers = http_get(gateway.url + "/v1/dashboard?format=html")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/html")
+        page = body.decode("utf-8")
+        assert page.startswith("<!doctype html>")
+        assert '<meta http-equiv="refresh"' in page
+        assert "worker-0" in page and "worker-1" in page
+        # self-contained: no external scripts, stylesheets, or fetches.
+        for marker in ("<script src", "<link", "http://", "https://", "fetch("):
+            assert marker not in page
+
+        # the JSON rendering is untouched by the HTML one.
+        status, body, headers = http_get(gateway.url + "/v1/dashboard")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        assert json.loads(body)["data"]["fleet"]["total_workers"] == 2
 
 
 class TestGatewayMetrics:
@@ -218,6 +244,72 @@ class TestGatewayMetrics:
         assert stats["proxied"] >= 1
         assert set(stats["routed"]) == {"worker-0", "worker-1"}
         assert sum(stats["routed"].values()) == stats["proxied"]
+
+
+class TestClusterTelemetryExport:
+    def test_fleet_ships_statsd_flushes_end_to_end(self, tiny_dataset):
+        """Workers and gateway both push to one UDP statsd stub while a
+        request is served — the CI cluster-smoke path for the export
+        pipeline (background flush, zero requests blocked)."""
+        sink = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        sink.bind(("127.0.0.1", 0))
+        sink.settimeout(10.0)
+        target = f"127.0.0.1:{sink.getsockname()[1]}"
+
+        servers = [
+            make_worker(
+                tiny_dataset,
+                exporter="statsd",
+                exporter_target=target,
+                exporter_interval_seconds=0.1,
+            )
+        ]
+        gateway = make_gateway(
+            tiny_dataset,
+            servers,
+            gateway_exporter="statsd",
+            gateway_exporter_target=target,
+            gateway_exporter_interval_seconds=0.1,
+        )
+        try:
+            query_id = tiny_dataset.queries[0].query_id
+            status, envelope, _ = http_post(
+                gateway.url + "/v1/expand",
+                {"method": STUB_METHODS[0], "query_id": query_id},
+            )
+            assert status == 200  # serving never waits on the exporter
+
+            lines: list[str] = []
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                payload, _addr = sink.recvfrom(65535)
+                lines.extend(payload.decode("utf-8").split("\n"))
+                if any(
+                    line.startswith("repro_gateway_requests_total:")
+                    for line in lines
+                ) and any(
+                    line.startswith("repro_service_requests_total:")
+                    for line in lines
+                ):
+                    break
+            assert any(
+                line.startswith("repro_gateway_requests_total:") for line in lines
+            ), lines
+            assert any(
+                line.startswith("repro_service_requests_total:") for line in lines
+            ), lines
+            # the flush self-metric increments just after the datagram goes
+            # out, on the exporter thread — give it a beat.
+            flushes = gateway.metrics.counter("obs_exporter_flushes_total")
+            deadline = time.monotonic() + 5.0
+            while flushes.total() < 1 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert flushes.total() >= 1
+        finally:
+            gateway.shutdown()
+            for server in servers:
+                server.shutdown()
+            sink.close()
 
 
 def _await_log_lines(caplog, logger_name: str, request_id: str, timeout: float = 5.0):

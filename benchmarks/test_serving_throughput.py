@@ -226,6 +226,114 @@ def test_metrics_overhead_guard(context):
         assert latency.exemplars is True
 
 
+class _HttpCaller:
+    """Adapter giving an HTTP client the ``submit(request)`` shape the
+    interleaved overhead harness expects (the pre-rendered payload is
+    fixed; the ignored argument keeps the call signature uniform)."""
+
+    def __init__(self, transport, payload):
+        self.transport = transport
+        self.payload = payload
+
+    def submit(self, _request):
+        status, _body = self.transport.request("POST", "/v1/expand", self.payload)
+        assert status == 200
+
+
+def test_gate_overhead_guard(context, tmp_path):
+    """The multi-tenant front door tax on the cached expand hot path stays
+    within 5% of an ungated server, measured end to end over HTTP.
+
+    The gate lives in the HTTP handler (key hash + tenant lookup,
+    token-bucket charge, tenant contextvar, per-tenant counter labels), so
+    the guarded quantity is the latency a tenant actually pays: client ->
+    keep-alive socket -> handler -> cached service hit.  Same measurement
+    protocol as the metrics guard — interleaved best-of-rounds windows, GC
+    parked, up to three attempts because noise only ever inflates the
+    gated/open ratio."""
+    import json
+
+    from repro.client.transport import HttpTransport
+
+    keyfile = tmp_path / "keys.json"
+    keyfile.write_text(
+        json.dumps(
+            {
+                "tenants": [
+                    # quota far above the benchmark rate: the buckets are
+                    # exercised on every request but never refuse.
+                    {"tenant": "bench", "key": "bench-key", "quota": "10000000:10000000"}
+                ]
+            }
+        ),
+        encoding="utf-8",
+    )
+
+    def make_server(gated: bool) -> ExpansionHTTPServer:
+        service = ExpansionService(
+            context.dataset,
+            config=ServiceConfig(
+                batch_wait_ms=0.0,
+                cache_ttl_seconds=None,
+                port=0,
+                keyfile=str(keyfile) if gated else None,
+            ),
+            factories={"bench-stub": lambda _res: _BenchStubExpander()},
+        )
+        service.warm_up(["bench-stub"])
+        return ExpansionHTTPServer(service, port=0).start()
+
+    payload = ExpandRequest(
+        method="bench-stub",
+        query_id=context.dataset.queries[0].query_id,
+        options=ExpandOptions(top_k=20),
+    ).to_v1_dict()
+    repeats, rounds, attempts = 50, 20, 3
+    open_server = make_server(gated=False)
+    gated_server = make_server(gated=True)
+    open_transport = HttpTransport(open_server.url)
+    gated_transport = HttpTransport(gated_server.url, api_key="bench-key")
+    baseline = _HttpCaller(open_transport, payload)
+    gated = _HttpCaller(gated_transport, payload)
+    try:
+        for caller in (baseline, gated):  # prime cache + warm the sockets
+            _cached_pass_seconds(caller, None, 50)
+        overheads = []
+        for attempt in range(attempts):
+            baseline_best, gated_best = _measure_overhead(
+                baseline, gated, None, repeats, rounds
+            )
+            overhead = gated_best / baseline_best - 1.0
+            overheads.append(overhead)
+            print(
+                f"\nfront-door overhead on the cached HTTP hot path "
+                f"(attempt {attempt + 1}): {overhead * 100.0:+.2f}% "
+                f"(open {baseline_best / repeats * 1e6:.1f} us/req, "
+                f"gated {gated_best / repeats * 1e6:.1f} us/req)"
+            )
+            # 5% relative budget plus ~2us/request of absolute grace — the
+            # gate itself costs ~4us/request, so a regression that doubles
+            # it still trips the guard on a ~300us HTTP round trip.
+            if gated_best <= baseline_best * 1.05 + repeats * 2.0e-6:
+                break
+        else:
+            raise AssertionError(
+                f"front-door overhead exceeded the 5% budget on all "
+                f"{attempts} attempts: "
+                + ", ".join(f"{o * 100.0:+.2f}%" for o in overheads)
+            )
+        # the gate really ran on every gated request and never throttled
+        # (a refusal would skew the timing with cheap 429s).
+        gate_stats = gated_server.service.gate.stats()
+        assert gate_stats["requests"]["bench"] >= repeats * rounds
+        assert gate_stats["throttled"] == {}
+    finally:
+        open_transport.close()
+        gated_transport.close()
+        open_server.shutdown()
+        gated_server.shutdown()
+
+
 def test_v1_http_expand_smoke(context):
     """One ``/v1/expand`` end-to-end through the SDK's HTTP transport.
 

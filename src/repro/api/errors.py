@@ -17,9 +17,11 @@ callers observe identical error types.
 from __future__ import annotations
 
 from repro.exceptions import (
+    AuthenticationError,
     DatasetError,
     JobConflictError,
     JobNotFoundError,
+    RateLimitedError,
     ReproError,
     ServiceError,
     ServiceUnavailableError,
@@ -32,6 +34,8 @@ CODE_UNKNOWN_METHOD = "unknown_method"
 CODE_NOT_FOUND = "not_found"
 CODE_JOB_NOT_FOUND = "job_not_found"
 CODE_CONFLICT = "conflict"
+CODE_UNAUTHENTICATED = "unauthenticated"
+CODE_RATE_LIMITED = "rate_limited"
 CODE_UNAVAILABLE = "unavailable"
 CODE_INTERNAL = "internal"
 
@@ -41,6 +45,8 @@ _TAXONOMY: tuple[tuple[type[BaseException], int, str, bool], ...] = (
     (JobNotFoundError, 404, CODE_JOB_NOT_FOUND, False),
     (JobConflictError, 409, CODE_CONFLICT, False),
     (UnknownMethodError, 404, CODE_UNKNOWN_METHOD, False),
+    (AuthenticationError, 401, CODE_UNAUTHENTICATED, False),
+    (RateLimitedError, 429, CODE_RATE_LIMITED, True),
     (ServiceUnavailableError, 503, CODE_UNAVAILABLE, True),
     (DatasetError, 404, CODE_NOT_FOUND, False),
     (ReproError, 400, CODE_INVALID_REQUEST, False),
@@ -54,6 +60,8 @@ _CLIENT_EXCEPTIONS: dict[str, type[ReproError]] = {
     CODE_NOT_FOUND: DatasetError,
     CODE_JOB_NOT_FOUND: JobNotFoundError,
     CODE_CONFLICT: JobConflictError,
+    CODE_UNAUTHENTICATED: AuthenticationError,
+    CODE_RATE_LIMITED: RateLimitedError,
     CODE_UNAVAILABLE: ServiceUnavailableError,
     CODE_INTERNAL: ServiceError,
 }

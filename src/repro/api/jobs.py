@@ -108,12 +108,16 @@ class JobManager:
     """Queues and executes fit jobs against one :class:`ExpanderRegistry`."""
 
     def __init__(self, registry, clock: Callable[[], float] = time.time,
-                 history_limit: int = 64):
+                 history_limit: int = 64, admission=None):
         """``registry`` is any object with the ``ExpanderRegistry`` surface
         (``ensure_known``/``is_fitted``/``get``/``pin``/``stats``, with
         ``get``/``pin`` accepting a ``progress`` phase callback); ``clock``
-        stamps job timestamps and is injectable for tests."""
+        stamps job timestamps and is injectable for tests.  ``admission``
+        (an :class:`~repro.gate.AdmissionController`) makes fit execution
+        compete for slots on the batch lane — waiting, never shedding: a
+        job the server accepted should run late rather than vanish."""
         self.registry = registry
+        self.admission = admission
         self.clock = clock
         self.history_limit = history_limit
         self._cond = threading.Condition()
@@ -314,13 +318,21 @@ class JobManager:
         reporter = ProgressReporter(on_phase=on_phase, on_step=on_step)
 
         try:
-            already_fitted = self.registry.is_fitted(job.method)
-            stats_before = self.registry.stats()
-            if job.pin:
-                self.registry.pin(job.method, progress=reporter)
-            else:
-                self.registry.get(job.method, progress=reporter)
-            stats_after = self.registry.stats()
+            if self.admission is not None:
+                # fits ride the batch lane and wait for a slot (shed=False):
+                # interactive traffic preempts them, but they never 503.
+                self.admission.acquire("batch", shed=False)
+            try:
+                already_fitted = self.registry.is_fitted(job.method)
+                stats_before = self.registry.stats()
+                if job.pin:
+                    self.registry.pin(job.method, progress=reporter)
+                else:
+                    self.registry.get(job.method, progress=reporter)
+                stats_after = self.registry.stats()
+            finally:
+                if self.admission is not None:
+                    self.admission.release()
             # Per-method wall-time entries change exactly when this method
             # was fitted/restored; global counters would misattribute
             # concurrent restores of *other* methods to this job.

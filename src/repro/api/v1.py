@@ -37,6 +37,7 @@ from typing import Any, Callable, Mapping
 from repro.api.envelope import error_envelope, success_envelope
 from repro.api.errors import error_payload, route_not_found_payload
 from repro.exceptions import ServiceError
+from repro.obs import current_tenant, tenant_scope
 from repro.serve.protocol import ExpandRequest
 from repro.utils.iox import to_jsonable
 
@@ -137,9 +138,19 @@ class ApiV1:
                 f"batch size {len(items)} exceeds the limit of {MAX_BATCH_REQUESTS}"
             )
 
+        # ContextVars don't cross the pool boundary: capture the tenant here
+        # and re-bind it on each worker thread so per-item metrics and
+        # admission attribution stay with the caller's tenant.
+        tenant = current_tenant()
+
         def run_one(item) -> dict:
             try:
-                response = self.service.submit(ExpandRequest.from_dict(item))
+                with tenant_scope(tenant):
+                    # fan-out items ride the batch lane so a big batch cannot
+                    # starve concurrent interactive expands under admission.
+                    response = self.service.submit(
+                        ExpandRequest.from_dict(item), lane="batch"
+                    )
             except Exception as exc:  # noqa: BLE001 - reported per item
                 _, error = error_payload(exc)
                 return {"error": error}

@@ -190,6 +190,15 @@ def _service_config(args: argparse.Namespace) -> ServiceConfig:
         exporter_max_retries=getattr(
             args, "exporter_max_retries", ServiceConfig.exporter_max_retries
         ),
+        keyfile=getattr(args, "keyfile", None),
+        default_quota=getattr(args, "default_quota", None),
+        admission_max_concurrent=getattr(args, "admission_max_concurrent", None),
+        admission_queue_depth=getattr(
+            args, "admission_queue_depth", ServiceConfig.admission_queue_depth
+        ),
+        admission_timeout_seconds=getattr(
+            args, "admission_timeout", ServiceConfig.admission_timeout_seconds
+        ),
     )
     config.validate()
     return config
@@ -388,6 +397,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "GET /v1/healthz"
     )
     print("  deprecated aliases: /expand /methods /stats /healthz (pre-v1 wire shape)")
+    if service.gate is not None:
+        anonymous = "allowed" if (
+            config.keyfile is None or service.gate.directory.allows_anonymous
+        ) else "rejected (401)"
+        print(
+            f"  front door: keyfile={config.keyfile or 'none'} "
+            f"default-quota={config.default_quota or 'none'} "
+            f"anonymous={anonymous}"
+        )
+    if service.admission is not None:
+        print(
+            f"  admission: {config.admission_max_concurrent} concurrent, "
+            f"queue depth {config.admission_queue_depth}, shed after "
+            f"{config.admission_timeout_seconds:g}s (retryable 503)"
+        )
     _install_sigterm_handler()
     try:
         server.serve_forever()
@@ -451,6 +475,17 @@ def worker_command(
             "--exporter-max-retries",
             str(args.exporter_max_retries),
         ]
+    # Admission control is per-shard, so workers get it; auth + quota are NOT
+    # forwarded — the gateway enforces them once at the front door.
+    if getattr(args, "admission_max_concurrent", None) is not None:
+        command += [
+            "--admission-max-concurrent",
+            str(args.admission_max_concurrent),
+            "--admission-queue-depth",
+            str(args.admission_queue_depth),
+            "--admission-timeout",
+            str(args.admission_timeout),
+        ]
     return tuple(command)
 
 
@@ -472,6 +507,11 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
         print(f"  saved shared dataset to {dataset_dir}")
     fingerprint = dataset.fingerprint()
 
+    # Tenancy is enforced once, at the gateway: workers run open behind it,
+    # so the keyfile and default quota are stripped from the worker config.
+    service_config = _service_config(args)
+    service_config.keyfile = None
+    service_config.default_quota = None
     config = ClusterConfig(
         num_workers=args.workers,
         worker_host=args.worker_host,
@@ -486,7 +526,12 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
             "gateway_exporter_interval",
             ClusterConfig.gateway_exporter_interval_seconds,
         ),
-        service=_service_config(args),
+        keyfile=getattr(args, "keyfile", None),
+        keyfile_reload_seconds=getattr(
+            args, "keyfile_reload", ClusterConfig.keyfile_reload_seconds
+        ),
+        default_quota=getattr(args, "default_quota", None),
+        service=service_config,
     )
     config.validate()
     if config.gateway_access_log:
@@ -532,6 +577,13 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
             "  /v1/stats and /v1/healthz aggregate the whole fleet; "
             "/v1/dashboard joins it for `repro cluster top`"
         )
+        if gateway.gate is not None:
+            print(
+                f"  front door: keyfile={config.keyfile or 'none'} "
+                f"default-quota={config.default_quota or 'none'} "
+                "(auth + quotas enforced at the gateway; workers run open "
+                "behind it)"
+            )
         try:
             gateway.serve_forever()
         except KeyboardInterrupt:
@@ -548,7 +600,9 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
 def _cmd_cluster_top(args: argparse.Namespace) -> int:
     """A refreshing terminal view of ``GET /v1/dashboard`` (fleet health,
     per-shard traffic and latency, cache hit rates, live fit progress)."""
-    with ExpansionClient.connect(args.url) as client:
+    with ExpansionClient.connect(
+        args.url, api_key=getattr(args, "api_key", None)
+    ) as client:
         try:
             while True:
                 frame = render_dashboard(client.dashboard())
@@ -587,7 +641,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.url:
         if not args.query_id:
             raise SystemExit("--url mode needs an explicit --query-id")
-        with ExpansionClient.connect(args.url) as client:
+        with ExpansionClient.connect(
+            args.url, api_key=getattr(args, "api_key", None)
+        ) as client:
             response = client.expand(
                 args.method, query_id=args.query_id, options=options
             )
@@ -678,6 +734,44 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
         default=ServiceConfig.exporter_max_retries,
         metavar="N",
         help="ship retries per batch before dropping it (drop-and-count)",
+    )
+    parser.add_argument(
+        "--keyfile",
+        default=None,
+        metavar="FILE",
+        help="JSON tenant keyfile enabling the multi-tenant front door "
+        "(API keys, per-tenant quotas); hot-reloaded on change",
+    )
+    parser.add_argument(
+        "--default-quota",
+        default=None,
+        metavar="RATE[:BURST]",
+        help="token-bucket quota applied to every tenant without an explicit "
+        "one (and to anonymous traffic when no keyfile is given), "
+        "e.g. 50 or 50:100 requests/second",
+    )
+    parser.add_argument(
+        "--admission-max-concurrent",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap concurrent expansions per worker; excess requests queue "
+        "in two priority lanes (interactive preempts batch) and shed "
+        "with a retryable 503 past --admission-queue-depth",
+    )
+    parser.add_argument(
+        "--admission-queue-depth",
+        type=int,
+        default=ServiceConfig.admission_queue_depth,
+        metavar="N",
+        help="waiting requests allowed before load shedding kicks in",
+    )
+    parser.add_argument(
+        "--admission-timeout",
+        type=float,
+        default=ServiceConfig.admission_timeout_seconds,
+        metavar="SECONDS",
+        help="longest a sheddable request waits for an admission slot",
     )
 
 
@@ -858,6 +952,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--once", action="store_true",
         help="render a single frame and exit (no screen clearing)",
     )
+    cluster_top.add_argument(
+        "--api-key", default=None, metavar="KEY",
+        help="API key for a gateway running the multi-tenant front door",
+    )
     cluster_top.set_defaults(handler=_cmd_cluster_top)
 
     query = subparsers.add_parser(
@@ -878,6 +976,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--offset", type=int, default=0, help="pagination offset into the ranking")
     query.add_argument("--limit", type=int, default=None, help="page size (default: the rest)")
     query.add_argument("--json", default=None, help="path to write the response as JSON")
+    query.add_argument(
+        "--api-key", default=None, metavar="KEY",
+        help="API key sent with --url against a server running the "
+        "multi-tenant front door",
+    )
     query.set_defaults(handler=_cmd_query)
     return parser
 

@@ -44,14 +44,19 @@ class ExpansionClient:
         timeout: float = 10.0,
         max_retries: int = 2,
         backoff_seconds: float = 0.1,
+        api_key: str | None = None,
     ) -> "ExpansionClient":
-        """A client speaking HTTP to a running ``repro serve`` endpoint."""
+        """A client speaking HTTP to a running ``repro serve`` endpoint.
+
+        ``api_key`` authenticates against a server running the multi-tenant
+        front door (sent as ``X-Api-Key`` on every request)."""
         return cls(
             HttpTransport(
                 url,
                 timeout=timeout,
                 max_retries=max_retries,
                 backoff_seconds=backoff_seconds,
+                api_key=api_key,
             )
         )
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import socket
 import threading
 import time
 from typing import Callable, Mapping
@@ -36,7 +37,12 @@ import repro.api.v1 as apiv1
 from repro.api.envelope import new_request_id
 from repro.api.errors import CODE_INTERNAL, is_retryable
 from repro.exceptions import TransportError
+from repro.gate import API_KEY_HEADER
 from repro.obs import request_scope
+
+#: ceiling on a server-supplied Retry-After hint the client will honor; a
+#: hostile or buggy server must not park a caller for an hour.
+MAX_RETRY_AFTER_SECONDS = 30.0
 
 #: failures that mean "the server closed this socket before answering" —
 #: on a *reused* keep-alive connection these signal a stale socket whose
@@ -85,12 +91,15 @@ class HttpTransport:
         sleep: Callable[[float], None] = time.sleep,
         keep_alive: bool = True,
         max_idle_connections: int = 4,
+        api_key: str | None = None,
     ):
         """``max_retries`` counts *additional* attempts after the first;
         ``sleep`` is injectable so tests can skip the real backoff.
         ``keep_alive=False`` opens one connection per request (the pre-pool
         behaviour); ``max_idle_connections`` bounds the idle pool so a burst
-        of concurrent callers cannot accumulate sockets forever."""
+        of concurrent callers cannot accumulate sockets forever.
+        ``api_key`` is sent as the ``X-Api-Key`` header on every request
+        (required when the server runs a keyfile without anonymous access)."""
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
         self.base_url = base_url.rstrip("/")
@@ -106,6 +115,7 @@ class HttpTransport:
         self.backoff_seconds = backoff_seconds
         self.keep_alive = keep_alive
         self.max_idle_connections = max(0, max_idle_connections)
+        self.api_key = api_key
         self._sleep = sleep
         self._pool_lock = threading.Lock()
         self._idle: list[http.client.HTTPConnection] = []
@@ -119,12 +129,20 @@ class HttpTransport:
         self, verb: str, path: str, payload: Mapping | None = None
     ) -> tuple[int, dict]:
         attempt = 0
+        delay_hint: float | None = None
         while True:
             if attempt:
-                self._sleep(self.backoff_seconds * (2 ** (attempt - 1)))
+                if delay_hint is not None:
+                    # the server told us when capacity/quota returns (429
+                    # Retry-After or details.retry_after on a shed 503);
+                    # honoring it beats blind exponential backoff.
+                    self._sleep(min(delay_hint, MAX_RETRY_AFTER_SECONDS))
+                else:
+                    self._sleep(self.backoff_seconds * (2 ** (attempt - 1)))
+            delay_hint = None
             self.attempts += 1
             try:
-                status, body = self._request_once(verb, path, payload)
+                status, body, retry_after = self._request_once(verb, path, payload)
             except (OSError, http.client.HTTPException) as exc:
                 # Fresh-connection failure: the request may or may not have
                 # reached the server.  Only GETs are safe to replay blindly —
@@ -144,15 +162,32 @@ class HttpTransport:
             ):
                 # The server answered and declined (e.g. 503 shutting down):
                 # nothing was duplicated, so any verb may retry.
+                delay_hint = self._delay_hint(body, retry_after)
                 attempt += 1
                 continue
             return status, body
 
+    @staticmethod
+    def _delay_hint(body: dict, header_value: str | None) -> float | None:
+        """The server's preferred backoff: ``details.retry_after`` (exact
+        float) first, the integral ``Retry-After`` header as fallback."""
+        details = (body.get("error") or {}).get("details") or {}
+        for hint in (details.get("retry_after"), header_value):
+            if hint is None:
+                continue
+            try:
+                return max(0.0, float(hint))
+            except (TypeError, ValueError):
+                continue
+        return None
+
     def _request_once(
         self, verb: str, path: str, payload: Mapping | None
-    ) -> tuple[int, dict]:
+    ) -> tuple[int, dict, str | None]:
         body = None
         headers = {"Accept": "application/json"}
+        if self.api_key is not None:
+            headers[API_KEY_HEADER] = self.api_key
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -187,11 +222,12 @@ class HttpTransport:
                 connection.close()
                 raise
             status = response.status
+            retry_after = response.getheader("Retry-After")
             if not response.will_close and self.keep_alive:
                 self._checkin(connection)
             else:
                 connection.close()
-            return status, self._parse_body(raw, status)
+            return status, self._parse_body(raw, status), retry_after
         raise TransportError(f"{verb} {self.base_url}{path}: unreachable")  # pragma: no cover
 
     # -- connection pool ---------------------------------------------------------
@@ -210,7 +246,20 @@ class HttpTransport:
             else http.client.HTTPConnection
         )
         self.connections_opened += 1
-        return factory(self._host, self._port, timeout=self.timeout)
+        connection = factory(self._host, self._port, timeout=self.timeout)
+        # http.client writes a POST as two sends (headers, then body), and
+        # on a reused keep-alive socket that pattern collides with Nagle +
+        # delayed ACK: the body segment sits in the client's TCP stack for
+        # ~40ms waiting for an ACK the server's stack is deliberately
+        # withholding.  TCP_NODELAY turns that stall off; connect eagerly
+        # so the option is set before the first request (failures surface
+        # through the same OSError path a lazy connect used).
+        connection.connect()
+        try:
+            connection.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except (AttributeError, OSError):
+            pass  # non-TCP transport (tests may stub the socket): Nagle stays on
+        return connection
 
     def _checkin(self, connection: http.client.HTTPConnection) -> None:
         with self._pool_lock:

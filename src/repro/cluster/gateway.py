@@ -51,19 +51,31 @@ from repro.api.errors import (
     CODE_INVALID_REQUEST,
     CODE_JOB_NOT_FOUND,
     CODE_UNAVAILABLE,
+    error_payload,
     route_not_found_payload,
 )
 from repro.api.v1 import MAX_BATCH_REQUESTS
 from repro.cluster.hashring import HashRing, shard_key
 from repro.config import ClusterConfig
-from repro.exceptions import ServiceError
+from repro.exceptions import ReproError, ServiceError
+from repro.gate import (
+    API_KEY_HEADER,
+    TENANT_HEADER,
+    Gate,
+    QuotaSpec,
+    TenantDirectory,
+    operation_for,
+    retry_after_header,
+)
 from repro.obs import (
     PROMETHEUS_CONTENT_TYPE,
     MetricsRegistry,
     build_exporter,
     current_request_id,
+    current_tenant,
     merge_bucket_lists,
     request_scope,
+    tenant_scope,
 )
 
 #: header naming the worker that actually served a proxied response.
@@ -75,6 +87,10 @@ MAX_BODY_BYTES = 1 << 20
 #: structured gateway access-log destination (one JSON document per line),
 #: enabled with ``ClusterConfig.gateway_access_log``.
 gateway_access_logger = logging.getLogger("repro.cluster.access")
+
+#: routes the front-door gate never charges: liveness probes (a throttled
+#: fleet must not look dead) and metrics scrapes (observability is free).
+_GATE_EXEMPT = {("GET", "/v1/healthz"), ("GET", "/v1/metrics")}
 
 
 @dataclass
@@ -194,6 +210,26 @@ class ClusterGateway:
         self._conn_pool: dict[str, list[http.client.HTTPConnection]] = {
             worker_id: [] for worker_id in self._urls
         }
+        # The cluster's front door: auth + quotas enforced once, here, so
+        # workers behind the gateway stay open and merely trust the
+        # forwarded tenant header for metric attribution.
+        self.gate: Gate | None = None
+        if self.config.keyfile is not None or self.config.default_quota is not None:
+            directory = None
+            if self.config.keyfile is not None:
+                directory = TenantDirectory(
+                    self.config.keyfile,
+                    reload_interval_seconds=self.config.keyfile_reload_seconds,
+                )
+            self.gate = Gate(
+                directory=directory,
+                default_quota=(
+                    None
+                    if self.config.default_quota is None
+                    else QuotaSpec.parse(self.config.default_quota)
+                ),
+                metrics=self.metrics,
+            )
         self._conn_pool_size = 8
         self._scatter_pool = ThreadPoolExecutor(
             max_workers=max(4, 2 * len(self._urls)),
@@ -288,12 +324,25 @@ class ClusterGateway:
 
     # -- dispatch ----------------------------------------------------------------
     def handle(
-        self, verb: str, path: str, body: bytes | None, query: str = ""
+        self,
+        verb: str,
+        path: str,
+        body: bytes | None,
+        query: str = "",
+        api_key: str | None = None,
     ) -> _Reply:
         """Serve one gateway request; never raises."""
         self._requests.inc()
+        tenant: str | None = None
+        if self.gate is not None and (verb, path) not in _GATE_EXEMPT:
+            try:
+                tenant = self.gate.check(api_key, operation_for(verb, path))
+            except ReproError as exc:
+                status, payload = error_payload(exc)
+                return self._error_reply(status, payload)
         try:
-            return self._route(verb, path, body, query)
+            with tenant_scope(tenant):
+                return self._route(verb, path, body, query)
         except Exception as exc:  # noqa: BLE001 - rendered as a 500 envelope
             return self._error_reply(
                 500,
@@ -353,6 +402,11 @@ class ClusterGateway:
         request_id = current_request_id()
         if request_id:
             headers[REQUEST_ID_HEADER] = request_id
+        # Forward the tenant the gateway's gate resolved, so worker-side
+        # per-tenant metrics attribute fleet traffic correctly.
+        tenant = current_tenant()
+        if tenant:
+            headers[TENANT_HEADER] = tenant
         if body is not None:
             headers["Content-Type"] = "application/json"
         for replay in (False, True):
@@ -395,6 +449,11 @@ class ClusterGateway:
             request_id = response.getheader(REQUEST_ID_HEADER)
             if request_id:
                 passthrough[REQUEST_ID_HEADER] = request_id
+            # a worker shedding load answers 503 + Retry-After; the hint
+            # must survive the proxy hop for client backoff to honor it.
+            retry_after = response.getheader("Retry-After")
+            if retry_after:
+                passthrough["Retry-After"] = retry_after
             if response.will_close:
                 connection.close()
             else:
@@ -578,14 +637,16 @@ class ClusterGateway:
             groups.setdefault(key, []).append(index)
 
         # contextvars do not follow work into pool threads: capture the
-        # request id here and re-bind it inside each scatter leg.
+        # request id (and resolved tenant) here and re-bind both inside
+        # each scatter leg so forwarding and attribution stay correct.
         request_id = current_request_id()
+        tenant = current_tenant()
 
         def run_group(key: str, indices: list[int]) -> None:
             sub_batch = json.dumps(
                 {"requests": [items[i] for i in indices]}
             ).encode("utf-8")
-            with request_scope(request_id):
+            with request_scope(request_id), tenant_scope(tenant):
                 reply = self._proxy_with_failover(
                     key, "POST", "/v1/expand/batch", sub_batch
                 )
@@ -704,6 +765,10 @@ class ClusterGateway:
             "cluster": totals,
             "workers": workers,
         }
+        if self.gate is not None:
+            # additive: only gated clusters grow this key, so the pinned
+            # {"gateway", "cluster", "workers"} default shape is unchanged.
+            data["gate"] = self.gate.stats()
         return _Reply.envelope(
             200, success_envelope(current_request_id() or new_request_id(), data)
         )
@@ -788,6 +853,8 @@ class ClusterGateway:
             "workers": workers,
             "gateway": self.stats(),
         }
+        if self.gate is not None:
+            data["tenants"] = self.gate.tenant_summary()
         if html:
             return _Reply(
                 status=200,
@@ -907,7 +974,12 @@ class ClusterGateway:
     @staticmethod
     def _error_reply(status: int, payload: dict) -> _Reply:
         request_id = current_request_id() or new_request_id()
-        return _Reply.envelope(status, error_envelope(request_id, payload))
+        reply = _Reply.envelope(status, error_envelope(request_id, payload))
+        # 429/503 refusals carry their backoff hint on the wire too.
+        retry_after = (payload.get("details") or {}).get("retry_after")
+        if retry_after is not None:
+            reply.headers["Retry-After"] = retry_after_header(retry_after)
+        return reply
 
 
 #: seconds between HTML dashboard auto-refreshes (meta tag, no scripts).
@@ -980,6 +1052,20 @@ def _render_dashboard_html(data: dict) -> str:
         f"<tr><td>{cell(worker_id)}</td><td>{cell(count)}</td></tr>"
         for worker_id, count in sorted(routed.items())
     )
+    tenants_table = ""
+    tenants = data.get("tenants")
+    if tenants:
+        tenant_rows = "".join(
+            f"<tr><td>{cell(row.get('tenant'))}</td>"
+            f"<td>{cell(row.get('requests'))}</td>"
+            f"<td>{cell(row.get('throttled'))}</td></tr>"
+            for row in tenants
+        )
+        tenants_table = (
+            "<h2>tenants</h2>"
+            "<table><tr><th>tenant</th><th>requests</th><th>throttled</th></tr>"
+            f"{tenant_rows}</table>"
+        )
     p99 = latency.get("p99_ms")
     return (
         "<!doctype html><html><head>"
@@ -1000,6 +1086,7 @@ def _render_dashboard_html(data: dict) -> str:
         f"{''.join(rows)}</table>"
         "<h2>shard load (gateway routed)</h2>"
         f"<table><tr><th>worker</th><th>proxied</th></tr>{shard_rows}</table>"
+        f"{tenants_table}"
         "</body></html>"
     )
 
@@ -1009,6 +1096,10 @@ class _GatewayHandler(BaseHTTPRequestHandler):
 
     server_version = "repro-gateway/1.0"
     protocol_version = "HTTP/1.1"
+    # See repro.serve.server._Handler: without TCP_NODELAY the two-send
+    # response (headers, then body) stalls ~40ms behind Nagle + delayed ACK
+    # on keep-alive connections.
+    disable_nagle_algorithm = True
 
     @property
     def gateway(self) -> ClusterGateway:
@@ -1059,7 +1150,8 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                     400, _invalid_payload("invalid or oversized request body")
                 )
             body = self.rfile.read(length) if length else None
-        return self.gateway.handle(verb, path, body, query)
+        api_key = (self.headers.get(API_KEY_HEADER) or "").strip() or None
+        return self.gateway.handle(verb, path, body, query, api_key=api_key)
 
     def _send(self, reply: _Reply) -> None:
         self.send_response(reply.status)

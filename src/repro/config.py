@@ -377,6 +377,25 @@ class ServiceConfig:
     #: ship retries per flush (exponential backoff) before the batch is
     #: dropped and counted in ``obs_exporter_dropped_series_total``.
     exporter_max_retries: int = 3
+    #: API keyfile (JSON, see :mod:`repro.gate.tenants`) enabling the
+    #: multi-tenant front door; ``None`` leaves the server open.
+    keyfile: str | None = None
+    #: how often the keyfile is re-statted for hot reload, in seconds.
+    keyfile_reload_seconds: float = 1.0
+    #: token-bucket quota (``"RATE"`` or ``"RATE:BURST"``, requests/second)
+    #: applied to tenants without an explicit quota — and, with no keyfile,
+    #: to the shared anonymous tenant; ``None`` disables quota enforcement
+    #: for those callers.
+    default_quota: str | None = None
+    #: execution slots of the admission controller; requests past this run
+    #: concurrency wait in a bounded, two-lane queue (interactive traffic
+    #: preempts batch/fit).  ``None`` disables admission control.
+    admission_max_concurrent: int | None = None
+    #: waiting requests past which new sheddable arrivals get an immediate
+    #: retryable 503 instead of queueing.
+    admission_queue_depth: int = 32
+    #: longest a sheddable request waits for a slot before a 503.
+    admission_timeout_seconds: float = 10.0
 
     def validate(self) -> None:
         if self.slow_query_ms is not None and self.slow_query_ms < 0:
@@ -422,6 +441,24 @@ class ServiceConfig:
             raise ConfigurationError("default_top_k must be >= 1")
         if not 0 <= self.port <= 65535:
             raise ConfigurationError("port must be in [0, 65535]")
+        if self.keyfile is not None and not str(self.keyfile).strip():
+            raise ConfigurationError("keyfile must be a non-empty path or None")
+        if self.keyfile_reload_seconds < 0:
+            raise ConfigurationError("keyfile_reload_seconds must be non-negative")
+        if self.default_quota is not None:
+            from repro.gate.limiter import QuotaSpec
+
+            QuotaSpec.parse(self.default_quota)  # raises ConfigurationError
+        if self.admission_max_concurrent is not None and (
+            self.admission_max_concurrent < 1
+        ):
+            raise ConfigurationError(
+                "admission_max_concurrent must be >= 1 or None"
+            )
+        if self.admission_queue_depth < 0:
+            raise ConfigurationError("admission_queue_depth must be non-negative")
+        if self.admission_timeout_seconds <= 0:
+            raise ConfigurationError("admission_timeout_seconds must be positive")
 
 
 @dataclass
@@ -476,6 +513,14 @@ class ClusterConfig:
     gateway_exporter_target: str | None = None
     #: seconds between gateway exporter flushes.
     gateway_exporter_interval_seconds: float = 10.0
+    #: API keyfile enforced at the *gateway* (workers behind it stay open
+    #: and trust the gateway's forwarded tenant header); ``None`` leaves
+    #: the cluster front door open.
+    keyfile: str | None = None
+    #: keyfile hot-reload stat interval, in seconds.
+    keyfile_reload_seconds: float = 1.0
+    #: gateway-enforced default quota (``"RATE"`` or ``"RATE:BURST"``).
+    default_quota: str | None = None
     #: per-worker serving parameters.
     service: ServiceConfig = field(default_factory=ServiceConfig)
 
@@ -520,6 +565,14 @@ class ClusterConfig:
             raise ConfigurationError(
                 "gateway_exporter_interval_seconds must be positive"
             )
+        if self.keyfile is not None and not str(self.keyfile).strip():
+            raise ConfigurationError("keyfile must be a non-empty path or None")
+        if self.keyfile_reload_seconds < 0:
+            raise ConfigurationError("keyfile_reload_seconds must be non-negative")
+        if self.default_quota is not None:
+            from repro.gate.limiter import QuotaSpec
+
+            QuotaSpec.parse(self.default_quota)  # raises ConfigurationError
         self.service.validate()
 
     def worker_port(self, index: int) -> int:

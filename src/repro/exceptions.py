@@ -52,6 +52,48 @@ class ServiceUnavailableError(ServiceError):
     """The service is shutting down (or not yet ready); safe to retry elsewhere."""
 
 
+class AuthenticationError(ServiceError):
+    """The request presented no API key, or one the keyfile does not know."""
+
+
+class RateLimitedError(ServiceError):
+    """The tenant exhausted its token-bucket quota; retry after a delay.
+
+    ``retry_after`` (seconds until the bucket refills enough for one
+    request) rides in ``details`` so it survives the wire round trip and
+    feeds both the ``Retry-After`` header and client backoff.
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        if retry_after is not None:
+            self.details = {"retry_after": round(float(retry_after), 3)}
+
+
+class OverloadedError(ServiceUnavailableError):
+    """Admission control shed the request (queue full or wait timed out).
+
+    Subclasses :class:`ServiceUnavailableError` so it maps to the existing
+    retryable 503 taxonomy entry; ``retry_after`` and the shed lane ride
+    in ``details``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        retry_after: float | None = None,
+        lane: str | None = None,
+    ):
+        super().__init__(message)
+        details: dict = {}
+        if retry_after is not None:
+            details["retry_after"] = round(float(retry_after), 3)
+        if lane is not None:
+            details["lane"] = lane
+        if details:
+            self.details = details
+
+
 class JobError(ServiceError):
     """A background fit job cannot be submitted, queried, or completed."""
 

@@ -1,0 +1,201 @@
+"""Token-bucket rate limiting for the front door.
+
+A :class:`TokenBucket` holds up to ``burst`` tokens and refills at
+``rate`` tokens per second off a monotonic clock.  Refill is lazy — the
+bucket stores a level and a timestamp, and advances both on each
+acquire — so an idle bucket costs nothing and the math is exact under
+an injected clock in tests.
+
+:class:`RateLimiter` keeps one bucket per tenant plus one per
+(tenant, operation) pair, created on first use.  A request must clear
+*both* buckets; when the operation bucket refuses after the tenant
+bucket granted, the tenant token is refunded so a throttled request
+consumes no quota.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["QuotaSpec", "RateLimiter", "TokenBucket"]
+
+#: Safety valve on the lazily-grown bucket table.  64 tenants x a handful
+#: of per-operation overrides fits comfortably; past the cap new keys
+#: share one overflow bucket instead of growing without bound.
+MAX_BUCKETS = 1024
+
+
+@dataclass(frozen=True)
+class QuotaSpec:
+    """A steady rate (requests/second) plus a burst allowance."""
+
+    rate: float
+    burst: float
+
+    def __post_init__(self):
+        if not (self.rate > 0.0):
+            raise ConfigurationError(f"quota rate must be > 0, got {self.rate!r}")
+        if not (self.burst >= 1.0):
+            raise ConfigurationError(f"quota burst must be >= 1, got {self.burst!r}")
+
+    @classmethod
+    def parse(cls, value) -> "QuotaSpec":
+        """Accept ``10``, ``"10"``, ``"10:20"`` (rate:burst), or a
+        ``{"rate": ..., "burst": ...}`` mapping.  Burst defaults to
+        ``max(rate, 1)`` so a bare rate always admits single requests."""
+        if isinstance(value, QuotaSpec):
+            return value
+        if isinstance(value, dict):
+            unknown = set(value) - {"rate", "burst"}
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown quota keys: {sorted(unknown)} (expected rate, burst)"
+                )
+            if "rate" not in value:
+                raise ConfigurationError(f"quota mapping needs a 'rate': {value!r}")
+            rate = _as_number(value["rate"], "quota rate")
+            burst = _as_number(value.get("burst", max(rate, 1.0)), "quota burst")
+            return cls(rate=rate, burst=burst)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            rate = float(value)
+            return cls(rate=rate, burst=max(rate, 1.0))
+        if isinstance(value, str):
+            text = value.strip()
+            rate_text, sep, burst_text = text.partition(":")
+            rate = _as_number(rate_text, "quota rate")
+            if sep:
+                burst = _as_number(burst_text, "quota burst")
+            else:
+                burst = max(rate, 1.0)
+            return cls(rate=rate, burst=burst)
+        raise ConfigurationError(
+            f"cannot parse quota from {type(value).__name__}: {value!r}"
+        )
+
+    def to_dict(self) -> dict:
+        return {"rate": self.rate, "burst": self.burst}
+
+
+def _as_number(value, label: str) -> float:
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"{label} must be a number, got {value!r}") from None
+
+
+class TokenBucket:
+    """A thread-safe token bucket with lazy monotonic-clock refill."""
+
+    __slots__ = ("rate", "burst", "_clock", "_lock", "_level", "_stamp")
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic):
+        if rate <= 0.0:
+            raise ConfigurationError(f"bucket rate must be > 0, got {rate!r}")
+        if burst < 1.0:
+            raise ConfigurationError(f"bucket burst must be >= 1, got {burst!r}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._level = self.burst  # start full: a fresh tenant gets its burst
+        self._stamp = clock()
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Take ``tokens`` if available.  Returns ``0.0`` on success, else
+        the seconds until the bucket will hold enough tokens (never 0)."""
+        with self._lock:
+            now = self._clock()
+            self._refill_locked(now)
+            if self._level >= tokens:
+                self._level -= tokens
+                return 0.0
+            return max((tokens - self._level) / self.rate, 1e-9)
+
+    def refund(self, tokens: float = 1.0) -> None:
+        """Return tokens taken by an acquire that was later rolled back."""
+        with self._lock:
+            self._refill_locked(self._clock())
+            self._level = min(self.burst, self._level + tokens)
+
+    def level(self) -> float:
+        with self._lock:
+            self._refill_locked(self._clock())
+            return self._level
+
+    def _refill_locked(self, now: float) -> None:
+        elapsed = now - self._stamp
+        if elapsed > 0.0:
+            self._level = min(self.burst, self._level + elapsed * self.rate)
+        self._stamp = now
+
+
+class RateLimiter:
+    """Per-tenant and per-(tenant, operation) buckets behind one lock-free
+    read path: buckets are created under a lock once, then shared."""
+
+    def __init__(self, clock=time.monotonic, max_buckets: int = MAX_BUCKETS):
+        self._clock = clock
+        self._max_buckets = max_buckets
+        self._lock = threading.Lock()
+        self._buckets: dict[tuple[str, str | None], TokenBucket] = {}
+
+    def check(
+        self,
+        tenant_id: str,
+        quota: QuotaSpec | None,
+        operation: str | None = None,
+        method_quota: QuotaSpec | None = None,
+    ) -> float:
+        """Charge one request against the tenant bucket and, when a
+        per-operation quota exists, the (tenant, operation) bucket.
+
+        Returns ``0.0`` when admitted, else the retry-after seconds of
+        the bucket that refused.  Refusal never consumes quota."""
+        tenant_bucket = None
+        if quota is not None:
+            tenant_bucket = self._bucket(tenant_id, None, quota)
+            wait = tenant_bucket.try_acquire()
+            if wait > 0.0:
+                return wait
+        if method_quota is not None and operation is not None:
+            method_bucket = self._bucket(tenant_id, operation, method_quota)
+            wait = method_bucket.try_acquire()
+            if wait > 0.0:
+                if tenant_bucket is not None:
+                    tenant_bucket.refund()
+                return wait
+        return 0.0
+
+    def _bucket(
+        self, tenant_id: str, operation: str | None, quota: QuotaSpec
+    ) -> TokenBucket:
+        key = (tenant_id, operation)
+        bucket = self._buckets.get(key)
+        if bucket is not None and bucket.rate == quota.rate and bucket.burst == quota.burst:
+            return bucket
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is not None and (
+                bucket.rate == quota.rate and bucket.burst == quota.burst
+            ):
+                return bucket
+            if bucket is None and len(self._buckets) >= self._max_buckets:
+                # overflow: all surplus keys share one bucket so the table
+                # stays bounded even under a key-guessing flood.  The shared
+                # bucket is never recreated on quota mismatch — that would
+                # refill it on every new surplus key.
+                key = ("", None)
+                bucket = self._buckets.get(key)
+                if bucket is not None:
+                    return bucket
+            bucket = TokenBucket(quota.rate, quota.burst, clock=self._clock)
+            self._buckets[key] = bucket
+            return bucket
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"buckets": len(self._buckets)}

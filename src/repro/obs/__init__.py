@@ -33,9 +33,11 @@ from repro.obs.trace import (
     Trace,
     activate,
     current_request_id,
+    current_tenant,
     current_trace,
     request_scope,
     span,
+    tenant_scope,
 )
 
 __all__ = [
@@ -56,6 +58,7 @@ __all__ = [
     "activate",
     "build_exporter",
     "current_request_id",
+    "current_tenant",
     "current_trace",
     "default_registry",
     "log_slow_query",
@@ -65,4 +68,5 @@ __all__ = [
     "request_scope",
     "slow_query_logger",
     "span",
+    "tenant_scope",
 ]

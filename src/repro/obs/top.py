@@ -104,4 +104,17 @@ def render_dashboard(data: dict) -> str:
             f"{shard.get('substrates_resident', 0) if healthy else '-':>5} "
             f"{fitted[:18]:<18} {job_text}"
         )
+
+    tenants = data.get("tenants") or []
+    if tenants:
+        lines.append("")
+        tenant_header = f"{'TENANT':<24} {'REQS':>8} {'THROTTLED':>10}"
+        lines.append(tenant_header)
+        lines.append("-" * len(tenant_header))
+        for row in tenants:
+            lines.append(
+                f"{str(row.get('tenant', '?'))[:24]:<24} "
+                f"{row.get('requests', 0):>8} "
+                f"{row.get('throttled', 0):>10}"
+            )
     return "\n".join(lines)

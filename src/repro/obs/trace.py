@@ -38,6 +38,9 @@ _TRACE: contextvars.ContextVar["Trace | None"] = contextvars.ContextVar(
 _REQUEST_ID: contextvars.ContextVar[str | None] = contextvars.ContextVar(
     "repro_obs_request_id", default=None
 )
+_TENANT: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_obs_tenant", default=None
+)
 
 
 @dataclass
@@ -172,3 +175,37 @@ def request_scope(request_id: str | None):
         yield request_id
     finally:
         _REQUEST_ID.reset(token)
+
+
+def current_tenant() -> str | None:
+    """The tenant id the front door resolved for this request, if any."""
+    return _TENANT.get()
+
+
+class tenant_scope:  # noqa: N801 - context-manager used like a function
+    """Bind the resolved tenant id for the calling context.
+
+    Entered by the HTTP handler (or cluster gateway) right after the gate
+    admits a request, next to :func:`request_scope` — so per-tenant metric
+    labels, access-log attribution, and worker forwarding all read it via
+    :func:`current_tenant` without plumbing.  ContextVars do not cross
+    thread-pool boundaries; fan-out code (batch items, gateway scatter)
+    must capture the tenant and re-enter this scope on the worker thread,
+    exactly as it already re-binds the request id.
+
+    A plain class, not ``@contextmanager``: this sits on the per-request
+    hot path and the generator protocol costs ~1us per entry that a
+    ``__slots__`` object does not.
+    """
+
+    __slots__ = ("_tenant_id", "_token")
+
+    def __init__(self, tenant_id: str | None):
+        self._tenant_id = tenant_id
+
+    def __enter__(self) -> str | None:
+        self._token = _TENANT.set(self._tenant_id)
+        return self._tenant_id
+
+    def __exit__(self, *_exc_info) -> None:
+        _TENANT.reset(self._token)

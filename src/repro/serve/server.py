@@ -37,7 +37,14 @@ from repro.api.envelope import (
 )
 from repro.api.errors import error_payload, route_not_found_payload
 from repro.exceptions import ReproError
-from repro.obs import PROMETHEUS_CONTENT_TYPE, request_scope
+from repro.gate import (
+    API_KEY_HEADER,
+    TENANT_HEADER,
+    is_valid_tenant_id,
+    operation_for,
+    retry_after_header,
+)
+from repro.obs import PROMETHEUS_CONTENT_TYPE, request_scope, tenant_scope
 from repro.serve.service import ExpansionService
 
 #: request body size guard (1 MiB) against accidental or hostile payloads.
@@ -60,6 +67,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     server_version = "repro-serve/1.0"
     protocol_version = "HTTP/1.1"
+    # The handler writes each response as two sends (buffered headers, then
+    # body); with Nagle on, the body segment can sit in the server's TCP
+    # stack ~40ms waiting for a delayed ACK from a keep-alive client.
+    disable_nagle_algorithm = True
 
     @property
     def service(self) -> ExpansionService:
@@ -106,12 +117,36 @@ class _Handler(BaseHTTPRequestHandler):
             return
         legacy_target = LEGACY_ROUTES.get((verb, path))
         is_v1 = path.startswith("/v1")
+        target = legacy_target or path
 
-        # The request id rides a contextvar through dispatch so deeper
-        # layers (traces, the slow-query log) can recover it unplumbed.
-        with request_scope(request_id):
-            result = self._dispatch(
-                verb, legacy_target or path, is_v1 or bool(legacy_target)
+        # The front door: authenticate + charge quota before reading the
+        # body or dispatching.  Liveness probes stay exempt (a throttled
+        # worker must not look dead to its pool), and /v1/metrics returned
+        # above so scrapes never burn tenant quota.
+        gate = self.service.gate
+        gate_error: "apiv1.ApiResult | None" = None
+        tenant: str | None = None
+        if gate is not None and not (verb == "GET" and target == "/v1/healthz"):
+            api_key = (self.headers.get(API_KEY_HEADER) or "").strip() or None
+            try:
+                tenant = gate.check(api_key, operation_for(verb, target))
+            except ReproError as exc:
+                status, error = error_payload(exc)
+                gate_error = apiv1.ApiResult(status=status, error=error)
+        elif gate is None:
+            # Behind a cluster gateway the worker runs open; it honors the
+            # gateway's forwarded tenant (syntactically validated) so
+            # per-tenant metrics attribute correctly fleet-wide.
+            hint = (self.headers.get(TENANT_HEADER) or "").strip()
+            if is_valid_tenant_id(hint):
+                tenant = hint
+
+        # The request id (and resolved tenant) ride contextvars through
+        # dispatch so deeper layers (traces, the slow-query log, metric
+        # labels) can recover them unplumbed.
+        with request_scope(request_id), tenant_scope(tenant):
+            result = gate_error or self._dispatch(
+                verb, target, is_v1 or bool(legacy_target)
             )
         if legacy_target is not None:
             body = apiv1.render_legacy_body(result)
@@ -120,7 +155,16 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             # exact pre-v1 unrouted-404 body (lower-case error value).
             body = {"error": "not_found", "message": f"no route {path!r}"}
-        self._send(result.status, body, request_id, deprecated=legacy_target is not None)
+        retry_after = None
+        if result.error is not None:
+            retry_after = (result.error.get("details") or {}).get("retry_after")
+        self._send(
+            result.status,
+            body,
+            request_id,
+            deprecated=legacy_target is not None,
+            retry_after=retry_after,
+        )
         self._access_log(
             request_id=request_id,
             verb=verb,
@@ -164,7 +208,12 @@ class _Handler(BaseHTTPRequestHandler):
             raise ReproError(f"request body is not valid JSON: {exc}") from exc
 
     def _send(
-        self, status: int, body, request_id: str, deprecated: bool = False
+        self,
+        status: int,
+        body,
+        request_id: str,
+        deprecated: bool = False,
+        retry_after: float | None = None,
     ) -> None:
         self._send_raw(
             status,
@@ -172,6 +221,7 @@ class _Handler(BaseHTTPRequestHandler):
             "application/json",
             request_id,
             deprecated=deprecated,
+            retry_after=retry_after,
         )
 
     def _send_raw(
@@ -181,6 +231,7 @@ class _Handler(BaseHTTPRequestHandler):
         content_type: str,
         request_id: str,
         deprecated: bool = False,
+        retry_after: float | None = None,
     ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
@@ -188,6 +239,10 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header(REQUEST_ID_HEADER, request_id)
         if deprecated:
             self.send_header("Deprecation", "true")
+        if retry_after is not None:
+            # integral delta-seconds, rounded up (RFC 9110); the exact float
+            # rides in the error payload's details.retry_after.
+            self.send_header("Retry-After", retry_after_header(retry_after))
         if status >= 400:
             # An error response may leave an unread request body on the
             # socket; closing keeps keep-alive clients from desynchronizing.

@@ -33,6 +33,7 @@ from repro.config import ServiceConfig
 from repro.core.resources import SharedResources
 from repro.dataset.ultrawiki import UltraWikiDataset
 from repro.exceptions import DatasetError, ServiceUnavailableError
+from repro.gate import AdmissionController, Gate, QuotaSpec, TenantDirectory
 from repro.obs import (
     MetricsRegistry,
     SlowQueryLog,
@@ -40,6 +41,7 @@ from repro.obs import (
     activate,
     build_exporter,
     current_request_id,
+    current_tenant,
     log_slow_query,
     span,
 )
@@ -104,7 +106,34 @@ class ExpansionService:
             num_workers=self.config.batch_workers,
             metrics=self.metrics,
         )
-        self.jobs = JobManager(self.registry)
+        # The front door (repro.gate): built only when configured, so a
+        # plain service carries zero gate state and stays fully open.
+        self.gate: Gate | None = None
+        if self.config.keyfile is not None or self.config.default_quota is not None:
+            directory = None
+            if self.config.keyfile is not None:
+                directory = TenantDirectory(
+                    self.config.keyfile,
+                    reload_interval_seconds=self.config.keyfile_reload_seconds,
+                )
+            self.gate = Gate(
+                directory=directory,
+                default_quota=(
+                    None
+                    if self.config.default_quota is None
+                    else QuotaSpec.parse(self.config.default_quota)
+                ),
+                metrics=self.metrics,
+            )
+        self.admission: AdmissionController | None = None
+        if self.config.admission_max_concurrent is not None:
+            self.admission = AdmissionController(
+                max_concurrent=self.config.admission_max_concurrent,
+                queue_depth=self.config.admission_queue_depth,
+                timeout_seconds=self.config.admission_timeout_seconds,
+                metrics=self.metrics,
+            )
+        self.jobs = JobManager(self.registry, admission=self.admission)
         self._queries_by_id: dict[str, Query] = {
             q.query_id: q for q in dataset.queries
         }
@@ -132,6 +161,10 @@ class ExpansionService:
         self._requests_series = self._requests.labels()
         self._errors_series = self._errors.labels()
         self._latency_by_method: dict = {}
+        # per-tenant bound series, created on a tenant's first request; the
+        # registry's MAX_SERIES_PER_FAMILY cap bounds the cardinality.
+        self._requests_by_tenant: dict = {}
+        self._errors_by_tenant: dict = {}
         #: serial for adhoc query ids; must stay exact even with metrics off.
         self._adhoc_serial = 0
         self._closed = False
@@ -160,8 +193,13 @@ class ExpansionService:
             self._janitor.start()
 
     # -- request path ----------------------------------------------------------------
-    def submit(self, request: ExpandRequest) -> ExpandResponse:
-        """Serve one request synchronously; raises a ReproError on bad input."""
+    def submit(self, request: ExpandRequest, lane: str = "interactive") -> ExpandResponse:
+        """Serve one request synchronously; raises a ReproError on bad input.
+
+        ``lane`` picks the admission-control priority: ``"interactive"``
+        for online expands, ``"batch"`` for fan-out items riding behind
+        them.  With no admission controller configured it is ignored.
+        """
         started = time.perf_counter()
         # A trace is only built when someone will read it (the response's
         # debug block or the slow-query log); the untraced hot path pays one
@@ -172,12 +210,11 @@ class ExpansionService:
         try:
             if trace is not None:
                 with activate(trace):
-                    response = self._submit(request, started, trace)
+                    response = self._submit(request, started, trace, lane)
             else:
-                response = self._submit(request, started, trace)
+                response = self._submit(request, started, trace, lane)
         except BaseException as exc:
-            self._requests_series.inc()
-            self._errors_series.inc()
+            self._count_request(error=True)
             self._log_if_slow(
                 trace,
                 request,
@@ -186,7 +223,7 @@ class ExpansionService:
                 error=type(exc).__name__,
             )
             raise
-        self._requests_series.inc()
+        self._count_request()
         self._log_if_slow(
             trace,
             request,
@@ -196,8 +233,36 @@ class ExpansionService:
         )
         return response
 
+    def _count_request(self, error: bool = False) -> None:
+        """Count one request, labelled by tenant when the front door
+        resolved one; anonymous traffic keeps the unlabeled fast path."""
+        tenant = current_tenant()
+        if tenant is None:
+            self._requests_series.inc()
+            if error:
+                self._errors_series.inc()
+            return
+        series = self._requests_by_tenant.get(tenant)
+        if series is None:
+            # benign race: both losers bind the same series, one wins.
+            series = self._requests_by_tenant.setdefault(
+                tenant, self._requests.labels(tenant=tenant)
+            )
+        series.inc()
+        if error:
+            errors = self._errors_by_tenant.get(tenant)
+            if errors is None:
+                errors = self._errors_by_tenant.setdefault(
+                    tenant, self._errors.labels(tenant=tenant)
+                )
+            errors.inc()
+
     def _submit(
-        self, request: ExpandRequest, started: float, trace: Trace | None = None
+        self,
+        request: ExpandRequest,
+        started: float,
+        trace: Trace | None = None,
+        lane: str = "interactive",
     ) -> ExpandResponse:
         if self._closed:
             raise ServiceUnavailableError("service is shut down")
@@ -218,7 +283,13 @@ class ExpansionService:
                 )
 
         with span("batch", method=method):
-            result = self.batcher.submit(method, query, top_k).result()
+            if self.admission is not None:
+                # cache hits returned above never touch admission — only the
+                # expensive batcher/registry section competes for slots.
+                with self.admission.admit(lane):
+                    result = self.batcher.submit(method, query, top_k).result()
+            else:
+                result = self.batcher.submit(method, query, top_k).result()
         if options.use_cache:
             with span("cache_store"):
                 self.cache.put(key, result)
@@ -235,11 +306,16 @@ class ExpansionService:
         trace: Trace | None = None,
     ) -> ExpandResponse:
         latency_ms = (time.perf_counter() - started) * 1000.0
-        observer = self._latency_by_method.get(method)
+        tenant = current_tenant()
+        key = method if tenant is None else (method, tenant)
+        observer = self._latency_by_method.get(key)
         if observer is None:
+            labels = {"method": method}
+            if tenant is not None:
+                labels["tenant"] = tenant
             # benign race: both losers bind the same series, one wins the slot.
             observer = self._latency_by_method.setdefault(
-                method, self._latency.labels(method=method)
+                key, self._latency.labels(**labels)
             )
         observer.observe(latency_ms)
         timings = None
@@ -377,6 +453,12 @@ class ExpansionService:
             "batcher": self.batcher.stats(),
             "jobs": self.jobs.stats(),
         }
+        # gate/admission keys appear only when configured, so the default
+        # stats payload (pinned by wire-shape tests) is unchanged.
+        if self.gate is not None:
+            merged["gate"] = self.gate.stats()
+        if self.admission is not None:
+            merged["admission"] = self.admission.stats()
         if self.store is not None:
             merged["store"] = self.store.stats()
         if self._janitor is not None:

@@ -160,8 +160,11 @@ def test_metrics_overhead_guard(context):
     5% of a metrics-disabled service.
 
     The instrumented service runs its production configuration — including
-    exemplar capture on the request-latency histogram — so the budget covers
-    the per-request contextvar read the exemplars add.
+    exemplar capture on the request-latency histogram AND a trace collector
+    with sampling off — so the budget covers the per-request contextvar
+    read the exemplars add plus the head-sampling coin flip: a worker with
+    tracing wired up but the sampler turned down must serve cache hits at
+    effectively untraced speed.
 
     Both services run the same stub method.  Up to three measurement
     attempts: noise only ever inflates the instrumented/baseline ratio, so
@@ -176,6 +179,11 @@ def test_metrics_overhead_guard(context):
                 batch_wait_ms=0.0,
                 cache_ttl_seconds=None,
                 metrics_enabled=metrics_enabled,
+                # sampling-off tracing rides on the instrumented side: the
+                # collector is installed but keeps nothing, which is the
+                # production shape for a worker with tracing wired up and
+                # the sampler turned down.
+                trace_sample_rate=0.0 if metrics_enabled else None,
             ),
             factories={"bench-stub": lambda _res: _BenchStubExpander()},
         )
@@ -224,6 +232,12 @@ def test_metrics_overhead_guard(context):
         # exemplar capture was on for every instrumented observation.
         latency = instrumented.metrics.histogram("repro_request_latency_ms")
         assert latency.exemplars is True
+        # the trace collector was live the whole run but sampled everything
+        # out — proof the measured path took the per-request rate check.
+        trace_stats = instrumented.stats()["traces"]
+        assert trace_stats["sample_rate"] == 0.0
+        assert trace_stats["stored"] == 0
+        assert trace_stats["kept"] == 0
 
 
 class _HttpCaller:

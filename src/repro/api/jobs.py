@@ -31,6 +31,7 @@ from repro.exceptions import (
     ServiceUnavailableError,
 )
 from repro.obs.progress import ProgressReporter, phase_window
+from repro.obs.trace import current_tenant
 
 #: terminal :class:`FitJob` states.
 FINISHED_STATES = frozenset({"succeeded", "failed", "cancelled"})
@@ -71,6 +72,9 @@ class FitJob:
     total_epochs: int | None = None
     #: taxonomy error payload when ``status == "failed"``.
     error: dict | None = field(default=None)
+    #: tenant that requested the fit (captured at submit time while the
+    #: request's contextvars are live); usage-metering only, NOT on the wire.
+    tenant: str | None = field(default=None, repr=False)
 
     @property
     def finished(self) -> bool:
@@ -108,16 +112,19 @@ class JobManager:
     """Queues and executes fit jobs against one :class:`ExpanderRegistry`."""
 
     def __init__(self, registry, clock: Callable[[], float] = time.time,
-                 history_limit: int = 64, admission=None):
+                 history_limit: int = 64, admission=None, usage=None):
         """``registry`` is any object with the ``ExpanderRegistry`` surface
         (``ensure_known``/``is_fitted``/``get``/``pin``/``stats``, with
         ``get``/``pin`` accepting a ``progress`` phase callback); ``clock``
         stamps job timestamps and is injectable for tests.  ``admission``
         (an :class:`~repro.gate.AdmissionController`) makes fit execution
         compete for slots on the batch lane — waiting, never shedding: a
-        job the server accepted should run late rather than vanish."""
+        job the server accepted should run late rather than vanish.
+        ``usage`` (a :class:`~repro.obs.UsageMeter`) bills each job's fit
+        wall-time to the tenant that submitted it."""
         self.registry = registry
         self.admission = admission
+        self.usage = usage
         self.clock = clock
         self.history_limit = history_limit
         self._cond = threading.Condition()
@@ -159,6 +166,7 @@ class JobManager:
                 method=name,
                 pin=pin,
                 created_at=self.clock(),
+                tenant=current_tenant(),
             )
             self._jobs[job.job_id] = job
             self._order.append(job.job_id)
@@ -361,6 +369,7 @@ class JobManager:
                 job.status = "failed"
                 self._active.pop(job.method, None)
                 self._cond.notify_all()
+            self._charge_fit(job)
             return
         with self._cond:
             close_phase_locked()
@@ -370,6 +379,18 @@ class JobManager:
             job.status = "succeeded"
             self._active.pop(job.method, None)
             self._cond.notify_all()
+        self._charge_fit(job)
+
+    def _charge_fit(self, job: FitJob) -> None:
+        """Bill the job's wall-time to its submitting tenant — success or
+        failure alike, since the compute was spent either way."""
+        if self.usage is None:
+            return
+        if job.started_at is None or job.finished_at is None:
+            return
+        self.usage.charge_fit(
+            job.tenant, max(0.0, job.finished_at - job.started_at), method=job.method
+        )
 
     @staticmethod
     def _method_stat_changed(before: dict, after: dict, method: str, key: str) -> bool:

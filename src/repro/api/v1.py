@@ -25,6 +25,9 @@ Routes::
                                job reports restoring / fitting_substrates /
                                training / publishing)
     DELETE /v1/fits/<job_id>   cancel a queued job (409 if running/finished)
+    GET  /v1/traces            search kept traces (?tenant=&method=
+                               &min_duration_ms=&error=&limit=)
+    GET  /v1/traces/<trace_id> one kept trace with its full span tree
 """
 
 from __future__ import annotations
@@ -33,11 +36,12 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
+from urllib.parse import parse_qs
 
 from repro.api.envelope import error_envelope, success_envelope
 from repro.api.errors import error_payload, route_not_found_payload
-from repro.exceptions import ServiceError
-from repro.obs import current_tenant, tenant_scope
+from repro.exceptions import DatasetError, ServiceError
+from repro.obs import current_tenant, span, tenant_scope
 from repro.serve.protocol import ExpandRequest
 from repro.utils.iox import to_jsonable
 
@@ -85,11 +89,25 @@ class ApiV1:
     def resolves(self, verb: str, path: str) -> bool:
         """Whether a handler exists for ``(verb, path)`` — lets transports
         answer 404 *before* reading a request body."""
-        return self._find(verb.upper(), path) is not None
+        path, _, query = path.partition("?")
+        return self._find(verb.upper(), path, query) is not None
 
-    def dispatch(self, verb: str, path: str, payload: Mapping | None = None) -> ApiResult:
-        """Serve one call; never raises — failures become taxonomy errors."""
-        handler = self._find(verb.upper(), path)
+    def dispatch(
+        self,
+        verb: str,
+        path: str,
+        payload: Mapping | None = None,
+        query: str = "",
+    ) -> ApiResult:
+        """Serve one call; never raises — failures become taxonomy errors.
+
+        ``query`` is the raw query string; in-process transports may instead
+        leave it embedded in ``path`` (``/v1/traces?limit=5``) and it is
+        split off here."""
+        if "?" in path:
+            path, _, embedded = path.partition("?")
+            query = query or embedded
+        handler = self._find(verb.upper(), path, query)
         if handler is None:
             return ApiResult(status=404, error=route_not_found_payload(path))
         try:
@@ -99,11 +117,17 @@ class ApiV1:
             return ApiResult(status=status, error=error)
 
     def _find(
-        self, verb: str, path: str
+        self, verb: str, path: str, query: str = ""
     ) -> "Callable[[Mapping | None], ApiResult] | None":
         handler = self._static_routes.get((verb, path))
         if handler is not None:
             return handler
+        if verb == "GET" and path == "/v1/traces":
+            return lambda _payload: self.list_traces(query)
+        if verb == "GET" and path.startswith("/v1/traces/"):
+            trace_id = path[len("/v1/traces/"):]
+            if trace_id and "/" not in trace_id:
+                return lambda _payload: self.trace_detail(trace_id)
         if verb in ("GET", "DELETE") and path.startswith("/v1/fits/"):
             job_id = path[len("/v1/fits/"):]
             if job_id and "/" not in job_id:
@@ -157,7 +181,11 @@ class ApiV1:
             return {"response": response.to_v1_dict()}
 
         # Concurrent submission lets the micro-batcher coalesce the items.
-        results = list(self._pool().map(run_one, items))
+        # The span lives on the handler thread: per-item traces cannot share
+        # the caller's Trace across the pool, but the fan-out's wall time
+        # still shows up in a gateway-joined tree.
+        with span("expand_batch", items=len(items)):
+            results = list(self._pool().map(run_one, items))
         return ApiResult(
             status=200, data={"responses": results, "count": len(results)}
         )
@@ -205,6 +233,64 @@ class ApiV1:
         return ApiResult(
             status=200, data={"job": self.service.cancel_fit(job_id).to_dict()}
         )
+
+    # -- trace search ------------------------------------------------------------
+    def _collector(self):
+        collector = getattr(self.service, "traces", None)
+        if collector is None:
+            raise ServiceError(
+                "tracing is not enabled on this service (set trace_sample_rate)"
+            )
+        return collector
+
+    def list_traces(self, query: str = "") -> ApiResult:
+        rows = self._collector().query(**parse_trace_query(query))
+        return ApiResult(status=200, data={"traces": rows, "count": len(rows)})
+
+    def trace_detail(self, trace_id: str) -> ApiResult:
+        record = self._collector().get(trace_id)
+        if record is None:
+            raise DatasetError(f"no kept trace {trace_id!r}")
+        return ApiResult(status=200, data={"trace": record})
+
+
+def parse_trace_query(query: str) -> dict:
+    """Parse a ``/v1/traces`` query string into TraceCollector.query kwargs.
+
+    Shared by the worker API and the gateway, so the search surface stays
+    identical at both tiers.  Raises :class:`ServiceError` (400) on
+    malformed values rather than silently ignoring them.
+    """
+    params = parse_qs(query or "", keep_blank_values=False)
+    filters: dict = {}
+    tenant = (params.get("tenant") or [None])[-1]
+    if tenant:
+        filters["tenant"] = tenant
+    method = (params.get("method") or [None])[-1]
+    if method:
+        filters["method"] = method
+    raw = (params.get("min_duration_ms") or [None])[-1]
+    if raw is not None:
+        try:
+            filters["min_duration_ms"] = float(raw)
+        except ValueError as exc:
+            raise ServiceError("min_duration_ms must be a number") from exc
+    raw = (params.get("error") or [None])[-1]
+    if raw is not None:
+        lowered = raw.strip().lower()
+        if lowered in ("1", "true", "yes"):
+            filters["error"] = True
+        elif lowered in ("0", "false", "no"):
+            filters["error"] = False
+        else:
+            raise ServiceError('error filter must be "true" or "false"')
+    raw = (params.get("limit") or [None])[-1]
+    if raw is not None:
+        try:
+            filters["limit"] = int(raw)
+        except ValueError as exc:
+            raise ServiceError("limit must be an integer") from exc
+    return filters
 
 
 # -- rendering -------------------------------------------------------------------------

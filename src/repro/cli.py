@@ -35,6 +35,8 @@ writing Python:
   running gateway's ``GET /v1/dashboard``: fleet health, per-shard traffic,
   error and latency rollups, cache hit rates, substrate residency, and live
   fit-job phases;
+* ``usage report`` — sum one or more JSONL usage ledgers (written by
+  ``serve --usage-ledger``) into a per-tenant compute-seconds billing table;
 * ``query`` — submit one expansion request through the
   :class:`~repro.client.ExpansionClient` SDK and print the ranked entities:
   in-process by default, or against a running server with ``--url``.
@@ -89,7 +91,7 @@ from repro.serve import (
     ExpansionService,
 )
 from repro.cluster.gateway import gateway_access_logger
-from repro.obs import slow_query_logger
+from repro.obs import read_ledger, slow_query_logger
 from repro.obs.top import render_dashboard
 from repro.serve.server import access_logger
 from repro.store import ArtifactStore
@@ -198,6 +200,19 @@ def _service_config(args: argparse.Namespace) -> ServiceConfig:
         ),
         admission_timeout_seconds=getattr(
             args, "admission_timeout", ServiceConfig.admission_timeout_seconds
+        ),
+        trace_sample_rate=getattr(args, "trace_sample_rate", None),
+        trace_buffer_size=getattr(
+            args, "trace_buffer_size", ServiceConfig.trace_buffer_size
+        ),
+        trace_sample_seed=getattr(args, "trace_sample_seed", None),
+        trace_export=getattr(args, "trace_export", False),
+        usage_metering=getattr(args, "usage_metering", False),
+        usage_ledger=getattr(args, "usage_ledger", None),
+        usage_rollup_interval_seconds=getattr(
+            args,
+            "usage_rollup_interval_seconds",
+            ServiceConfig.usage_rollup_interval_seconds,
         ),
     )
     config.validate()
@@ -486,6 +501,28 @@ def worker_command(
             "--admission-timeout",
             str(args.admission_timeout),
         ]
+    if getattr(args, "trace_sample_rate", None) is not None:
+        command += [
+            "--trace-sample-rate",
+            str(args.trace_sample_rate),
+            "--trace-buffer-size",
+            str(args.trace_buffer_size),
+        ]
+        if getattr(args, "trace_sample_seed", None) is not None:
+            command += ["--trace-sample-seed", str(args.trace_sample_seed)]
+        if getattr(args, "trace_export", False):
+            command.append("--trace-export")
+    if getattr(args, "usage_metering", False):
+        command.append("--usage-metering")
+    if getattr(args, "usage_ledger", None):
+        # Like the slow-query log: one shared path would interleave
+        # workers, so each worker appends to its own port-suffixed ledger.
+        command += [
+            "--usage-ledger",
+            f"{args.usage_ledger}.{port}",
+            "--usage-rollup-interval-seconds",
+            str(args.usage_rollup_interval_seconds),
+        ]
     return tuple(command)
 
 
@@ -620,6 +657,48 @@ def _cmd_cluster_top(args: argparse.Namespace) -> int:
             # command, not a crash: one clean line, exit code 1.
             print(f"gateway unreachable at {args.url}", file=sys.stderr)
             return 1
+    return 0
+
+
+def _cmd_usage_report(args: argparse.Namespace) -> int:
+    """Sum one or more JSONL usage ledgers into a per-tenant billing table."""
+    totals: dict[str, dict] = {}
+    for path in args.ledger:
+        try:
+            partial = read_ledger(path)
+        except OSError as exc:
+            print(f"cannot read ledger {path}: {exc}", file=sys.stderr)
+            return 1
+        for tenant, bucket in partial.items():
+            merged = totals.setdefault(
+                tenant,
+                {
+                    "requests": 0,
+                    "cache_hits": 0,
+                    "fits": 0,
+                    "compute_seconds": 0.0,
+                    "fit_seconds": 0.0,
+                },
+            )
+            for key in merged:
+                merged[key] += bucket.get(key, 0)
+    if not totals:
+        print("no usage records found")
+        return 0
+    width = max(len("TENANT"), max(len(tenant) for tenant in totals))
+    print(
+        f"{'TENANT':<{width}} {'REQUESTS':>9} {'CACHED':>7} {'FITS':>5} "
+        f"{'COMPUTE(s)':>12} {'FIT(s)':>10}"
+    )
+    for tenant in sorted(totals):
+        bucket = totals[tenant]
+        print(
+            f"{tenant:<{width}} {bucket['requests']:>9} "
+            f"{bucket['cache_hits']:>7} {bucket['fits']:>5} "
+            f"{bucket['compute_seconds']:>12.6f} {bucket['fit_seconds']:>10.6f}"
+        )
+    grand = sum(bucket["compute_seconds"] for bucket in totals.values())
+    print(f"{'TOTAL':<{width}} {'':>9} {'':>7} {'':>5} {grand:>12.6f}")
     return 0
 
 
@@ -772,6 +851,55 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
         default=ServiceConfig.admission_timeout_seconds,
         metavar="SECONDS",
         help="longest a sheddable request waits for an admission slot",
+    )
+    parser.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="enable the trace collector, head-sampling this fraction of "
+        "requests (0.0 keeps only slow/errored traces, 1.0 keeps all); "
+        "kept traces are searchable at GET /v1/traces",
+    )
+    parser.add_argument(
+        "--trace-buffer-size",
+        type=int,
+        default=ServiceConfig.trace_buffer_size,
+        metavar="N",
+        help="kept traces retained in memory (oldest evicted first)",
+    )
+    parser.add_argument(
+        "--trace-sample-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="seed the sampling RNG for deterministic keep/drop decisions",
+    )
+    parser.add_argument(
+        "--trace-export",
+        action="store_true",
+        help="also ship kept traces' spans through the json exporter "
+        "(OTLP-flavoured JSON; requires --exporter json)",
+    )
+    parser.add_argument(
+        "--usage-metering",
+        action="store_true",
+        help="meter per-tenant compute-seconds (execute share, cache "
+        "lookups, fit wall-time); summary under /v1/stats 'usage'",
+    )
+    parser.add_argument(
+        "--usage-ledger",
+        default=None,
+        metavar="FILE",
+        help="append per-tenant usage deltas to this JSONL ledger "
+        "(implies --usage-metering; sum offline with `repro usage report`)",
+    )
+    parser.add_argument(
+        "--usage-rollup-interval-seconds",
+        type=float,
+        default=ServiceConfig.usage_rollup_interval_seconds,
+        metavar="SECONDS",
+        help="seconds between ledger rollup writes",
     )
 
 
@@ -957,6 +1085,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="API key for a gateway running the multi-tenant front door",
     )
     cluster_top.set_defaults(handler=_cmd_cluster_top)
+
+    usage = subparsers.add_parser(
+        "usage", help="per-tenant usage metering (billing)"
+    )
+    usage_sub = usage.add_subparsers(dest="usage_command", required=True)
+    usage_report = usage_sub.add_parser(
+        "report",
+        help="sum JSONL usage ledger(s) into a per-tenant compute-seconds table",
+    )
+    usage_report.add_argument(
+        "--ledger",
+        required=True,
+        nargs="+",
+        metavar="FILE",
+        help="usage ledger path(s); cluster workers each write "
+        "<ledger>.<port>, pass them all to bill the whole fleet",
+    )
+    usage_report.set_defaults(handler=_cmd_usage_report)
 
     query = subparsers.add_parser(
         "query", help="run one expansion request through the client SDK"

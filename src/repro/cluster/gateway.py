@@ -31,6 +31,7 @@ from __future__ import annotations
 import http.client
 import json
 import logging
+import random
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -50,11 +51,12 @@ from repro.api.envelope import (
 from repro.api.errors import (
     CODE_INVALID_REQUEST,
     CODE_JOB_NOT_FOUND,
+    CODE_NOT_FOUND,
     CODE_UNAVAILABLE,
     error_payload,
     route_not_found_payload,
 )
-from repro.api.v1 import MAX_BATCH_REQUESTS
+from repro.api.v1 import MAX_BATCH_REQUESTS, parse_trace_query
 from repro.cluster.hashring import HashRing, shard_key
 from repro.config import ClusterConfig
 from repro.exceptions import ReproError, ServiceError
@@ -69,12 +71,24 @@ from repro.gate import (
 )
 from repro.obs import (
     PROMETHEUS_CONTENT_TYPE,
+    TRACE_ID_HEADER,
+    TRACE_SPANS_HEADER,
+    TRACEPARENT_HEADER,
     MetricsRegistry,
+    Trace,
+    TraceCollector,
+    activate,
     build_exporter,
+    current_context,
     current_request_id,
     current_tenant,
+    current_trace,
+    format_traceparent,
     merge_bucket_lists,
+    new_span_id,
+    propagation_scope,
     request_scope,
+    span,
     tenant_scope,
 )
 
@@ -230,6 +244,23 @@ class ClusterGateway:
                 ),
                 metrics=self.metrics,
             )
+        # The gateway keeps its own searchable ring of *joined* traces (its
+        # span tree plus every worker fragment grafted under the proxy
+        # hops), configured off the embedded per-worker service config so
+        # one knob traces the whole tier.
+        service_cfg = self.config.service
+        self.traces: TraceCollector | None = None
+        if service_cfg.trace_sample_rate is not None:
+            self.traces = TraceCollector(
+                capacity=service_cfg.trace_buffer_size,
+                sample_rate=service_cfg.trace_sample_rate,
+                slow_ms=service_cfg.slow_query_ms,
+                rng=(
+                    random.Random(service_cfg.trace_sample_seed)
+                    if service_cfg.trace_sample_seed is not None
+                    else None
+                ),
+            )
         self._conn_pool_size = 8
         self._scatter_pool = ThreadPoolExecutor(
             max_workers=max(4, 2 * len(self._urls)),
@@ -340,10 +371,34 @@ class ClusterGateway:
             except ReproError as exc:
                 status, payload = error_payload(exc)
                 return self._error_reply(status, payload)
+        # Head-sampling for the joined gateway trace; trace-search and
+        # exempt observability routes never trace themselves.
+        trace: Trace | None = None
+        if (
+            self.traces is not None
+            and (verb, path) not in _GATE_EXEMPT
+            and not path.startswith("/v1/traces")
+            and path != "/v1/dashboard"
+        ):
+            sampled = self.traces.sample()
+            if sampled or self.traces.slow_ms is not None:
+                trace = Trace(request_id=current_request_id())
+                trace.sampled = sampled
+        started = time.perf_counter()
         try:
             with tenant_scope(tenant):
-                return self._route(verb, path, body, query)
+                if trace is not None:
+                    with activate(trace), span("gateway", route=path, verb=verb):
+                        reply = self._route(verb, path, body, query)
+                else:
+                    reply = self._route(verb, path, body, query)
         except Exception as exc:  # noqa: BLE001 - rendered as a 500 envelope
+            self._finish_trace(
+                trace,
+                (time.perf_counter() - started) * 1000.0,
+                tenant,
+                error=type(exc).__name__,
+            )
             return self._error_reply(
                 500,
                 {
@@ -354,6 +409,34 @@ class ClusterGateway:
                     "retryable": True,
                 },
             )
+        self._finish_trace(
+            trace,
+            (time.perf_counter() - started) * 1000.0,
+            tenant,
+            error=f"http_{reply.status}" if reply.status >= 500 else None,
+        )
+        if trace is not None:
+            reply.headers[TRACE_ID_HEADER] = trace.trace_id
+        return reply
+
+    def _finish_trace(
+        self,
+        trace: Trace | None,
+        duration_ms: float,
+        tenant: str | None,
+        error: str | None = None,
+    ) -> None:
+        """Offer the joined request trace to the gateway's collector."""
+        if trace is None or self.traces is None:
+            return
+        self.traces.offer(
+            trace,
+            duration_ms=duration_ms,
+            method=trace.annotations().get("method"),
+            tenant=tenant,
+            error=error,
+            sampled=trace.sampled,
+        )
 
     def _route(
         self, verb: str, path: str, body: bytes | None, query: str = ""
@@ -386,6 +469,12 @@ class ClusterGateway:
             job_id = path[len("/v1/fits/"):]
             if job_id and "/" not in job_id:
                 return self._find_fit_job(verb, path)
+        if (verb, path) == ("GET", "/v1/traces"):
+            return self._list_traces(query)
+        if verb == "GET" and path.startswith("/v1/traces/"):
+            trace_id = path[len("/v1/traces/"):]
+            if trace_id and "/" not in trace_id:
+                return self._find_trace(trace_id)
         return self._error_reply(404, route_not_found_payload(path))
 
     # -- proxying ----------------------------------------------------------------
@@ -407,8 +496,16 @@ class ClusterGateway:
         tenant = current_tenant()
         if tenant:
             headers[TENANT_HEADER] = tenant
+        # W3C-style trace continuation: the worker continues our trace_id
+        # and returns its span fragment for grafting.  current_context()
+        # also resolves the propagation-scope contextvar, so scatter legs
+        # running on pool threads still carry the handler's context.
+        context = current_context()
+        if context is not None and context.sampled:
+            headers[TRACEPARENT_HEADER] = format_traceparent(context)
         if body is not None:
             headers["Content-Type"] = "application/json"
+        sent_at = time.perf_counter()
         for replay in (False, True):
             if replay:
                 connection, reused = self._fresh_worker_connection(worker_id), False
@@ -454,12 +551,58 @@ class ClusterGateway:
             retry_after = response.getheader("Retry-After")
             if retry_after:
                 passthrough["Retry-After"] = retry_after
+            self._record_hop(
+                context,
+                worker_id,
+                path,
+                sent_at,
+                response.getheader(TRACE_SPANS_HEADER),
+            )
             if response.will_close:
                 connection.close()
             else:
                 self._conn_checkin(worker_id, connection)
             return response.status, raw, passthrough
         raise _BackendError(f"worker {worker_id!r} unreachable")  # pragma: no cover
+
+    @staticmethod
+    def _record_hop(
+        context,
+        worker_id: str,
+        path: str,
+        sent_at: float,
+        fragment: str | None,
+    ) -> None:
+        """Stamp one proxy span onto the routed trace and graft the worker's
+        returned span fragment under it.  Thread-safe: scatter legs call
+        this from pool threads, so only the locked Trace mutators are used
+        (never the single-threaded span stack)."""
+        if context is None or context.trace is None:
+            return
+        trace = context.trace
+        now = time.perf_counter()
+        start_ms = (sent_at - trace.t0) * 1000.0
+        proxy_id = new_span_id()
+        trace.add_span(
+            "proxy",
+            start_ms,
+            (now - sent_at) * 1000.0,
+            parent="gateway",
+            parent_id=context.span_id,
+            span_id=proxy_id,
+            worker=worker_id,
+            path=path,
+        )
+        if not fragment:
+            return
+        try:
+            spans = json.loads(fragment).get("spans")
+        except (ValueError, AttributeError):
+            return
+        if isinstance(spans, list):
+            trace.graft_remote(
+                spans, base_ms=start_ms, parent="proxy", parent_id=proxy_id
+            )
 
     # -- gateway->worker connection pool -----------------------------------------
     def _fresh_worker_connection(self, worker_id: str) -> http.client.HTTPConnection:
@@ -593,6 +736,10 @@ class ClusterGateway:
             return self._error_reply(
                 400, _invalid_payload("request must name a method")
             )
+        trace = current_trace()
+        if trace is not None:
+            # the collector's method filter keys off this annotation.
+            trace.annotate(method=method.strip().lower())
         key = shard_key(method, self.fingerprint)
         return self._proxy_with_failover(key, verb, path, body)
 
@@ -637,16 +784,21 @@ class ClusterGateway:
             groups.setdefault(key, []).append(index)
 
         # contextvars do not follow work into pool threads: capture the
-        # request id (and resolved tenant) here and re-bind both inside
-        # each scatter leg so forwarding and attribution stay correct.
+        # request id (and resolved tenant, and trace context) here and
+        # re-bind them inside each scatter leg so forwarding, attribution,
+        # and span grafting stay correct.  The legs share the handler's
+        # Trace only through its thread-safe mutators via the context.
         request_id = current_request_id()
         tenant = current_tenant()
+        trace_context = current_context()
 
         def run_group(key: str, indices: list[int]) -> None:
             sub_batch = json.dumps(
                 {"requests": [items[i] for i in indices]}
             ).encode("utf-8")
-            with request_scope(request_id), tenant_scope(tenant):
+            with request_scope(request_id), tenant_scope(tenant), propagation_scope(
+                trace_context
+            ):
                 reply = self._proxy_with_failover(
                     key, "POST", "/v1/expand/batch", sub_batch
                 )
@@ -786,6 +938,8 @@ class ClusterGateway:
         healthy = 0
         latencies: list[dict] = []
         totals = {"requests": 0, "errors": 0, "cache_hits": 0, "cache_misses": 0}
+        #: tenant -> summed usage buckets across every metered worker.
+        usage_totals: dict[str, dict] = {}
         for worker_id in self._ring.nodes:
             url = self._backend_urls[worker_id]
             data = self._parse_envelope_data(stats_results[worker_id])
@@ -796,6 +950,26 @@ class ClusterGateway:
             service = data.get("service") or {}
             cache = data.get("cache") or {}
             registry = data.get("registry") or {}
+            for tenant_id, bucket in (
+                (data.get("usage") or {}).get("tenants") or {}
+            ).items():
+                if not isinstance(bucket, dict):
+                    continue
+                joined = usage_totals.setdefault(
+                    str(tenant_id),
+                    {
+                        "requests": 0,
+                        "cache_hits": 0,
+                        "fits": 0,
+                        "compute_seconds": 0.0,
+                        "fit_seconds": 0.0,
+                    },
+                )
+                for field_name in joined:
+                    try:
+                        joined[field_name] += bucket.get(field_name, 0) or 0
+                    except TypeError:
+                        continue
             substrates = registry.get("substrates") or {}
             latency = dict(service.get("latency_ms") or {})
             if latency.get("buckets"):
@@ -853,8 +1027,37 @@ class ClusterGateway:
             "workers": workers,
             "gateway": self.stats(),
         }
+        if usage_totals:
+            for tenant_usage in usage_totals.values():
+                tenant_usage["compute_seconds"] = round(
+                    tenant_usage["compute_seconds"], 6
+                )
+                tenant_usage["fit_seconds"] = round(tenant_usage["fit_seconds"], 6)
+            data["usage"] = {
+                "tenants": {
+                    tenant_id: usage_totals[tenant_id]
+                    for tenant_id in sorted(usage_totals)
+                }
+            }
         if self.gate is not None:
-            data["tenants"] = self.gate.tenant_summary()
+            tenants = self.gate.tenant_summary()
+            for row in tenants:
+                tenant_usage = usage_totals.get(str(row.get("tenant")))
+                if tenant_usage is not None:
+                    row["compute_seconds"] = tenant_usage["compute_seconds"]
+            data["tenants"] = tenants
+        elif usage_totals:
+            # ungated cluster: the tenants table is synthesized from usage
+            # so the cost column still has a home.
+            data["tenants"] = [
+                {
+                    "tenant": tenant_id,
+                    "requests": usage_totals[tenant_id]["requests"],
+                    "throttled": 0,
+                    "compute_seconds": usage_totals[tenant_id]["compute_seconds"],
+                }
+                for tenant_id in sorted(usage_totals)
+            ]
         if html:
             return _Reply(
                 status=200,
@@ -932,6 +1135,70 @@ class ClusterGateway:
                 "code": CODE_JOB_NOT_FOUND,
                 "message": f"no fit job {job_id!r} on any worker",
                 "details": {"job_id": job_id},
+                "retryable": False,
+            },
+        )
+
+    # -- trace search ------------------------------------------------------------
+    def _list_traces(self, query: str = "") -> _Reply:
+        """Search the gateway's own joined-trace ring (worker rings stay
+        reachable directly on each worker's ``/v1/traces``)."""
+        if self.traces is None:
+            return self._error_reply(
+                400,
+                _invalid_payload(
+                    "tracing is not enabled on the gateway (set trace_sample_rate)"
+                ),
+            )
+        try:
+            filters = parse_trace_query(query)
+        except ServiceError as exc:
+            return self._error_reply(400, _invalid_payload(str(exc)))
+        rows = self.traces.query(**filters)
+        return _Reply.envelope(
+            200,
+            success_envelope(
+                current_request_id() or new_request_id(),
+                {"traces": rows, "count": len(rows)},
+            ),
+        )
+
+    def _find_trace(self, trace_id: str) -> _Reply:
+        """The gateway's joined trace when it kept one; otherwise ask every
+        worker (front-line traffic may be traced worker-side only).  The
+        first non-miss answer wins."""
+        if self.traces is not None:
+            record = self.traces.get(trace_id)
+            if record is not None:
+                return _Reply.envelope(
+                    200,
+                    success_envelope(
+                        current_request_id() or new_request_id(),
+                        {"trace": record},
+                    ),
+                )
+        path = f"/v1/traces/{trace_id}"
+        for worker_id in self._attempt_order(
+            shard_key("__traces__", self.fingerprint)
+        ):
+            try:
+                status, raw, headers = self._forward(worker_id, "GET", path, None)
+            except _BackendError:
+                continue
+            self._mark_up(worker_id)
+            if status not in (400, 404):
+                # 404: the worker never kept it; 400: worker tracing is off.
+                self._proxied.inc()
+                self._routed.inc(worker=worker_id)
+                headers[WORKER_HEADER] = worker_id
+                return _Reply(status=status, body=raw, headers=headers)
+        return self._error_reply(
+            404,
+            {
+                "error": "NotFound",
+                "code": CODE_NOT_FOUND,
+                "message": f"no kept trace {trace_id!r}",
+                "details": {"trace_id": trace_id},
                 "retryable": False,
             },
         )
@@ -1055,15 +1322,25 @@ def _render_dashboard_html(data: dict) -> str:
     tenants_table = ""
     tenants = data.get("tenants")
     if tenants:
+        # the cost column appears once any worker reports usage metering.
+        with_cost = any("compute_seconds" in (row or {}) for row in tenants)
         tenant_rows = "".join(
             f"<tr><td>{cell(row.get('tenant'))}</td>"
             f"<td>{cell(row.get('requests'))}</td>"
-            f"<td>{cell(row.get('throttled'))}</td></tr>"
+            f"<td>{cell(row.get('throttled'))}</td>"
+            + (
+                f"<td>{cell(row.get('compute_seconds'))}</td>"
+                if with_cost
+                else ""
+            )
+            + "</tr>"
             for row in tenants
         )
+        cost_header = "<th>compute s</th>" if with_cost else ""
         tenants_table = (
             "<h2>tenants</h2>"
-            "<table><tr><th>tenant</th><th>requests</th><th>throttled</th></tr>"
+            "<table><tr><th>tenant</th><th>requests</th><th>throttled</th>"
+            f"{cost_header}</tr>"
             f"{tenant_rows}</table>"
         )
     p99 = latency.get("p99_ms")
@@ -1136,6 +1413,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             status=reply.status,
             latency_ms=(time.perf_counter() - started) * 1000.0,
             worker=reply.headers.get(WORKER_HEADER),
+            trace_id=reply.headers.get(TRACE_ID_HEADER),
         )
 
     def _serve(self, verb: str, path: str, query: str = "") -> _Reply:
@@ -1173,23 +1451,23 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         status: int,
         latency_ms: float,
         worker: str | None,
+        trace_id: str | None = None,
     ) -> None:
         if not self.gateway.config.gateway_access_log:
             return
-        gateway_access_logger.info(
-            "%s",
-            json.dumps(
-                {
-                    "request_id": request_id,
-                    "method": verb,
-                    "route": route,
-                    "status": status,
-                    "latency_ms": round(latency_ms, 3),
-                    "worker": worker,
-                },
-                sort_keys=True,
-            ),
-        )
+        line = {
+            "request_id": request_id,
+            "method": verb,
+            "route": route,
+            "status": status,
+            "latency_ms": round(latency_ms, 3),
+            "worker": worker,
+        }
+        # stamped only on traced requests; untraced lines keep the exact
+        # pre-tracing key set.
+        if trace_id is not None:
+            line["trace_id"] = trace_id
+        gateway_access_logger.info("%s", json.dumps(line, sort_keys=True))
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass

@@ -396,6 +396,31 @@ class ServiceConfig:
     admission_queue_depth: int = 32
     #: longest a sheddable request waits for a slot before a 503.
     admission_timeout_seconds: float = 10.0
+    #: head-sampling probability for the trace collector: each request
+    #: flips one coin at this rate; sampled requests get a full span tree
+    #: stored in the in-memory trace ring (``GET /v1/traces``).  ``0.0``
+    #: installs the collector with sampling off (slow/errored traces are
+    #: still kept when slow-query tracing produces them); ``None`` disables
+    #: the collector entirely.
+    trace_sample_rate: float | None = None
+    #: capacity of the in-memory ring of kept traces.
+    trace_buffer_size: int = 256
+    #: seed for the sampling RNG; ``None`` seeds from the OS.  A fixed seed
+    #: makes the kept-trace sequence reproducible (tests, load replays).
+    trace_sample_seed: int | None = None
+    #: also ship kept traces' spans through the push exporter (requires
+    #: ``exporter="json"``; spans go out as OTLP-flavored ``resourceSpans``).
+    trace_export: bool = False
+    #: meter per-tenant compute-seconds (batch-amortized execute shares,
+    #: cache-hit costs, fit wall-time) in memory; surfaced in ``/v1/stats``
+    #: and the dashboard tenants table.
+    usage_metering: bool = False
+    #: JSONL usage-ledger path; setting it implies metering and persists
+    #: per-tenant deltas once per rollup window (``repro usage report``
+    #: sums the file offline).
+    usage_ledger: str | None = None
+    #: seconds between usage-ledger rollup lines.
+    usage_rollup_interval_seconds: float = 30.0
 
     def validate(self) -> None:
         if self.slow_query_ms is not None and self.slow_query_ms < 0:
@@ -457,6 +482,26 @@ class ServiceConfig:
             )
         if self.admission_queue_depth < 0:
             raise ConfigurationError("admission_queue_depth must be non-negative")
+        if self.trace_sample_rate is not None and not (
+            0.0 <= self.trace_sample_rate <= 1.0
+        ):
+            raise ConfigurationError("trace_sample_rate must be in [0, 1] or None")
+        if self.trace_buffer_size < 1:
+            raise ConfigurationError("trace_buffer_size must be >= 1")
+        if self.trace_export and self.exporter != "json":
+            raise ConfigurationError(
+                'trace_export requires exporter="json" (statsd cannot carry spans)'
+            )
+        if self.trace_export and self.trace_sample_rate is None:
+            raise ConfigurationError(
+                "trace_export requires trace_sample_rate (the trace collector)"
+            )
+        if self.usage_ledger is not None and not str(self.usage_ledger).strip():
+            raise ConfigurationError("usage_ledger must be a non-empty path or None")
+        if self.usage_rollup_interval_seconds <= 0:
+            raise ConfigurationError(
+                "usage_rollup_interval_seconds must be positive"
+            )
         if self.admission_timeout_seconds <= 0:
             raise ConfigurationError("admission_timeout_seconds must be positive")
 

@@ -1,12 +1,17 @@
-"""repro.obs — unified telemetry: metrics, tracing, export, progress.
+"""repro.obs — unified telemetry: metrics, tracing, export, progress, usage.
 
 This package is the one place serving-layer counters live.  Components
 expose :class:`~repro.obs.metrics.MetricsRegistry` instruments instead of
 hand-rolled ``self._stats = {}`` dicts (a tier-1 lint test enforces this),
 per-request stage timings ride the :mod:`~repro.obs.trace` ContextVar,
-push exporters (:mod:`~repro.obs.export`) ship the registry to external
-statsd/OTLP collectors in the background, and fit jobs report fractional
-progress through :class:`~repro.obs.progress.ProgressReporter`.
+completed traces land in a searchable :class:`~repro.obs.traces.TraceCollector`
+ring (served as ``GET /v1/traces``), push exporters
+(:mod:`~repro.obs.export`) ship the registry — and optionally kept trace
+spans — to external statsd/OTLP collectors in the background, fit jobs
+report fractional progress through
+:class:`~repro.obs.progress.ProgressReporter`, and per-tenant
+compute-seconds accumulate in a :class:`~repro.obs.usage.UsageMeter` for
+billing-grade accounting.
 """
 
 from repro.obs.export import (
@@ -15,6 +20,7 @@ from repro.obs.export import (
     PushExporter,
     StatsdExporter,
     build_exporter,
+    spans_document,
 )
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS_MS,
@@ -30,21 +36,45 @@ from repro.obs.metrics import (
 from repro.obs.progress import PHASE_WINDOWS, ProgressReporter, phase_window
 from repro.obs.slowlog import SlowQueryLog, log_slow_query, slow_query_logger
 from repro.obs.trace import (
+    TRACE_ID_HEADER,
+    TRACE_SPANS_HEADER,
+    TRACEPARENT_HEADER,
     Trace,
+    TraceContext,
     activate,
+    current_context,
     current_request_id,
     current_tenant,
     current_trace,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    propagation_scope,
     request_scope,
     span,
     tenant_scope,
 )
+from repro.obs.traces import TraceCollector
+from repro.obs.usage import (
+    ANONYMOUS_TENANT,
+    MAX_TENANTS,
+    OVERFLOW_TENANT,
+    UsageMeter,
+    read_ledger,
+)
 
 __all__ = [
+    "ANONYMOUS_TENANT",
     "DEFAULT_LATENCY_BUCKETS_MS",
     "EXPORTER_KINDS",
+    "MAX_TENANTS",
+    "OVERFLOW_TENANT",
     "PHASE_WINDOWS",
     "PROMETHEUS_CONTENT_TYPE",
+    "TRACEPARENT_HEADER",
+    "TRACE_ID_HEADER",
+    "TRACE_SPANS_HEADER",
     "Counter",
     "Gauge",
     "Histogram",
@@ -55,18 +85,29 @@ __all__ = [
     "SlowQueryLog",
     "StatsdExporter",
     "Trace",
+    "TraceCollector",
+    "TraceContext",
+    "UsageMeter",
     "activate",
     "build_exporter",
+    "current_context",
     "current_request_id",
     "current_tenant",
     "current_trace",
     "default_registry",
+    "format_traceparent",
     "log_slow_query",
     "merge_bucket_lists",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
     "percentile_from_buckets",
     "phase_window",
+    "propagation_scope",
+    "read_ledger",
     "request_scope",
     "slow_query_logger",
     "span",
+    "spans_document",
     "tenant_scope",
 ]

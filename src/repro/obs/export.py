@@ -69,6 +69,8 @@ class PushExporter:
     """
 
     kind = "push"
+    #: whether the sink can carry trace spans (OTLP-JSON can, statsd cannot).
+    supports_spans = False
 
     def __init__(
         self,
@@ -78,6 +80,9 @@ class PushExporter:
         backoff_seconds: float = DEFAULT_BACKOFF_SECONDS,
     ):
         self.registry = registry
+        #: optional zero-arg callable draining kept trace records (set by
+        #: the service when span export is enabled; see TraceCollector).
+        self.span_source = None
         self.interval_seconds = float(interval_seconds)
         self.max_retries = int(max_retries)
         self.backoff_seconds = float(backoff_seconds)
@@ -101,6 +106,10 @@ class PushExporter:
         self._drops = registry.counter(
             "obs_exporter_dropped_series_total",
             "Series dropped after retries were exhausted.",
+        ).labels(sink=self.kind)
+        self._spans_shipped = registry.counter(
+            "obs_exporter_spans_shipped_total",
+            "Trace spans shipped to the sink.",
         ).labels(sink=self.kind)
 
     # -- lifecycle ---------------------------------------------------------------
@@ -142,26 +151,47 @@ class PushExporter:
         explicit drain never interleave mid-diff.
         """
         with self._flush_lock:
-            snapshot = self.registry.export_snapshot()
-            batch = self._build_batch(snapshot)
-            # Whether the ship succeeds or the batch drops, the baseline
-            # advances: a dead sink loses data (drop-and-count), it does
-            # not buffer it without bound.
-            self._last = {_series_key(entry): entry for entry in snapshot}
-            if not batch:
-                return 0
-            if not self._ship_with_retries(batch):
-                self._drops.inc(len(batch))
-                return 0
-            self._flushes.inc()
-            self._shipped.inc(len(batch))
-            return len(batch)
+            shipped = self._flush_metrics_locked()
+            shipped += self._flush_spans_locked()
+            return shipped
 
-    def _ship_with_retries(self, batch: list[dict]) -> bool:
+    def _flush_metrics_locked(self) -> int:
+        snapshot = self.registry.export_snapshot()
+        batch = self._build_batch(snapshot)
+        # Whether the ship succeeds or the batch drops, the baseline
+        # advances: a dead sink loses data (drop-and-count), it does
+        # not buffer it without bound.
+        self._last = {_series_key(entry): entry for entry in snapshot}
+        if not batch:
+            return 0
+        if not self._ship_with_retries(batch):
+            self._drops.inc(len(batch))
+            return 0
+        self._flushes.inc()
+        self._shipped.inc(len(batch))
+        return len(batch)
+
+    def _flush_spans_locked(self) -> int:
+        """Drain kept trace records from ``span_source`` and ship them as
+        spans (sinks that support it); same drop-and-count discipline."""
+        if self.span_source is None or not self.supports_spans:
+            return 0
+        records = self.span_source()
+        if not records:
+            return 0
+        span_count = sum(len(record.get("spans", ())) for record in records)
+        if not self._ship_with_retries(records, ship=self._ship_spans):
+            self._drops.inc(len(records))
+            return 0
+        self._spans_shipped.inc(span_count)
+        return len(records)
+
+    def _ship_with_retries(self, batch: list[dict], ship=None) -> bool:
+        ship = ship if ship is not None else self._ship
         delay = self.backoff_seconds
         for attempt in range(self.max_retries + 1):
             try:
-                self._ship(batch)
+                ship(batch)
             except Exception as exc:  # noqa: BLE001 - counted, not raised
                 self.last_error = f"{type(exc).__name__}: {exc}"
                 if attempt >= self.max_retries:
@@ -197,6 +227,9 @@ class PushExporter:
         return batch
 
     def _ship(self, batch: list[dict]) -> None:
+        raise NotImplementedError
+
+    def _ship_spans(self, records: list[dict]) -> None:
         raise NotImplementedError
 
     # -- introspection -----------------------------------------------------------
@@ -285,6 +318,7 @@ class JsonHttpExporter(PushExporter):
     """
 
     kind = "json"
+    supports_spans = True
 
     def __init__(self, registry: MetricsRegistry, url: str, timeout: float = 5.0, **kwargs):
         super().__init__(registry, **kwargs)
@@ -292,7 +326,13 @@ class JsonHttpExporter(PushExporter):
         self.timeout = float(timeout)
 
     def _ship(self, batch: list[dict]) -> None:
-        body = json.dumps(self._document(batch)).encode("utf-8")
+        self._post(self._document(batch))
+
+    def _ship_spans(self, records: list[dict]) -> None:
+        self._post(spans_document(records))
+
+    def _post(self, document: dict) -> None:
+        body = json.dumps(document).encode("utf-8")
         request = urllib.request.Request(
             self.url, data=body, headers={"Content-Type": "application/json"}
         )
@@ -367,6 +407,56 @@ class JsonHttpExporter(PushExporter):
                 }
             ]
         }
+
+
+def spans_document(records: list[dict]) -> dict:
+    """OTLP-flavored ``resourceSpans`` JSON for kept trace records.
+
+    Each record is a :class:`~repro.obs.traces.TraceCollector` entry; span
+    offsets (milliseconds relative to the trace's birth) are rebased onto
+    the record's completion wall-clock so sinks get absolute nanosecond
+    timestamps, the shape OTLP expects.
+    """
+    spans = []
+    for record in records:
+        base_ns = int(
+            (record.get("unix_ms", 0) - record.get("duration_ms", 0.0)) * 1e6
+        )
+        context = {
+            "tenant": record.get("tenant"),
+            "method": record.get("method"),
+            "request_id": record.get("request_id"),
+        }
+        for entry in record.get("spans", ()):
+            start_ns = base_ns + int(float(entry.get("start_ms", 0.0)) * 1e6)
+            attributes = [
+                {"key": key, "value": {"stringValue": str(value)}}
+                for key, value in sorted((entry.get("meta") or {}).items())
+            ]
+            attributes.extend(
+                {"key": key, "value": {"stringValue": str(value)}}
+                for key, value in context.items()
+                if value is not None
+            )
+            spans.append(
+                {
+                    "traceId": record.get("trace_id", ""),
+                    "spanId": entry.get("span_id", ""),
+                    "parentSpanId": entry.get("parent_id") or "",
+                    "name": entry.get("name", ""),
+                    "startTimeUnixNano": str(start_ns),
+                    "endTimeUnixNano": str(
+                        start_ns
+                        + int(float(entry.get("duration_ms", 0.0)) * 1e6)
+                    ),
+                    "attributes": attributes,
+                }
+            )
+    return {
+        "resourceSpans": [
+            {"scopeSpans": [{"scope": {"name": "repro"}, "spans": spans}]}
+        ]
+    }
 
 
 def build_exporter(

@@ -73,6 +73,7 @@ def log_slow_query(
     latency_ms: float,
     threshold_ms: float,
     cached: bool,
+    trace_id: str | None = None,
     spans: list[dict] | None = None,
     error: str | None = None,
     sink: SlowQueryLog | None = None,
@@ -86,6 +87,9 @@ def log_slow_query(
         "threshold_ms": threshold_ms,
         "cached": cached,
     }
+    if trace_id is not None:
+        # joins this line to its stored trace (GET /v1/traces/<trace_id>).
+        payload["trace_id"] = trace_id
     if error is not None:
         payload["error"] = error
     if spans:

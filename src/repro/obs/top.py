@@ -25,6 +25,14 @@ def _fmt_rate(value) -> str:
         return "-"
 
 
+def _fmt_cost(value) -> str:
+    """Compute-seconds for the tenants table's COST column."""
+    try:
+        return f"{float(value):.3f}"
+    except (TypeError, ValueError):
+        return "-"
+
+
 #: character cells in a fit-job progress bar.
 PROGRESS_BAR_WIDTH = 10
 
@@ -108,13 +116,20 @@ def render_dashboard(data: dict) -> str:
     tenants = data.get("tenants") or []
     if tenants:
         lines.append("")
+        # the COST column appears once any worker reports usage metering.
+        with_cost = any("compute_seconds" in (row or {}) for row in tenants)
         tenant_header = f"{'TENANT':<24} {'REQS':>8} {'THROTTLED':>10}"
+        if with_cost:
+            tenant_header += f" {'COST(s)':>10}"
         lines.append(tenant_header)
         lines.append("-" * len(tenant_header))
         for row in tenants:
-            lines.append(
+            line = (
                 f"{str(row.get('tenant', '?'))[:24]:<24} "
                 f"{row.get('requests', 0):>8} "
                 f"{row.get('throttled', 0):>10}"
             )
+            if with_cost:
+                line += f" {_fmt_cost(row.get('compute_seconds')):>10}"
+            lines.append(line)
     return "\n".join(lines)

@@ -33,7 +33,15 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Sequence
 
-from repro.obs import MetricsRegistry, Trace, activate, current_trace, span
+from repro.obs import (
+    MetricsRegistry,
+    Trace,
+    UsageMeter,
+    activate,
+    current_tenant,
+    current_trace,
+    span,
+)
 from repro.types import ExpansionResult, Query
 
 #: executes one coalesced batch: (method, top_k, queries) -> results.
@@ -49,8 +57,12 @@ class _Bucket:
         self.generation = generation
         self.queries: list[Query] = []
         self.futures: list[Future] = []
-        #: per caller: (its active Trace or None, perf_counter at join time).
-        self.traces: list[tuple[Trace | None, float]] = []
+        #: per caller: (its active Trace or None, perf_counter at join time,
+        #: the caller's open span id — the "batch" span the graft parents
+        #: under — and the caller's tenant for usage attribution).  Span id
+        #: and tenant are captured at submit time because neither contextvars
+        #: nor the single-threaded ``_stack`` cross to the pool thread.
+        self.traces: list[tuple[Trace | None, float, str | None, str | None]] = []
 
 
 class MicroBatcher:
@@ -63,8 +75,12 @@ class MicroBatcher:
         max_wait_ms: float = 2.0,
         num_workers: int = 2,
         metrics: MetricsRegistry | None = None,
+        usage: UsageMeter | None = None,
     ):
         self._execute = execute
+        #: when metering is on, each batch's execute wall-time is split
+        #: evenly across its riders and billed to their captured tenants.
+        self.usage = usage
         self.max_batch_size = max(1, max_batch_size)
         self.max_wait_s = max(0.0, max_wait_ms) / 1000.0
         self._lock = threading.Lock()
@@ -132,7 +148,15 @@ class MicroBatcher:
                 timer.start()
             bucket.queries.append(query)
             bucket.futures.append(future)
-            bucket.traces.append((current_trace(), time.perf_counter()))
+            caller_trace = current_trace()
+            bucket.traces.append(
+                (
+                    caller_trace,
+                    time.perf_counter(),
+                    caller_trace.open_span_id() if caller_trace is not None else None,
+                    current_tenant(),
+                )
+            )
             if len(bucket.queries) >= self.max_batch_size:
                 flush_now = self._buckets.pop(key)
         if flush_now is not None:
@@ -170,7 +194,7 @@ class MicroBatcher:
         futures: list[Future],
         method: str,
         top_k: int,
-        traces: list[tuple[Trace | None, float]] | None = None,
+        traces: list[tuple[Trace | None, float, str | None, str | None]] | None = None,
     ) -> None:
         if self._pool is not None:
             self._record(len(queries))
@@ -179,7 +203,7 @@ class MicroBatcher:
         # caller; collect its stage spans on a shared trace (only when some
         # caller is actually tracing) and graft them back afterwards.
         batch_trace: Trace | None = None
-        if traces and any(t is not None for t, _joined in traces):
+        if traces and any(t is not None for t, _joined, _sid, _ten in traces):
             batch_trace = Trace()
         error: BaseException | None = None
         results: list[ExpansionResult] = []
@@ -188,13 +212,26 @@ class MicroBatcher:
                 error, results = self._guarded_execute(method, top_k, queries)
         else:
             error, results = self._guarded_execute(method, top_k, queries)
-        self._execute_ms.observe(
-            (time.perf_counter() - run_started) * 1000.0, method=method
-        )
+        execute_seconds = time.perf_counter() - run_started
+        self._execute_ms.observe(execute_seconds * 1000.0, method=method)
+        if self.usage is not None:
+            if traces:
+                # batch-amortized share: riders in one forward pass split
+                # its wall-time evenly (billed even on error — the compute
+                # was spent).
+                share = execute_seconds / len(queries)
+                for _trace, _joined_at, _span_id, tenant in traces:
+                    self.usage.charge_expand(tenant, share, method=method)
+            else:
+                # sync mode runs in the caller's thread: its tenant
+                # contextvar is still live here.
+                self.usage.charge_expand(
+                    current_tenant(), execute_seconds, method=method
+                )
         # All trace mutation happens BEFORE any future resolves: callers read
         # their trace the moment future.result() returns.
         if traces:
-            for caller_trace, joined_at in traces:
+            for caller_trace, joined_at, batch_span_id, _tenant in traces:
                 wait_ms = (run_started - joined_at) * 1000.0
                 self._queue_wait.observe(wait_ms, method=method)
                 if caller_trace is None:
@@ -204,9 +241,12 @@ class MicroBatcher:
                     (joined_at - caller_trace.t0) * 1000.0,
                     wait_ms,
                     parent="batch",
+                    parent_id=batch_span_id,
                 )
                 if batch_trace is not None:
-                    caller_trace.graft(batch_trace, parent="batch")
+                    caller_trace.graft(
+                        batch_trace, parent="batch", parent_id=batch_span_id
+                    )
         if error is not None:
             for future in futures:
                 future.set_exception(error)

@@ -44,7 +44,17 @@ from repro.gate import (
     operation_for,
     retry_after_header,
 )
-from repro.obs import PROMETHEUS_CONTENT_TYPE, request_scope, tenant_scope
+from repro.obs import (
+    PROMETHEUS_CONTENT_TYPE,
+    TRACE_ID_HEADER,
+    TRACE_SPANS_HEADER,
+    TRACEPARENT_HEADER,
+    Trace,
+    activate,
+    parse_traceparent,
+    request_scope,
+    tenant_scope,
+)
 from repro.serve.service import ExpansionService
 
 #: request body size guard (1 MiB) against accidental or hostile payloads.
@@ -92,7 +102,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _handle(self, verb: str) -> None:
         started = time.perf_counter()
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        raw_path, _, query = self.path.partition("?")
+        path = raw_path.rstrip("/") or "/"
         # Honor a syntactically valid client-supplied X-Request-Id so one id
         # correlates gateway log, worker log, and envelope; replace anything
         # malformed rather than echoing hostile bytes into logs and headers.
@@ -141,13 +152,39 @@ class _Handler(BaseHTTPRequestHandler):
             if is_valid_tenant_id(hint):
                 tenant = hint
 
-        # The request id (and resolved tenant) ride contextvars through
-        # dispatch so deeper layers (traces, the slow-query log, metric
-        # labels) can recover them unplumbed.
-        with request_scope(request_id), tenant_scope(tenant):
-            result = gate_error or self._dispatch(
-                verb, target, is_v1 or bool(legacy_target)
+        # Trace continuation/creation: a gateway hop carries a sampled
+        # ``traceparent`` we must continue under the same trace_id; a
+        # front-line worker makes its own head-sampling decision (or traces
+        # anyway when a slow-query threshold might want the spans).
+        context = parse_traceparent(self.headers.get(TRACEPARENT_HEADER))
+        collector = self.service.traces
+        trace: Trace | None = None
+        if context is not None and context.sampled:
+            trace = Trace(
+                request_id=request_id,
+                trace_id=context.trace_id,
+                parent_span_id=context.span_id,
             )
+            trace.sampled = True
+        elif collector is not None:
+            sampled = collector.sample()
+            if sampled or collector.slow_ms is not None:
+                trace = Trace(request_id=request_id)
+                trace.sampled = sampled
+
+        # The request id (and resolved tenant, and trace) ride contextvars
+        # through dispatch so deeper layers (spans, the slow-query log,
+        # metric labels) can recover them unplumbed.
+        with request_scope(request_id), tenant_scope(tenant):
+            if trace is not None:
+                with activate(trace):
+                    result = gate_error or self._dispatch(
+                        verb, target, is_v1 or bool(legacy_target), query
+                    )
+            else:
+                result = gate_error or self._dispatch(
+                    verb, target, is_v1 or bool(legacy_target), query
+                )
         if legacy_target is not None:
             body = apiv1.render_legacy_body(result)
         elif is_v1:
@@ -158,12 +195,24 @@ class _Handler(BaseHTTPRequestHandler):
         retry_after = None
         if result.error is not None:
             retry_after = (result.error.get("details") or {}).get("retry_after")
+        extra_headers: list[tuple[str, str]] = []
+        if trace is not None:
+            extra_headers.append((TRACE_ID_HEADER, trace.trace_id))
+            if context is not None:
+                # remote hop: return this worker's span fragment so the
+                # gateway can graft it into its joined trace.
+                fragment = json.dumps(
+                    {"trace_id": trace.trace_id, "spans": trace.to_span_dicts()},
+                    separators=(",", ":"),
+                )
+                extra_headers.append((TRACE_SPANS_HEADER, fragment))
         self._send(
             result.status,
             body,
             request_id,
             deprecated=legacy_target is not None,
             retry_after=retry_after,
+            extra_headers=extra_headers,
         )
         self._access_log(
             request_id=request_id,
@@ -173,9 +222,12 @@ class _Handler(BaseHTTPRequestHandler):
             latency_ms=(time.perf_counter() - started) * 1000.0,
             cached=result.cached,
             deprecated=legacy_target is not None,
+            trace_id=trace.trace_id if trace is not None else None,
         )
 
-    def _dispatch(self, verb: str, path: str, routed: bool) -> "apiv1.ApiResult":
+    def _dispatch(
+        self, verb: str, path: str, routed: bool, query: str = ""
+    ) -> "apiv1.ApiResult":
         """Resolve the route, then read the body (POST), then dispatch.
 
         Routing comes first so an unknown path is a deterministic 404
@@ -189,7 +241,7 @@ class _Handler(BaseHTTPRequestHandler):
             except ReproError as exc:
                 status, error = error_payload(exc)
                 return apiv1.ApiResult(status=status, error=error)
-        return self.api.dispatch(verb, path, payload)
+        return self.api.dispatch(verb, path, payload, query=query)
 
     # -- plumbing ----------------------------------------------------------------
     def _read_json(self) -> dict:
@@ -214,6 +266,7 @@ class _Handler(BaseHTTPRequestHandler):
         request_id: str,
         deprecated: bool = False,
         retry_after: float | None = None,
+        extra_headers: list[tuple[str, str]] | None = None,
     ) -> None:
         self._send_raw(
             status,
@@ -222,6 +275,7 @@ class _Handler(BaseHTTPRequestHandler):
             request_id,
             deprecated=deprecated,
             retry_after=retry_after,
+            extra_headers=extra_headers,
         )
 
     def _send_raw(
@@ -232,11 +286,14 @@ class _Handler(BaseHTTPRequestHandler):
         request_id: str,
         deprecated: bool = False,
         retry_after: float | None = None,
+        extra_headers: list[tuple[str, str]] | None = None,
     ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(encoded)))
         self.send_header(REQUEST_ID_HEADER, request_id)
+        for name, value in extra_headers or ():
+            self.send_header(name, value)
         if deprecated:
             self.send_header("Deprecation", "true")
         if retry_after is not None:
@@ -260,24 +317,24 @@ class _Handler(BaseHTTPRequestHandler):
         latency_ms: float,
         cached: bool | None,
         deprecated: bool,
+        trace_id: str | None = None,
     ) -> None:
         if not self.service.config.access_log:
             return
-        access_logger.info(
-            "%s",
-            json.dumps(
-                {
-                    "request_id": request_id,
-                    "method": verb,
-                    "route": route,
-                    "status": status,
-                    "latency_ms": round(latency_ms, 3),
-                    "cached": cached,
-                    "deprecated": deprecated,
-                },
-                sort_keys=True,
-            ),
-        )
+        line = {
+            "request_id": request_id,
+            "method": verb,
+            "route": route,
+            "status": status,
+            "latency_ms": round(latency_ms, 3),
+            "cached": cached,
+            "deprecated": deprecated,
+        }
+        # only stamped on traced requests, keeping the untraced line's
+        # exact key set (pinned by wire-shape tests) unchanged.
+        if trace_id is not None:
+            line["trace_id"] = trace_id
+        access_logger.info("%s", json.dumps(line, sort_keys=True))
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         # The structured access log (or silence) replaces the default

@@ -23,6 +23,7 @@ come back on the response and land in the slow-query log.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from typing import Callable, Mapping, Sequence
@@ -38,10 +39,13 @@ from repro.obs import (
     MetricsRegistry,
     SlowQueryLog,
     Trace,
+    TraceCollector,
+    UsageMeter,
     activate,
     build_exporter,
     current_request_id,
     current_tenant,
+    current_trace,
     log_slow_query,
     span,
 )
@@ -99,12 +103,37 @@ class ExpansionService:
             clock=clock,
             metrics=self.metrics,
         )
+        # Billing-grade per-tenant metering; built before the batcher so
+        # batch execute wall-time can be amortized across riders at source.
+        self.usage: UsageMeter | None = None
+        if self.config.usage_metering or self.config.usage_ledger is not None:
+            self.usage = UsageMeter(
+                ledger_path=self.config.usage_ledger,
+                rollup_interval_seconds=self.config.usage_rollup_interval_seconds,
+            )
+        # Searchable ring of completed traces (GET /v1/traces).  None means
+        # tracing is off entirely; rate 0.0 installs the collector but keeps
+        # only slow/errored traces (head sampling disabled).
+        self.traces: TraceCollector | None = None
+        if self.config.trace_sample_rate is not None:
+            self.traces = TraceCollector(
+                capacity=self.config.trace_buffer_size,
+                sample_rate=self.config.trace_sample_rate,
+                slow_ms=self.config.slow_query_ms,
+                rng=(
+                    random.Random(self.config.trace_sample_seed)
+                    if self.config.trace_sample_seed is not None
+                    else None
+                ),
+                export=self.config.trace_export,
+            )
         self.batcher = MicroBatcher(
             self._execute_batch,
             max_batch_size=self.config.max_batch_size,
             max_wait_ms=self.config.batch_wait_ms,
             num_workers=self.config.batch_workers,
             metrics=self.metrics,
+            usage=self.usage,
         )
         # The front door (repro.gate): built only when configured, so a
         # plain service carries zero gate state and stays fully open.
@@ -133,7 +162,9 @@ class ExpansionService:
                 timeout_seconds=self.config.admission_timeout_seconds,
                 metrics=self.metrics,
             )
-        self.jobs = JobManager(self.registry, admission=self.admission)
+        self.jobs = JobManager(
+            self.registry, admission=self.admission, usage=self.usage
+        )
         self._queries_by_id: dict[str, Query] = {
             q.query_id: q for q in dataset.queries
         }
@@ -182,6 +213,13 @@ class ExpansionService:
             max_retries=self.config.exporter_max_retries,
         )
         if self.exporter is not None:
+            if (
+                self.config.trace_export
+                and self.traces is not None
+                and self.exporter.supports_spans
+            ):
+                # kept traces also ship out-of-band as OTLP-style spans.
+                self.exporter.span_source = self.traces.drain_export
             self.exporter.start()
         self._janitor: _StoreJanitor | None = None
         if store is not None and self.config.store_gc_interval_seconds is not None:
@@ -202,25 +240,41 @@ class ExpansionService:
         """
         started = time.perf_counter()
         # A trace is only built when someone will read it (the response's
-        # debug block or the slow-query log); the untraced hot path pays one
-        # ContextVar read per span site and nothing else.
-        trace: Trace | None = None
-        if request.options.include_timings or self.config.slow_query_ms is not None:
-            trace = Trace(request_id=current_request_id())
+        # debug block, the slow-query log, or the trace collector); the
+        # untraced hot path pays one ContextVar read per span site, plus a
+        # single rate check when a collector is installed.  The HTTP server
+        # may already have activated a trace (remote traceparent or its own
+        # sampling decision); reuse it instead of shadowing it.
+        trace: Trace | None = current_trace()
+        owns = False
+        if trace is None:
+            sampled = self.traces.sample() if self.traces is not None else False
+            if (
+                sampled
+                or request.options.include_timings
+                or self.config.slow_query_ms is not None
+            ):
+                trace = Trace(request_id=current_request_id())
+                trace.sampled = sampled
+                owns = True
         try:
-            if trace is not None:
+            if owns:
                 with activate(trace):
                     response = self._submit(request, started, trace, lane)
             else:
                 response = self._submit(request, started, trace, lane)
         except BaseException as exc:
             self._count_request(error=True)
+            latency_ms = (time.perf_counter() - started) * 1000.0
             self._log_if_slow(
                 trace,
                 request,
-                latency_ms=(time.perf_counter() - started) * 1000.0,
+                latency_ms=latency_ms,
                 cached=False,
                 error=type(exc).__name__,
+            )
+            self._offer_trace(
+                trace, request, latency_ms, error=type(exc).__name__
             )
             raise
         self._count_request()
@@ -231,7 +285,28 @@ class ExpansionService:
             cached=response.cached,
             query_id=response.query_id,
         )
+        self._offer_trace(trace, request, response.latency_ms)
         return response
+
+    def _offer_trace(
+        self,
+        trace: Trace | None,
+        request: ExpandRequest,
+        latency_ms: float,
+        error: str | None = None,
+    ) -> None:
+        """Hand a completed request trace to the collector (which applies
+        its keep rules: head-sampled, slow, or errored)."""
+        if trace is None or self.traces is None:
+            return
+        self.traces.offer(
+            trace,
+            duration_ms=latency_ms,
+            method=request.method,
+            tenant=current_tenant(),
+            error=error,
+            sampled=trace.sampled,
+        )
 
     def _count_request(self, error: bool = False) -> None:
         """Count one request, labelled by tenant when the front door
@@ -275,9 +350,19 @@ class ExpansionService:
 
         key = request.cache_key(top_k)
         if options.use_cache:
+            lookup_started = time.perf_counter()
             with span("cache_lookup"):
                 cached = self.cache.get(key)
             if cached is not None:
+                if self.usage is not None:
+                    # cache hits bill at lookup cost, not at the compute
+                    # cost the cache saved — that's the point of caching.
+                    self.usage.charge_expand(
+                        current_tenant(),
+                        time.perf_counter() - lookup_started,
+                        method=method,
+                        cached=True,
+                    )
                 return self._respond(
                     method, cached, options, top_k, True, started, trace
                 )
@@ -356,6 +441,7 @@ class ExpansionService:
             spans=trace.to_list() if trace is not None else None,
             error=error,
             sink=self._slow_log,
+            trace_id=trace.trace_id if trace is not None else None,
         )
 
     def _resolve_query(self, request: ExpandRequest) -> Query:
@@ -467,6 +553,10 @@ class ExpansionService:
             merged["exporter"] = self.exporter.stats()
         if self._slow_log is not None:
             merged["slow_query_log"] = self._slow_log.stats()
+        if self.traces is not None:
+            merged["traces"] = self.traces.stats()
+        if self.usage is not None:
+            merged["usage"] = self.usage.stats()
         return merged
 
     # -- lifecycle ---------------------------------------------------------------------
@@ -479,6 +569,9 @@ class ExpansionService:
             self._janitor.stop()
         self.jobs.shutdown()
         self.batcher.shutdown()
+        if self.usage is not None:
+            # force the final rollup so short-lived services still ledger.
+            self.usage.close()
         if self.exporter is not None:
             # Last: the drain flush ships whatever the shutdown just counted.
             self.exporter.shutdown()

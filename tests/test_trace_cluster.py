@@ -1,0 +1,282 @@
+"""Fleet-level distributed tracing + usage metering tests.
+
+Thread-backed workers behind a real :class:`ClusterGateway`, as in
+``tests/test_obs_cluster.py``.  A request routed through the gateway must
+come back as ONE joined trace — the gateway's ``gateway``/``proxy`` spans
+plus every worker fragment grafted under them, all carrying the same
+``trace_id`` — searchable at the gateway's ``GET /v1/traces``.  Worker-only
+traces stay reachable through the gateway via the scatter fallback, and
+per-tenant usage rolls up into the dashboard's cost column.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterGateway
+from repro.config import ServiceConfig
+from repro.core.base import Expander
+from repro.obs.top import render_dashboard
+from repro.serve import ExpansionHTTPServer, ExpansionService
+from repro.types import ExpansionResult
+
+STUB_METHODS = tuple(f"stub{letter}" for letter in "abcdef")
+
+
+class TraceStubExpander(Expander):
+    def __init__(self, salt: str):
+        super().__init__()
+        self.name = salt
+        self.salt = sum(ord(ch) for ch in salt)
+
+    def _expand(self, query, top_k):
+        scored = [
+            (eid, 1.0 / (1.0 + ((eid * 2654435761 + self.salt) % 4093)))
+            for eid in self.candidate_ids(query)
+        ]
+        return ExpansionResult.from_scores(query.query_id, scored)
+
+
+def make_worker(dataset, **config_kwargs) -> ExpansionHTTPServer:
+    factories = {
+        method: (lambda _res, m=method: TraceStubExpander(m))
+        for method in STUB_METHODS
+    }
+    service = ExpansionService(
+        dataset,
+        config=ServiceConfig(batch_wait_ms=0.0, port=0, **config_kwargs),
+        factories=factories,
+    )
+    return ExpansionHTTPServer(service, port=0).start()
+
+
+def make_gateway(dataset, servers, **config_kwargs) -> ClusterGateway:
+    config = ClusterConfig(
+        failover_cooldown_seconds=0.2, proxy_timeout_seconds=30.0, **config_kwargs
+    )
+    return ClusterGateway(
+        [(f"worker-{i}", server.url) for i, server in enumerate(servers)],
+        config=config,
+        fingerprint=dataset.fingerprint(),
+        port=0,
+    ).start()
+
+
+def http_get(url: str, headers: dict | None = None):
+    request = urllib.request.Request(url, headers=headers or {})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, response.read(), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, error.read(), dict(error.headers)
+
+
+def http_post(url: str, payload: dict, headers: dict | None = None):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read()), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), dict(error.headers)
+
+
+@pytest.fixture()
+def traced_fleet(tiny_dataset):
+    """Two always-sampling workers behind an always-sampling gateway."""
+    servers = [
+        make_worker(tiny_dataset, trace_sample_rate=1.0),
+        make_worker(tiny_dataset, trace_sample_rate=1.0),
+    ]
+    gateway = make_gateway(
+        tiny_dataset,
+        servers,
+        service=ServiceConfig(trace_sample_rate=1.0),
+    )
+    yield gateway, servers
+    gateway.shutdown()
+    for server in servers:
+        server.shutdown()
+
+
+class TestJoinedTraces:
+    def test_gateway_request_yields_one_joined_trace(
+        self, traced_fleet, tiny_dataset
+    ):
+        gateway, servers = traced_fleet
+        query_id = tiny_dataset.queries[0].query_id
+        status, _envelope, headers = http_post(
+            gateway.url + "/v1/expand",
+            {"method": STUB_METHODS[0], "query_id": query_id},
+        )
+        assert status == 200
+        trace_id = headers["X-Repro-Trace-Id"]
+        assert len(trace_id) == 32
+
+        status, body, _ = http_get(gateway.url + f"/v1/traces/{trace_id}")
+        assert status == 200
+        record = json.loads(body)["data"]["trace"]
+        assert record["trace_id"] == trace_id
+        assert record["method"] == STUB_METHODS[0]
+        assert record["kept"] == "sampled"
+
+        spans = record["spans"]
+        by_name = {}
+        for entry in spans:
+            by_name.setdefault(entry["name"], []).append(entry)
+        # the joined tree: gateway envelope span, the proxy hop, and the
+        # worker-side stages grafted under it — one trace, both tiers.
+        assert "gateway" in by_name
+        assert "proxy" in by_name
+        assert "execute" in by_name
+        assert "cache_lookup" in by_name
+        gateway_span = by_name["gateway"][0]
+        proxy_span = by_name["proxy"][0]
+        assert proxy_span["parent"] == "gateway"
+        assert proxy_span["parent_id"] == gateway_span["span_id"]
+        assert proxy_span["meta"]["worker"] in ("worker-0", "worker-1")
+        # worker orphans hang under the specific proxy hop instance.
+        execute_span = by_name["execute"][0]
+        roots = [e for e in spans if e.get("parent_id") is None]
+        assert roots == [gateway_span]
+
+        # the worker kept its own fragment under the SAME trace id, and
+        # grafting preserved span durations exactly.
+        worker_records = [
+            (server, server.service.traces.get(trace_id))
+            for server in servers
+            if server.service.traces.get(trace_id) is not None
+        ]
+        assert len(worker_records) == 1
+        _worker, worker_record = worker_records[0]
+        worker_execute = next(
+            e for e in worker_record["spans"] if e["name"] == "execute"
+        )
+        assert worker_execute["duration_ms"] == execute_span["duration_ms"]
+        assert worker_execute["span_id"] == execute_span["span_id"]
+
+    def test_gateway_trace_search_filters(self, traced_fleet, tiny_dataset):
+        gateway, _servers = traced_fleet
+        query_id = tiny_dataset.queries[0].query_id
+        for method in STUB_METHODS[:3]:
+            status, _envelope, _ = http_post(
+                gateway.url + "/v1/expand", {"method": method, "query_id": query_id}
+            )
+            assert status == 200
+        status, body, _ = http_get(
+            gateway.url + f"/v1/traces?method={STUB_METHODS[0]}"
+        )
+        assert status == 200
+        data = json.loads(body)["data"]
+        assert data["count"] >= 1
+        assert all(row["method"] == STUB_METHODS[0] for row in data["traces"])
+        # malformed filters answer 400, not a scatter storm.
+        status, body, _ = http_get(gateway.url + "/v1/traces?limit=banana")
+        assert status == 400
+
+    def test_worker_only_traces_reachable_through_the_gateway(
+        self, tiny_dataset
+    ):
+        """Front-line traffic traced worker-side only (gateway tracing off)
+        is still fetchable by id through the gateway's scatter fallback."""
+        servers = [make_worker(tiny_dataset, trace_sample_rate=1.0)]
+        gateway = make_gateway(tiny_dataset, servers)
+        try:
+            query_id = tiny_dataset.queries[0].query_id
+            status, _envelope, _ = http_post(
+                gateway.url + "/v1/expand",
+                {"method": STUB_METHODS[0], "query_id": query_id},
+            )
+            assert status == 200
+            rows = servers[0].service.traces.query(limit=1)
+            assert rows
+            trace_id = rows[0]["trace_id"]
+            status, body, headers = http_get(
+                gateway.url + f"/v1/traces/{trace_id}"
+            )
+            assert status == 200
+            assert headers["X-Repro-Worker"] == "worker-0"
+            record = json.loads(body)["data"]["trace"]
+            assert record["trace_id"] == trace_id
+        finally:
+            gateway.shutdown()
+            for server in servers:
+                server.shutdown()
+
+    def test_unknown_trace_id_is_a_fleet_wide_404(self, traced_fleet):
+        gateway, _servers = traced_fleet
+        status, body, _ = http_get(gateway.url + "/v1/traces/" + "ab" * 16)
+        assert status == 404
+        payload = json.loads(body)["error"]
+        assert payload["code"] == "not_found"
+        assert payload["details"]["trace_id"] == "ab" * 16
+
+
+class TestClusterUsageMetering:
+    def test_usage_rolls_up_into_dashboard_and_cost_column(
+        self, tiny_dataset
+    ):
+        servers = [
+            make_worker(tiny_dataset, usage_metering=True),
+            make_worker(tiny_dataset, usage_metering=True),
+        ]
+        gateway = make_gateway(tiny_dataset, servers)
+        try:
+            query_id = tiny_dataset.queries[0].query_id
+            for method in STUB_METHODS[:4]:
+                status, _envelope, _ = http_post(
+                    gateway.url + "/v1/expand",
+                    {"method": method, "query_id": query_id},
+                )
+                assert status == 200
+            status, body, _ = http_get(gateway.url + "/v1/dashboard")
+            assert status == 200
+            data = json.loads(body)["data"]
+            tenants = data["usage"]["tenants"]
+            assert "anonymous" in tenants
+            assert tenants["anonymous"]["requests"] == 4
+            assert tenants["anonymous"]["compute_seconds"] > 0.0
+            # the synthesized tenants table gives the cost column a home
+            # even without a gate, and `cluster top` renders it.
+            rows = {row["tenant"]: row for row in data["tenants"]}
+            assert rows["anonymous"]["compute_seconds"] > 0.0
+            frame = render_dashboard(data)
+            assert "COST(s)" in frame
+            assert "anonymous" in frame
+        finally:
+            gateway.shutdown()
+            for server in servers:
+                server.shutdown()
+
+    def test_fit_jobs_bill_the_requesting_tenant(self, tiny_dataset):
+        servers = [make_worker(tiny_dataset, usage_metering=True)]
+        gateway = make_gateway(tiny_dataset, servers)
+        try:
+            status, envelope, _ = http_post(
+                gateway.url + "/v1/fits", {"method": STUB_METHODS[0]}
+            )
+            assert status == 202
+            deadline = time.monotonic() + 10.0
+            usage = None
+            while time.monotonic() < deadline:
+                usage = servers[0].service.usage.summary()["tenants"].get(
+                    "anonymous"
+                )
+                if usage is not None and usage["fits"] >= 1:
+                    break
+                time.sleep(0.02)
+            assert usage is not None and usage["fits"] == 1
+            assert usage["fit_seconds"] >= 0.0
+            assert usage["compute_seconds"] >= usage["fit_seconds"]
+        finally:
+            gateway.shutdown()
+            for server in servers:
+                server.shutdown()

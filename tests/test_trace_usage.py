@@ -1,0 +1,689 @@
+"""Tests for distributed-trace identity, the searchable trace store, and
+billing-grade usage metering.
+
+Covers the W3C-style ``traceparent`` round trip, span-id disambiguation of
+duplicate sibling names (while the pinned ``debug.timings`` wire shape stays
+id-free), :class:`TraceCollector` semantics (head sampling determinism under
+a seeded RNG, always-keep for slow/errored requests, eviction, the query
+surface, and concurrent offer/query under fan-out), :class:`UsageMeter`
+semantics (batch-amortized execute shares that sum to the execute wall-time,
+cache-cost billing, fit attribution, the tenant cardinality cap, the JSONL
+ledger + :func:`read_ledger`), the worker HTTP surface (``/v1/traces``,
+trace-id response headers, access-log correlation), and the
+``repro usage report`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import random
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.config import ServiceConfig
+from repro.core.base import Expander
+from repro.exceptions import DatasetError, ServiceError
+from repro.obs import (
+    ANONYMOUS_TENANT,
+    OVERFLOW_TENANT,
+    Trace,
+    TraceCollector,
+    TraceContext,
+    UsageMeter,
+    activate,
+    format_traceparent,
+    parse_traceparent,
+    read_ledger,
+    span,
+    tenant_scope,
+)
+from repro.serve import (
+    ExpandOptions,
+    ExpandRequest,
+    ExpansionHTTPServer,
+    ExpansionService,
+)
+from repro.serve.batcher import MicroBatcher
+from repro.types import ExpansionResult
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+class TraceStubExpander(Expander):
+    name = "stub"
+
+    def _fit(self, dataset) -> None:
+        pass
+
+    def _expand(self, query, top_k) -> ExpansionResult:
+        scored = [(eid, 1.0 / (1.0 + eid)) for eid in self.dataset.entity_ids()]
+        return ExpansionResult.from_scores(query.query_id, scored)
+
+
+def make_service(dataset, **config_kwargs) -> ExpansionService:
+    config = ServiceConfig(batch_wait_ms=0.0, **config_kwargs)
+    return ExpansionService(
+        dataset, config=config, factories={"stub": lambda _res: TraceStubExpander()}
+    )
+
+
+def http_get(url: str, headers: dict | None = None):
+    request = urllib.request.Request(url, headers=headers or {})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, response.read(), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, error.read(), dict(error.headers)
+
+
+def http_post(url: str, payload: dict, headers: dict | None = None):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read()), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), dict(error.headers)
+
+
+# ---------------------------------------------------------------------------
+# traceparent + span identity
+# ---------------------------------------------------------------------------
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        trace = Trace()
+        context = trace.context()
+        header = format_traceparent(context)
+        assert header == f"00-{trace.trace_id}-{trace.span_id}-01"
+        parsed = parse_traceparent(header)
+        assert parsed == TraceContext(trace.trace_id, trace.span_id, True, None)
+
+    def test_unsampled_flag_round_trips(self):
+        header = format_traceparent(
+            TraceContext("ab" * 16, "cd" * 8, sampled=False)
+        )
+        assert header.endswith("-00")
+        assert parse_traceparent(header).sampled is False
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "garbage",
+            "00-short-abcdefabcdefabcd-01",
+            "00-" + "g" * 32 + "-abcdefabcdefabcd-01",  # non-hex trace id
+            "00-" + "0" * 32 + "-abcdefabcdefabcd-01",  # all-zero trace id
+            "00-" + "ab" * 16 + "-" + "0" * 16 + "-01",  # all-zero span id
+            "ff-" + "ab" * 16 + "-abcdefabcdefabcd-01",  # forbidden version
+            "00-" + "ab" * 16 + "-abcdefabcdefabcd",  # missing flags
+            "00-" + "ab" * 16 + "-abcdefabcdefabcd-zz",
+        ],
+    )
+    def test_malformed_headers_parse_to_none(self, header):
+        assert parse_traceparent(header) is None
+
+    def test_duplicate_sibling_names_stay_unambiguous(self):
+        """Two same-named siblings get distinct span_ids, both pointing at
+        the *specific* parent span instance via parent_id."""
+        trace = Trace()
+        with activate(trace):
+            with span("outer"):
+                with span("score_candidates"):
+                    pass
+                with span("score_candidates"):
+                    pass
+        full = {entry["span_id"]: entry for entry in trace.to_span_dicts()}
+        outer = next(e for e in full.values() if e["name"] == "outer")
+        siblings = [e for e in full.values() if e["name"] == "score_candidates"]
+        assert len(siblings) == 2
+        assert siblings[0]["span_id"] != siblings[1]["span_id"]
+        for entry in siblings:
+            assert entry["parent"] == "outer"
+            assert entry["parent_id"] == outer["span_id"]
+
+    def test_debug_timings_wire_shape_is_pinned_id_free(self, tiny_dataset):
+        """``debug.timings`` predates span ids; the ids live only in the
+        trace-store serialization (``to_span_dicts``), never in the pinned
+        response-debug shape."""
+        service = make_service(tiny_dataset)
+        with service:
+            response = service.submit(
+                ExpandRequest(
+                    method="stub",
+                    query_id=tiny_dataset.queries[0].query_id,
+                    options=ExpandOptions(top_k=5, include_timings=True),
+                )
+            )
+        for entry in response.to_v1_dict()["debug"]["timings"]:
+            assert set(entry) <= {"name", "start_ms", "duration_ms", "parent", "meta"}
+            assert "span_id" not in entry and "parent_id" not in entry
+
+    def test_graft_remote_rebases_and_skips_malformed(self):
+        trace = Trace()
+        trace.graft_remote(
+            [
+                {"name": "execute", "start_ms": 1.0, "duration_ms": 2.0,
+                 "span_id": "aa" * 8},
+                {"duration_ms": 1.0},  # no name: skipped
+                "not-a-dict",  # skipped
+            ],
+            base_ms=100.0,
+            parent="proxy",
+            parent_id="bb" * 8,
+        )
+        spans = trace.spans()
+        assert len(spans) == 1
+        assert spans[0].start_ms == pytest.approx(101.0)
+        assert spans[0].duration_ms == pytest.approx(2.0)
+        assert spans[0].parent == "proxy"
+        assert spans[0].parent_id == "bb" * 8
+
+
+# ---------------------------------------------------------------------------
+# TraceCollector
+# ---------------------------------------------------------------------------
+
+
+def finished_trace(**annotations) -> Trace:
+    trace = Trace(request_id="req-t")
+    with activate(trace):
+        with span("work"):
+            pass
+    if annotations:
+        trace.annotate(**annotations)
+    return trace
+
+
+class TestTraceCollector:
+    def test_sampling_is_deterministic_under_a_seed(self):
+        verdicts = [
+            [
+                TraceCollector(sample_rate=0.5, rng=random.Random(7)).sample()
+                for _ in range(1)
+            ]
+            for _ in range(2)
+        ]
+        a = TraceCollector(sample_rate=0.5, rng=random.Random(7))
+        b = TraceCollector(sample_rate=0.5, rng=random.Random(7))
+        assert [a.sample() for _ in range(64)] == [b.sample() for _ in range(64)]
+        assert verdicts[0] == verdicts[1]
+
+    def test_rate_zero_never_samples_and_rate_one_always_does(self):
+        off = TraceCollector(sample_rate=0.0)
+        assert not any(off.sample() for _ in range(32))
+        on = TraceCollector(sample_rate=1.0)
+        assert all(on.sample() for _ in range(32))
+
+    def test_always_keep_slow_and_errored_traces(self):
+        collector = TraceCollector(sample_rate=0.0, slow_ms=50.0)
+        assert not collector.offer(finished_trace(), duration_ms=10.0)
+        assert collector.offer(finished_trace(), duration_ms=60.0)
+        assert collector.offer(
+            finished_trace(), duration_ms=1.0, error="UnknownMethodError"
+        )
+        kinds = {record["kept"] for record in collector.query()}
+        assert kinds == {"slow", "error"}
+        assert collector.stats()["discarded"] == 1
+
+    def test_ring_evicts_oldest_and_reoffer_replaces_in_place(self):
+        collector = TraceCollector(capacity=2, sample_rate=1.0)
+        traces = [finished_trace() for _ in range(3)]
+        for trace in traces:
+            collector.offer(trace, duration_ms=1.0, sampled=True)
+        assert collector.get(traces[0].trace_id) is None  # evicted
+        assert collector.stats()["evicted"] == 1
+        # a re-offered id replaces its record instead of double-counting.
+        collector.offer(traces[2], duration_ms=9.0, sampled=True)
+        assert collector.stats()["stored"] == 2
+        assert collector.get(traces[2].trace_id)["duration_ms"] == 9.0
+
+    def test_query_filters_and_limit(self):
+        collector = TraceCollector(sample_rate=1.0)
+        for index in range(6):
+            collector.offer(
+                finished_trace(),
+                duration_ms=float(index),
+                method="stub" if index % 2 == 0 else "other",
+                tenant="acme" if index < 3 else "generic",
+                error="Boom" if index == 5 else None,
+                sampled=True,
+            )
+        assert len(collector.query()) == 6
+        assert len(collector.query(method="stub")) == 3
+        assert len(collector.query(tenant="acme")) == 3
+        assert len(collector.query(min_duration_ms=4.0)) == 2
+        assert len(collector.query(error=True)) == 1
+        assert len(collector.query(error=False)) == 5
+        assert len(collector.query(limit=2)) == 2
+        newest = collector.query(limit=1)[0]
+        assert newest["duration_ms"] == 5.0  # newest first
+        assert "spans" not in newest and newest["span_count"] == 1
+
+    def test_concurrent_offer_and_query_under_fan_out(self):
+        collector = TraceCollector(capacity=64, sample_rate=1.0)
+        errors: list[BaseException] = []
+
+        def offerer(worker: int):
+            try:
+                for index in range(50):
+                    collector.offer(
+                        finished_trace(),
+                        duration_ms=float(index),
+                        method=f"m{worker}",
+                        sampled=True,
+                    )
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        def reader():
+            try:
+                for _ in range(100):
+                    collector.query(limit=10)
+                    collector.stats()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=offerer, args=(i,)) for i in range(4)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = collector.stats()
+        assert stats["kept"] == 200
+        assert stats["stored"] == 64
+        assert stats["evicted"] == 200 - 64
+
+
+# ---------------------------------------------------------------------------
+# UsageMeter
+# ---------------------------------------------------------------------------
+
+
+class TestUsageMeter:
+    def test_batch_amortized_shares_sum_to_execute_wall_time(self, tiny_dataset):
+        """The billing invariant: however a batch coalesces, the sum of the
+        riders' compute-seconds equals the execute wall-time."""
+        meter = UsageMeter()
+        release = threading.Event()
+
+        def execute(method, top_k, queries):
+            release.wait(timeout=5.0)
+            time.sleep(0.03)
+            return [
+                ExpansionResult.from_scores(query.query_id, [(1, 1.0)])
+                for query in queries
+            ]
+
+        batcher = MicroBatcher(execute, max_batch_size=2, max_wait_ms=50.0, usage=meter)
+        queries = tiny_dataset.queries[:2]
+
+        def call(index):
+            with tenant_scope(f"tenant-{index}"):
+                future = batcher.submit("stub", queries[index], 10)
+                if index == 1:
+                    release.set()
+                return future.result(timeout=10)
+
+        try:
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                results = list(pool.map(call, range(2)))
+        finally:
+            release.set()
+            batcher.shutdown()
+        assert all(results)
+        tenants = meter.summary()["tenants"]
+        billed = sum(bucket["compute_seconds"] for bucket in tenants.values())
+        assert billed >= 0.03
+        # riders in one pass split it evenly; solo riders pay full fare —
+        # either way each tenant was billed something.
+        for index in range(2):
+            assert tenants[f"tenant-{index}"]["compute_seconds"] > 0.0
+            assert tenants[f"tenant-{index}"]["requests"] == 1
+
+    def test_unkeyed_traffic_bills_to_the_anonymous_tenant(self):
+        meter = UsageMeter()
+        meter.charge_expand(None, 0.5)
+        assert meter.summary()["tenants"][ANONYMOUS_TENANT]["compute_seconds"] == 0.5
+
+    def test_tenant_cardinality_cap_overflows_to_one_bucket(self):
+        meter = UsageMeter(max_tenants=4)
+        for index in range(10):
+            meter.charge_expand(f"tenant-{index}", 1.0)
+        summary = meter.summary()
+        # 4 real tenants plus the overflow bucket itself.
+        assert summary["tracked"] == 5
+        assert summary["dropped"] == 6  # tenants 4..9 aggregated
+        overflow = summary["tenants"][OVERFLOW_TENANT]
+        # nothing is lost: the overflow bucket absorbs the excess seconds.
+        total = sum(b["compute_seconds"] for b in summary["tenants"].values())
+        assert total == pytest.approx(10.0)
+        assert overflow["compute_seconds"] > 0.0
+
+    def test_ledger_rollup_and_read_back(self, tmp_path):
+        ledger = tmp_path / "usage.jsonl"
+        clock = [1000.0]
+        meter = UsageMeter(
+            ledger_path=str(ledger),
+            rollup_interval_seconds=30.0,
+            clock=lambda: clock[0],
+        )
+        meter.charge_expand("acme", 0.25)
+        meter.charge_expand("acme", 0.25, cached=True)
+        meter.charge_fit("generic", 2.0)
+        assert not ledger.exists()  # interval not elapsed yet
+        clock[0] += 31.0
+        meter.charge_expand("acme", 0.5)
+        assert ledger.exists()
+        meter.charge_expand("generic", 1.0)
+        meter.close()  # force-flushes the open window
+        lines = [json.loads(line) for line in ledger.read_text().splitlines()]
+        assert all(line["event"] == "usage" for line in lines)
+        totals = read_ledger(str(ledger))
+        assert totals["acme"]["requests"] == 3
+        assert totals["acme"]["cache_hits"] == 1
+        assert totals["acme"]["compute_seconds"] == pytest.approx(1.0)
+        assert totals["generic"]["fits"] == 1
+        assert totals["generic"]["fit_seconds"] == pytest.approx(2.0)
+        assert totals["generic"]["compute_seconds"] == pytest.approx(3.0)
+
+    def test_read_ledger_skips_malformed_lines(self, tmp_path):
+        ledger = tmp_path / "usage.jsonl"
+        ledger.write_text(
+            "not json\n"
+            '{"event": "other"}\n'
+            '{"event": "usage", "tenant": 7}\n'
+            '{"event": "usage", "tenant": "ok", "requests": 2, '
+            '"compute_seconds": 1.5}\n'
+        )
+        totals = read_ledger(str(ledger))
+        assert set(totals) == {"ok"}
+        assert totals["ok"]["requests"] == 2
+
+
+# ---------------------------------------------------------------------------
+# service integration: tracing + metering through the serving path
+# ---------------------------------------------------------------------------
+
+
+class TestServiceIntegration:
+    def test_sampled_request_lands_in_the_trace_store(self, tiny_dataset):
+        service = make_service(
+            tiny_dataset, trace_sample_rate=1.0, trace_sample_seed=7
+        )
+        query_id = tiny_dataset.queries[0].query_id
+        with service:
+            with tenant_scope("acme"):
+                service.submit(ExpandRequest(method="stub", query_id=query_id))
+            records = service.traces.query()
+            assert len(records) == 1
+            record = records[0]
+            assert record["method"] == "stub"
+            assert record["tenant"] == "acme"
+            assert record["kept"] == "sampled"
+            full = service.traces.get(record["trace_id"])
+            names = {entry["name"] for entry in full["spans"]}
+            assert {"cache_lookup", "batch", "execute"} <= names
+            stats = service.stats()
+            assert stats["traces"]["kept"] == 1
+
+    def test_rate_zero_keeps_the_hot_path_trace_free(self, tiny_dataset):
+        service = make_service(tiny_dataset, trace_sample_rate=0.0)
+        query_id = tiny_dataset.queries[0].query_id
+        with service:
+            service.submit(ExpandRequest(method="stub", query_id=query_id))
+            assert service.traces.stats()["stored"] == 0
+            assert service.stats()["traces"]["sample_rate"] == 0.0
+
+    def test_errored_requests_are_always_kept(self, tiny_dataset):
+        service = make_service(tiny_dataset, trace_sample_rate=0.0, slow_query_ms=1e9)
+        with service:
+            with pytest.raises(Exception):
+                service.submit(ExpandRequest(method="nope", query_id="missing"))
+            kept = service.traces.query(error=True)
+            assert len(kept) == 1
+            assert kept[0]["kept"] == "error"
+
+    def test_stats_omit_traces_and_usage_when_disabled(self, tiny_dataset):
+        service = make_service(tiny_dataset)
+        with service:
+            stats = service.stats()
+        assert "traces" not in stats
+        assert "usage" not in stats
+
+    def test_usage_meters_expands_cache_hits_and_fits(self, tiny_dataset):
+        service = make_service(tiny_dataset, usage_metering=True)
+        query_id = tiny_dataset.queries[0].query_id
+        with service:
+            with tenant_scope("acme"):
+                service.submit(ExpandRequest(method="stub", query_id=query_id))
+                service.submit(ExpandRequest(method="stub", query_id=query_id))
+                job = service.start_fit("stub")
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if service.fit_job(job.job_id).status in ("succeeded", "failed"):
+                    break
+                time.sleep(0.01)
+            usage = service.stats()["usage"]
+        acme = usage["tenants"]["acme"]
+        assert acme["requests"] == 2
+        assert acme["cache_hits"] == 1  # second submit hit the result cache
+        assert acme["fits"] == 1
+        assert acme["compute_seconds"] > 0.0
+        assert acme["fit_seconds"] >= 0.0
+
+    def test_usage_ledger_sum_matches_in_memory_totals(
+        self, tiny_dataset, tmp_path
+    ):
+        ledger = tmp_path / "usage.jsonl"
+        service = make_service(tiny_dataset, usage_ledger=str(ledger))
+        query_id = tiny_dataset.queries[0].query_id
+        with service:
+            with tenant_scope("acme"):
+                for _ in range(3):
+                    service.submit(
+                        ExpandRequest(
+                            method="stub",
+                            query_id=query_id,
+                            options=ExpandOptions(use_cache=False),
+                        )
+                    )
+            in_memory = service.stats()["usage"]["tenants"]["acme"]
+        # close() force-flushed the window; the ledger sums to the totals.
+        totals = read_ledger(str(ledger))
+        assert totals["acme"]["requests"] == 3
+        assert totals["acme"]["compute_seconds"] == pytest.approx(
+            in_memory["compute_seconds"], abs=1e-6
+        )
+
+
+# ---------------------------------------------------------------------------
+# worker HTTP surface
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerTraceSurface:
+    @pytest.fixture()
+    def server(self, tiny_dataset):
+        service = make_service(
+            tiny_dataset, trace_sample_rate=1.0, access_log=True
+        )
+        server = ExpansionHTTPServer(service, port=0).start()
+        yield server
+        server.shutdown()
+
+    def test_traced_request_surfaces_id_and_is_fetchable(
+        self, server, tiny_dataset, caplog
+    ):
+        query_id = tiny_dataset.queries[0].query_id
+        with caplog.at_level(logging.INFO, logger="repro.serve.access"):
+            status, _envelope, headers = http_post(
+                server.url + "/v1/expand", {"method": "stub", "query_id": query_id}
+            )
+            assert status == 200
+            trace_id = headers["X-Repro-Trace-Id"]
+            # the access-log line lands just after the response bytes do, on
+            # the handler thread — wait for it inside the capture window.
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                logged = [
+                    json.loads(record.message)
+                    for record in caplog.records
+                    if record.name == "repro.serve.access"
+                ]
+                if any(line.get("trace_id") == trace_id for line in logged):
+                    break
+                time.sleep(0.01)
+        assert len(trace_id) == 32
+        assert any(line.get("trace_id") == trace_id for line in logged)
+
+        status, body, _ = http_get(server.url + f"/v1/traces/{trace_id}")
+        assert status == 200
+        trace = json.loads(body)["data"]["trace"]
+        assert trace["trace_id"] == trace_id
+        names = {entry["name"] for entry in trace["spans"]}
+        assert "execute" in names
+
+        status, body, _ = http_get(server.url + "/v1/traces?method=stub&limit=5")
+        assert status == 200
+        rows = json.loads(body)["data"]["traces"]
+        assert any(row["trace_id"] == trace_id for row in rows)
+
+    def test_remote_context_is_continued_and_spans_returned(
+        self, server, tiny_dataset
+    ):
+        query_id = tiny_dataset.queries[0].query_id
+        upstream = Trace()
+        header = format_traceparent(upstream.context())
+        status, _envelope, headers = http_post(
+            server.url + "/v1/expand",
+            {"method": "stub", "query_id": query_id},
+            headers={"traceparent": header},
+        )
+        assert status == 200
+        assert headers["X-Repro-Trace-Id"] == upstream.trace_id
+        fragment = json.loads(headers["X-Repro-Trace"])
+        assert fragment["trace_id"] == upstream.trace_id
+        assert any(entry["name"] == "execute" for entry in fragment["spans"])
+
+    def test_unknown_trace_id_is_404_and_disabled_tracing_is_400(
+        self, server, tiny_dataset
+    ):
+        status, body, _ = http_get(server.url + "/v1/traces/" + "ab" * 16)
+        assert status == 404
+        assert json.loads(body)["error"]["code"] == "not_found"
+
+        service = make_service(tiny_dataset)
+        bare = ExpansionHTTPServer(service, port=0).start()
+        try:
+            status, body, _ = http_get(bare.url + "/v1/traces")
+            assert status == 400
+            assert json.loads(body)["error"]["code"] == "invalid_request"
+        finally:
+            bare.shutdown()
+
+    def test_malformed_trace_filters_are_400(self, server):
+        for query in ("min_duration_ms=abc", "error=maybe", "limit=x"):
+            status, body, _ = http_get(server.url + "/v1/traces?" + query)
+            assert status == 400, query
+            assert json.loads(body)["error"]["code"] == "invalid_request"
+
+
+# ---------------------------------------------------------------------------
+# client SDK accessors
+# ---------------------------------------------------------------------------
+
+
+class TestClientAccessors:
+    def test_traces_and_usage_through_the_in_process_client(self, tiny_dataset):
+        from repro.client import ExpansionClient
+
+        service = make_service(
+            tiny_dataset, trace_sample_rate=1.0, usage_metering=True
+        )
+        with service:
+            client = ExpansionClient.in_process(service)
+            client.expand("stub", query_id=tiny_dataset.queries[0].query_id)
+            rows = client.traces(method="stub", limit=5)
+            assert rows and rows[0]["method"] == "stub"
+            tree = client.trace(rows[0]["trace_id"])
+            assert tree["trace_id"] == rows[0]["trace_id"]
+            assert tree["spans"]
+            usage = client.usage()
+            assert usage is not None and usage["tenants"]
+            with pytest.raises(DatasetError):
+                client.trace("ab" * 16)
+
+    def test_usage_is_none_when_metering_is_off(self, tiny_dataset):
+        from repro.client import ExpansionClient
+
+        service = make_service(tiny_dataset)
+        with service:
+            client = ExpansionClient.in_process(service)
+            assert client.usage() is None
+            with pytest.raises(ServiceError):
+                client.traces()
+
+
+# ---------------------------------------------------------------------------
+# repro usage report CLI
+# ---------------------------------------------------------------------------
+
+
+class TestUsageReportCli:
+    def test_report_sums_ledgers_into_a_tenant_table(self, tmp_path, capsys):
+        first = tmp_path / "usage.jsonl.8100"
+        second = tmp_path / "usage.jsonl.8101"
+        first.write_text(
+            '{"event": "usage", "tenant": "acme", "requests": 2, "cache_hits": 1, '
+            '"fits": 0, "compute_seconds": 1.5, "fit_seconds": 0.0}\n'
+        )
+        second.write_text(
+            '{"event": "usage", "tenant": "acme", "requests": 1, "cache_hits": 0, '
+            '"fits": 1, "compute_seconds": 0.5, "fit_seconds": 0.25}\n'
+            '{"event": "usage", "tenant": "generic", "requests": 4, "cache_hits": 0, '
+            '"fits": 0, "compute_seconds": 2.0, "fit_seconds": 0.0}\n'
+        )
+        code = cli_main(
+            ["usage", "report", "--ledger", str(first), str(second)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        lines = out.splitlines()
+        assert lines[0].startswith("TENANT")
+        acme = next(line for line in lines if line.startswith("acme"))
+        fields = acme.split()
+        assert fields[1] == "3"  # requests
+        assert fields[2] == "1"  # cached
+        assert fields[3] == "1"  # fits
+        assert float(fields[4]) == pytest.approx(2.0)  # compute seconds
+        assert any(line.startswith("TOTAL") for line in lines)
+        total_line = next(line for line in lines if line.startswith("TOTAL"))
+        assert float(total_line.split()[-1]) == pytest.approx(4.0)
+
+    def test_report_on_an_empty_ledger_is_clean(self, tmp_path, capsys):
+        empty = tmp_path / "usage.jsonl"
+        empty.write_text("")
+        assert cli_main(["usage", "report", "--ledger", str(empty)]) == 0
+        assert "no usage records" in capsys.readouterr().out
+
+    def test_missing_ledger_is_an_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl"
+        assert cli_main(["usage", "report", "--ledger", str(missing)]) == 1
+        assert "cannot read ledger" in capsys.readouterr().err

@@ -6,6 +6,12 @@ CaSE scores every candidate once (no bootstrapping) by combining
 sentences and the seed entities' context sentences — with (b) a distributed
 signal — cosine similarity between corpus co-occurrence embeddings.  Like
 SetExpan it only consumes positive seeds.
+
+Hot path: the sliced entity embeddings are stacked once at fit/load time
+into a contiguous :class:`~repro.retrieval.CandidateMatrix`, and the
+distributed scan goes through the shared partitioned ANN index when the
+request's :class:`RetrievalProfile` asks for it (probed shortlist, exact
+re-score; ``ann=off`` keeps the historical ranking bitwise).
 """
 
 from __future__ import annotations
@@ -18,11 +24,11 @@ from repro.core.base import Expander
 from repro.core.resources import SharedResources
 from repro.dataset.ultrawiki import UltraWikiDataset
 from repro.lm.embeddings import CooccurrenceEmbeddings
-from repro.substrate import COOCCURRENCE_EMBEDDINGS
+from repro.retrieval import CandidateMatrix
+from repro.substrate import ANN_INDEX, COOCCURRENCE_EMBEDDINGS
 from repro.text.bm25 import BM25Index
 from repro.text.tokenizer import WordTokenizer
 from repro.types import ExpansionResult, Query
-from repro.utils.mathx import l2_normalize
 
 
 class CaSE(Expander):
@@ -30,9 +36,9 @@ class CaSE(Expander):
 
     name = "CaSE"
     supports_persistence = True
-    #: v2: the co-occurrence embeddings moved out of the method artifact
-    #: into a referenced, content-addressed substrate artifact.
-    state_version = 2
+    #: v3: the candidate matrix is precomputed and the artifact references a
+    #: partitioned ANN-index substrate alongside the embeddings.
+    state_version = 3
 
     def __init__(
         self,
@@ -55,11 +61,31 @@ class CaSE(Expander):
         self._embeddings: CooccurrenceEmbeddings | None = None
         self._bm25: BM25Index | None = None
         self._entity_terms: dict[int, list[str]] = {}
+        self._matrix: CandidateMatrix | None = None
+
+    def _ann_params(self) -> dict:
+        return self._resources.ann_index_params(
+            COOCCURRENCE_EMBEDDINGS,
+            self._resources.cooccurrence_params(),
+            field="entity",
+            dim=self.distributed_dim,
+            normalize=True,
+        )
+
+    def _bind_matrix(self, index) -> None:
+        matrix = CandidateMatrix.from_vectors(
+            self._embeddings.entity_vectors(),
+            dim=self.distributed_dim,
+            normalize=True,
+        )
+        matrix.attach_index(index)
+        self._matrix = matrix
 
     def _fit(self, dataset: UltraWikiDataset) -> None:
         resources = self._resources or SharedResources(dataset)
         self._resources = resources
         self._embeddings = resources.cooccurrence_embeddings()
+        self._bind_matrix(resources.ann_index(self._ann_params()))
         self._bm25 = BM25Index()
         self._entity_terms = {}
         for entity in dataset.entities():
@@ -76,10 +102,14 @@ class CaSE(Expander):
 
     # -- persistence ----------------------------------------------------------------
     def substrate_dependencies(self) -> list[tuple[str, dict]]:
-        """The PPMI-SVD co-occurrence embeddings this fit stands on."""
+        """The PPMI-SVD co-occurrence embeddings this fit stands on, plus the
+        partitioned ANN index over them."""
         if self._resources is None:
             return []
-        return [(COOCCURRENCE_EMBEDDINGS, self._resources.cooccurrence_params())]
+        return [
+            (COOCCURRENCE_EMBEDDINGS, self._resources.cooccurrence_params()),
+            (ANN_INDEX, self._ann_params()),
+        ]
 
     def _save_state(self, directory: Path) -> None:
         # The embeddings substrate is *referenced* via the manifest (see
@@ -99,6 +129,7 @@ class CaSE(Expander):
         self._embeddings = self._resolve_substrate(
             COOCCURRENCE_EMBEDDINGS, self._resources.cooccurrence_params()
         )
+        self._bind_matrix(self._resolve_substrate(ANN_INDEX, self._ann_params()))
         terms = read_json_state(directory / "entity_terms.json")
         self._entity_terms = {
             int(entity_id): [str(t) for t in tokens] for entity_id, tokens in terms.items()
@@ -124,31 +155,43 @@ class CaSE(Expander):
     def _distributed_scores(
         self, candidate_ids: list[int], seed_ids: tuple[int, ...]
     ) -> dict[int, float]:
-        vectors = {
-            eid: vec[: self.distributed_dim]
-            for eid, vec in self._embeddings.entity_vectors().items()
-        }
-        seeds = [vectors[s] for s in seed_ids if s in vectors]
+        matrix = self._matrix
+        seeds = [s for s in seed_ids if s in matrix]
         if not seeds:
             return {eid: 0.0 for eid in candidate_ids}
-        seed_matrix = l2_normalize(np.stack(seeds), axis=1)
+        seed_matrix = matrix.rows(seeds)
         scores: dict[int, float] = {}
-        usable = [eid for eid in candidate_ids if eid in vectors]
+        usable = [eid for eid in candidate_ids if eid in matrix]
         if usable:
-            matrix = l2_normalize(np.stack([vectors[e] for e in usable]), axis=1)
-            sims = (matrix @ seed_matrix.T).mean(axis=1)
+            sims = (matrix.rows(usable) @ seed_matrix.T).mean(axis=1)
             scores.update({eid: float(s) for eid, s in zip(usable, sims)})
         for eid in candidate_ids:
             scores.setdefault(eid, 0.0)
         return scores
 
     def _expand(self, query: Query, top_k: int) -> ExpansionResult:
-        candidates = self.candidate_ids(query)
+        matrix = self._matrix
+        required = max(3 * top_k, 150)
+        probe_seeds = [s for s in query.positive_seed_ids if s in matrix]
+        profile = self.retrieval_profile()
+        if probe_seeds and matrix.wants_probe(profile):
+            # probed mode shortlists straight from the index: no per-query
+            # O(vocab) candidate list, seeds dropped from the probed lists.
+            candidates = matrix.shortlist(
+                None,
+                matrix.rows(probe_seeds).mean(axis=0),
+                profile,
+                required=required,
+                telemetry=self._ann_recorder(),
+                exclude=query.seed_ids(),
+            )
+        else:
+            candidates = self.candidate_ids(query)
         distributed = self._distributed_scores(candidates, query.positive_seed_ids)
         # Lexical scoring is restricted to the best distributed candidates for
         # tractability (CaSE itself prunes with an inverted index).
         shortlist = sorted(distributed.items(), key=lambda item: (-item[1], item[0]))
-        shortlist_ids = [eid for eid, _ in shortlist[: max(3 * top_k, 150)]]
+        shortlist_ids = [eid for eid, _ in shortlist[:required]]
         lexical_values = {
             eid: self._lexical_score(eid, query.positive_seed_ids) for eid in shortlist_ids
         }

@@ -11,22 +11,27 @@ In this reproduction the class-name probing is served by the oracle LLM
 restricted to the fine-grained level (no attribute reasoning) and the
 class-name guidance is a lexical concept-match between the inferred class
 name and each candidate's context sentences.
+
+Hot path: the entity embeddings are stacked once at fit/load time into a
+contiguous :class:`~repro.retrieval.CandidateMatrix` (no per-query
+``np.stack`` rebuild), and candidate retrieval goes through the shared
+partitioned ANN index when the request's :class:`RetrievalProfile` asks for
+it — the probed shortlist is always re-scored exactly, and ``ann=off``
+reproduces the historical full-scan ranking bitwise.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
-import numpy as np
-
 from repro.core.base import Expander
 from repro.core.resources import SharedResources
 from repro.dataset.ultrawiki import UltraWikiDataset
 from repro.genexpan.cot import ConceptMatcher
 from repro.lm.embeddings import CooccurrenceEmbeddings
-from repro.substrate import COOCCURRENCE_EMBEDDINGS
+from repro.retrieval import CandidateMatrix
+from repro.substrate import ANN_INDEX, COOCCURRENCE_EMBEDDINGS
 from repro.types import ExpansionResult, Query
-from repro.utils.mathx import l2_normalize
 
 
 class CGExpan(Expander):
@@ -34,9 +39,9 @@ class CGExpan(Expander):
 
     name = "CGExpan"
     supports_persistence = True
-    #: v2: the co-occurrence embeddings moved out of the method artifact
-    #: into a referenced, content-addressed substrate artifact.
-    state_version = 2
+    #: v3: the candidate matrix is precomputed and the artifact references a
+    #: partitioned ANN-index substrate alongside the embeddings.
+    state_version = 3
 
     def __init__(
         self,
@@ -57,6 +62,25 @@ class CGExpan(Expander):
         self._resources = resources
         self._embeddings: CooccurrenceEmbeddings | None = None
         self._concept_matcher: ConceptMatcher | None = None
+        self._matrix: CandidateMatrix | None = None
+
+    def _ann_params(self) -> dict:
+        return self._resources.ann_index_params(
+            COOCCURRENCE_EMBEDDINGS,
+            self._resources.cooccurrence_params(),
+            field="entity",
+            dim=self.distributed_dim,
+            normalize=True,
+        )
+
+    def _bind_matrix(self, index) -> None:
+        matrix = CandidateMatrix.from_vectors(
+            self._embeddings.entity_vectors(),
+            dim=self.distributed_dim,
+            normalize=True,
+        )
+        matrix.attach_index(index)
+        self._matrix = matrix
 
     def _fit(self, dataset: UltraWikiDataset) -> None:
         resources = self._resources or SharedResources(dataset)
@@ -64,13 +88,18 @@ class CGExpan(Expander):
         # Pre-build the expensive shared pieces.
         self._embeddings = resources.cooccurrence_embeddings()
         self._concept_matcher = ConceptMatcher(dataset)
+        self._bind_matrix(resources.ann_index(self._ann_params()))
 
     # -- persistence ----------------------------------------------------------------
     def substrate_dependencies(self) -> list[tuple[str, dict]]:
-        """The PPMI-SVD co-occurrence embeddings this fit stands on."""
+        """The PPMI-SVD co-occurrence embeddings this fit stands on, plus the
+        partitioned ANN index over them."""
         if self._resources is None:
             return []
-        return [(COOCCURRENCE_EMBEDDINGS, self._resources.cooccurrence_params())]
+        return [
+            (COOCCURRENCE_EMBEDDINGS, self._resources.cooccurrence_params()),
+            (ANN_INDEX, self._ann_params()),
+        ]
 
     def _save_state(self, directory: Path) -> None:
         # The embeddings substrate is *referenced* via the manifest (see
@@ -81,15 +110,17 @@ class CGExpan(Expander):
         write_json_state(directory / "cgexpan.json", {"distributed_dim": self.distributed_dim})
 
     def _load_state(self, directory: Path, dataset: UltraWikiDataset) -> None:
-        """Restore the PPMI-SVD embeddings from their shared substrate; the
-        concept matcher and oracle are cheap, dataset-derived pieces and are
-        rebuilt.  The provider caches the restored substrate, so every other
-        embeddings-backed method reuses it instead of refitting."""
+        """Restore the PPMI-SVD embeddings and the ANN index from their shared
+        substrates; the concept matcher and oracle are cheap, dataset-derived
+        pieces and are rebuilt.  The provider caches the restored substrates,
+        so every other embeddings-backed method reuses them instead of
+        refitting."""
         self._resources = self._resources or SharedResources(dataset)
         self._embeddings = self._resolve_substrate(
             COOCCURRENCE_EMBEDDINGS, self._resources.cooccurrence_params()
         )
         self._concept_matcher = ConceptMatcher(dataset)
+        self._bind_matrix(self._resolve_substrate(ANN_INDEX, self._ann_params()))
 
     def _probe_class_name(self, query: Query) -> str:
         """LM probing for the *fine-grained* class name of the positive seeds.
@@ -103,27 +134,41 @@ class CGExpan(Expander):
         return name.split(" with ")[0]
 
     def _expand(self, query: Query, top_k: int) -> ExpansionResult:
-        embeddings = self._embeddings
-        vectors = {
-            eid: vec[: self.distributed_dim]
-            for eid, vec in embeddings.entity_vectors().items()
-        }
-        candidates = [eid for eid in self.candidate_ids(query) if eid in vectors]
-        seeds = [vectors[s] for s in query.positive_seed_ids if s in vectors]
-        if not seeds or not candidates:
+        matrix = self._matrix
+        seed_ids = [s for s in query.positive_seed_ids if s in matrix]
+        if not seed_ids:
             return ExpansionResult(query_id=query.query_id, ranking=())
-        seed_matrix = l2_normalize(np.stack(seeds), axis=1)
-        candidate_matrix = l2_normalize(np.stack([vectors[c] for c in candidates]), axis=1)
+        seed_matrix = matrix.rows(seed_ids)
+        required = max(top_k, 200)
+        profile = self.retrieval_profile()
+        # Ranking by mean cosine to the seeds equals ranking by dot product
+        # with the mean seed vector, so that is the probe query.  Probed mode
+        # shortlists straight from the index (no per-query O(vocab) candidate
+        # list); exact mode keeps the historical scan bitwise intact.
+        if matrix.wants_probe(profile):
+            shortlist = matrix.shortlist(
+                None,
+                seed_matrix.mean(axis=0),
+                profile,
+                required=required,
+                telemetry=self._ann_recorder(),
+                exclude=query.seed_ids(),
+            )
+        else:
+            shortlist = [eid for eid in self.candidate_ids(query) if eid in matrix]
+        if not shortlist:
+            return ExpansionResult(query_id=query.query_id, ranking=())
+        candidate_matrix = matrix.rows(shortlist)
         seed_similarity = (candidate_matrix @ seed_matrix.T).mean(axis=1)
 
         class_name = self._probe_class_name(query)
+        concepts = self._concept_matcher.score_batch(shortlist, class_name)
         scored = []
-        for index, entity_id in enumerate(candidates):
-            concept = self._concept_matcher.score(entity_id, class_name)
+        for index, entity_id in enumerate(shortlist):
             combined = (
                 (1.0 - self.class_name_weight) * float(seed_similarity[index])
-                + self.class_name_weight * concept
+                + self.class_name_weight * concepts[index]
             )
             scored.append((entity_id, combined))
         scored.sort(key=lambda item: (-item[1], item[0]))
-        return ExpansionResult.from_scores(query.query_id, scored[: max(top_k, 200)])
+        return ExpansionResult.from_scores(query.query_id, scored[:required])

@@ -24,19 +24,19 @@ from repro.core.rerank import segmented_rerank
 from repro.core.resources import SharedResources
 from repro.dataset.ultrawiki import UltraWikiDataset
 from repro.exceptions import ExpansionError
-from repro.retexpan.expansion import positive_similarity_scores, top_k_expansion
-from repro.substrate import ENTITY_REPRESENTATIONS
+from repro.retexpan.expansion import matrix_similarity_scores, top_k_expansion
+from repro.retrieval import CandidateMatrix
+from repro.substrate import ANN_INDEX, ENTITY_REPRESENTATIONS
 from repro.types import ExpansionResult, Query
-from repro.utils.mathx import l2_normalize
 
 
 class ProbExpan(Expander):
     """Distribution-representation retrieval baseline."""
 
     supports_persistence = True
-    #: v2: the distribution vectors now come from the shared (referenced)
-    #: entity-representations substrate instead of a private embedded copy.
-    state_version = 2
+    #: v3: the (normalized) distribution candidate matrix is precomputed and
+    #: the artifact references a partitioned ANN-index substrate.
+    state_version = 3
 
     def __init__(
         self,
@@ -54,10 +54,24 @@ class ProbExpan(Expander):
         self.segment_length = segment_length
         self._resources = resources
         self._vectors: dict[int, np.ndarray] = {}
+        self._matrix: CandidateMatrix | None = None
         if name is not None:
             self.name = name
         else:
             self.name = "ProbExpan + Neg Rerank" if use_negative_rerank else "ProbExpan"
+
+    def _ann_params(self) -> dict:
+        return self._resources.ann_index_params(
+            ENTITY_REPRESENTATIONS,
+            self._resources.entity_representation_params(trained=True),
+            field="distribution",
+            normalize=True,
+        )
+
+    def _bind_matrix(self, index) -> None:
+        matrix = CandidateMatrix.from_vectors(self._vectors, normalize=True)
+        matrix.attach_index(index)
+        self._matrix = matrix
 
     def _fit(self, dataset: UltraWikiDataset) -> None:
         resources = self._resources or SharedResources(
@@ -68,17 +82,20 @@ class ProbExpan(Expander):
         self._vectors = dict(representations.distribution)
         if not self._vectors:
             raise ExpansionError("no distribution representations available")
+        self._bind_matrix(resources.ann_index(self._ann_params()))
 
     # -- persistence ----------------------------------------------------------------
     def substrate_dependencies(self) -> list[tuple[str, dict]]:
-        """The trained entity representations whose distributions this uses."""
+        """The trained entity representations whose distributions this uses,
+        plus the partitioned ANN index over them."""
         if self._resources is None:
             return []
         return [
             (
                 ENTITY_REPRESENTATIONS,
                 self._resources.entity_representation_params(trained=True),
-            )
+            ),
+            (ANN_INDEX, self._ann_params()),
         ]
 
     def _save_state(self, directory: Path) -> None:
@@ -103,29 +120,54 @@ class ProbExpan(Expander):
         self._vectors = dict(representations.distribution)
         if not self._vectors:
             raise ExpansionError("no distribution representations in saved state")
+        self._bind_matrix(self._resolve_substrate(ANN_INDEX, self._ann_params()))
 
-    def _mean_similarity(self, entity_id: int, seed_ids: tuple[int, ...]) -> float:
-        seeds = [self._vectors[s] for s in seed_ids if s in self._vectors]
-        if not seeds or entity_id not in self._vectors:
-            return 0.0
-        seed_matrix = l2_normalize(np.stack(seeds), axis=1)
-        vector = l2_normalize(self._vectors[entity_id])
-        return float(np.mean(seed_matrix @ vector))
+    def _similarity_table(
+        self, entity_ids: list[int], seed_ids: tuple[int, ...]
+    ) -> dict[int, float]:
+        """Mean cosine similarity of each entity to ``seed_ids``, with the
+        seed matrix gathered once from the precomputed candidate matrix."""
+        matrix = self._matrix
+        table = {entity_id: 0.0 for entity_id in entity_ids}
+        seeds = [s for s in seed_ids if s in matrix]
+        if not seeds:
+            return table
+        seed_matrix = matrix.rows(seeds)
+        for entity_id in entity_ids:
+            if entity_id in matrix:
+                table[entity_id] = float(np.mean(seed_matrix @ matrix.row(entity_id)))
+        return table
 
     def _expand(self, query: Query, top_k: int) -> ExpansionResult:
-        candidates = self.candidate_ids(query)
-        scores = positive_similarity_scores(
-            candidates, query.positive_seed_ids, self._vectors
-        )
-        initial = top_k_expansion(scores, k=max(self.expansion_size, top_k))
+        matrix = self._matrix
+        expansion_size = max(self.expansion_size, top_k)
+        seed_ids = [s for s in query.positive_seed_ids if s in matrix]
+        profile = self.retrieval_profile()
+        if seed_ids and matrix.wants_probe(profile):
+            # probed mode shortlists straight from the index: no per-query
+            # O(vocab) candidate list, seeds dropped from the probed lists.
+            candidates = matrix.shortlist(
+                None,
+                matrix.rows(seed_ids).mean(axis=0),
+                profile,
+                required=expansion_size,
+                telemetry=self._ann_recorder(),
+                exclude=query.seed_ids(),
+            )
+        else:
+            candidates = self.candidate_ids(query)
+        scores = matrix_similarity_scores(matrix, candidates, query.positive_seed_ids)
+        initial = top_k_expansion(scores, k=expansion_size)
         result = ExpansionResult.from_scores(query.query_id, initial)
         if self.use_negative_rerank and query.negative_seed_ids:
             # Same contrastive negative score as RetExpan's re-ranking module
             # (the paper bolts the identical module onto ProbExpan).
+            list_ids = [item.entity_id for item in result.ranking]
+            negative_table = self._similarity_table(list_ids, query.negative_seed_ids)
+            positive_table = self._similarity_table(list_ids, query.positive_seed_ids)
+
             def negative_score(entity_id: int) -> float:
-                return self._mean_similarity(
-                    entity_id, query.negative_seed_ids
-                ) - self._mean_similarity(entity_id, query.positive_seed_ids)
+                return negative_table[entity_id] - positive_table[entity_id]
 
             result = segmented_rerank(
                 result,

@@ -568,6 +568,10 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
             args, "keyfile_reload", ClusterConfig.keyfile_reload_seconds
         ),
         default_quota=getattr(args, "default_quota", None),
+        gateway_cache_capacity=getattr(args, "gateway_cache_size", 0),
+        gateway_cache_ttl_seconds=getattr(
+            args, "gateway_cache_ttl", ClusterConfig.gateway_cache_ttl_seconds
+        ),
         service=service_config,
     )
     config.validate()
@@ -1058,6 +1062,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--gateway-exporter-interval", type=float,
         default=ClusterConfig.gateway_exporter_interval_seconds,
         metavar="SECONDS", help="seconds between gateway exporter flushes",
+    )
+    cluster_serve.add_argument(
+        "--gateway-cache-size", type=int, default=0, metavar="N",
+        help="entries in the gateway-side result cache (0 disables; hits "
+        "skip the worker round trip and carry X-Repro-Cache: gateway)",
+    )
+    cluster_serve.add_argument(
+        "--gateway-cache-ttl", type=float,
+        default=ClusterConfig.gateway_cache_ttl_seconds, metavar="SECONDS",
+        help="TTL for gateway-cached results (default 60s)",
     )
     cluster_serve.add_argument(
         "--startup-timeout", type=float, default=120.0,

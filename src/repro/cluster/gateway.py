@@ -77,6 +77,7 @@ from repro.obs import (
     MetricsRegistry,
     Trace,
     TraceCollector,
+    UsageMeter,
     activate,
     build_exporter,
     current_context,
@@ -91,9 +92,15 @@ from repro.obs import (
     span,
     tenant_scope,
 )
+from repro.serve.cache import ResultCache
+from repro.serve.protocol import ExpandRequest
 
 #: header naming the worker that actually served a proxied response.
 WORKER_HEADER = "X-Repro-Worker"
+
+#: header stamped on responses the gateway served from its own result
+#: cache (no worker round trip; the value names the cache tier).
+CACHE_HEADER = "X-Repro-Cache"
 
 #: request body size guard, mirroring the worker front-end.
 MAX_BODY_BYTES = 1 << 20
@@ -244,6 +251,23 @@ class ClusterGateway:
                 ),
                 metrics=self.metrics,
             )
+        # Gateway-side result cache: repeated identical expand requests are
+        # answered here without a worker round trip.  Same discipline as the
+        # worker ResultCache (LRU + TTL, canonicalized request key) with two
+        # extra key components — the resolved tenant and the dataset
+        # fingerprint — so hits never cross tenants or outlive a dataset
+        # swap.  Hits are still billed (at lookup cost) via the gateway's
+        # own usage meter.
+        self.cache: ResultCache | None = None
+        self.usage: UsageMeter | None = None
+        if self.config.gateway_cache_capacity > 0:
+            self.cache = ResultCache(
+                capacity=self.config.gateway_cache_capacity,
+                ttl_seconds=self.config.gateway_cache_ttl_seconds,
+                metrics=self.metrics,
+                metric_prefix="repro_gateway_cache",
+            )
+            self.usage = UsageMeter()
         # The gateway keeps its own searchable ring of *joined* traces (its
         # span tree plus every worker fragment grafted under the proxy
         # hops), configured off the embedded per-worker service config so
@@ -740,8 +764,68 @@ class ClusterGateway:
         if trace is not None:
             # the collector's method filter keys off this annotation.
             trace.annotate(method=method.strip().lower())
+        cache_key = None
+        if self.cache is not None and path == "/v1/expand":
+            cache_key = self._expand_cache_key(payload)
+        if cache_key is not None:
+            lookup_started = time.perf_counter()
+            hit = self.cache.get(cache_key)
+            if hit is not None:
+                # A hit costs a dict copy, not a forward pass: bill the
+                # lookup wall-time, flagged as cached, so usage reports
+                # stay complete without inflating compute attribution.
+                if self.usage is not None:
+                    self.usage.charge_expand(
+                        current_tenant(),
+                        time.perf_counter() - lookup_started,
+                        method=method,
+                        cached=True,
+                    )
+                data = dict(hit)
+                data["cached"] = True
+                return _Reply.envelope(
+                    200,
+                    success_envelope(current_request_id() or new_request_id(), data),
+                    **{CACHE_HEADER: "gateway"},
+                )
         key = shard_key(method, self.fingerprint)
-        return self._proxy_with_failover(key, verb, path, body)
+        reply = self._proxy_with_failover(key, verb, path, body)
+        if cache_key is not None and reply.status == 200:
+            data = self._parse_envelope_data((reply.status, reply.body))
+            if data is not None:
+                self.cache.put(cache_key, data)
+        return reply
+
+    def _expand_cache_key(self, payload: Mapping) -> tuple | None:
+        """The gateway cache key for one expand payload, or ``None`` when
+        the request must not be cached (cache opt-out, timings requested,
+        or a body the worker would reject anyway).
+
+        The key reuses :meth:`ExpandRequest.cache_key` canonicalization
+        (normalized method, sorted seeds, retrieval knobs) and adds every
+        remaining tenant-visible response shaper — the gateway caches the
+        serialized response, so pagination and name resolution must key
+        too — plus the resolved tenant and the dataset fingerprint, which
+        scope hits to one tenant and one dataset generation."""
+        try:
+            request = ExpandRequest.from_dict(payload)
+            request.validate()
+        except ServiceError:
+            return None  # let the owning worker produce the error envelope
+        options = request.options
+        if not options.use_cache or options.include_timings:
+            return None
+        # top_k=None means "the worker's default"; 0 is an impossible
+        # explicit value, so it is a safe sentinel for that case.
+        resolved = options.top_k if options.top_k is not None else 0
+        return (
+            current_tenant() or "",
+            self.fingerprint,
+            request.cache_key(resolved),
+            options.offset,
+            options.limit,
+            options.return_names,
+        )
 
     def _forward_any(self, verb: str, path: str) -> _Reply:
         """Forward to any worker (healthy first) — used for fleet-uniform
@@ -938,6 +1022,8 @@ class ClusterGateway:
         healthy = 0
         latencies: list[dict] = []
         totals = {"requests": 0, "errors": 0, "cache_hits": 0, "cache_misses": 0}
+        #: probed-retrieval counters summed across the fleet (ANN hot path).
+        ann_totals = {"queries": 0, "probes": 0, "shortlisted": 0, "exact_fallbacks": 0}
         #: tenant -> summed usage buckets across every metered worker.
         usage_totals: dict[str, dict] = {}
         for worker_id in self._ring.nodes:
@@ -971,6 +1057,12 @@ class ClusterGateway:
                     except TypeError:
                         continue
             substrates = registry.get("substrates") or {}
+            worker_ann = substrates.get("ann") or {}
+            for field_name in ann_totals:
+                try:
+                    ann_totals[field_name] += int(worker_ann.get(field_name, 0) or 0)
+                except (TypeError, ValueError):
+                    continue
             latency = dict(service.get("latency_ms") or {})
             if latency.get("buckets"):
                 # copy: ``latency`` loses its buckets below for the per-worker
@@ -1009,6 +1101,27 @@ class ClusterGateway:
                 "substrates_resident": int(substrates.get("resident", 0)),
                 "fit_jobs": fit_jobs,
             }
+        # the gateway's own meter bills cache hits that never reached a
+        # worker; fold it into the same per-tenant usage rollup.
+        if self.usage is not None:
+            for tenant_id, bucket in (
+                self.usage.summary().get("tenants") or {}
+            ).items():
+                joined = usage_totals.setdefault(
+                    str(tenant_id),
+                    {
+                        "requests": 0,
+                        "cache_hits": 0,
+                        "fits": 0,
+                        "compute_seconds": 0.0,
+                        "fit_seconds": 0.0,
+                    },
+                )
+                for field_name in joined:
+                    try:
+                        joined[field_name] += bucket.get(field_name, 0) or 0
+                    except TypeError:
+                        continue
         total = len(self._ring.nodes)
         status = "ok" if healthy == total else ("degraded" if healthy else "down")
         lookups = totals["cache_hits"] + totals["cache_misses"]
@@ -1023,6 +1136,7 @@ class ClusterGateway:
                 "errors": totals["errors"],
                 "cache_hit_rate": (totals["cache_hits"] / lookups) if lookups else 0.0,
                 "latency_ms": merge_bucket_lists(latencies),
+                "ann": ann_totals,
             },
             "workers": workers,
             "gateway": self.stats(),
@@ -1205,10 +1319,13 @@ class ClusterGateway:
 
     # -- introspection -----------------------------------------------------------
     def stats(self) -> dict:
-        """The legacy stats dict (wire shape pinned), as a registry view."""
+        """The legacy stats dict (wire shape pinned), as a registry view.
+
+        The ``cache`` key is additive: it appears only when the gateway
+        result cache is enabled, so the default shape is unchanged."""
         down_until = self._down_snapshot()
         now = time.monotonic()
-        return {
+        merged = {
             "workers": list(self._ring.nodes),
             "fingerprint": self.fingerprint,
             "virtual_nodes": self._ring.virtual_nodes,
@@ -1227,6 +1344,9 @@ class ClusterGateway:
                 if now < until
             ),
         }
+        if self.cache is not None:
+            merged["cache"] = self.cache.stats()
+        return merged
 
     # -- helpers -----------------------------------------------------------------
     @staticmethod
@@ -1344,6 +1464,13 @@ def _render_dashboard_html(data: dict) -> str:
             f"{tenant_rows}</table>"
         )
     p99 = latency.get("p99_ms")
+    ann = cluster.get("ann") or {}
+    ann_fragment = ""
+    if ann.get("queries"):
+        ann_fragment = (
+            f" &middot; ann queries {cell(ann.get('queries'))}"
+            f" (exact fallbacks {cell(ann.get('exact_fallbacks'))})"
+        )
     return (
         "<!doctype html><html><head>"
         '<meta charset="utf-8">'
@@ -1357,7 +1484,8 @@ def _render_dashboard_html(data: dict) -> str:
         f"<p>requests {cell(cluster.get('requests'))}"
         f" &middot; errors {cell(cluster.get('errors'))}"
         f" &middot; cache hit rate {bar(float(cluster.get('cache_hit_rate', 0.0)))}"
-        f" &middot; p99 {cell(round(p99, 1) if p99 is not None else None)} ms</p>"
+        f" &middot; p99 {cell(round(p99, 1) if p99 is not None else None)} ms"
+        f"{ann_fragment}</p>"
         "<h2>workers</h2><table><tr><th>worker</th><th>state</th><th>requests</th>"
         "<th>cache hits</th><th>p99 ms</th><th>fitted</th><th>fit jobs</th></tr>"
         f"{''.join(rows)}</table>"

@@ -93,6 +93,25 @@ class ConceptMatcher:
         matched = sum(weight for token, weight in weights.items() if token in entity_tokens)
         return matched / sum(weights.values())
 
+    def score_batch(self, entity_ids: list[int], phrase: str) -> list[float]:
+        """:meth:`score` for one phrase across many entities.
+
+        The phrase is tokenized and IDF-weighted once instead of per
+        candidate; per-entity values are identical to sequential ``score``
+        calls (same weight dict, same summation order).
+        """
+        weights = self._phrase_weights(phrase)
+        if not weights:
+            return [0.0 for _ in entity_ids]
+        total = sum(weights.values())
+        items = list(weights.items())
+        scores = []
+        for entity_id in entity_ids:
+            entity_tokens = self._entity_tokens.get(entity_id, set())
+            matched = sum(weight for token, weight in items if token in entity_tokens)
+            scores.append(matched / total)
+        return scores
+
     def mean_score(self, entity_id: int, phrases: list[str]) -> float:
         if not phrases:
             return 0.0

@@ -106,13 +106,15 @@ class IterativeGenerator:
         return self._lowercase_names.get(generated_text.lower())
 
     # -- selection ---------------------------------------------------------------------
-    def _selection_score(self, entity_id: int, query: Query, cot: CoTInfo | None) -> float:
+    def _selection_score(
+        self, entity_id: int, query: Query, cot: CoTInfo | None, base: float
+    ) -> float:
+        """Eq. 8 selection score; ``base`` is the batched mean conditional
+        similarity to the positive seeds (one LM batch per iteration instead
+        of one sequence walk per generated-entity/seed pair)."""
         seeds = query.positive_seed_ids
         if not seeds:
             return 0.0
-        base = sum(
-            self.lm.conditional_similarity(entity_id, seed) for seed in seeds
-        ) / len(seeds)
         if cot is None or cot.is_empty() or self.concept_matcher is None:
             return base
         bias = 0.0
@@ -148,8 +150,12 @@ class IterativeGenerator:
                 for name in names
                 if self.dataset.has_entity_name(name)
             ]
+            base_scores = self.lm.conditional_similarity_batch(
+                generated_ids, query.positive_seed_ids
+            )
             scored = [
-                (eid, self._selection_score(eid, query, cot)) for eid in generated_ids
+                (eid, self._selection_score(eid, query, cot, base_scores[eid]))
+                for eid in generated_ids
             ]
             scored.sort(key=lambda item: (-item[1], item[0]))
             for entity_id, score in scored[: self.selected_per_iteration]:

@@ -135,27 +135,6 @@ class GenExpan(Expander):
         self._bind(dataset, lm)
 
     # -- expansion ------------------------------------------------------------------
-    def _mean_conditional_similarity(
-        self, entity_id: int, seed_ids: tuple[int, ...]
-    ) -> float:
-        if self._lm is None:
-            raise ExpansionError("GenExpan is not fitted")
-        if not seed_ids:
-            return 0.0
-        return sum(
-            self._lm.conditional_similarity(entity_id, seed) for seed in seed_ids
-        ) / len(seed_ids)
-
-    def _negative_similarity(self, entity_id: int, query: Query) -> float:
-        """Negative-seed similarity contrasted against positive-seed similarity.
-
-        Subtracting the positive-seed similarity cancels the fine-grained-class
-        commonality so the re-ranking key reflects the negative attribute only.
-        """
-        return self._mean_conditional_similarity(
-            entity_id, query.negative_seed_ids
-        ) - self._mean_conditional_similarity(entity_id, query.positive_seed_ids)
-
     def _expand(self, query: Query, top_k: int) -> ExpansionResult:
         if self._generator is None:
             raise ExpansionError("GenExpan is not fitted")
@@ -164,9 +143,23 @@ class GenExpan(Expander):
         result = ExpansionResult.from_scores(query.query_id, ranked)
 
         if self.config.use_negative_rerank and query.negative_seed_ids:
+            # Negative-seed similarity contrasted against positive-seed
+            # similarity: subtracting the positive term cancels the
+            # fine-grained-class commonality so the re-ranking key reflects
+            # the negative attribute only.  Both terms are scored as one LM
+            # batch over the whole expansion list.
+            list_ids = [item.entity_id for item in result.ranking]
+            negative = self._lm.conditional_similarity_batch(
+                list_ids, query.negative_seed_ids
+            )
+            positive = self._lm.conditional_similarity_batch(
+                list_ids, query.positive_seed_ids
+            )
             result = segmented_rerank(
                 result,
-                negative_score=lambda entity_id: self._negative_similarity(entity_id, query),
+                negative_score=lambda entity_id: (
+                    negative[entity_id] - positive[entity_id]
+                ),
                 segment_length=self.config.segment_length,
             )
         return result

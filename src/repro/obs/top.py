@@ -79,13 +79,29 @@ def render_dashboard(data: dict) -> str:
         f"p90={_fmt_ms(latency.get('p90'))} "
         f"p99={_fmt_ms(latency.get('p99'))}"
     )
-    lines.append(
+    ann = cluster.get("ann") or {}
+    queries = ann.get("queries", 0) or 0
+    if queries:
+        # probed-retrieval hot path: how much of the fleet's expand traffic
+        # ran on the ANN shortlist, and how often it fell back to exact.
+        lines.append(
+            "ann: "
+            f"queries={queries} "
+            f"probes/q={ann.get('probes', 0) / queries:.1f} "
+            f"shortlist/q={ann.get('shortlisted', 0) / queries:.0f} "
+            f"exact_fallbacks={ann.get('exact_fallbacks', 0)}"
+        )
+    gateway_line = (
         "gateway: "
         f"proxied={gateway.get('proxied', 0)} "
         f"failovers={gateway.get('failovers', 0)} "
         f"backend_errors={gateway.get('backend_errors', 0)} "
         f"sidelined={len(gateway.get('sidelined', []) or [])}"
     )
+    gateway_cache = gateway.get("cache")
+    if isinstance(gateway_cache, dict):
+        gateway_line += f" cache_hit={_fmt_rate(gateway_cache.get('hit_rate'))}"
+    lines.append(gateway_line)
     lines.append("")
 
     header = (

@@ -41,6 +41,32 @@ def positive_similarity_scores(
     return {entity_id: float(score) for entity_id, score in zip(usable, mean_similarities)}
 
 
+def matrix_similarity_scores(
+    matrix,
+    candidate_ids: Sequence[int],
+    seed_ids: Sequence[int],
+) -> dict[int, float]:
+    """:func:`positive_similarity_scores` over a precomputed, row-normalized
+    :class:`~repro.retrieval.CandidateMatrix`.
+
+    Because :func:`~repro.utils.mathx.l2_normalize` is purely row-wise,
+    gathering rows from the normalized matrix is bitwise identical to
+    stacking the raw vectors and normalizing the subset — but without the
+    per-query ``np.stack`` rebuild.
+    """
+    seeds = [s for s in seed_ids if s in matrix]
+    if not seeds:
+        raise ExpansionError("none of the seed entities has a representation")
+    seed_matrix = matrix.rows(seeds)
+
+    usable = [c for c in candidate_ids if c in matrix]
+    if not usable:
+        return {}
+    similarities = matrix.rows(usable) @ seed_matrix.T  # (num_candidates, num_seeds)
+    mean_similarities = similarities.mean(axis=1)
+    return {entity_id: float(score) for entity_id, score in zip(usable, mean_similarities)}
+
+
 def top_k_expansion(scores: Mapping[int, float], k: int) -> list[tuple[int, float]]:
     """The ``k`` best (entity, score) pairs, deterministic under ties."""
     if k <= 0:

@@ -30,19 +30,23 @@ from repro.exceptions import ExpansionError, PersistenceError
 from repro.lm.context_encoder import EntityRepresentations
 from repro.obs import span
 from repro.retexpan.contrastive import UltraContrastiveLearner
-from repro.substrate import ENTITY_REPRESENTATIONS
-from repro.retexpan.expansion import positive_similarity_scores, top_k_expansion
+from repro.retrieval import CandidateMatrix
+from repro.substrate import ANN_INDEX, ENTITY_REPRESENTATIONS
+from repro.retexpan.expansion import (
+    matrix_similarity_scores,
+    positive_similarity_scores,
+    top_k_expansion,
+)
 from repro.types import ExpansionResult, Query
-from repro.utils.mathx import l2_normalize
 
 
 class RetExpan(Expander):
     """Retrieval-based Ultra-ESE with negative seed entities."""
 
     supports_persistence = True
-    #: v2: entity representations moved out of the method artifact into a
-    #: referenced, content-addressed substrate artifact.
-    state_version = 2
+    #: v3: the (normalized) hidden-state candidate matrix is precomputed and
+    #: the artifact references a partitioned ANN-index substrate.
+    state_version = 3
 
     def __init__(
         self,
@@ -58,10 +62,28 @@ class RetExpan(Expander):
         self._contrastive_queries = contrastive_queries
         self._representations: EntityRepresentations | None = None
         self._contrastive: UltraContrastiveLearner | None = None
+        self._matrix: CandidateMatrix | None = None
         if name is not None:
             self.name = name
         else:
             self.name = "RetExpan + Contrast" if self.config.use_contrastive else "RetExpan"
+
+    def _ann_params(self) -> dict:
+        return self._resources.ann_index_params(
+            ENTITY_REPRESENTATIONS,
+            self._resources.entity_representation_params(
+                trained=self.config.use_entity_prediction
+            ),
+            field="hidden",
+            normalize=True,
+        )
+
+    def _bind_matrix(self, index) -> None:
+        matrix = CandidateMatrix.from_vectors(
+            dict(self._representations.hidden), normalize=True
+        )
+        matrix.attach_index(index)
+        self._matrix = matrix
 
     # -- fitting -----------------------------------------------------------------
     def _fit(self, dataset: UltraWikiDataset) -> None:
@@ -72,6 +94,7 @@ class RetExpan(Expander):
         self._representations = resources.entity_representations(
             trained=self.config.use_entity_prediction
         )
+        self._bind_matrix(resources.ann_index(self._ann_params()))
         if self.config.use_contrastive:
             learner = UltraContrastiveLearner(self.config.contrastive)
             learner.fit(
@@ -93,7 +116,8 @@ class RetExpan(Expander):
                 self._resources.entity_representation_params(
                     trained=self.config.use_entity_prediction
                 ),
-            )
+            ),
+            (ANN_INDEX, self._ann_params()),
         ]
 
     def _save_state(self, directory: Path) -> None:
@@ -136,6 +160,7 @@ class RetExpan(Expander):
                 trained=self.config.use_entity_prediction
             ),
         )
+        self._bind_matrix(self._resolve_substrate(ANN_INDEX, self._ann_params()))
         if self.config.use_contrastive:
             learner = UltraContrastiveLearner(self.config.contrastive)
             learner.load_state(directory / "contrastive", self._representations)
@@ -144,16 +169,26 @@ class RetExpan(Expander):
             self._contrastive = None
 
     # -- similarity helpers ------------------------------------------------------------
-    @staticmethod
-    def _mean_similarity(
-        entity_id: int, seed_ids: tuple[int, ...], vectors: dict[int, np.ndarray]
-    ) -> float:
-        seeds = [vectors[s] for s in seed_ids if s in vectors]
-        if not seeds or entity_id not in vectors:
-            return 0.0
-        seed_matrix = l2_normalize(np.stack(seeds), axis=1)
-        vector = l2_normalize(vectors[entity_id])
-        return float(np.mean(seed_matrix @ vector))
+    def _similarity_table(
+        self, entity_ids: list[int], seed_ids: tuple[int, ...]
+    ) -> dict[int, float]:
+        """Mean cosine similarity of each entity to ``seed_ids``.
+
+        The seed matrix is gathered **once** from the precomputed candidate
+        matrix instead of re-stacked and re-normalized per entity; each
+        entity keeps the historical matrix-vector product so values stay
+        bitwise identical to the old per-entity scoring.
+        """
+        matrix = self._matrix
+        table = {entity_id: 0.0 for entity_id in entity_ids}
+        seeds = [s for s in seed_ids if s in matrix]
+        if not seeds:
+            return table
+        seed_matrix = matrix.rows(seeds)
+        for entity_id in entity_ids:
+            if entity_id in matrix:
+                table[entity_id] = float(np.mean(seed_matrix @ matrix.row(entity_id)))
+        return table
 
     def _contrastive_rescore(
         self, query: Query, initial: list[tuple[int, float]]
@@ -191,17 +226,32 @@ class RetExpan(Expander):
 
     # -- expansion ---------------------------------------------------------------------
     def _expand(self, query: Query, top_k: int) -> ExpansionResult:
-        if self._representations is None:
+        if self._representations is None or self._matrix is None:
             raise ExpansionError("RetExpan is not fitted")
-        vectors = self._representations.hidden
+        matrix = self._matrix
+        expansion_size = max(self.config.expansion_size, top_k)
         with span("candidates"):
-            candidates = self.candidate_ids(query)
+            seed_ids = [s for s in query.positive_seed_ids if s in matrix]
+            profile = self.retrieval_profile()
+            if seed_ids and matrix.wants_probe(profile):
+                # probed mode shortlists straight from the index: no
+                # per-query O(vocab) candidate list, seeds dropped from
+                # the probed lists.
+                candidates = matrix.shortlist(
+                    None,
+                    matrix.rows(seed_ids).mean(axis=0),
+                    profile,
+                    required=expansion_size,
+                    telemetry=self._ann_recorder(),
+                    exclude=query.seed_ids(),
+                )
+            else:
+                candidates = self.candidate_ids(query)
 
         with span("score"):
-            scores = positive_similarity_scores(
-                candidates, query.positive_seed_ids, vectors
+            scores = matrix_similarity_scores(
+                matrix, candidates, query.positive_seed_ids
             )
-        expansion_size = max(self.config.expansion_size, top_k)
         initial = top_k_expansion(scores, k=expansion_size)
         if self._contrastive is not None:
             initial = self._contrastive_rescore(query, initial)
@@ -212,10 +262,12 @@ class RetExpan(Expander):
             # against similarity to the positive seeds: the fine-grained-class
             # commonality cancels, leaving the attribute-level signal that
             # identifies entities sharing the negative attribute value.
+            list_ids = [item.entity_id for item in result.ranking]
+            negative_table = self._similarity_table(list_ids, query.negative_seed_ids)
+            positive_table = self._similarity_table(list_ids, query.positive_seed_ids)
+
             def negative_score(entity_id: int) -> float:
-                return self._mean_similarity(
-                    entity_id, query.negative_seed_ids, vectors
-                ) - self._mean_similarity(entity_id, query.positive_seed_ids, vectors)
+                return negative_table[entity_id] - positive_table[entity_id]
 
             result = segmented_rerank(
                 result,

@@ -42,14 +42,18 @@ from repro.obs import (
     current_trace,
     span,
 )
+from repro.retrieval import RetrievalProfile
 from repro.types import ExpansionResult, Query
 
-#: executes one coalesced batch: (method, top_k, queries) -> results.
-BatchExecutor = Callable[[str, int, Sequence[Query]], Sequence[ExpansionResult]]
+#: executes one coalesced batch:
+#: (method, top_k, queries, retrieval) -> results.
+BatchExecutor = Callable[
+    [str, int, Sequence[Query], RetrievalProfile | None], Sequence[ExpansionResult]
+]
 
 
 class _Bucket:
-    """Requests collected for one (method, top_k) batch in flight."""
+    """Requests collected for one (method, top_k, retrieval) batch in flight."""
 
     __slots__ = ("generation", "queries", "futures", "traces")
 
@@ -84,7 +88,7 @@ class MicroBatcher:
         self.max_batch_size = max(1, max_batch_size)
         self.max_wait_s = max(0.0, max_wait_ms) / 1000.0
         self._lock = threading.Lock()
-        self._buckets: dict[tuple[str, int], _Bucket] = {}
+        self._buckets: dict[tuple, _Bucket] = {}
         self._generation = 0
         self._closed = False
         self._pool: ThreadPoolExecutor | None = (
@@ -117,8 +121,19 @@ class MicroBatcher:
         )
 
     # -- submission -----------------------------------------------------------------
-    def submit(self, method: str, query: Query, top_k: int) -> Future:
-        """Enqueue one request; the future resolves to its ExpansionResult."""
+    def submit(
+        self,
+        method: str,
+        query: Query,
+        top_k: int,
+        retrieval: RetrievalProfile | None = None,
+    ) -> Future:
+        """Enqueue one request; the future resolves to its ExpansionResult.
+
+        ``retrieval`` (the request's ANN knobs) is part of the bucket key:
+        requests asking for different retrieval strategies must never
+        coalesce into one batch, because the profile applies batch-wide.
+        """
         future: Future = Future()
         if self._pool is None:
             # Synchronous mode: execute in the caller's thread, batch of one.
@@ -128,9 +143,9 @@ class MicroBatcher:
                 if self._closed:
                     raise RuntimeError("batcher is shut down")
             self._record(1, sync=True)
-            self._run([query], [future], method, top_k)
+            self._run([query], [future], method, top_k, retrieval=retrieval)
             return future
-        key = (method, top_k)
+        key = (method, top_k, retrieval)
         flush_now: _Bucket | None = None
         with self._lock:
             if self._closed:
@@ -160,19 +175,25 @@ class MicroBatcher:
             if len(bucket.queries) >= self.max_batch_size:
                 flush_now = self._buckets.pop(key)
         if flush_now is not None:
-            self._submit_batch(flush_now, method, top_k)
+            self._submit_batch(flush_now, method, top_k, retrieval)
         return future
 
-    def _flush(self, key: tuple[str, int], generation: int) -> None:
+    def _flush(self, key: tuple, generation: int) -> None:
         """Timer callback: close the collection window for one bucket."""
         with self._lock:
             bucket = self._buckets.get(key)
             if bucket is None or bucket.generation != generation or self._closed:
                 return
             del self._buckets[key]
-        self._submit_batch(bucket, key[0], key[1])
+        self._submit_batch(bucket, key[0], key[1], key[2])
 
-    def _submit_batch(self, bucket: _Bucket, method: str, top_k: int) -> None:
+    def _submit_batch(
+        self,
+        bucket: _Bucket,
+        method: str,
+        top_k: int,
+        retrieval: RetrievalProfile | None,
+    ) -> None:
         try:
             self._pool.submit(
                 self._run,
@@ -181,11 +202,19 @@ class MicroBatcher:
                 method,
                 top_k,
                 bucket.traces,
+                retrieval,
             )
         except RuntimeError:
             # The pool shut down between the closed-check and the submit;
             # execute inline so no caller is left waiting on its future.
-            self._run(bucket.queries, bucket.futures, method, top_k, bucket.traces)
+            self._run(
+                bucket.queries,
+                bucket.futures,
+                method,
+                top_k,
+                bucket.traces,
+                retrieval,
+            )
 
     # -- execution ------------------------------------------------------------------
     def _run(
@@ -195,6 +224,7 @@ class MicroBatcher:
         method: str,
         top_k: int,
         traces: list[tuple[Trace | None, float, str | None, str | None]] | None = None,
+        retrieval: RetrievalProfile | None = None,
     ) -> None:
         if self._pool is not None:
             self._record(len(queries))
@@ -209,9 +239,11 @@ class MicroBatcher:
         results: list[ExpansionResult] = []
         if batch_trace is not None:
             with activate(batch_trace):
-                error, results = self._guarded_execute(method, top_k, queries)
+                error, results = self._guarded_execute(
+                    method, top_k, queries, retrieval
+                )
         else:
-            error, results = self._guarded_execute(method, top_k, queries)
+            error, results = self._guarded_execute(method, top_k, queries, retrieval)
         execute_seconds = time.perf_counter() - run_started
         self._execute_ms.observe(execute_seconds * 1000.0, method=method)
         if self.usage is not None:
@@ -255,11 +287,15 @@ class MicroBatcher:
             future.set_result(result)
 
     def _guarded_execute(
-        self, method: str, top_k: int, queries: list[Query]
+        self,
+        method: str,
+        top_k: int,
+        queries: list[Query],
+        retrieval: RetrievalProfile | None = None,
     ) -> tuple[BaseException | None, list[ExpansionResult]]:
         with span("execute", batch_size=len(queries), method=method):
             try:
-                results = list(self._execute(method, top_k, queries))
+                results = list(self._execute(method, top_k, queries, retrieval))
                 if len(results) != len(queries):
                     raise RuntimeError(
                         f"batch executor returned {len(results)} results "
@@ -283,8 +319,10 @@ class MicroBatcher:
             self._closed = True
             pending = list(self._buckets.items())
             self._buckets.clear()
-        for (method, top_k), bucket in pending:
-            self._run(bucket.queries, bucket.futures, method, top_k, bucket.traces)
+        for (method, top_k, retrieval), bucket in pending:
+            self._run(
+                bucket.queries, bucket.futures, method, top_k, bucket.traces, retrieval
+            )
         if self._pool is not None:
             self._pool.shutdown(wait=True)
 

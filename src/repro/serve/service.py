@@ -367,14 +367,19 @@ class ExpansionService:
                     method, cached, options, top_k, True, started, trace
                 )
 
+        retrieval = options.retrieval_profile()
         with span("batch", method=method):
             if self.admission is not None:
                 # cache hits returned above never touch admission — only the
                 # expensive batcher/registry section competes for slots.
                 with self.admission.admit(lane):
-                    result = self.batcher.submit(method, query, top_k).result()
+                    result = self.batcher.submit(
+                        method, query, top_k, retrieval=retrieval
+                    ).result()
             else:
-                result = self.batcher.submit(method, query, top_k).result()
+                result = self.batcher.submit(
+                    method, query, top_k, retrieval=retrieval
+                ).result()
         if options.use_cache:
             with span("cache_store"):
                 self.cache.put(key, result)
@@ -466,11 +471,15 @@ class ExpansionService:
         )
 
     def _execute_batch(
-        self, method: str, top_k: int, queries: Sequence[Query]
+        self,
+        method: str,
+        top_k: int,
+        queries: Sequence[Query],
+        retrieval=None,
     ) -> Sequence[ExpansionResult]:
         """Batch executor handed to the micro-batcher."""
         expander = self.registry.get(method)
-        return expander.expand_batch(list(queries), top_k=top_k)
+        return expander.expand_batch(list(queries), top_k=top_k, retrieval=retrieval)
 
     # -- warm-up / fit jobs ------------------------------------------------------------
     def warm_up(self, methods: Sequence[str] = ("retexpan",)) -> None:

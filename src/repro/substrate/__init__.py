@@ -10,6 +10,7 @@ cluster via :class:`~repro.store.FitLock` leader election.
 """
 
 from repro.substrate.provider import (
+    ANN_INDEX,
     CAUSAL_LM,
     COOCCURRENCE_EMBEDDINGS,
     ENTITY_REPRESENTATIONS,
@@ -17,6 +18,7 @@ from repro.substrate.provider import (
     Substrate,
     SubstrateKey,
     SubstrateProvider,
+    ann_index_params,
     causal_lm_params,
     cooccurrence_params_from_encoder,
     entity_representation_params,
@@ -24,6 +26,7 @@ from repro.substrate.provider import (
 )
 
 __all__ = [
+    "ANN_INDEX",
     "CAUSAL_LM",
     "COOCCURRENCE_EMBEDDINGS",
     "ENTITY_REPRESENTATIONS",
@@ -31,6 +34,7 @@ __all__ = [
     "Substrate",
     "SubstrateKey",
     "SubstrateProvider",
+    "ann_index_params",
     "causal_lm_params",
     "cooccurrence_params_from_encoder",
     "entity_representation_params",

@@ -65,10 +65,18 @@ COOCCURRENCE_EMBEDDINGS = "cooccurrence_embeddings"
 ENTITY_REPRESENTATIONS = "entity_representations"
 #: the (continually pre-trained) causal entity LM.
 CAUSAL_LM = "causal_lm"
+#: IVF-style partitioned ANN index over one entity vector map.
+ANN_INDEX = "ann_index"
 
 #: every persistable substrate kind, in dependency order (embeddings feed
-#: the encoder that produces the representations).
-SUBSTRATE_KINDS = (COOCCURRENCE_EMBEDDINGS, ENTITY_REPRESENTATIONS, CAUSAL_LM)
+#: the encoder that produces the representations; ANN indexes partition the
+#: vector map of whichever substrate they reference).
+SUBSTRATE_KINDS = (
+    COOCCURRENCE_EMBEDDINGS,
+    ENTITY_REPRESENTATIONS,
+    CAUSAL_LM,
+    ANN_INDEX,
+)
 
 #: hex digits kept from the sha256 digests used in keys and content hashes.
 _HASH_CHARS = 16
@@ -118,6 +126,35 @@ def entity_representation_params(config: EncoderConfig, trained: bool) -> dict:
 def causal_lm_params(config: CausalLMConfig, further_pretrain: bool) -> dict:
     """Parameters of a causal-LM substrate (config with the ablation arm applied)."""
     return {**config.__dict__, "further_pretrain": bool(further_pretrain)}
+
+
+def ann_index_params(
+    source_kind: str,
+    source_params: dict,
+    field: str = "entity",
+    dim: int | None = None,
+    normalize: bool = False,
+    n_lists: int | None = None,
+    seed: int = 0,
+) -> dict:
+    """Parameters of an ANN-index substrate.
+
+    The index content-addresses everything that shapes its layout: the
+    source substrate (kind + params), which vector map of it is indexed
+    (``field``: ``"entity"`` embeddings, encoder ``"hidden"`` states, or
+    mask ``"distribution"`` vectors), the dimension slice and row
+    normalization the consuming ranker applies, and the partition geometry.
+    """
+    if field not in ("entity", "hidden", "distribution"):
+        raise SubstrateError(f"unknown ann index field {field!r}")
+    return {
+        "source": {"kind": source_kind, "params": source_params},
+        "field": field,
+        "dim": dim,
+        "normalize": bool(normalize),
+        "n_lists": n_lists,
+        "seed": int(seed),
+    }
 
 
 def _encoder_dict(config: EncoderConfig) -> dict:
@@ -220,6 +257,20 @@ class SubstrateProvider:
         self._resident = metrics.gauge(
             "repro_substrate_resident", "Distinct substrate instances in memory."
         )
+        self._ann_queries = metrics.counter(
+            "repro_ann_queries_total", "Expand queries answered via a probed ANN shortlist."
+        )
+        self._ann_probes = metrics.counter(
+            "repro_ann_probes_total", "ANN index lists probed across all queries."
+        )
+        self._ann_shortlist = metrics.counter(
+            "repro_ann_shortlist_total",
+            "Candidates exact-rescored from probed shortlists (sum of sizes).",
+        )
+        self._ann_fallbacks = metrics.counter(
+            "repro_ann_exact_fallbacks_total",
+            "Probed queries that fell back to the exact full-vocabulary scan.",
+        )
 
     def attach_metrics(self, metrics: MetricsRegistry) -> None:
         """Re-home this provider's instruments onto ``metrics``.
@@ -248,6 +299,10 @@ class SubstrateProvider:
                     "_fit_lock_waits",
                     "_fit_lock_restores",
                     "_fit_lock_timeouts",
+                    "_ann_queries",
+                    "_ann_probes",
+                    "_ann_shortlist",
+                    "_ann_fallbacks",
                 )
             }
             resident = len(self._cache)
@@ -516,7 +571,44 @@ class SubstrateProvider:
             return CausalEntityLM(CausalLMConfig(**params)).fit(
                 corpus, entities, progress=progress
             )
+        if kind == ANN_INDEX:
+            return self._fit_ann_index(params, progress)
         raise SubstrateError(f"unknown substrate kind {kind!r}")
+
+    def _fit_ann_index(self, params: dict, progress=None):
+        """Partition the referenced substrate's vector map (resolving the
+        source through :meth:`get`, so it is fitted/restored at most once)."""
+        from repro.retrieval import CandidateMatrix, PartitionedIndex
+
+        source = params["source"]
+        instance = self.get(
+            source["kind"],
+            source["params"],
+            progress=progress.subrange(0.0, 0.8) if progress is not None else None,
+        )
+        vectors = self._ann_source_vectors(instance, params["field"])
+        dim = params.get("dim")
+        matrix = CandidateMatrix.from_vectors(
+            vectors,
+            dim=int(dim) if dim is not None else None,
+            normalize=bool(params.get("normalize", False)),
+        )
+        return PartitionedIndex.build(
+            matrix.matrix,
+            matrix.ids,
+            n_lists=params.get("n_lists"),
+            seed=int(params.get("seed", 0)),
+        )
+
+    @staticmethod
+    def _ann_source_vectors(instance: object, field: str) -> dict:
+        if field == "entity":
+            return instance.entity_vectors()
+        if field == "hidden":
+            return dict(instance.hidden)
+        if field == "distribution":
+            return dict(instance.distribution)
+        raise SubstrateError(f"unknown ann index field {field!r}")
 
     @staticmethod
     def _save_substrate(kind: str, instance: object, directory: "Path") -> None:
@@ -532,6 +624,10 @@ class SubstrateProvider:
             return EntityRepresentations.load(directory)
         if kind == CAUSAL_LM:
             return CausalEntityLM.load_state(directory, self.dataset.entities())
+        if kind == ANN_INDEX:
+            from repro.retrieval import PartitionedIndex
+
+            return PartitionedIndex.load(directory)
         raise SubstrateError(f"unknown substrate kind {kind!r}")
 
     def context_encoder(
@@ -565,6 +661,15 @@ class SubstrateProvider:
         with self._lock:
             return self._encoders.setdefault(cache_key, encoder)
 
+    # -- telemetry ---------------------------------------------------------------
+    def record_ann_query(self, probes: int, shortlist_size: int, fallback: bool) -> None:
+        """Count one probed retrieval (called from the expand hot path)."""
+        self._ann_queries.inc()
+        self._ann_probes.inc(probes)
+        self._ann_shortlist.inc(shortlist_size)
+        if fallback:
+            self._ann_fallbacks.inc()
+
     # -- introspection -----------------------------------------------------------
     def stats(self) -> dict:
         """The legacy stats dict (wire shape pinned), as a registry view."""
@@ -590,6 +695,12 @@ class SubstrateProvider:
                 "waits": int(self._fit_lock_waits.total()),
                 "restores_after_wait": int(self._fit_lock_restores.total()),
                 "timeouts": int(self._fit_lock_timeouts.total()),
+            },
+            "ann": {
+                "queries": int(self._ann_queries.total()),
+                "probes": int(self._ann_probes.total()),
+                "shortlisted": int(self._ann_shortlist.total()),
+                "exact_fallbacks": int(self._ann_fallbacks.total()),
             },
         }
 

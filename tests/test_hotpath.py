@@ -1,0 +1,518 @@
+"""Hot-path query compute tests (ANN retrieval, batched scoring, gateway cache).
+
+Covers the three legs of the hot-path work:
+
+* the pure-numpy partitioned ANN index (:mod:`repro.retrieval`): build /
+  probe / persistence, the MIPS lift for un-normalized vectors, shortlist
+  escalation and the exact fallback, and exact-vs-ANN parity through the
+  real expanders — ``ann=off`` must stay **bitwise** identical to the
+  historical full-vocabulary scan, ``ann=on`` must keep recall@k >= 0.98;
+* the corrupt-index self-heal: a checksum-mismatched ``ann_index`` artifact
+  is evicted and refitted, never served;
+* batched LM conditional-similarity scoring (GenExpan): one memoised batch
+  must reproduce the sequential per-pair means bitwise;
+* the gateway-side result cache: hit/miss behaviour over real sockets,
+  the ``X-Repro-Cache`` header, usage billing of hits, and the tenant /
+  fingerprint scoping of keys.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.api.options import ExpandOptions
+from repro.baselines import CGExpan
+from repro.core.resources import SharedResources
+from repro.exceptions import ConfigurationError, ServiceError
+from repro.retrieval import (
+    ANN_AUTO_THRESHOLD,
+    CandidateMatrix,
+    PartitionedIndex,
+    RetrievalProfile,
+)
+from repro.serve import ExpanderRegistry
+from repro.serve.protocol import ExpandRequest
+from repro.store import ArtifactStore
+from repro.utils.mathx import l2_normalize
+
+from test_cluster import make_gateway, make_worker
+
+
+# ---------------------------------------------------------------------------
+# retrieval profile
+# ---------------------------------------------------------------------------
+
+
+class TestRetrievalProfile:
+    def test_defaults_validate(self):
+        RetrievalProfile().validate()
+
+    def test_bad_mode_and_nprobe_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetrievalProfile(ann="sometimes").validate()
+        with pytest.raises(ConfigurationError):
+            RetrievalProfile(nprobe=0).validate()
+
+    def test_wants_ann_modes(self):
+        assert RetrievalProfile(ann="on").wants_ann(10)
+        assert not RetrievalProfile(ann="off").wants_ann(10**9)
+        auto = RetrievalProfile(ann="auto")
+        assert not auto.wants_ann(ANN_AUTO_THRESHOLD - 1)
+        assert auto.wants_ann(ANN_AUTO_THRESHOLD)
+
+
+# ---------------------------------------------------------------------------
+# partitioned index
+# ---------------------------------------------------------------------------
+
+
+def _clustered(n: int, dim: int, seed: int = 7) -> np.ndarray:
+    """Synthetic clustered vectors with non-uniform norms (MIPS matters)."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(16, dim)) * 4.0
+    rows = centers[rng.integers(0, 16, size=n)] + rng.normal(size=(n, dim))
+    return rows * rng.uniform(0.5, 2.0, size=(n, 1))  # vary the norms
+
+
+class TestPartitionedIndex:
+    def test_build_is_deterministic(self):
+        rows = _clustered(500, 8)
+        ids = list(range(500))
+        a = PartitionedIndex.build(rows, ids, seed=3)
+        b = PartitionedIndex.build(rows, ids, seed=3)
+        assert np.array_equal(a.centroids, b.centroids)
+        assert np.array_equal(a.order, b.order)
+
+    def test_full_probe_covers_every_row(self):
+        rows = _clustered(300, 8)
+        index = PartitionedIndex.build(rows, range(300), seed=1)
+        probed = index.probe(np.zeros(8), nprobe=index.n_lists)
+        assert sorted(probed.tolist()) == list(range(300))
+
+    def test_probe_recall_on_inner_product_top_k(self):
+        """Probing a quarter of the lists must keep recall@10 high for
+        max-inner-product queries, including over un-normalized rows."""
+        rows = _clustered(4000, 16)
+        index = PartitionedIndex.build(rows, range(4000), seed=5)
+        rng = np.random.default_rng(11)
+        recalls = []
+        for _ in range(40):
+            query = rows[rng.integers(0, 4000, size=5)].mean(axis=0)
+            exact = set(np.argsort(-(rows @ query))[:10].tolist())
+            probed = set(index.probe(query).tolist())
+            recalls.append(len(exact & probed) / 10.0)
+        assert float(np.mean(recalls)) >= 0.98
+
+    def test_save_load_round_trip(self, tmp_path):
+        rows = _clustered(200, 6)
+        index = PartitionedIndex.build(rows, range(200), seed=2)
+        index.save(tmp_path)
+        loaded = PartitionedIndex.load(tmp_path)
+        assert np.array_equal(loaded.ids, index.ids)
+        assert np.array_equal(loaded.centroids, index.centroids)
+        assert np.array_equal(loaded.order, index.order)
+        assert np.array_equal(loaded.offsets, index.offsets)
+        assert loaded.extent == index.extent
+        query = rows[:3].mean(axis=0)
+        assert np.array_equal(loaded.probe(query), index.probe(query))
+
+
+# ---------------------------------------------------------------------------
+# candidate matrix
+# ---------------------------------------------------------------------------
+
+
+def _vector_map(n: int, dim: int, seed: int = 9) -> dict[int, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    # non-contiguous ids, insertion order deliberately scrambled
+    ids = rng.permutation(np.arange(10, 10 + 2 * n, 2)).tolist()
+    return {int(eid): rng.normal(size=dim) for eid in ids}
+
+
+class TestCandidateMatrix:
+    def test_rows_gather_is_bitwise_equal_to_stack(self):
+        vectors = _vector_map(64, 12)
+        matrix = CandidateMatrix.from_vectors(vectors, normalize=True)
+        subset = sorted(vectors)[5:25]
+        historical = l2_normalize(
+            np.stack([vectors[eid] for eid in subset]), axis=1
+        )
+        gathered = matrix.rows(subset)
+        assert gathered.flags["C_CONTIGUOUS"]
+        assert np.array_equal(gathered, historical), "gather must be bitwise"
+
+    def test_dim_slice_matches_historical_order(self):
+        vectors = _vector_map(32, 10)
+        matrix = CandidateMatrix.from_vectors(vectors, dim=4, normalize=True)
+        eid = sorted(vectors)[3]
+        assert np.array_equal(
+            matrix.row(eid), l2_normalize(vectors[eid][:4].reshape(1, -1), axis=1)[0]
+        )
+
+    def test_attach_index_drops_mismatched_vocabulary(self):
+        vectors = _vector_map(30, 6)
+        matrix = CandidateMatrix.from_vectors(vectors)
+        stale = PartitionedIndex.build(np.zeros((3, 6)), [1, 2, 3])
+        matrix.attach_index(stale)
+        assert matrix.index is None
+        fresh = PartitionedIndex.build(matrix.matrix, matrix.ids)
+        matrix.attach_index(fresh)
+        assert matrix.index is fresh
+
+    def test_shortlist_exact_when_off_or_unindexed(self):
+        vectors = _vector_map(30, 6)
+        matrix = CandidateMatrix.from_vectors(vectors)
+        candidates = matrix.ids[:20]
+        assert (
+            matrix.shortlist(candidates, np.zeros(6), RetrievalProfile(ann="on"))
+            is candidates
+        ), "no index: the exact candidate list passes through untouched"
+        matrix.attach_index(PartitionedIndex.build(matrix.matrix, matrix.ids))
+        assert (
+            matrix.shortlist(candidates, np.zeros(6), RetrievalProfile(ann="off"))
+            is candidates
+        )
+
+    def test_shortlist_escalates_nprobe_until_required_is_met(self):
+        vectors = _vector_map(400, 8)
+        matrix = CandidateMatrix.from_vectors(vectors)
+        matrix.attach_index(
+            PartitionedIndex.build(matrix.matrix, matrix.ids, n_lists=32, seed=4)
+        )
+        events = []
+        shortlist = matrix.shortlist(
+            list(matrix.ids),
+            np.zeros(8),
+            RetrievalProfile(ann="on", nprobe=1),
+            required=350,
+            telemetry=lambda p, s, f: events.append((p, s, f)),
+        )
+        assert len(shortlist) >= 350
+        (probes, size, fallback) = events[0]
+        assert probes > 1, "nprobe=1 cannot cover 350 rows; it must escalate"
+        assert not fallback
+
+    def test_shortlist_falls_back_to_exact_when_index_cannot_fill(self):
+        vectors = _vector_map(50, 8)
+        matrix = CandidateMatrix.from_vectors(vectors)
+        matrix.attach_index(PartitionedIndex.build(matrix.matrix, matrix.ids))
+        # candidates outside the indexed vocabulary (vocabulary drift)
+        candidates = [99999, 99998, 99997]
+        events = []
+        shortlist = matrix.shortlist(
+            candidates,
+            np.zeros(8),
+            RetrievalProfile(ann="on"),
+            required=2,
+            telemetry=lambda p, s, f: events.append((p, s, f)),
+        )
+        assert shortlist == candidates
+        assert events[0][2] is True, "must be counted as an exact fallback"
+
+
+# ---------------------------------------------------------------------------
+# exact-vs-ANN parity through a real expander
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fitted_cgexpan(tiny_dataset):
+    expander = CGExpan(resources=SharedResources(tiny_dataset))
+    expander.fit(tiny_dataset)
+    return expander
+
+
+class TestExpanderParity:
+    def test_ann_off_is_bitwise_identical_to_default(self, fitted_cgexpan, tiny_dataset):
+        """``ann=off`` and the default profile (auto, under the threshold)
+        must both take the exact path and agree on ids AND raw scores."""
+        for query in tiny_dataset.queries[:5]:
+            default = fitted_cgexpan.expand(query, top_k=20)
+            off = fitted_cgexpan.expand(
+                query, top_k=20, retrieval=RetrievalProfile(ann="off")
+            )
+            assert [(i.entity_id, i.score) for i in default.ranking] == [
+                (i.entity_id, i.score) for i in off.ranking
+            ]
+
+    def test_ann_on_keeps_recall(self, fitted_cgexpan, tiny_dataset):
+        """Forced probing must keep recall@k >= 0.98 against the exact
+        ranking at the default nprobe (with shortlist escalation)."""
+        recalls = []
+        k = 20
+        for query in tiny_dataset.queries[:10]:
+            exact = set(
+                fitted_cgexpan.expand(
+                    query, top_k=k, retrieval=RetrievalProfile(ann="off")
+                ).entity_ids()
+            )
+            probed = set(
+                fitted_cgexpan.expand(
+                    query, top_k=k, retrieval=RetrievalProfile(ann="on")
+                ).entity_ids()
+            )
+            recalls.append(len(exact & probed) / max(1, len(exact)))
+        assert float(np.mean(recalls)) >= 0.98
+
+    def test_ann_queries_are_counted(self, fitted_cgexpan, tiny_dataset):
+        provider = fitted_cgexpan._resources.provider
+        before = provider.stats()["ann"]["queries"]
+        fitted_cgexpan.expand(
+            tiny_dataset.queries[0], top_k=10, retrieval=RetrievalProfile(ann="on")
+        )
+        after = provider.stats()["ann"]
+        assert after["queries"] == before + 1
+        assert after["probes"] >= 1
+
+
+class TestCorruptIndexSelfHeal:
+    def test_checksum_mismatch_refits_instead_of_serving(
+        self, tiny_dataset, tmp_path
+    ):
+        """Flipping bytes in the persisted ANN index must never produce a
+        wrong ranking: the restore detects the checksum mismatch, evicts
+        the artifact, refits, and republishes a good copy."""
+        store = ArtifactStore(tmp_path)
+        registry = ExpanderRegistry(tiny_dataset, store=store)
+        registry.get("cgexpan")
+        info = next(s for s in store.ls_substrates() if s.kind == "ann_index")
+        payload = (
+            store.substrate_dir(info.kind, info.content_hash)
+            / "state"
+            / "ann_centroids.npy"
+        )
+        payload.write_bytes(b"\x00corrupt")
+        fresh = ExpanderRegistry(tiny_dataset, store=store)
+        expander = fresh.get("cgexpan")
+        result = expander.expand(
+            tiny_dataset.queries[0], top_k=10, retrieval=RetrievalProfile(ann="on")
+        )
+        assert result.ranking, "self-healed expander must serve"
+        healed = next(s for s in store.ls_substrates() if s.kind == "ann_index")
+        assert (
+            store.substrate_dir(healed.kind, healed.content_hash)
+            / "state"
+            / "ann_centroids.npy"
+        ).stat().st_size > len(b"\x00corrupt"), "a good copy was republished"
+
+
+# ---------------------------------------------------------------------------
+# batched LM conditional similarity (GenExpan)
+# ---------------------------------------------------------------------------
+
+
+class TestBatchedConditionalSimilarity:
+    @pytest.fixture(scope="class")
+    def lm(self, resources):
+        return resources.causal_lm(further_pretrain=False)
+
+    def test_batch_matches_sequential_bitwise(self, lm, tiny_dataset):
+        ids = tiny_dataset.entity_ids()
+        generated, seeds = ids[:25], ids[25:29]
+        batched = lm.conditional_similarity_batch(generated, seeds)
+        for gid in generated:
+            sequential = sum(
+                lm.conditional_similarity(gid, sid) for sid in seeds
+            ) / len(seeds)
+            assert batched[gid] == sequential, f"entity {gid} diverged"
+
+    def test_unknown_entities_and_empty_seeds(self, lm, tiny_dataset):
+        ids = tiny_dataset.entity_ids()
+        assert lm.conditional_similarity_batch([ids[0]], []) == {ids[0]: 0.0}
+        batched = lm.conditional_similarity_batch([10**9], ids[:2])
+        assert batched[10**9] == 0.0
+
+
+# ---------------------------------------------------------------------------
+# options / request wire shape
+# ---------------------------------------------------------------------------
+
+
+class TestRetrievalOptionsWireShape:
+    def test_round_trip(self):
+        options = ExpandOptions.from_dict({"ann": "on", "nprobe": 4})
+        assert (options.ann, options.nprobe) == ("on", 4)
+        assert ExpandOptions.from_dict(options.to_dict()) == options
+
+    def test_defaults_are_auto(self):
+        options = ExpandOptions.from_dict({})
+        assert (options.ann, options.nprobe) == ("auto", None)
+
+    def test_bad_values_are_rejected(self):
+        with pytest.raises(ServiceError):
+            ExpandOptions.from_dict({"ann": "always"})
+        with pytest.raises(ServiceError):
+            ExpandOptions.from_dict({"nprobe": 0})
+        with pytest.raises(ServiceError):
+            ExpandOptions.from_dict({"nprobe": True})
+
+    def test_retrieval_knobs_change_the_cache_key(self):
+        base = ExpandRequest(method="stub", query_id="q1")
+        on = ExpandRequest(
+            method="stub", query_id="q1", options=ExpandOptions(ann="on")
+        )
+        probed = ExpandRequest(
+            method="stub", query_id="q1", options=ExpandOptions(ann="on", nprobe=2)
+        )
+        keys = {base.cache_key(10), on.cache_key(10), probed.cache_key(10)}
+        assert len(keys) == 3, "ann/nprobe change the ranking, so they key"
+
+    def test_retrieval_profile_view(self):
+        profile = ExpandOptions(ann="on", nprobe=3).retrieval_profile()
+        assert isinstance(profile, RetrievalProfile)
+        assert (profile.ann, profile.nprobe) == ("on", 3)
+
+
+# ---------------------------------------------------------------------------
+# gateway result cache
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def cached_cluster(tiny_dataset):
+    servers = [make_worker(tiny_dataset) for _ in range(2)]
+    gateway = make_gateway(
+        tiny_dataset, servers, gateway_cache_capacity=64,
+        gateway_cache_ttl_seconds=300.0,
+    )
+    yield gateway, servers
+    gateway.shutdown()
+    for server in servers:
+        server.shutdown()
+
+
+def _post(gateway, payload):
+    request = urllib.request.Request(
+        gateway.url + "/v1/expand",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read()), dict(response.headers)
+
+
+class TestGatewayCache:
+    def test_repeat_request_is_served_from_the_gateway(
+        self, cached_cluster, tiny_dataset
+    ):
+        gateway, _servers = cached_cluster
+        body = {
+            "method": "stuba",
+            "query_id": tiny_dataset.queries[0].query_id,
+            "options": {"top_k": 7},
+        }
+        status, first, headers = _post(gateway, body)
+        assert status == 200
+        assert "X-Repro-Cache" not in headers, "first request is a miss"
+        assert headers.get("X-Repro-Worker")
+        status, second, headers = _post(gateway, body)
+        assert status == 200
+        assert headers.get("X-Repro-Cache") == "gateway"
+        assert "X-Repro-Worker" not in headers, "a hit never leaves the gateway"
+        assert second["data"]["cached"] is True
+        assert second["data"]["ranking"] == first["data"]["ranking"]
+        stats = gateway.stats()["cache"]
+        assert stats["hits"] >= 1
+
+    def test_hits_are_billed_at_lookup_cost(self, cached_cluster, tiny_dataset):
+        gateway, _servers = cached_cluster
+        body = {
+            "method": "stubb",
+            "query_id": tiny_dataset.queries[1].query_id,
+            "options": {"top_k": 5},
+        }
+        _post(gateway, body)
+        before = gateway.usage.summary()["tenants"]
+        _post(gateway, body)
+        after = gateway.usage.summary()["tenants"]
+        hits_before = sum(b["cache_hits"] for b in before.values()) if before else 0
+        hits_after = sum(b["cache_hits"] for b in after.values())
+        assert hits_after == hits_before + 1
+
+    def test_use_cache_false_bypasses_the_gateway_cache(
+        self, cached_cluster, tiny_dataset
+    ):
+        gateway, _servers = cached_cluster
+        body = {
+            "method": "stubc",
+            "query_id": tiny_dataset.queries[2].query_id,
+            "options": {"top_k": 5, "use_cache": False},
+        }
+        for _ in range(2):
+            status, _payload, headers = _post(gateway, body)
+            assert status == 200
+            assert "X-Repro-Cache" not in headers
+            assert headers.get("X-Repro-Worker")
+
+    def test_different_retrieval_knobs_never_collide(
+        self, cached_cluster, tiny_dataset
+    ):
+        gateway, _servers = cached_cluster
+        base = {
+            "method": "stubd",
+            "query_id": tiny_dataset.queries[3].query_id,
+            "options": {"top_k": 5},
+        }
+        _post(gateway, base)
+        probed = dict(base, options={"top_k": 5, "ann": "on"})
+        status, _payload, headers = _post(gateway, probed)
+        assert status == 200
+        assert "X-Repro-Cache" not in headers, "different ann mode is a miss"
+
+    def test_key_scopes_tenant_and_fingerprint(self, cached_cluster, tiny_dataset):
+        """Unit-level: the key embeds the resolved tenant and the dataset
+        fingerprint, so hits can never cross either boundary."""
+        from repro.obs import tenant_scope
+
+        gateway, _servers = cached_cluster
+        payload = {
+            "method": "stuba",
+            "query_id": tiny_dataset.queries[0].query_id,
+            "options": {"top_k": 7},
+        }
+        anonymous = gateway._expand_cache_key(payload)
+        with tenant_scope("acme"):
+            tenant_key = gateway._expand_cache_key(payload)
+        assert anonymous != tenant_key
+        original = gateway.fingerprint
+        try:
+            gateway.fingerprint = "other-dataset"
+            assert gateway._expand_cache_key(payload) != anonymous
+        finally:
+            gateway.fingerprint = original
+
+    def test_uncacheable_payloads_return_no_key(self, cached_cluster):
+        gateway, _servers = cached_cluster
+        assert gateway._expand_cache_key({"method": ""}) is None
+        assert (
+            gateway._expand_cache_key(
+                {"method": "stuba", "query_id": "q", "options": {"use_cache": False}}
+            )
+            is None
+        )
+        assert (
+            gateway._expand_cache_key(
+                {
+                    "method": "stuba",
+                    "query_id": "q",
+                    "options": {"include_timings": True},
+                }
+            )
+            is None
+        )
+
+    def test_cache_disabled_by_default(self, tiny_dataset):
+        from repro.cluster import ClusterGateway
+
+        gateway = ClusterGateway(
+            [("w0", "http://127.0.0.1:1")], fingerprint="fp", port=0
+        ).start()
+        try:
+            assert gateway.cache is None
+            assert "cache" not in gateway.stats()
+        finally:
+            gateway.shutdown()

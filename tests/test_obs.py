@@ -316,7 +316,7 @@ class TestTracing:
         on *its own* trace, even though execution runs on a pool thread."""
         release = threading.Event()
 
-        def execute(method, top_k, queries):
+        def execute(method, top_k, queries, retrieval=None):
             release.wait(timeout=5.0)
             return [
                 ExpansionResult.from_scores(query.query_id, [(1, 1.0)])

@@ -41,7 +41,7 @@ class CountingExpander(Expander):
         scored = [(eid, 1.0 / (1.0 + eid)) for eid in self.dataset.entity_ids()]
         return ExpansionResult.from_scores(query.query_id, scored)
 
-    def expand_batch(self, queries, top_k=100):
+    def expand_batch(self, queries, top_k=100, retrieval=None):
         self.batch_sizes.append(len(queries))
         return [self.expand(query, top_k) for query in queries]
 

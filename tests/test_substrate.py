@@ -181,13 +181,17 @@ class TestStoreSubstrateArtifacts:
         registry.get("cgexpan")
         [info] = store.ls()
         assert info.method == "cgexpan"
-        assert len(info.substrates) == 1
-        ref = info.substrates[0]
-        assert ref["kind"] == COOCCURRENCE_EMBEDDINGS
-        [substrate] = store.ls_substrates()
-        assert ref["content_hash"] == substrate.content_hash
+        # v3 fits reference the embeddings AND the ANN index built over them.
+        assert len(info.substrates) == 2
+        by_kind = {ref["kind"]: ref for ref in info.substrates}
+        assert set(by_kind) == {COOCCURRENCE_EMBEDDINGS, "ann_index"}
+        substrates = {s.kind: s for s in store.ls_substrates()}
+        assert set(substrates) == {COOCCURRENCE_EMBEDDINGS, "ann_index"}
+        for kind, ref in by_kind.items():
+            assert ref["content_hash"] == substrates[kind].content_hash
         references = store.substrate_references()
-        assert references[(substrate.kind, substrate.content_hash)] == [
+        embeddings = substrates[COOCCURRENCE_EMBEDDINGS]
+        assert references[(embeddings.kind, embeddings.content_hash)] == [
             f"cgexpan/{tiny_dataset.fingerprint()}"
         ]
 
@@ -199,7 +203,9 @@ class TestStoreSubstrateArtifacts:
         store = ArtifactStore(tmp_path)
         registry = ExpanderRegistry(tiny_dataset, store=store)
         registry.get("cgexpan")
-        [substrate] = store.ls_substrates()
+        substrate = next(
+            s for s in store.ls_substrates() if s.kind == "cooccurrence_embeddings"
+        )
         assert store.evict_substrate(substrate.kind, substrate.content_hash, force=True)
         fresh = CGExpan(resources=SharedResources(tiny_dataset))
         with pytest.raises(ArtifactCorruptError):
@@ -247,7 +253,9 @@ class TestStoreSubstrateArtifacts:
         store = ArtifactStore(tmp_path)
         registry = ExpanderRegistry(tiny_dataset, store=store)
         registry.get("cgexpan")
-        [substrate] = store.ls_substrates()
+        substrate = next(
+            s for s in store.ls_substrates() if s.kind == "cooccurrence_embeddings"
+        )
         with pytest.raises(StoreError, match="referenced"):
             store.evict_substrate(substrate.kind, substrate.content_hash)
         store.evict("cgexpan", tiny_dataset.fingerprint())
@@ -282,15 +290,18 @@ class TestReferenceAwareGC:
     ):
         store, _registry = embeddings_backed_store
         methods = store.ls()
-        [substrate] = store.ls_substrates()
-        total = sum(i.total_bytes for i in methods) + substrate.total_bytes
+        substrates = store.ls_substrates()
+        total = sum(i.total_bytes for i in methods) + sum(
+            s.total_bytes for s in substrates
+        )
         # A budget that forces evictions but can be met by dropping method
-        # artifacts alone: the substrate (still referenced by the survivor)
-        # must be untouched even though it is the oldest entry.
+        # artifacts alone: the substrates (still referenced by the survivor)
+        # must be untouched even though they are the oldest entries.
         budget = total - min(i.total_bytes for i in methods)
         removed = store.gc_to_budget(budget)
         assert removed, "the budget must have forced at least one eviction"
-        assert store.contains_substrate(substrate.kind, substrate.content_hash)
+        for substrate in substrates:
+            assert store.contains_substrate(substrate.kind, substrate.content_hash)
         assert store.ls(), "at least one referencing method must survive"
 
     def test_budget_gc_collects_orphaned_substrates_instead_of_stranding(
@@ -308,17 +319,19 @@ class TestReferenceAwareGC:
     ):
         store, _registry = embeddings_backed_store
         fingerprint = tiny_dataset.fingerprint()
-        # Keeping the live fingerprint keeps the methods and their substrate.
+        # Keeping the live fingerprint keeps the methods and their substrates
+        # (the shared embeddings plus the ANN index over them).
         assert store.gc(keep_fingerprints={fingerprint}) == []
-        assert store.stats()["substrates"] == 1
-        # Dropping every method orphans the substrate; the same filter now
-        # sweeps it instead of stranding its bytes forever.
+        assert store.stats()["substrates"] == 2
+        # Dropping every method orphans the substrates; the same filter now
+        # sweeps them instead of stranding their bytes forever.
         store.evict("cgexpan", fingerprint)
         store.evict("case", fingerprint)
         removed = store.gc(keep_fingerprints=set())
-        assert [getattr(info, "kind", None) for info in removed] == [
-            COOCCURRENCE_EMBEDDINGS
-        ]
+        assert {getattr(info, "kind", None) for info in removed} == {
+            COOCCURRENCE_EMBEDDINGS,
+            "ann_index",
+        }
         assert store.ls_substrates() == []
 
     def test_fresh_orphans_are_protected_by_the_publication_grace(
@@ -334,7 +347,7 @@ class TestReferenceAwareGC:
         # and the budget pass must leave it alone.
         assert store.gc(keep_fingerprints=set()) == []
         assert store.gc_to_budget(0) == []
-        assert store.stats()["substrates"] == 1
+        assert store.stats()["substrates"] == 2
 
 
 class TestFitOnceAcceptance:
@@ -352,19 +365,25 @@ class TestFitOnceAcceptance:
         registry.get("case")
         assert calls == ["CooccurrenceEmbeddings"], "CaSE must not refit the substrate"
         provider_stats = registry.stats()["substrates"]
-        assert provider_stats["fits"] == 1
+        # Two fits total: the embeddings, then the shared ANN index over them
+        # (same params for both methods, so it too is fitted exactly once).
+        assert provider_stats["fits"] == 2
         assert provider_stats["hits"] >= 1
-        # The store holds the substrate exactly once; both manifests point
-        # at the same content hash.
-        [substrate] = store.ls_substrates()
+        # The store holds each substrate exactly once; both manifests point
+        # at the same content hashes.
+        substrates = store.ls_substrates()
+        assert len(substrates) == 2
         hashes = {
             ref["content_hash"] for info in store.ls() for ref in info.substrates
         }
-        assert hashes == {substrate.content_hash}
-        references = store.substrate_references()[
-            (substrate.kind, substrate.content_hash)
-        ]
-        assert sorted(label.split("/")[0] for label in references) == ["case", "cgexpan"]
+        assert hashes == {s.content_hash for s in substrates}
+        all_references = store.substrate_references()
+        for substrate in substrates:
+            references = all_references[(substrate.kind, substrate.content_hash)]
+            assert sorted(label.split("/")[0] for label in references) == [
+                "case",
+                "cgexpan",
+            ]
 
 
 class TestFitJobPhases:

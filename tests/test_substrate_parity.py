@@ -112,12 +112,17 @@ class TestSharedVsPrivateFitParity:
         by_kind = {}
         for info in substrates:
             by_kind.setdefault(info.kind, []).append(info)
-        # One co-occurrence, one entity-representations, one causal LM.
-        assert {kind: len(infos) for kind, infos in by_kind.items()} == {
+        # One co-occurrence, one entity-representations, one causal LM; the
+        # ANN indexes are keyed by (source, field, dim) so distinct vector
+        # spaces get their own index while same-space methods share one.
+        counts = {kind: len(infos) for kind, infos in by_kind.items()}
+        ann_indexes = counts.pop("ann_index", 0)
+        assert counts == {
             "cooccurrence_embeddings": 1,
             "entity_representations": 1,
             "causal_lm": 1,
         }
+        assert ann_indexes >= 1
         known = {(info.kind, info.content_hash) for info in substrates}
         for info in store.ls():
             assert info.substrates, f"{info.method} manifest must reference substrates"
@@ -142,4 +147,6 @@ class TestSharedVsPrivateFitParity:
         assert len(calls) == 1
         DEFAULT_FACTORIES["case"](resources).fit(tiny_dataset)
         assert len(calls) == 1, "CaSE refitted the co-occurrence substrate"
-        assert resources.provider.stats()["fits"] == 1
+        # Two provider fits total: the embeddings plus the ANN index over
+        # them — shared by both methods, so neither is fitted twice.
+        assert resources.provider.stats()["fits"] == 2

@@ -323,7 +323,7 @@ class TestUsageMeter:
         meter = UsageMeter()
         release = threading.Event()
 
-        def execute(method, top_k, queries):
+        def execute(method, top_k, queries, retrieval=None):
             release.wait(timeout=5.0)
             time.sleep(0.03)
             return [
